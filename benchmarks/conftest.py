@@ -1,0 +1,40 @@
+"""Benchmark fixtures: one paper-scale study run shared by every bench.
+
+Scales (documented in EXPERIMENTS.md): population 1:1024, wild honeypots
+1:64, attacks 1:16, telescope sources 1:8192 (Telnet) / 1:64 (rest),
+telescope packets 1:16384.  Every bench times the *regeneration* of its
+artifact from pipeline inputs and prints a paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Study, StudyConfig
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full paper-scale reproduction, run once per bench session."""
+    return Study(StudyConfig.paper_scale(seed=7)).run()
+
+
+def compare(title, rows):
+    """Print a paper-vs-measured block under the benchmark output.
+
+    ``rows`` are (label, paper value, measured value[, note]) tuples; the
+    scale divisor is part of the label so readers can sanity-check.
+    """
+    print()
+    print(f"=== {title} ===")
+    width = max(len(str(row[0])) for row in rows)
+    print(f"{'quantity'.ljust(width)}  {'paper':>14}  {'measured':>14}")
+    for row in rows:
+        label, paper, measured = row[0], row[1], row[2]
+        note = f"  ({row[3]})" if len(row) > 3 else ""
+        paper_text = f"{paper:,}" if isinstance(paper, int) else str(paper)
+        measured_text = (
+            f"{measured:,}" if isinstance(measured, int) else str(measured)
+        )
+        print(f"{str(label).ljust(width)}  {paper_text:>14}  "
+              f"{measured_text:>14}{note}")

@@ -1,0 +1,151 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. fingerprint-before-classify — how badly would Table 5 be polluted
+   without the honeypot filter (the paper's stated motivation for §3.2);
+2. probe loss — scan coverage degradation vs fabric loss rate;
+3. scale invariance — Table 5 shape drift across 1:512 … 1:4096 worlds;
+4. EU blocklist + dataset merge — our scan behind a Europe blocklist loses
+   EU devices, and the Sonar/Shodan correlation step restores them.
+"""
+
+import pytest
+
+from repro.analysis.fingerprint import HoneypotFingerprinter
+from repro.analysis.misconfig import classify_database
+from repro.internet.population import (
+    PAPER_MISCONFIG_COUNTS,
+    PopulationBuilder,
+    PopulationConfig,
+)
+from repro.net.geo import GeoRegistry
+from repro.scanner.blocklist import (
+    EU_COUNTRIES,
+    CompositeBlocklist,
+    GeoBlocklist,
+    zmap_default_blocklist,
+)
+from repro.scanner.datasets import project_sonar, shodan
+from repro.scanner.zmap import InternetScanner
+from repro.protocols.base import ProtocolId
+
+from conftest import compare
+
+
+def test_ablation_fingerprint_filter(benchmark, study):
+    """Without honeypot filtering, honeypot banners pollute Table 5."""
+    unfiltered = benchmark.pedantic(
+        classify_database, args=(study.merged_db,), rounds=1, iterations=1
+    )
+    filtered = study.misconfig
+    pollution = unfiltered.total - filtered.total
+    anglerfish = sum(
+        1 for host in study.population.wild_honeypots
+        if host.honeypot_kind == "Anglerfish"
+    )
+    compare("Ablation: fingerprint-before-classify", [
+        ("Table 5 total (filtered)", "1,832,893-shape", filtered.total),
+        ("Table 5 total (unfiltered)", "polluted", unfiltered.total),
+        ("pollution (honeypots counted as devices)", 8192 // 64, pollution),
+    ])
+    assert pollution >= anglerfish  # every Anglerfish pollutes
+    assert unfiltered.total > filtered.total
+
+
+@pytest.mark.parametrize("loss_rate", [0.0, 0.1, 0.3])
+def test_ablation_probe_loss(benchmark, loss_rate):
+    """Scan undercount grows with probe loss; UDP retries soften it."""
+    population = PopulationBuilder(
+        PopulationConfig(seed=7, scale=8192, honeypot_scale=512,
+                         loss_rate=loss_rate)
+    ).build()
+    scanner = InternetScanner(population.internet)
+    database = benchmark.pedantic(
+        scanner.run_campaign, rounds=1, iterations=1
+    )
+    # Wild honeypots answer the Telnet sweep too — they are part of the
+    # reachable surface (that is the whole point of Table 6).
+    truth = sum(len(hosts) for hosts in population.by_protocol.values())
+    truth += sum(
+        1 for host in population.wild_honeypots
+        if 23 in host.services
+    )
+    found = len(database.unique_hosts())
+    compare(f"Ablation: probe loss {loss_rate:.0%}", [
+        ("reachable hosts", truth, found),
+        ("coverage", "100%", f"{100 * found / truth:.1f}%"),
+    ])
+    assert found <= truth
+    if loss_rate == 0.0:
+        assert found >= 0.99 * truth
+    else:
+        assert found >= (1 - loss_rate - 0.1) * truth
+
+
+@pytest.mark.parametrize("scale", [512, 2048, 4096])
+def test_ablation_scale_invariance(benchmark, scale):
+    """Table 5 proportions survive down-scaling (largest remainder)."""
+    def build_and_classify():
+        population = PopulationBuilder(
+            PopulationConfig(seed=7, scale=scale, honeypot_scale=256)
+        ).build()
+        database = InternetScanner(population.internet).run_campaign()
+        fingerprinter = HoneypotFingerprinter()
+        report = fingerprinter.fingerprint(database)
+        report = fingerprinter.active_ssh_probe(
+            population.internet,
+            (h.address for h in population.internet.hosts()),
+            report=report,
+        )
+        return classify_database(
+            database, exclude_addresses=report.addresses()
+        )
+
+    report = benchmark.pedantic(build_and_classify, rounds=1, iterations=1)
+    paper_total = sum(PAPER_MISCONFIG_COUNTS.values())
+    rows = []
+    max_drift = 0.0
+    for label, paper in PAPER_MISCONFIG_COUNTS.items():
+        paper_share = paper / paper_total
+        measured_share = report.count(label) / max(1, report.total)
+        drift = abs(measured_share - paper_share)
+        max_drift = max(max_drift, drift)
+        rows.append((str(label), f"{100 * paper_share:.2f}%",
+                     f"{100 * measured_share:.2f}%"))
+    rows.append(("max share drift", "<5pp", f"{100 * max_drift:.2f}pp"))
+    compare(f"Ablation: shape drift at 1:{scale}", rows)
+    assert max_drift < 0.05
+
+
+def test_ablation_eu_blocklist_dataset_merge(benchmark, study):
+    """A Europe-blocklisted scan misses EU devices; merging the open
+    datasets (whose scanners sit elsewhere) restores them — the paper's
+    rationale for combining both sources."""
+    geo = GeoRegistry(study.config.seed)
+    blocklist = CompositeBlocklist(
+        [zmap_default_blocklist(), GeoBlocklist(geo, EU_COUNTRIES)]
+    )
+    internet = study.population.internet
+    scanner = InternetScanner(internet, study.config.scan, blocklist)
+    blocked_db = benchmark.pedantic(
+        scanner.run_campaign, rounds=1, iterations=1
+    )
+    merged = blocked_db.merge(
+        project_sonar(study.config.seed).snapshot(internet)
+    ).merge(shodan(study.config.seed).snapshot(internet))
+
+    def eu_hosts(database):
+        return sum(
+            1 for address in database.unique_hosts()
+            if geo.country_of(address) in EU_COUNTRIES
+        )
+
+    ours_eu = eu_hosts(blocked_db)
+    merged_eu = eu_hosts(merged)
+    full_eu = eu_hosts(study.zmap_db)
+    compare("Ablation: EU blocklist + dataset correlation", [
+        ("EU hosts, unblocked scan", "(reference)", full_eu),
+        ("EU hosts, EU-blocklisted scan", 0, ours_eu),
+        ("EU hosts after dataset merge", "(restored)", merged_eu),
+    ])
+    assert ours_eu == 0
+    assert merged_eu > 0.5 * full_eu

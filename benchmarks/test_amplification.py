@@ -1,0 +1,48 @@
+"""Reflector-capacity bench — the paper's DDoS warning, quantified.
+
+"1.8 million devices are potentially waiting to be exploited" (§6); the
+CoAP and UPnP rows of Table 5 are reflection resources.  This bench
+measures the amplification factors of the scanned reflector population and
+estimates the aggregate booter capacity it represents.
+"""
+
+from repro.analysis.amplification import analyze_amplification
+from repro.protocols.base import ProtocolId
+
+from conftest import compare
+
+
+def test_reflector_capacity(benchmark, study):
+    report = benchmark.pedantic(
+        analyze_amplification, args=(study.zmap_db,), rounds=1, iterations=1
+    )
+    scale = study.config.population.scale
+
+    rows = []
+    for protocol, reflectors, median, peak in report.rows():
+        rows.append((f"{protocol} reflectors", "(Table 5 rows)",
+                     f"{reflectors * scale:,} (x{scale})"))
+        rows.append((f"{protocol} median amplification", "(>1x)",
+                     f"{median:.2f}x (max {peak:.2f}x)"))
+    rows.append((
+        "aggregate capacity @100 q/s/reflector",
+        "(the 'open for hire' risk)",
+        f"{report.capacity_gbps() * scale:,.1f} Gbit/s rescaled",
+    ))
+    compare("Reflector amplification capacity", rows)
+
+    # Every UDP responder is reflectable (the paper: "having systems with
+    # CoAP exposed to the Internet itself is a vulnerability"); responder
+    # counts track Table 4's exposure rows.
+    coap_responders = len(report.factors[ProtocolId.COAP]) * scale
+    upnp_responders = len(report.factors[ProtocolId.UPNP]) * scale
+    assert abs(coap_responders - 618_650) < 0.1 * 618_650
+    assert abs(upnp_responders - 1_381_940) < 0.1 * 1_381_940
+    # A substantial share actively amplifies (>1x), with median factors
+    # comfortably above break-even — the booter economics.
+    assert report.reflector_count(ProtocolId.COAP) > 0.25 * len(
+        report.factors[ProtocolId.COAP])
+    assert report.reflector_count(ProtocolId.UPNP) > 0.9 * len(
+        report.factors[ProtocolId.UPNP])
+    assert report.median_factor(ProtocolId.COAP) > 1.2
+    assert report.median_factor(ProtocolId.UPNP) > 1.2

@@ -1,0 +1,32 @@
+"""Aggregate fidelity bench — the whole paper in one score.
+
+Runs the fidelity scorer over the session's paper-scale study and prints
+the complete paper-vs-measured table (the machine-generated counterpart of
+EXPERIMENTS.md).  The assertion is the repository's headline claim: every
+non-floor-dominated published quantity tracks the paper within 25%, and
+the mean error stays in the low single digits.
+"""
+
+from repro.core.fidelity import score_study
+
+from conftest import compare
+
+
+def test_aggregate_fidelity(benchmark, study):
+    report = benchmark.pedantic(score_study, args=(study,),
+                                rounds=1, iterations=1)
+    print()
+    print(report.render())
+
+    compare("Aggregate fidelity", [
+        ("compared quantities", "(all tables)", len(report.rows)),
+        ("mean relative error", "small",
+         f"{100 * report.mean_relative_error():.2f}%"),
+        ("max relative error (non-floor)", "<25%",
+         f"{100 * report.max_relative_error():.2f}%"),
+        ("floor-dominated rows", "(documented)",
+         sum(1 for row in report.rows if row.floor_dominated)),
+    ])
+
+    assert report.mean_relative_error() < 0.05
+    assert report.max_relative_error() < 0.25

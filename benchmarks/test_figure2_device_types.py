@@ -1,0 +1,49 @@
+"""Figure 2 — top IoT device types by protocol (%).
+
+Regenerates the ZTag-based device typing over the merged scan database.
+The paper's exact percentages are in an image; our fitted catalog weights
+target the qualitative mix named in §4.1.2 and Table 11: most device types
+come from Telnet and UPnP responses, XMPP/AMQP are never typeable.
+"""
+
+from repro.analysis.device_type import identify_device_types
+from repro.core.report import render_figure2
+from repro.protocols.base import ProtocolId
+
+from conftest import compare
+
+
+def test_figure2_device_types(benchmark, study):
+    report = benchmark.pedantic(
+        identify_device_types, args=(study.merged_db,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for protocol in (ProtocolId.TELNET, ProtocolId.UPNP, ProtocolId.MQTT,
+                     ProtocolId.COAP):
+        for device_type, share in sorted(
+            report.percentages(protocol).items(), key=lambda item: -item[1]
+        )[:4]:
+            rows.append((f"{protocol}: {device_type}", "(figure image)",
+                         f"{share:.1f}%"))
+    compare("Figure 2: top device types by protocol", rows)
+    print()
+    print(render_figure2(study))
+
+    # Qualitative anchors from §4.1.2 / Table 11:
+    telnet = report.percentages(ProtocolId.TELNET)
+    upnp = report.percentages(ProtocolId.UPNP)
+    # Cameras and DSL modems dominate Telnet identifications.
+    assert telnet.get("Camera", 0) + telnet.get("DSL Modem", 0) > 50
+    # Routers and cameras dominate UPnP identifications.
+    assert upnp.get("Router", 0) > 30
+    # XMPP and AMQP responses are never sufficient to type a device.
+    assert ProtocolId.XMPP not in report.counts
+    assert ProtocolId.AMQP not in report.counts
+    # Most identifications come from Telnet + UPnP.
+    identified_by = {
+        protocol: sum(table.values())
+        for protocol, table in report.counts.items()
+    }
+    top_two = sorted(identified_by, key=identified_by.get)[-2:]
+    assert set(top_two) == {ProtocolId.TELNET, ProtocolId.UPNP}

@@ -1,0 +1,57 @@
+"""Figure 4 — attack types in different honeypots (%).
+
+Regenerates the per-honeypot attack-type mix from the classified event log
+and checks the qualitative statements of §5.1.
+"""
+
+from collections import Counter
+
+from repro.core.taxonomy import AttackType
+from repro.honeypots.deployment import HONEYPOT_NAMES
+
+from conftest import compare
+
+
+def _mix_per_honeypot(study):
+    result = {}
+    for honeypot in HONEYPOT_NAMES:
+        counts = Counter(
+            event.attack_type
+            for event in study.schedule.log.by_honeypot(honeypot)
+        )
+        result[honeypot] = counts
+    return result
+
+
+def test_figure4_attack_types(benchmark, study):
+    mixes = benchmark.pedantic(
+        _mix_per_honeypot, args=(study,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for honeypot in HONEYPOT_NAMES:
+        counts = mixes[honeypot]
+        total = sum(counts.values()) or 1
+        top = counts.most_common(3)
+        summary = ", ".join(
+            f"{kind}={100 * count / total:.0f}%" for kind, count in top
+        )
+        rows.append((honeypot, "(figure image)", summary))
+    compare("Figure 4: attack types per honeypot", rows)
+
+    # §5.1.3: U-Pot's traffic is dominated by DoS-related attacks.
+    upot = mixes["U-Pot"]
+    upot_total = sum(upot.values())
+    dos_share = (upot[AttackType.DOS_FLOOD] + upot[AttackType.REFLECTION]
+                 ) / upot_total
+    assert dos_share > 0.4
+    # Telnet/SSH honeypots see brute-force + dictionary + malware.
+    cowrie = mixes["Cowrie"]
+    auth_attacks = (cowrie[AttackType.BRUTE_FORCE]
+                    + cowrie[AttackType.DICTIONARY]
+                    + cowrie[AttackType.MALWARE_DROP])
+    assert auth_attacks > 0.3 * sum(cowrie.values())
+    # Dionaea (SMB) sees exploitation.
+    assert mixes["Dionaea"][AttackType.EXPLOIT] > 0
+    # ThingPot sees brute force on the Hue bridge and state poisoning.
+    assert mixes["ThingPot"][AttackType.DATA_POISONING] > 0

@@ -1,0 +1,79 @@
+"""Figure 5 — scanning-service classification: our method vs GreyNoise.
+
+Regenerates the per-protocol comparison and checks the paper's finding:
+both methods agree on most sources, but GreyNoise misses a block of
+addresses (2,023 in the paper), with the largest gaps on AMQP, Telnet and
+MQTT (Europe-focused risk-rating platforms).
+"""
+
+from collections import Counter
+
+from repro.core.taxonomy import TrafficClass
+from repro.intel.greynoise import GreyNoiseDB
+from repro.protocols.base import ProtocolId
+
+from conftest import compare
+
+
+def _per_protocol_comparison(study):
+    """(ours, greynoise) scanning-service source counts per protocol."""
+    log = study.schedule.log
+    greynoise = study.greynoise
+    registry = study.schedule.registry
+    ours = Counter()
+    theirs = Counter()
+    for event in log:
+        info = registry.get(event.source)
+        if info is None or info.traffic_class != TrafficClass.SCANNING_SERVICE:
+            continue
+        key = (str(event.protocol), event.source)
+        # count unique per protocol via the set trick below
+    by_protocol = {}
+    for event in log:
+        by_protocol.setdefault(str(event.protocol), set()).add(event.source)
+    result = {}
+    for protocol, sources in by_protocol.items():
+        ours_count = sum(
+            1 for address in sources
+            if (info := registry.get(address)) is not None
+            and info.traffic_class == TrafficClass.SCANNING_SERVICE
+        )
+        gn_count = sum(
+            1 for address in sources
+            if greynoise.classification(address) == "benign"
+        )
+        result[protocol] = (ours_count, gn_count)
+    return result
+
+
+def test_figure5_greynoise_comparison(benchmark, study):
+    comparison = benchmark.pedantic(
+        _per_protocol_comparison, args=(study,), rounds=1, iterations=1
+    )
+
+    rows = [
+        (protocol, f"ours={ours}", f"greynoise={theirs}")
+        for protocol, (ours, theirs) in sorted(comparison.items())
+    ]
+    compare("Figure 5: scanning-service classification (ours vs GreyNoise)",
+            rows)
+
+    # Our method identifies at least as many scanning sources as GreyNoise
+    # on every protocol (GreyNoise only misses, never over-counts here).
+    for protocol, (ours, theirs) in comparison.items():
+        assert ours >= theirs, protocol
+
+    # A real gap exists overall (the 2,023-address analogue).
+    total_ours = sum(ours for ours, _ in comparison.values())
+    total_theirs = sum(theirs for _, theirs in comparison.values())
+    gap = total_ours - total_theirs
+    assert gap > 0
+    # Gap concentrated where regional scanners operate: Telnet/AMQP/MQTT
+    # show a bigger relative gap than UPnP.
+    def relative_gap(protocol):
+        ours, theirs = comparison.get(protocol, (0, 0))
+        return (ours - theirs) / ours if ours else 0.0
+
+    heavy = max(relative_gap("telnet"), relative_gap("amqp"),
+                relative_gap("mqtt"))
+    assert heavy >= relative_gap("upnp")

@@ -1,0 +1,53 @@
+"""Figure 6 — % of attack sources VirusTotal flags malicious, per protocol,
+honeypots (H) vs telescope (T).
+
+The paper's headline: SMB sources show the highest malicious rate (the
+Eternal*/WannaCry ecosystem), and honeypot sources generally rate higher
+than telescope background.
+"""
+
+from repro.protocols.base import ProtocolId
+
+from conftest import compare
+
+
+def _vt_fractions(study):
+    log = study.schedule.log
+    virustotal = study.virustotal
+    fractions = {}
+    by_protocol = {}
+    for event in log:
+        by_protocol.setdefault(str(event.protocol), set()).add(event.source)
+    for protocol, sources in by_protocol.items():
+        fractions[f"{protocol} (H)"] = virustotal.malicious_fraction(sources)
+    for protocol in study.telescope.sources_by_protocol:
+        sources = study.telescope.suspicious_sources(protocol)
+        fractions[f"{protocol} (T)"] = virustotal.malicious_fraction(sources)
+    return fractions
+
+
+def test_figure6_virustotal_classification(benchmark, study):
+    fractions = benchmark.pedantic(
+        _vt_fractions, args=(study,), rounds=1, iterations=1
+    )
+
+    rows = [
+        (label, "(figure image)", f"{100 * fraction:.0f}%")
+        for label, fraction in sorted(fractions.items())
+    ]
+    compare("Figure 6: VirusTotal malicious source share", rows)
+
+    # SMB honeypot sources have the highest malicious share among
+    # honeypot-side protocols, as the paper reports.
+    honeypot_side = {
+        label: fraction for label, fraction in fractions.items()
+        if label.endswith("(H)")
+    }
+    smb = honeypot_side.get("smb (H)", 0.0)
+    others = [fraction for label, fraction in honeypot_side.items()
+              if label != "smb (H)"]
+    assert smb >= max(others) - 0.05
+
+    # Honeypot sources rate higher than telescope background on Telnet
+    # (the telescope's bulk is unattributed radiation).
+    assert fractions["telnet (H)"] > fractions["telnet (T)"]

@@ -1,0 +1,55 @@
+"""Figure 7 — attack trends by type (%) and protocol.
+
+Regenerates the protocol × attack-type matrix from the classified log and
+checks the paper's summary: UDP protocols (CoAP, UPnP) skew to DoS, TCP
+protocols to malware deployment and data poisoning.
+"""
+
+from repro.core.report import render_figure7
+from repro.core.taxonomy import AttackType
+from repro.protocols.base import ProtocolId
+
+from conftest import compare
+
+
+def _trend_matrix(study):
+    log = study.schedule.log
+    matrix = {}
+    for name in log.count_by_protocol():
+        protocol = ProtocolId(name)
+        counts = log.count_by_type(protocol)
+        total = sum(counts.values()) or 1
+        matrix[name] = {
+            str(kind): count / total for kind, count in counts.items()
+        }
+    return matrix
+
+
+def test_figure7_attack_trends(benchmark, study):
+    matrix = benchmark.pedantic(
+        _trend_matrix, args=(study,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for protocol, mix in sorted(matrix.items()):
+        top = sorted(mix.items(), key=lambda item: -item[1])[:3]
+        rows.append((protocol, "(figure image)", ", ".join(
+            f"{kind}={100 * share:.0f}%" for kind, share in top
+        )))
+    compare("Figure 7: attack-type mix per protocol", rows)
+    print()
+    print(render_figure7(study))
+
+    def dos_share(protocol):
+        mix = matrix.get(protocol, {})
+        return mix.get("dos-flood", 0) + mix.get("reflection", 0)
+
+    # UDP protocols receive more DoS-related traffic than TCP protocols.
+    udp_dos = min(dos_share("coap"), dos_share("upnp"))
+    tcp_dos = max(dos_share("telnet"), dos_share("ssh"), dos_share("ftp"))
+    assert udp_dos > tcp_dos
+
+    # TCP protocols carry malware deployment and poisoning.
+    assert matrix["telnet"].get("malware-drop", 0) > 0.1
+    assert matrix["mqtt"].get("data-poisoning", 0) > 0.2
+    assert matrix["s7"].get("data-poisoning", 0) > 0.2

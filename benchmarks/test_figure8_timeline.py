@@ -1,0 +1,55 @@
+"""Figure 8 — total attacks by day, with listing events and DoS spikes.
+
+Regenerates the daily series from the event log and checks the paper's
+finding: an upward trend after the scanning-service listings, plus major
+DoS events on days 24 and 26.
+"""
+
+import statistics
+
+from repro.core.report import render_figure8
+
+from conftest import compare
+
+
+def test_figure8_daily_timeline(benchmark, study):
+    by_day = benchmark.pedantic(
+        study.schedule.log.count_by_day, rounds=1, iterations=1
+    )
+    days = study.config.attacks.days
+
+    week = lambda w: sum(by_day.get(d, 0) for d in range(7 * w, 7 * (w + 1)))
+    rows = [
+        ("week 1 events", "(figure trend)", week(0)),
+        ("week 2 events", "(figure trend)", week(1)),
+        ("week 3 events", "(figure trend)", week(2)),
+        ("week 4 events", "(figure trend)", week(3)),
+        ("day 24 (DoS spike)", "(marked)", by_day.get(23, 0)),
+        ("day 26 (DoS spike)", "(marked)", by_day.get(25, 0)),
+    ]
+    compare("Figure 8: attacks per day", rows)
+    print()
+    print(render_figure8(study))
+
+    # Upward trend: each week at least as busy as the week before -10%.
+    weeks = [week(w) for w in range(4)]
+    for earlier, later in zip(weeks, weeks[1:]):
+        assert later > 0.9 * earlier
+    assert weeks[3] > 1.2 * weeks[0]
+
+    # The annotated DoS days stand out from their neighbourhood.
+    normal = [by_day.get(d, 0) for d in range(days) if d not in (23, 25)]
+    assert by_day.get(23, 0) > statistics.mean(normal)
+    assert by_day.get(25, 0) > statistics.mean(normal)
+
+    # Listings precede the ramp: the post-listing mean exceeds pre-listing.
+    first_listing = min(
+        day for honeypot in study.deployment.honeypots
+        for day in honeypot.listing_days.values()
+    )
+    pre = statistics.mean(by_day.get(d, 0) for d in range(first_listing))
+    post = statistics.mean(
+        by_day.get(d, 0) for d in range(first_listing, days)
+        if d not in (23, 25)
+    )
+    assert post > pre

@@ -1,0 +1,39 @@
+"""Section 5.2 bench — the listing effect, quantified.
+
+Regenerates the before/after attack-rate analysis around every
+scanning-service listing event in the study's month and asserts the
+paper's claim: attack rates rise after listings.
+"""
+
+from repro.analysis.listing_impact import analyze_listing_impact
+
+from conftest import compare
+
+
+def test_listing_impact(benchmark, study):
+    report = benchmark.pedantic(
+        analyze_listing_impact,
+        args=(study.schedule.log, study.deployment),
+        kwargs={"days": study.config.attacks.days},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        ("listing events analysed", "(4 engines x 6 honeypots)",
+         len(report.effects)),
+        ("fraction followed by increase", "upward trend",
+         f"{100 * report.fraction_amplified():.0f}%"),
+        ("mean rate amplification", ">1x",
+         f"{report.mean_amplification():.2f}x"),
+    ]
+    for effect in report.effects[:6]:
+        rows.append((
+            f"{effect.honeypot} after {effect.service} (day "
+            f"{effect.listing_day + 1})",
+            "(figure trend)",
+            f"{effect.rate_before:.1f}/d -> {effect.rate_after:.1f}/d",
+        ))
+    compare("Section 5.2: impact of listing by scanning services", rows)
+
+    assert report.fraction_amplified() > 0.85
+    assert report.mean_amplification() > 1.2

@@ -1,0 +1,38 @@
+"""Table 10 — misconfigured devices by country.
+
+Regenerates the geolocation rollup over the classified misconfigured
+addresses and compares country shares with the published distribution.
+"""
+
+from repro.analysis.country import country_distribution
+from repro.core.report import render_table10
+from repro.net.geo import COUNTRY_WEIGHTS
+
+from conftest import compare
+
+
+def test_table10_country_distribution(benchmark, study):
+    addresses = study.misconfig.all_addresses()
+    report = benchmark.pedantic(
+        country_distribution, args=(addresses, study.geo),
+        rounds=1, iterations=1,
+    )
+
+    paper_total = sum(weight for _, weight in COUNTRY_WEIGHTS)
+    rows = []
+    for code, paper_count in COUNTRY_WEIGHTS:
+        paper_share = 100.0 * paper_count / paper_total
+        measured_share = 100.0 * report.share(code)
+        rows.append((study.geo.country_name(code),
+                     f"{paper_share:.1f}%", f"{measured_share:.1f}%"))
+    compare("Table 10: country shares of misconfigured devices", rows)
+    print()
+    print(render_table10(study))
+
+    # US leads with roughly a quarter; the top country is the US.
+    top = report.rows(study.geo)[0]
+    assert top[0] == "USA"
+    assert 0.18 < report.share("US") < 0.36
+    # Big-vs-small ordering is respected.
+    assert report.share("CN") > report.share("JP")
+    assert report.share("RU") > report.share("FR")

@@ -1,0 +1,51 @@
+"""Table 5 — 1.8 M misconfigured devices by protocol and vulnerability.
+
+Regenerates the classification over the merged scan database (honeypots
+excluded, as in the paper) and compares every row with the published count.
+"""
+
+from repro.analysis.misconfig import classify_database
+from repro.core.report import render_table5
+from repro.core.taxonomy import MISCONFIG_LABELS, MISCONFIG_PROTOCOL
+from repro.internet.population import (
+    PAPER_MISCONFIG_COUNTS,
+    PAPER_TOTAL_MISCONFIGURED,
+)
+
+from conftest import compare
+
+
+def test_table5_misconfigured_devices(benchmark, study):
+    report = benchmark.pedantic(
+        classify_database,
+        args=(study.merged_db,),
+        kwargs={"exclude_addresses": study.fingerprints.addresses()},
+        rounds=1, iterations=1,
+    )
+    scale = study.config.population.scale
+
+    rows = []
+    for label, paper in sorted(
+        PAPER_MISCONFIG_COUNTS.items(), key=lambda item: item[1]
+    ):
+        rows.append((
+            f"{MISCONFIG_PROTOCOL[label]}: {MISCONFIG_LABELS[label]}",
+            paper, report.count(label) * scale, f"x{scale}",
+        ))
+    rows.append(("TOTAL", PAPER_TOTAL_MISCONFIGURED, report.total * scale,
+                 f"x{scale}"))
+    compare("Table 5: misconfigured devices (rescaled)", rows)
+    print()
+    print(render_table5(study))
+
+    # Row ordering (ascending, as the paper prints) must be preserved.
+    ordered = sorted(PAPER_MISCONFIG_COUNTS, key=PAPER_MISCONFIG_COUNTS.get)
+    values = [report.count(label) for label in ordered]
+    assert values == sorted(values)
+    # Reflection resources (UPnP + CoAP) dominate, as in the paper.
+    from repro.core.taxonomy import Misconfig
+    reflector_share = (
+        report.count(Misconfig.UPNP_REFLECTOR)
+        + report.count(Misconfig.COAP_REFLECTOR)
+    ) / report.total
+    assert reflector_share > 0.75

@@ -1,0 +1,58 @@
+"""Table 8 — the /8 telescope: 2.7 B daily requests to the six protocols.
+
+Regenerates the month's FlowTuple capture and compares daily packet
+averages (exact, single packet scale) and unique-source orderings
+(two-tier source scale, see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core.report import render_table8
+from repro.protocols.base import ProtocolId
+from repro.telescope.telescope import PAPER_TELESCOPE, NetworkTelescope
+
+from conftest import compare
+
+
+def test_table8_telescope(benchmark, study):
+    telescope = NetworkTelescope(
+        study.schedule.registry, study.geo, study.asn, study.config.telescope
+    )
+    capture = benchmark.pedantic(
+        telescope.capture_month, rounds=1, iterations=1
+    )
+
+    rows = []
+    for protocol, (daily_avg, unique_ips, scanning_ips) in PAPER_TELESCOPE.items():
+        rows.append((f"{protocol} daily packets", daily_avg,
+                     int(capture.daily_average_rescaled(protocol))))
+    compare("Table 8: daily packet averages (rescaled)", rows)
+
+    source_rows = []
+    for protocol, (_, unique_ips, _) in PAPER_TELESCOPE.items():
+        source_rows.append((f"{protocol} unique IPs", unique_ips,
+                            len(capture.unique_sources(protocol)),
+                            "two-tier source scale"))
+    compare("Table 8: unique sources (scaled, NOT rescaled)", source_rows)
+    print()
+    print(render_table8(study))
+
+    # Volume ratios across protocols are preserved to within 25%.
+    telnet_avg = capture.daily_average(ProtocolId.TELNET)
+    for protocol, (daily_avg, _, _) in PAPER_TELESCOPE.items():
+        expected = daily_avg / PAPER_TELESCOPE[ProtocolId.TELNET][0]
+        got = capture.daily_average(protocol) / telnet_avg
+        assert got == pytest.approx(expected, rel=0.25), protocol
+
+    # Telnet dominates both packets and sources, as in the paper.
+    for protocol in PAPER_TELESCOPE:
+        if protocol != ProtocolId.TELNET:
+            assert (capture.daily_average(ProtocolId.TELNET)
+                    > 10 * capture.daily_average(protocol))
+    # The non-Telnet source ordering follows Table 8 (UPnP > AMQP > MQTT
+    # > XMPP > CoAP), allowing one inversion from stochastic rounding.
+    order = [ProtocolId.UPNP, ProtocolId.AMQP, ProtocolId.MQTT,
+             ProtocolId.XMPP, ProtocolId.COAP]
+    sizes = [len(capture.unique_sources(protocol)) for protocol in order]
+    inversions = sum(1 for a, b in zip(sizes, sizes[1:]) if a < b)
+    assert inversions <= 1, sizes

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Scenario: a month of attacks against the six-honeypot lab.
+
+Reproduces the paper's Section 3.3/4.3/5.1-5.4 pipeline in isolation:
+deploy HosTaGe, U-Pot, Conpot, ThingPot, Cowrie and Dionaea, expose them on
+the simulated Internet, run the 30-day attack schedule, then analyse the
+event log — attack types, daily timeline with listing effects, captured
+malware, and multistage attacks.
+
+Run:  python examples/honeypot_month.py
+"""
+
+from collections import Counter
+
+from repro.analysis.multistage import detect_multistage
+from repro.attacks.schedule import AttackScheduleConfig, AttackScheduler
+from repro.honeypots.deployment import build_deployment
+from repro.internet.population import PopulationBuilder, PopulationConfig
+from repro.protocols.base import ProtocolId
+
+
+def main() -> None:
+    seed = 7
+    print("Building world and deploying the six honeypots ...")
+    population = PopulationBuilder(
+        PopulationConfig(seed=seed, scale=4096, honeypot_scale=256)
+    ).build()
+    deployment = build_deployment()
+    deployment.attach(population.internet)
+    for honeypot in deployment.honeypots:
+        ports = ", ".join(str(port) for port in sorted(honeypot.services))
+        print(f"  {honeypot.name:<9} {honeypot.device_profile:<32} "
+              f"ports {ports}")
+
+    print("Simulating 30 days of attacks (1:32 event scale) ...")
+    scheduler = AttackScheduler(
+        population.internet, deployment, population,
+        AttackScheduleConfig(seed=seed, attack_scale=32),
+    )
+    result = scheduler.run()
+    log = result.log
+    print(f"  {len(log)} attack events from "
+          f"{len(log.unique_sources())} unique sources")
+
+    print("\nEvents per honeypot and protocol:")
+    for (name, protocol), count in sorted(
+        log.count_by_honeypot_protocol().items()
+    ):
+        print(f"  {name:<9} {protocol:<7} {count}")
+
+    print("\nAttack-type mix:")
+    total = len(log)
+    for attack_type, count in sorted(
+        log.count_by_type().items(), key=lambda item: -item[1]
+    ):
+        print(f"  {attack_type:<16} {count:>6}  {100 * count / total:.1f}%")
+
+    print("\nDaily timeline (listing days boost the trend):")
+    by_day = log.count_by_day()
+    peak = max(by_day.values())
+    for day in range(scheduler.config.days):
+        count = by_day.get(day, 0)
+        bar = "#" * int(30 * count / peak)
+        print(f"  day {day + 1:>2} {count:>5} {bar}")
+
+    print("\nMalware captured (by family):")
+    families = Counter(
+        result.corpus.family_of(sha) for sha in log.malware_hashes()
+    )
+    for family, count in families.most_common():
+        print(f"  {family:<14} {count} distinct binaries")
+
+    print("\nMultistage attacks (multi-protocol sources, scanners excluded):")
+    multistage = detect_multistage(log, result.rdns)
+    print(f"  {multistage.total} detected")
+    sequences = Counter(multistage.sequences.values())
+    for sequence, count in sequences.most_common(5):
+        chain = " -> ".join(str(protocol) for protocol in sequence)
+        print(f"  {chain:<28} x{count}")
+
+    # Honeypot-side state after the month: what the attackers changed.
+    hostage = deployment.get("HosTaGe")
+    broker = hostage.services[1883]
+    coap = hostage.services[5683]
+    print("\nPost-mortem of HosTaGe state:")
+    print(f"  MQTT poisoning writes: {broker.poison_events}")
+    print(f"  CoAP poisoning writes: {coap.poison_events}")
+    smb = hostage.services[445]
+    print(f"  SMB exploit attempts: {len(smb.exploit_attempts)} "
+          f"(compromised={smb.compromised})")
+
+
+if __name__ == "__main__":
+    main()

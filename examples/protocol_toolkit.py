@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Scenario: using the protocol engines as a standalone toolkit.
+
+The repro package's codecs are usable outside the study pipeline — here we
+assemble a tiny lab: a misconfigured MQTT camera gateway, a CoAP sensor and
+a UPnP switch on a private fabric, then probe and exploit them by hand,
+exactly as the scanner and attack layers do internally.
+
+Run:  python examples/protocol_toolkit.py
+"""
+
+from repro.analysis.misconfig import classify_record
+from repro.internet.fabric import SimulatedInternet
+from repro.internet.host import SimulatedHost
+from repro.net.ipv4 import ip_to_int
+from repro.protocols.base import ProtocolId, TransportKind
+from repro.protocols.coap import (
+    CoapCode,
+    CoapConfig,
+    CoapMessage,
+    CoapServer,
+    CoapType,
+    decode_message,
+    encode_message,
+    well_known_core_request,
+)
+from repro.protocols.mqtt import (
+    MqttBroker,
+    MqttConfig,
+    decode_connack,
+    encode_connect,
+    encode_publish,
+    encode_subscribe,
+)
+from repro.protocols.upnp import UpnpConfig, UpnpServer, msearch_request, parse_headers
+from repro.scanner.records import ScanRecord
+
+PROBER = ip_to_int("192.0.2.1")
+
+
+def main() -> None:
+    net = SimulatedInternet()
+
+    camera_gw = SimulatedHost(
+        address=ip_to_int("198.18.1.10"),
+        services={1883: MqttBroker(MqttConfig(
+            auth_required=False,
+            topics={"cameras/frontdoor/state": b"armed"},
+        ))},
+    )
+    sensor = SimulatedHost(
+        address=ip_to_int("198.18.1.11"),
+        services={5683: CoapServer(CoapConfig(
+            access="full", resources={"/sensors/smoke": b"0"},
+        ))},
+    )
+    switch = SimulatedHost(
+        address=ip_to_int("198.18.1.12"),
+        services={1900: UpnpServer(UpnpConfig())},
+    )
+    for host in (camera_gw, sensor, switch):
+        net.add_host(host)
+
+    # --- MQTT: connect without credentials, read, then poison ------------
+    print("== MQTT gateway ==")
+    connection = net.tcp_connect(PROBER, camera_gw.address, 1883)
+    connack = connection.send(encode_connect("audit-probe"))
+    print(f"CONNACK return code: {decode_connack(connack)}")
+    record = ScanRecord(
+        address=camera_gw.address, port=1883, protocol=ProtocolId.MQTT,
+        transport=TransportKind.TCP, response=connack,
+    )
+    print(f"classifier verdict: {classify_record(record)}")
+    suback = connection.send(encode_subscribe(1, ["cameras/#"]))
+    print(f"retained state leaked: {b'armed' in suback}")
+    connection.send(encode_publish("cameras/frontdoor/state", b"disarmed",
+                                   retain=True))
+    broker = camera_gw.services[1883]
+    print(f"state after attack: {broker.topics['cameras/frontdoor/state']} "
+          f"(poison events: {broker.poison_events})")
+
+    # --- CoAP: discovery then an unauthenticated write --------------------
+    print("\n== CoAP sensor ==")
+    reply = net.udp_query(PROBER, sensor.address, 5683,
+                          well_known_core_request())
+    message = decode_message(reply)
+    print(f"/.well-known/core -> {message.code.dotted}: "
+          f"{message.payload.decode()}")
+    put = encode_message(CoapMessage(
+        mtype=CoapType.CONFIRMABLE, code=CoapCode.PUT, message_id=2,
+        uri_path=("sensors", "smoke"), payload=b"999",
+    ))
+    ack = decode_message(net.udp_query(PROBER, sensor.address, 5683, put))
+    print(f"PUT /sensors/smoke -> {ack.code.dotted}; value now "
+          f"{sensor.services[5683].resources['/sensors/smoke']}")
+
+    # --- SSDP: discovery and the amplification factor ---------------------
+    print("\n== UPnP switch ==")
+    request = msearch_request()
+    response = net.udp_query(PROBER, switch.address, 1900, request)
+    headers = parse_headers(response)
+    print(f"SERVER: {headers['SERVER']}")
+    print(f"LOCATION disclosed: {'LOCATION' in headers}")
+    print(f"amplification factor: {len(response) / len(request):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

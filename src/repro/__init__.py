@@ -1,0 +1,23 @@
+"""repro — a simulated-Internet reproduction of "Open for hire: attack
+trends and misconfiguration pitfalls of IoT devices" (IMC 2021).
+
+The package rebuilds the paper's three measurement apparatuses on a
+deterministic synthetic IPv4 world: Internet-wide protocol scanning with
+misconfiguration classification and honeypot fingerprinting, a six-honeypot
+lab observed for one simulated month, and a /8 network-telescope capture —
+plus the cross-experiment joins (GreyNoise/VirusTotal validation and the
+infected-device intersection).
+
+Quickstart::
+
+    from repro import Study, StudyConfig
+    results = Study(StudyConfig.quick()).run()
+    print(results.misconfig.total, "misconfigured devices")
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study, StudyResults
+
+__version__ = "1.0.0"
+
+__all__ = ["Study", "StudyConfig", "StudyResults", "__version__"]

@@ -1,0 +1,75 @@
+"""Analysis: misconfig classification, device typing, honeypot fingerprints."""
+
+from repro.analysis.amplification import (
+    AmplificationReport,
+    analyze_amplification,
+)
+from repro.analysis.attack_origins import (
+    TorAnalysis,
+    analyze_tor_sources,
+    dos_origin_countries,
+    duplicate_dns_sources,
+)
+from repro.analysis.country import CountryReport, country_distribution
+from repro.analysis.ics import IcsTrafficReport, analyze_ics_traffic
+from repro.analysis.infected import InfectedHostsReport, analyze_infected_hosts
+from repro.analysis.multistage import MultistageReport, detect_multistage
+from repro.analysis.recurrence import RecurrenceClassifier, RecurrencePattern
+from repro.analysis.timing import TimingFingerprinter, TimingVerdict
+from repro.analysis.device_type import (
+    DeviceTypeReport,
+    build_device_signatures,
+    identify_device_types,
+)
+from repro.analysis.fingerprint import (
+    FingerprintReport,
+    HoneypotFingerprinter,
+    HoneypotSignature,
+    default_signatures,
+)
+from repro.analysis.listing_impact import (
+    ListingEffect,
+    ListingImpactReport,
+    analyze_listing_impact,
+)
+from repro.analysis.misconfig import (
+    VULNERABLE_AMQP_VERSIONS,
+    MisconfigReport,
+    classify_database,
+    classify_record,
+)
+
+__all__ = [
+    "AmplificationReport",
+    "CountryReport",
+    "analyze_amplification",
+    "TorAnalysis",
+    "analyze_tor_sources",
+    "dos_origin_countries",
+    "duplicate_dns_sources",
+    "IcsTrafficReport",
+    "InfectedHostsReport",
+    "analyze_ics_traffic",
+    "ListingEffect",
+    "ListingImpactReport",
+    "analyze_listing_impact",
+    "MultistageReport",
+    "RecurrenceClassifier",
+    "TimingFingerprinter",
+    "TimingVerdict",
+    "RecurrencePattern",
+    "analyze_infected_hosts",
+    "detect_multistage",
+    "DeviceTypeReport",
+    "FingerprintReport",
+    "HoneypotFingerprinter",
+    "HoneypotSignature",
+    "MisconfigReport",
+    "VULNERABLE_AMQP_VERSIONS",
+    "build_device_signatures",
+    "classify_database",
+    "classify_record",
+    "country_distribution",
+    "default_signatures",
+    "identify_device_types",
+]

@@ -1,0 +1,45 @@
+"""Country distribution of misconfigured devices — Table 10.
+
+The paper geolocates misconfigured device addresses with ipgeolocation.io;
+we do the same against the study's :class:`~repro.net.geo.GeoRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.net.geo import GeoRegistry
+
+__all__ = ["CountryReport", "country_distribution"]
+
+
+@dataclass
+class CountryReport:
+    """Devices per country, with the percentage view Table 10 prints."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """All geolocated devices."""
+        return sum(self.counts.values())
+
+    def rows(self, geo: GeoRegistry) -> List[Tuple[str, int, float]]:
+        """(country name, count, percent) rows, descending by count."""
+        total = self.total or 1
+        rows = [
+            (geo.country_name(code), count, 100.0 * count / total)
+            for code, count in self.counts.items()
+        ]
+        return sorted(rows, key=lambda row: -row[1])
+
+    def share(self, code: str) -> float:
+        """Fraction of devices in one country."""
+        total = self.total or 1
+        return self.counts.get(code, 0) / total
+
+
+def country_distribution(addresses: Iterable[int], geo: GeoRegistry) -> CountryReport:
+    """Roll addresses up into a per-country report."""
+    return CountryReport(counts=geo.histogram(addresses))

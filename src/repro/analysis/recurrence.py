@@ -1,0 +1,112 @@
+"""Recurrence analysis: recurring scanners vs one-time suspicious scans.
+
+"We observe that the IPs from the scanning services scan the Internet
+periodically and thus are recurring, unlike suspicious one-time scans"
+(Section 4.3.1).  That observation is itself a classifier: a source whose
+visits recur across many days behaves like scanning infrastructure even
+when its reverse DNS is silent.
+
+:class:`RecurrenceClassifier` implements it over the honeypot event log:
+a source is *recurring* when it appears on at least ``min_active_days``
+distinct days spanning at least ``min_span_days``.  Tests score it against
+the registry's ground truth, and the Figure 5 pipeline can use it as a
+second opinion next to the rDNS method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.honeypots.events import EventLog
+
+__all__ = ["RecurrencePattern", "RecurrenceClassifier"]
+
+
+@dataclass
+class RecurrencePattern:
+    """Visit pattern of one source."""
+
+    source: int
+    active_days: Set[int] = field(default_factory=set)
+    total_events: int = 0
+
+    @property
+    def n_active_days(self) -> int:
+        """Distinct days the source appeared."""
+        return len(self.active_days)
+
+    @property
+    def span_days(self) -> int:
+        """Days between first and last appearance (inclusive)."""
+        if not self.active_days:
+            return 0
+        return max(self.active_days) - min(self.active_days) + 1
+
+    @property
+    def regularity(self) -> float:
+        """Active-day density over the activity span, in [0, 1]."""
+        span = self.span_days
+        return self.n_active_days / span if span else 0.0
+
+
+class RecurrenceClassifier:
+    """Labels sources as recurring (scanner-like) or one-time."""
+
+    def __init__(
+        self,
+        *,
+        min_active_days: int = 4,
+        min_span_days: int = 10,
+        min_regularity: float = 0.25,
+    ) -> None:
+        self.min_active_days = min_active_days
+        self.min_span_days = min_span_days
+        self.min_regularity = min_regularity
+
+    def patterns(self, log: EventLog) -> Dict[int, RecurrencePattern]:
+        """Aggregate visit patterns per source."""
+        result: Dict[int, RecurrencePattern] = {}
+        for event in log:
+            pattern = result.get(event.source)
+            if pattern is None:
+                pattern = RecurrencePattern(source=event.source)
+                result[event.source] = pattern
+            pattern.active_days.add(event.day)
+            pattern.total_events += 1
+        return result
+
+    def is_recurring(self, pattern: RecurrencePattern) -> bool:
+        """The §4.3.1 heuristic."""
+        return (
+            pattern.n_active_days >= self.min_active_days
+            and pattern.span_days >= self.min_span_days
+            and pattern.regularity >= self.min_regularity
+        )
+
+    def classify(self, log: EventLog) -> Tuple[Set[int], Set[int]]:
+        """Split the log's sources into (recurring, one-time)."""
+        recurring: Set[int] = set()
+        one_time: Set[int] = set()
+        for source, pattern in self.patterns(log).items():
+            if self.is_recurring(pattern):
+                recurring.add(source)
+            else:
+                one_time.add(source)
+        return recurring, one_time
+
+    def score_against(
+        self, log: EventLog, truth_scanning: Set[int]
+    ) -> Dict[str, float]:
+        """Precision/recall of 'recurring' as a scanning-service detector."""
+        recurring, _ = self.classify(log)
+        if not recurring:
+            return {"precision": 0.0, "recall": 0.0}
+        true_positives = len(recurring & truth_scanning)
+        precision = true_positives / len(recurring)
+        recall = (
+            true_positives / len(truth_scanning & log.unique_sources())
+            if truth_scanning & log.unique_sources()
+            else 0.0
+        )
+        return {"precision": precision, "recall": recall}

@@ -1,0 +1,72 @@
+"""Credential corpus used by brute-force/dictionary attackers — Table 12.
+
+The table records the credentials adversaries tried against the Telnet and
+SSH honeypots, with counts.  The counts double as sampling weights for the
+botnet models, so the generated credential mix reproduces the table: the
+``admin/admin`` pair dominates, Mirai's famous ``root/xc3511`` appears, and
+the hardcoded Zyxel backdoor ``zyfwp/PrOw!aN_fXp`` shows up on SSH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.net.prng import RandomStream
+from repro.protocols.base import ProtocolId
+
+__all__ = ["CredentialUse", "TELNET_CREDENTIALS", "SSH_CREDENTIALS", "sample_credentials"]
+
+
+@dataclass(frozen=True)
+class CredentialUse:
+    """One (username, password) pair and its observed use count."""
+
+    username: str
+    password: str
+    count: int
+
+
+#: Table 12, Telnet section.
+TELNET_CREDENTIALS: List[CredentialUse] = [
+    CredentialUse("admin", "admin", 9_772),
+    CredentialUse("root", "root", 1_721),
+    CredentialUse("root", "admin", 1_254),
+    CredentialUse("telnet", "telnet", 689),
+    CredentialUse("root", "xc3511", 556),
+    CredentialUse("admin", "admin123", 467),
+    CredentialUse("root", "12345", 456),
+    CredentialUse("user", "user", 321),
+    CredentialUse("admin", "12345", 267),
+    CredentialUse("admin", "polycom", 217),
+    CredentialUse("admin", "", 198),
+]
+
+#: Table 12, SSH section (the duplicated cisco/cisco row is collapsed).
+SSH_CREDENTIALS: List[CredentialUse] = [
+    CredentialUse("admin", "admin", 11_543),
+    CredentialUse("root", "root", 3_432),
+    CredentialUse("root", "admin", 1_943),
+    CredentialUse("zyfwp", "PrOw!aN_fXp", 1_538),
+    CredentialUse("cisco", "cisco", 629),
+    CredentialUse("admin", "ssh1234", 254),
+]
+
+_BY_PROTOCOL: Dict[ProtocolId, List[CredentialUse]] = {
+    ProtocolId.TELNET: TELNET_CREDENTIALS,
+    ProtocolId.SSH: SSH_CREDENTIALS,
+}
+
+
+def sample_credentials(
+    protocol: ProtocolId, stream: RandomStream, k: int
+) -> List[Tuple[str, str]]:
+    """Draw ``k`` weighted credential pairs for one protocol.
+
+    Protocols without a published corpus fall back to the Telnet table
+    (attackers reuse lists across services).
+    """
+    corpus = _BY_PROTOCOL.get(protocol, TELNET_CREDENTIALS)
+    weights = [entry.count for entry in corpus]
+    picks = stream.choices(corpus, weights, k=k)
+    return [(entry.username, entry.password) for entry in picks]

@@ -1,0 +1,289 @@
+"""Payload builders: attacker intent → concrete protocol byte sequences.
+
+Every attack event the scheduler emits drives a *real* session against a
+honeypot's protocol engine; this module constructs the bytes for each
+(intent, protocol) pair.  The honeypot's own classifier then recovers the
+attack type from the transcript — intent never leaks directly into the log.
+
+Builders return ``(payload list, malware hash)``; the hash is non-empty only
+when the payload carries a dropper/binary whose identity the VirusTotal
+model should know.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.credentials import sample_credentials
+from repro.attacks.malware import MalwareCorpus, MalwareSample
+from repro.core.taxonomy import AttackType
+from repro.net.prng import RandomStream
+from repro.protocols.base import ProtocolId
+from repro.protocols.coap import (
+    CoapCode,
+    CoapMessage,
+    CoapType,
+    encode_message,
+    well_known_core_request,
+)
+from repro.protocols.modbus import (
+    FUNC_READ_DEVICE_ID,
+    FUNC_WRITE_SINGLE,
+    VALID_FUNCTION_CODES,
+    encode_request,
+)
+from repro.protocols.mqtt import encode_connect, encode_publish, encode_subscribe
+from repro.protocols.s7 import S7_FUNC_READ_VAR, S7_FUNC_WRITE_VAR, cotp_connect_request, s7_job_request
+from repro.protocols.smb import eternal_exploit_request, negotiate_request
+from repro.protocols.upnp import msearch_request
+
+__all__ = ["build_payloads"]
+
+#: Credentials the low-interaction honeypots accept (so droppers proceed).
+_HONEYPOT_LOGIN = ("root", "xc3511")
+
+
+def build_payloads(
+    intent: AttackType,
+    protocol: ProtocolId,
+    stream: RandomStream,
+    corpus: MalwareCorpus,
+) -> Tuple[List[bytes], str]:
+    """Payload sequence and optional malware hash for one session."""
+    builder = _BUILDERS.get(intent, _scanning)
+    return builder(protocol, stream, corpus)
+
+
+# -- per-intent builders ----------------------------------------------------
+
+
+def _scanning(protocol, stream, corpus):
+    probes = {
+        ProtocolId.TELNET: [],
+        ProtocolId.SSH: [b"SSH-2.0-scanner\r\n"],
+        ProtocolId.MQTT: [encode_connect(f"scan-{stream.hex_token(3)}")],
+        ProtocolId.AMQP: [b"AMQP\x00\x00\x09\x01"],
+        ProtocolId.XMPP: [b"<stream:stream to='x' xmlns='jabber:client' "
+                          b"xmlns:stream='http://etherx.jabber.org/streams'>"],
+        ProtocolId.COAP: [well_known_core_request(stream.randint(1, 65535))],
+        ProtocolId.UPNP: [msearch_request()],
+        ProtocolId.HTTP: [b"GET / HTTP/1.1\r\nHost: target\r\n\r\n"],
+        ProtocolId.SMB: [negotiate_request()],
+        ProtocolId.FTP: [b"SYST"],
+        # §5.1.4: "Only 10% of the Modbus traffic used valid function
+        # codes" — scan probes mostly poke undefined functions.
+        ProtocolId.MODBUS: [
+            encode_request(
+                stream.randint(1, 0xFFFF), 1,
+                (stream.choice(sorted(VALID_FUNCTION_CODES))
+                 if stream.bernoulli(0.10)
+                 else stream.choice([0x63, 0x55, 0x99, 0x7A, 0x21, 0x40])),
+            )
+        ],
+        ProtocolId.S7: [cotp_connect_request(),
+                        s7_job_request(S7_FUNC_READ_VAR)],
+    }
+    return probes.get(protocol, []), ""
+
+
+def _discovery(protocol, stream, corpus):
+    if protocol == ProtocolId.MQTT:
+        return [
+            encode_connect(f"disc-{stream.hex_token(3)}"),
+            encode_subscribe(1, ["#", "$SYS/#"]),
+        ], ""
+    if protocol == ProtocolId.AMQP:
+        return [b"AMQP\x00\x00\x09\x01", b"ANONYMOUS", b"get telemetry"], ""
+    if protocol == ProtocolId.COAP:
+        return [well_known_core_request(stream.randint(1, 65535))], ""
+    if protocol == ProtocolId.UPNP:
+        return [msearch_request(), msearch_request("ssdp:all"),
+                b"GET /rootDesc.xml HTTP/1.1\r\n\r\n"], ""
+    return _scanning(protocol, stream, corpus)
+
+
+def _auth_attempts(protocol, stream, attempts: int) -> List[bytes]:
+    pairs = sample_credentials(protocol, stream, attempts)
+    payloads: List[bytes] = []
+    if protocol == ProtocolId.TELNET:
+        for username, password in pairs:
+            payloads.append(username.encode())
+            payloads.append(password.encode())
+    elif protocol == ProtocolId.SSH:
+        payloads.append(b"SSH-2.0-bot\r\n")
+        for username, password in pairs:
+            payloads.append(f"userauth {username} {password}".encode())
+    elif protocol == ProtocolId.HTTP:
+        for username, password in pairs:
+            body = f"username={username}&password={password}"
+            payloads.append(
+                (
+                    "POST /login HTTP/1.1\r\nHost: target\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n{body}"
+                ).encode()
+            )
+    elif protocol == ProtocolId.FTP:
+        for username, password in pairs:
+            payloads.append(f"USER {username}".encode())
+            payloads.append(f"PASS {password}".encode())
+    elif protocol == ProtocolId.XMPP:
+        payloads.append(
+            b"<stream:stream to='x' xmlns='jabber:client' "
+            b"xmlns:stream='http://etherx.jabber.org/streams'>"
+        )
+        for username, password in pairs:
+            payloads.append(
+                f"<auth mechanism='PLAIN'>\x00{username}\x00{password}</auth>"
+                .encode()
+            )
+    else:
+        return _scanning(protocol, stream, None)[0]
+    return payloads
+
+
+def _brute_force(protocol, stream, corpus):
+    return _auth_attempts(protocol, stream, stream.randint(1, 4)), ""
+
+
+def _dictionary(protocol, stream, corpus):
+    return _auth_attempts(protocol, stream, stream.randint(6, 12)), ""
+
+
+def _malware_drop(protocol, stream, corpus):
+    sample = corpus.sample_for(protocol, stream)
+    username, password = _HONEYPOT_LOGIN
+    if protocol == ProtocolId.TELNET:
+        payloads = [username.encode(), password.encode(),
+                    sample.dropper_script().encode()]
+    elif protocol == ProtocolId.SSH:
+        payloads = [b"SSH-2.0-bot\r\n",
+                    f"userauth {username} {password}".encode(),
+                    sample.dropper_script().encode()]
+    elif protocol == ProtocolId.FTP:
+        binary = b"\x7fELF" + bytes.fromhex(sample.sha256)[:16]
+        payloads = [b"USER anonymous", b"PASS bot@",
+                    b"STOR " + sample.family.lower().encode() + b".bin\n" + binary]
+    elif protocol == ProtocolId.SMB:
+        payloads = [negotiate_request(),
+                    eternal_exploit_request("EternalBlue")
+                    + b"\x7fELF" + bytes.fromhex(sample.sha256)[:16]]
+    elif protocol == ProtocolId.HTTP:
+        script = sample.dropper_script()
+        payloads = [
+            (
+                "POST /cgi-bin/status HTTP/1.1\r\nHost: target\r\n"
+                f"Content-Length: {len(script)}\r\n\r\n{script}"
+            ).encode()
+        ]
+    else:
+        payloads = [sample.dropper_script().encode()]
+    return payloads, sample.sha256
+
+
+def _data_poisoning(protocol, stream, corpus):
+    if protocol == ProtocolId.MQTT:
+        topic = stream.choice(
+            ["$SYS/broker/version", "arduino/sensors/smoke",
+             "frontend/devices", "homeassistant/light/kitchen/state"]
+        )
+        return [
+            encode_connect(f"poison-{stream.hex_token(3)}"),
+            encode_publish(topic, b"HACKED", retain=True),
+        ], ""
+    if protocol == ProtocolId.AMQP:
+        return [b"AMQP\x00\x00\x09\x01", b"ANONYMOUS",
+                b"publish telemetry 0xdeadbeef"], ""
+    if protocol == ProtocolId.COAP:
+        put = encode_message(CoapMessage(
+            mtype=CoapType.CONFIRMABLE, code=CoapCode.PUT,
+            message_id=stream.randint(1, 65535),
+            uri_path=("sensors", "smoke"), payload=b"999",
+        ))
+        return [well_known_core_request(stream.randint(1, 65535)), put], ""
+    if protocol == ProtocolId.XMPP:
+        return [
+            b"<stream:stream to='x' xmlns='jabber:client' "
+            b"xmlns:stream='http://etherx.jabber.org/streams'>",
+            b"<auth mechanism='ANONYMOUS'></auth>",
+            b"<iq type='set'><set name='light-1' value='on'/></iq>",
+        ], ""
+    if protocol == ProtocolId.MODBUS:
+        return [
+            encode_request(1, 1, FUNC_READ_DEVICE_ID),
+            encode_request(2, 1, FUNC_WRITE_SINGLE,
+                           (0).to_bytes(2, "big") + (0xBEEF).to_bytes(2, "big")),
+        ], ""
+    if protocol == ProtocolId.S7:
+        return [cotp_connect_request(),
+                s7_job_request(S7_FUNC_WRITE_VAR, b"\xde\xad")], ""
+    return _scanning(protocol, stream, corpus)
+
+
+def _dos_flood(protocol, stream, corpus):
+    n = stream.randint(60, 120)
+    if protocol == ProtocolId.COAP:
+        # Non-amplifying flood: POSTs to a bogus path draw tiny 4.03 errors.
+        packet = encode_message(CoapMessage(
+            mtype=CoapType.NON_CONFIRMABLE, code=CoapCode.POST,
+            message_id=1, uri_path=("x",), payload=b"A" * 64,
+        ))
+        return [packet] * n, ""
+    if protocol == ProtocolId.UPNP:
+        return [b"\x00" * 96] * n, ""  # garbage datagrams, no reply
+    if protocol == ProtocolId.HTTP:
+        return [b"GET / HTTP/1.1\r\nHost: target\r\n\r\n"] * n, ""
+    if protocol == ProtocolId.S7:
+        # ICSA-16-299-01: flood of PDU-type-1 jobs with an unknown function
+        # (0x99) that the CPU never retires.
+        return [cotp_connect_request()] + [
+            s7_job_request(0x99) for _ in range(n)
+        ], ""
+    if protocol == ProtocolId.AMQP:
+        return [b"AMQP\x00\x00\x09\x01", b"ANONYMOUS"] + [
+            b"publish telemetry " + stream.bytes(32) for _ in range(n)
+        ], ""
+    if protocol == ProtocolId.MQTT:
+        return [encode_connect("flood")] + [
+            encode_publish(f"flood/{i}", b"B" * 64) for i in range(n)
+        ], ""
+    return [b"X" * 64] * n, ""
+
+
+def _reflection(protocol, stream, corpus):
+    n = stream.randint(40, 80)
+    if protocol == ProtocolId.COAP:
+        return [well_known_core_request(i + 1) for i in range(n)], ""
+    if protocol == ProtocolId.UPNP:
+        return [msearch_request("ssdp:all") for _ in range(n)], ""
+    return _dos_flood(protocol, stream, corpus)
+
+
+def _exploit(protocol, stream, corpus):
+    if protocol == ProtocolId.SMB:
+        family = stream.choice(["EternalBlue", "EternalRomance", "EternalChampion"])
+        return [negotiate_request(), eternal_exploit_request(family)], ""
+    return _scanning(protocol, stream, corpus)
+
+
+def _web_scraping(protocol, stream, corpus):
+    paths = ["/", "/index.html", "/login", "/admin", "/config", "/status",
+             "/robots.txt", "/favicon.ico", "/api/devices", "/setup"]
+    count = stream.randint(5, len(paths))
+    return [
+        f"GET {path} HTTP/1.1\r\nHost: target\r\n\r\n".encode()
+        for path in paths[:count]
+    ], ""
+
+
+_BUILDERS = {
+    AttackType.SCANNING: _scanning,
+    AttackType.DISCOVERY: _discovery,
+    AttackType.BRUTE_FORCE: _brute_force,
+    AttackType.DICTIONARY: _dictionary,
+    AttackType.MALWARE_DROP: _malware_drop,
+    AttackType.DATA_POISONING: _data_poisoning,
+    AttackType.DOS_FLOOD: _dos_flood,
+    AttackType.REFLECTION: _reflection,
+    AttackType.EXPLOIT: _exploit,
+    AttackType.WEB_SCRAPING: _web_scraping,
+}

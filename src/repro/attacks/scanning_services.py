@@ -1,0 +1,75 @@
+"""Known Internet scanning services — the benign-recurring traffic class.
+
+Figure 3 lists the services whose probes reached the honeypots; Section 5.2
+shows that *listings* by the search engines among them (Shodan, BinaryEdge,
+ZoomEye) are followed by attack upticks.  Each service here has an rDNS
+domain (how the paper recognised them: "We perform a reverse lookup of the
+source IP addresses"), a relative traffic weight, and — for search engines —
+a listing day within the observation month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ScanningService", "SCANNING_SERVICES", "service_by_name"]
+
+
+@dataclass(frozen=True)
+class ScanningService:
+    """One known scanning organisation."""
+
+    name: str
+    rdns_domain: str
+    #: relative share of scanning-service traffic (Figure 3 shape).
+    weight: float
+    #: day (0-based) this service listed the honeypots publicly; None for
+    #: services that do not publish a search engine.
+    listing_day: Optional[int] = None
+    #: protocols this service concentrates on.  The cyber-risk-rating
+    #: platforms sweep Telnet/AMQP/MQTT far more than the generalists —
+    #: the cause of the Figure 5 GreyNoise gap on those protocols.
+    focus_protocols: Tuple[str, ...] = ()
+
+
+#: The services Section 4.3.1 names, with Figure 3-shaped weights.  The
+#: search engines carry the Figure 8 listing days (markers in that figure).
+SCANNING_SERVICES: List[ScanningService] = [
+    ScanningService("Stretchoid", "stretchoid.com", 14.0),
+    ScanningService("Censys", "censys-scanner.com", 12.0, listing_day=9),
+    ScanningService("Shodan", "shodan.io", 11.0, listing_day=6),
+    ScanningService("Bitsight", "bitsight.com", 8.0,
+                    focus_protocols=("telnet", "amqp", "mqtt")),
+    ScanningService("BinaryEdge", "binaryedge.ninja", 8.0, listing_day=12),
+    ScanningService("Project Sonar", "sonar.labs.rapid7.com", 7.0),
+    ScanningService("ShadowServer", "shadowserver.org", 7.0),
+    ScanningService("InterneTTL", "internettl.org", 5.0),
+    ScanningService("Alpha Strike Labs", "alphastrike.io", 4.0,
+                    focus_protocols=("telnet", "amqp", "mqtt")),
+    ScanningService("Sharashka", "sharashka.io", 3.5,
+                    focus_protocols=("telnet", "amqp", "mqtt")),
+    ScanningService("RWTH Aachen", "researchscan.comsys.rwth-aachen.de", 3.0,
+                    focus_protocols=("telnet", "amqp", "mqtt")),
+    ScanningService("CriminalIP", "security.criminalip.com", 2.5,
+                    focus_protocols=("telnet", "amqp", "mqtt")),
+    ScanningService("ipip.net", "ipip.net", 2.5),
+    ScanningService("Net Systems Research", "netsystemsresearch.com", 2.0),
+    ScanningService("LeakIX", "leakix.net", 2.0),
+    ScanningService("ONYPHE", "onyphe.io", 2.0),
+    ScanningService("Natlas", "natlas.io", 1.5),
+    ScanningService("Quadmetrics", "quadmetrics.com", 1.5,
+                    focus_protocols=("telnet", "amqp", "mqtt")),
+    ScanningService("Arbor Observatory", "arbor-observatory.com", 1.5),
+    ScanningService("ZoomEye", "zoomeye.org", 1.5, listing_day=15),
+    ScanningService("Fofa", "fofa.so", 1.0),
+]
+
+_BY_NAME: Dict[str, ScanningService] = {
+    service.name: service for service in SCANNING_SERVICES
+}
+
+
+def service_by_name(name: str) -> ScanningService:
+    """Lookup a service (KeyError when unknown)."""
+    return _BY_NAME[name]

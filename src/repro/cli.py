@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the study phases so a shell user can reproduce any single
+experiment without writing Python:
+
+* ``run``        — the full eight-phase study, printing every table;
+* ``scan``       — scan + fingerprint + classify (Tables 4/5/6/10, Fig 2);
+* ``attacks``    — the honeypot month (Table 7, Figures 7/8/9);
+* ``telescope``  — the darknet capture (Table 8) with optional FlowTuple
+  export;
+* ``intersect``  — the §5.3 infected-host join.
+
+All commands accept ``--seed`` and the scale knobs, so campaigns are
+reproducible from the shell line alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import Study, StudyConfig, __version__
+from repro.attacks.schedule import AttackScheduleConfig
+from repro.core.report import (
+    render_case_studies,
+    render_figure2,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_intersection,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    render_table10,
+)
+from repro.internet.population import PopulationConfig
+from repro.telescope.telescope import TelescopeConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Open for hire' (IMC 2021) on a simulated Internet."
+        ),
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("--seed", type=int, default=7,
+                         help="study seed (default 7)")
+        sub.add_argument("--quick", action="store_true",
+                         help="coarse scales for a ~1s run")
+
+    run = subparsers.add_parser("run", help="full study, all tables")
+    add_common(run)
+
+    scan = subparsers.add_parser(
+        "scan", help="scan + fingerprint + classify phases only"
+    )
+    add_common(scan)
+    scan.add_argument("--scale", type=int, default=None,
+                      help="population scale divisor (default per config)")
+    scan.add_argument("--eu-blocklist", action="store_true",
+                      help="apply the FireHOL-style Europe blocklist")
+    scan.add_argument("--export", metavar="PATH", default="",
+                      help="write merged scan rows as JSONL")
+
+    attacks = subparsers.add_parser(
+        "attacks", help="the honeypot month only"
+    )
+    add_common(attacks)
+    attacks.add_argument("--attack-scale", type=int, default=None,
+                         help="event scale divisor (default per config)")
+    attacks.add_argument("--days", type=int, default=30,
+                         help="observation days (default 30)")
+
+    telescope = subparsers.add_parser(
+        "telescope", help="the darknet capture only"
+    )
+    add_common(telescope)
+    telescope.add_argument("--export-day", type=int, default=None,
+                           metavar="DAY",
+                           help="print the FlowTuple lines of one day")
+
+    intersect = subparsers.add_parser(
+        "intersect", help="the §5.3 infected-host join"
+    )
+    add_common(intersect)
+
+    return parser
+
+
+def _config(args) -> StudyConfig:
+    config = (StudyConfig.quick(seed=args.seed) if args.quick
+              else StudyConfig.paper_scale(seed=args.seed))
+    if getattr(args, "scale", None):
+        config.population = PopulationConfig(
+            seed=args.seed, scale=args.scale,
+            honeypot_scale=max(1, args.scale // 16),
+        )
+    if getattr(args, "attack_scale", None):
+        config.attacks = AttackScheduleConfig(
+            seed=args.seed, attack_scale=args.attack_scale,
+            days=getattr(args, "days", 30),
+        )
+    elif getattr(args, "days", 30) != 30:
+        config.attacks.days = args.days
+    if getattr(args, "eu_blocklist", False):
+        config.use_eu_blocklist = True
+    return config
+
+
+def _cmd_run(args, out) -> int:
+    started = time.perf_counter()
+    results = Study(_config(args)).run()
+    out.write(f"study completed in {time.perf_counter() - started:.1f}s\n\n")
+    for renderer in (render_table4, render_table5, render_table6,
+                     render_table10, render_figure2, render_table7,
+                     render_figure7, render_figure8, render_figure9,
+                     render_table8, render_case_studies,
+                     render_intersection):
+        out.write(renderer(results))
+        out.write("\n\n")
+    return 0
+
+
+def _cmd_scan(args, out) -> int:
+    study = Study(_config(args))
+    study.build_world()
+    study.run_scans()
+    study.run_fingerprinting()
+    study.run_classification()
+    for renderer in (render_table4, render_table6, render_table5,
+                     render_table10, render_figure2):
+        out.write(renderer(study.results))
+        out.write("\n\n")
+    if args.export:
+        with open(args.export, "w") as handle:
+            handle.write(study.results.merged_db.to_jsonl())
+        out.write(f"wrote {len(study.results.merged_db)} rows to "
+                  f"{args.export}\n")
+    return 0
+
+
+def _cmd_attacks(args, out) -> int:
+    study = Study(_config(args))
+    study.build_world()
+    study.run_attacks()
+    # Joins that only need the log.
+    from repro.analysis.multistage import detect_multistage
+
+    study.results.multistage = detect_multistage(
+        study.results.schedule.log, study.results.schedule.rdns
+    )
+    for renderer in (render_table7, render_figure7, render_figure8,
+                     render_figure9):
+        out.write(renderer(study.results))
+        out.write("\n\n")
+    return 0
+
+
+def _cmd_telescope(args, out) -> int:
+    study = Study(_config(args))
+    study.build_world()
+    study.run_attacks()
+    capture = study.run_telescope()
+    out.write(render_table8(study.results))
+    out.write("\n")
+    out.write(f"rsdos attacks in capture: {len(capture.rsdos_truth)}\n")
+    if args.export_day is not None:
+        for line in capture.writer.lines_for_day(args.export_day):
+            out.write(line + "\n")
+    return 0
+
+
+def _cmd_intersect(args, out) -> int:
+    results = Study(_config(args)).run()
+    out.write(render_intersection(results))
+    out.write("\n")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "scan": _cmd_scan,
+    "attacks": _cmd_attacks,
+    "telescope": _cmd_telescope,
+    "intersect": _cmd_intersect,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Core: study configuration, orchestration, results and report rendering."""
+
+from repro.core.config import StudyConfig
+from repro.core.fidelity import FidelityReport, FidelityRow, score_study
+from repro.core.report import (
+    format_table,
+    render_case_studies,
+    render_figure2,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_intersection,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    render_table10,
+)
+from repro.core.scaling import apportion, scale_count
+from repro.core.study import Study, StudyResults
+from repro.core.taxonomy import (
+    MISCONFIG_LABELS,
+    MISCONFIG_PROTOCOL,
+    AttackType,
+    Misconfig,
+    TrafficClass,
+)
+
+__all__ = [
+    "AttackType",
+    "FidelityReport",
+    "FidelityRow",
+    "score_study",
+    "MISCONFIG_LABELS",
+    "MISCONFIG_PROTOCOL",
+    "Misconfig",
+    "Study",
+    "StudyConfig",
+    "StudyResults",
+    "TrafficClass",
+    "apportion",
+    "format_table",
+    "render_case_studies",
+    "render_figure2",
+    "render_figure7",
+    "render_figure8",
+    "render_figure9",
+    "render_intersection",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+    "render_table7",
+    "render_table8",
+    "render_table10",
+    "scale_count",
+]

@@ -1,0 +1,92 @@
+"""Scale-down arithmetic for reproducing the paper at laptop size.
+
+The paper measures a 3.7-billion-address Internet; we reproduce it on a
+world scaled by ``1:N``.  Naively dividing every published count by N and
+truncating would erase small categories entirely (CoAP's 427 admin-access
+devices vanish at 1:1024), which would silently drop table rows.  We instead
+use **largest-remainder apportionment** (Hamilton's method): quotas are
+``count / N``, every category gets ``floor(quota)``, and the leftover units
+go to the largest fractional remainders — optionally with a floor of one so
+every category stays represented.
+
+This is the single place where paper counts meet the scale factor; every
+population builder goes through :func:`apportion`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+__all__ = ["apportion", "scale_count"]
+
+
+def scale_count(count: int, scale: int) -> int:
+    """Round-half-up scaling of one standalone count."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    return (count + scale // 2) // scale
+
+
+def apportion(
+    counts: Mapping[K, int],
+    scale: int,
+    *,
+    min_count: int = 0,
+    total_override: int = None,
+) -> Dict[K, int]:
+    """Scale a category → count table by ``1/scale``, preserving proportions.
+
+    Parameters
+    ----------
+    counts:
+        The paper's published counts per category.
+    scale:
+        The down-scaling divisor (N in 1:N).
+    min_count:
+        Floor applied to every category *after* apportionment; useful to keep
+        rare-but-load-bearing categories (e.g. the 12 Hontel honeypots) in a
+        scaled world.  The floor adds units rather than stealing them, so
+        proportions of large categories are unaffected.
+    total_override:
+        Force the grand total to this value instead of
+        ``round(sum(counts)/scale)``; used when a table's total is itself a
+        published number that must survive rounding.
+
+    Returns
+    -------
+    dict
+        Scaled counts, in the same iteration order as ``counts``.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    keys = list(counts)
+    raw_total = sum(counts.values())
+    if total_override is not None:
+        target_total = total_override
+    else:
+        target_total = (raw_total + scale // 2) // scale
+
+    if raw_total == 0 or target_total <= 0:
+        return {key: max(0, min_count) for key in keys}
+
+    quotas = {key: counts[key] * target_total / raw_total for key in keys}
+    scaled = {key: int(quotas[key]) for key in keys}
+    assigned = sum(scaled.values())
+    leftovers = target_total - assigned
+    # Distribute remaining units by descending fractional part (stable
+    # tie-break on the original ordering keeps the result deterministic).
+    order = sorted(
+        range(len(keys)),
+        key=lambda index: (quotas[keys[index]] - scaled[keys[index]], -index),
+        reverse=True,
+    )
+    for index in order[:leftovers]:
+        scaled[keys[index]] += 1
+
+    if min_count > 0:
+        for key in keys:
+            if counts[key] > 0 and scaled[key] < min_count:
+                scaled[key] = min_count
+    return scaled

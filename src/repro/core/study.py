@@ -1,0 +1,295 @@
+"""The full study pipeline — every experiment of the paper, in order.
+
+:class:`Study` chains the phases exactly as the methodology section lays
+them out:
+
+1. **world** — build the scaled population (devices + wild honeypots);
+2. **scan** — our ZMap/ZGrab campaign over six protocols, optionally behind
+   the Europe blocklist; Project Sonar and Shodan snapshots; dataset merge;
+3. **fingerprint** — banner-based honeypot detection plus the active SSH
+   pass; filter the detections out of the scan results;
+4. **classify** — misconfiguration report (Table 5), device types
+   (Figure 2), country rollup (Table 10);
+5. **deploy & attack** — the six lab honeypots face one month of generated
+   attacks (Tables 7, Figures 3/4/7/8/9);
+6. **telescope** — the /8 darknet capture (Table 8);
+7. **intel** — GreyNoise/VirusTotal/Censys/ExoneraTor stores built over the
+   actor ledger;
+8. **join** — suspicious-traffic classification (Figures 5/6), multistage
+   detection (Figure 9), and the infected-host intersection (§5.3).
+
+Each phase's output lands on :class:`StudyResults`; `run()` executes all of
+them, while the per-phase methods allow partial pipelines (the benchmarks
+use those to time one experiment at a time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.country import CountryReport, country_distribution
+from repro.analysis.device_type import DeviceTypeReport, identify_device_types
+from repro.analysis.fingerprint import FingerprintReport, HoneypotFingerprinter
+from repro.analysis.infected import InfectedHostsReport, analyze_infected_hosts
+from repro.analysis.misconfig import MisconfigReport, classify_database
+from repro.analysis.multistage import MultistageReport, detect_multistage
+from repro.attacks.schedule import AttackScheduler, ScheduleResult
+from repro.core.config import StudyConfig
+from repro.core.taxonomy import TrafficClass
+from repro.honeypots.deployment import build_deployment
+from repro.honeypots.base import HoneypotDeployment
+from repro.intel.censysiot import CensysIotDB
+from repro.intel.exonerator import ExoneraTorDB
+from repro.intel.greynoise import GreyNoiseDB
+from repro.intel.virustotal import VirusTotalDB
+from repro.internet.population import Population, PopulationBuilder
+from repro.net.asn import AsnRegistry
+from repro.net.geo import GeoRegistry
+from repro.protocols.base import ProtocolId
+from repro.scanner.blocklist import (
+    EU_COUNTRIES,
+    CompositeBlocklist,
+    GeoBlocklist,
+    zmap_default_blocklist,
+)
+from repro.scanner.datasets import project_sonar, shodan
+from repro.scanner.records import ScanDatabase
+from repro.scanner.zmap import InternetScanner
+from repro.telescope.telescope import NetworkTelescope, TelescopeCapture
+
+__all__ = ["StudyResults", "Study"]
+
+
+@dataclass
+class StudyResults:
+    """Everything a full run produces, keyed to the paper's artifacts."""
+
+    config: StudyConfig
+    population: Optional[Population] = None
+    geo: Optional[GeoRegistry] = None
+    asn: Optional[AsnRegistry] = None
+    # scan phase
+    zmap_db: Optional[ScanDatabase] = None
+    sonar_db: Optional[ScanDatabase] = None
+    shodan_db: Optional[ScanDatabase] = None
+    merged_db: Optional[ScanDatabase] = None
+    # fingerprint phase (Table 6)
+    fingerprints: Optional[FingerprintReport] = None
+    # classification phase (Tables 5/10, Figure 2)
+    misconfig: Optional[MisconfigReport] = None
+    device_types: Optional[DeviceTypeReport] = None
+    countries: Optional[CountryReport] = None
+    # attack phase (Table 7, Figures 3/4/7/8)
+    deployment: Optional[HoneypotDeployment] = None
+    schedule: Optional[ScheduleResult] = None
+    # telescope phase (Table 8)
+    telescope: Optional[TelescopeCapture] = None
+    # intel stores
+    greynoise: Optional[GreyNoiseDB] = None
+    virustotal: Optional[VirusTotalDB] = None
+    censys_iot: Optional[CensysIotDB] = None
+    exonerator: Optional[ExoneraTorDB] = None
+    # joins (Figures 5/6/9, §5.3)
+    multistage: Optional[MultistageReport] = None
+    infected: Optional[InfectedHostsReport] = None
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived views used by reports and benches -------------------------
+
+    def table4_counts(self) -> Dict[str, Dict[ProtocolId, int]]:
+        """Exposed hosts per protocol per source — Table 4."""
+        result: Dict[str, Dict[ProtocolId, int]] = {}
+        for name, database in (
+            ("zmap", self.zmap_db),
+            ("sonar", self.sonar_db),
+            ("shodan", self.shodan_db),
+        ):
+            if database is not None:
+                result[name] = database.counts_by_protocol()
+        return result
+
+    def honeypot_source_split(self, honeypot: str) -> Tuple[int, int, int]:
+        """(scanning, malicious, unknown) unique sources for one honeypot —
+        Table 7's last columns, computed via rDNS like the paper did."""
+        assert self.schedule is not None
+        sources = self.schedule.log.unique_sources(honeypot=honeypot)
+        scanning = malicious = unknown = 0
+        for address in sources:
+            info = self.schedule.registry.get(address)
+            if info is None:
+                unknown += 1
+            elif info.traffic_class == TrafficClass.SCANNING_SERVICE:
+                scanning += 1
+            elif info.traffic_class == TrafficClass.MALICIOUS:
+                malicious += 1
+            else:
+                unknown += 1
+        return scanning, malicious, unknown
+
+
+class Study:
+    """Pipeline driver."""
+
+    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+        self.config = config or StudyConfig()
+        self.results = StudyResults(config=self.config)
+
+    # -- phases -----------------------------------------------------------
+
+    def _timed(self, name: str, start: float) -> None:
+        self.results.phase_seconds[name] = time.perf_counter() - start
+
+    def build_world(self) -> Population:
+        """Phase 1: the scaled Internet."""
+        start = time.perf_counter()
+        population = PopulationBuilder(self.config.population).build()
+        self.results.population = population
+        self.results.geo = GeoRegistry(self.config.seed)
+        self.results.asn = AsnRegistry(self.config.seed)
+        self._timed("world", start)
+        return population
+
+    def run_scans(self) -> ScanDatabase:
+        """Phase 2: our campaign plus open datasets, merged."""
+        assert self.results.population is not None, "build_world first"
+        start = time.perf_counter()
+        internet = self.results.population.internet
+        blocklist = zmap_default_blocklist()
+        if self.config.use_eu_blocklist:
+            assert self.results.geo is not None
+            blocklist = CompositeBlocklist(
+                [blocklist, GeoBlocklist(self.results.geo, EU_COUNTRIES)]
+            )
+        scanner = InternetScanner(internet, self.config.scan, blocklist)
+        self.results.zmap_db = scanner.run_campaign()
+        merged = self.results.zmap_db
+        if self.config.use_open_datasets:
+            self.results.sonar_db = project_sonar(self.config.seed).snapshot(internet)
+            self.results.shodan_db = shodan(self.config.seed).snapshot(internet)
+            merged = merged.merge(self.results.sonar_db).merge(self.results.shodan_db)
+        self.results.merged_db = merged
+        self._timed("scan", start)
+        return merged
+
+    def run_fingerprinting(self) -> FingerprintReport:
+        """Phase 3: find honeypots hiding in the scan results."""
+        assert self.results.merged_db is not None, "run_scans first"
+        start = time.perf_counter()
+        fingerprinter = HoneypotFingerprinter()
+        report = fingerprinter.fingerprint(self.results.merged_db)
+        if self.config.active_fingerprinting:
+            assert self.results.population is not None
+            report = fingerprinter.active_ssh_probe(
+                self.results.population.internet,
+                (host.address for host in self.results.population.internet.hosts()),
+                report=report,
+            )
+        self.results.fingerprints = report
+        self._timed("fingerprint", start)
+        return report
+
+    def run_classification(self) -> MisconfigReport:
+        """Phase 4: misconfigurations, device types, countries."""
+        assert self.results.merged_db is not None, "run_scans first"
+        assert self.results.fingerprints is not None, "run_fingerprinting first"
+        start = time.perf_counter()
+        self.results.misconfig = classify_database(
+            self.results.merged_db,
+            exclude_addresses=self.results.fingerprints.addresses(),
+        )
+        self.results.device_types = identify_device_types(self.results.merged_db)
+        assert self.results.geo is not None
+        self.results.countries = country_distribution(
+            self.results.misconfig.all_addresses(), self.results.geo
+        )
+        self._timed("classify", start)
+        return self.results.misconfig
+
+    def run_attacks(self) -> ScheduleResult:
+        """Phase 5: deploy the lab and simulate the month."""
+        assert self.results.population is not None, "build_world first"
+        start = time.perf_counter()
+        deployment = build_deployment()
+        if self.config.capture_pcap:
+            for honeypot in deployment.honeypots:
+                honeypot.enable_pcap()
+        deployment.attach(self.results.population.internet)
+        scheduler = AttackScheduler(
+            self.results.population.internet,
+            deployment,
+            self.results.population,
+            self.config.attacks,
+        )
+        self.results.deployment = deployment
+        self.results.schedule = scheduler.run()
+        self._timed("attacks", start)
+        return self.results.schedule
+
+    def run_telescope(self) -> TelescopeCapture:
+        """Phase 6: the darknet capture."""
+        assert self.results.schedule is not None, "run_attacks first"
+        assert self.results.geo is not None and self.results.asn is not None
+        start = time.perf_counter()
+        telescope = NetworkTelescope(
+            self.results.schedule.registry,
+            self.results.geo,
+            self.results.asn,
+            self.config.telescope,
+        )
+        self.results.telescope = telescope.capture_month()
+        self._timed("telescope", start)
+        return self.results.telescope
+
+    def build_intel(self) -> None:
+        """Phase 7: populate the threat-intelligence stores."""
+        assert self.results.schedule is not None, "run_attacks first"
+        assert self.results.population is not None
+        start = time.perf_counter()
+        schedule = self.results.schedule
+        self.results.greynoise = GreyNoiseDB.build_from(
+            schedule.registry, self.config.seed
+        )
+        self.results.virustotal = VirusTotalDB.build_from(
+            schedule.registry, schedule.corpus, schedule.rdns, self.config.seed
+        )
+        self.results.censys_iot = CensysIotDB.build_from(
+            self.results.population, self.config.seed
+        )
+        self.results.exonerator = ExoneraTorDB.build_from(schedule.registry)
+        self._timed("intel", start)
+
+    def run_joins(self) -> InfectedHostsReport:
+        """Phase 8: the cross-experiment analyses."""
+        results = self.results
+        assert results.schedule is not None and results.telescope is not None
+        assert results.misconfig is not None and results.virustotal is not None
+        start = time.perf_counter()
+        results.multistage = detect_multistage(
+            results.schedule.log, results.schedule.rdns
+        )
+        results.infected = analyze_infected_hosts(
+            results.misconfig.all_addresses(),
+            results.schedule.log,
+            results.telescope,
+            results.virustotal,
+            censys=results.censys_iot,
+            rdns=results.schedule.rdns,
+        )
+        self._timed("joins", start)
+        return results.infected
+
+    # -- the whole paper ----------------------------------------------------
+
+    def run(self) -> StudyResults:
+        """Execute every phase in order and return the results."""
+        self.build_world()
+        self.run_scans()
+        self.run_fingerprinting()
+        self.run_classification()
+        self.run_attacks()
+        self.run_telescope()
+        self.build_intel()
+        self.run_joins()
+        return self.results

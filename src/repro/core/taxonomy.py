@@ -1,0 +1,103 @@
+"""Shared vocabulary: misconfiguration classes, device types, attack types.
+
+These enums are the ground-truth labels the population builder plants and —
+independently — the labels the analysis pipeline infers from observed bytes.
+Tests compare the two to measure classifier fidelity; the pipeline itself
+never reads ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.protocols.base import ProtocolId
+
+__all__ = ["Misconfig", "MISCONFIG_LABELS", "MISCONFIG_PROTOCOL", "AttackType", "TrafficClass"]
+
+
+class Misconfig(str, enum.Enum):
+    """Misconfiguration classes of Table 5 (plus NONE for healthy hosts)."""
+
+    NONE = "none"
+    TELNET_NO_AUTH = "telnet-no-auth"
+    TELNET_NO_AUTH_ROOT = "telnet-no-auth-root"
+    MQTT_NO_AUTH = "mqtt-no-auth"
+    AMQP_NO_AUTH = "amqp-no-auth"
+    XMPP_NO_ENCRYPTION = "xmpp-no-encryption"
+    XMPP_ANONYMOUS = "xmpp-anonymous"
+    COAP_NO_AUTH_ADMIN = "coap-no-auth-admin"
+    COAP_NO_AUTH = "coap-no-auth"
+    COAP_REFLECTOR = "coap-reflector"
+    UPNP_REFLECTOR = "upnp-reflector"
+    # Extension protocols (§6 future work) — not part of Table 5.
+    TR069_NO_AUTH = "tr069-no-auth"
+    DDS_OPEN_DISCOVERY = "dds-open-discovery"
+    OPCUA_NO_SECURITY = "opcua-no-security"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Human-readable vulnerability labels exactly as Table 5 prints them.
+MISCONFIG_LABELS: Dict[Misconfig, str] = {
+    Misconfig.COAP_NO_AUTH_ADMIN: "No auth, admin access",
+    Misconfig.AMQP_NO_AUTH: "No auth",
+    Misconfig.TELNET_NO_AUTH: "No auth",
+    Misconfig.XMPP_NO_ENCRYPTION: "No encryption",
+    Misconfig.COAP_NO_AUTH: "No auth",
+    Misconfig.TELNET_NO_AUTH_ROOT: "No auth, root access",
+    Misconfig.MQTT_NO_AUTH: "No auth",
+    Misconfig.XMPP_ANONYMOUS: "Anonymous login",
+    Misconfig.COAP_REFLECTOR: "Reflection-attack resource",
+    Misconfig.UPNP_REFLECTOR: "Reflection-attack resource",
+    Misconfig.TR069_NO_AUTH: "No auth, ACS connection request",
+    Misconfig.DDS_OPEN_DISCOVERY: "Open participant discovery",
+    Misconfig.OPCUA_NO_SECURITY: "SecurityPolicy None endpoint",
+}
+
+#: Which scanned protocol each misconfiguration class belongs to.
+MISCONFIG_PROTOCOL: Dict[Misconfig, ProtocolId] = {
+    Misconfig.TELNET_NO_AUTH: ProtocolId.TELNET,
+    Misconfig.TELNET_NO_AUTH_ROOT: ProtocolId.TELNET,
+    Misconfig.MQTT_NO_AUTH: ProtocolId.MQTT,
+    Misconfig.AMQP_NO_AUTH: ProtocolId.AMQP,
+    Misconfig.XMPP_NO_ENCRYPTION: ProtocolId.XMPP,
+    Misconfig.XMPP_ANONYMOUS: ProtocolId.XMPP,
+    Misconfig.COAP_NO_AUTH_ADMIN: ProtocolId.COAP,
+    Misconfig.COAP_NO_AUTH: ProtocolId.COAP,
+    Misconfig.COAP_REFLECTOR: ProtocolId.COAP,
+    Misconfig.UPNP_REFLECTOR: ProtocolId.UPNP,
+    Misconfig.TR069_NO_AUTH: ProtocolId.TR069,
+    Misconfig.DDS_OPEN_DISCOVERY: ProtocolId.DDS,
+    Misconfig.OPCUA_NO_SECURITY: ProtocolId.OPCUA,
+}
+
+
+class AttackType(str, enum.Enum):
+    """Attack-type taxonomy used in Figures 4 and 7."""
+
+    SCANNING = "scanning"
+    BRUTE_FORCE = "brute-force"
+    DICTIONARY = "dictionary"
+    MALWARE_DROP = "malware-drop"
+    DATA_POISONING = "data-poisoning"
+    DOS_FLOOD = "dos-flood"
+    REFLECTION = "reflection"
+    EXPLOIT = "exploit"
+    WEB_SCRAPING = "web-scraping"
+    DISCOVERY = "discovery"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class TrafficClass(str, enum.Enum):
+    """Source classification of Table 7 / Table 8."""
+
+    SCANNING_SERVICE = "scanning-service"
+    MALICIOUS = "malicious"
+    UNKNOWN = "unknown-suspicious"
+
+    def __str__(self) -> str:
+        return self.value

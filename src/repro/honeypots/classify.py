@@ -1,0 +1,170 @@
+"""Session classification: transcript bytes → attack type.
+
+"The malware classification is based on the received payloads. ... we
+classify the source as malicious upon receiving recurring requests with
+malicious payloads" (Section 4.3.1).  This module is the honeypot-side
+analyst: it looks only at what crossed the wire in one session and assigns
+the taxonomy used in Figures 4 and 7.
+
+Heuristics, in matching order per protocol family:
+
+* an upload/dropper payload (wget/tftp/STOR of a binary) → malware drop;
+* mutation of existing state (PUBLISH to ``$SYS``/retained topics, CoAP
+  PUT/DELETE, Modbus writes, XMPP sets) → data poisoning;
+* dozens of requests in one session → DoS flood (reflection when the
+  replies dwarf the requests on UDP);
+* repeated authentication failures → dictionary (many) or brute force (few);
+* SMB Trans2 overlong requests → exploit;
+* many distinct HTTP paths → web scraping;
+* bare discovery (M-SEARCH, ``/.well-known/core``, stream open, empty
+  connect) → scanning or discovery.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+from repro.core.taxonomy import AttackType
+from repro.honeypots.base import SessionTranscript
+from repro.protocols.base import ProtocolId
+
+__all__ = ["classify_session", "FLOOD_SESSION_THRESHOLD"]
+
+#: Requests within one session beyond which it reads as a flood.
+FLOOD_SESSION_THRESHOLD = 40
+
+_DROPPER_RE = re.compile(r"\b(wget|tftp|curl)\b.+\bhttp|\btftp\b\s+-g", re.IGNORECASE)
+_BINARY_MARKER = b"\x7fELF"
+
+
+def classify_session(transcript: SessionTranscript) -> Tuple[AttackType, str]:
+    """Classify one transcript; returns (attack type, short summary)."""
+    protocol = transcript.protocol
+    n_requests = len(transcript.exchanges)
+    requests_text = transcript.requests_text()
+    replies_text = transcript.replies_text()
+
+    # -- malware delivery is protocol-independent -------------------------
+    if _DROPPER_RE.search(requests_text) or any(
+        _BINARY_MARKER in request for request, _ in transcript.exchanges
+    ):
+        return AttackType.MALWARE_DROP, "dropper command or binary payload"
+    if protocol == ProtocolId.FTP and "STOR " in requests_text:
+        return AttackType.MALWARE_DROP, "file deposited via STOR"
+
+    # -- flood detection ----------------------------------------------------
+    if n_requests >= FLOOD_SESSION_THRESHOLD:
+        if protocol in (ProtocolId.COAP, ProtocolId.UPNP):
+            reply_bytes = sum(len(reply) for _, reply in transcript.exchanges)
+            # Amplification: the honeypot sent back appreciably more than it
+            # received (SSDP answers ~1.5-2x the query, CoAP listings 3x+).
+            if reply_bytes > 1.5 * max(1, transcript.request_bytes):
+                return AttackType.REFLECTION, (
+                    f"{n_requests} amplifying queries in one session"
+                )
+            return AttackType.DOS_FLOOD, f"{n_requests} datagrams in one session"
+        return AttackType.DOS_FLOOD, f"{n_requests} requests in one session"
+
+    # -- per-protocol signatures -------------------------------------------
+    if protocol in (ProtocolId.TELNET, ProtocolId.SSH):
+        # Count authentication *attempts*, not failures: low-interaction
+        # honeypots accept common credentials by design, so a dictionary
+        # run may "succeed" on its first admin/admin try.
+        attempts = (
+            requests_text.count("userauth ")
+            + replies_text.count("Password:")
+            + replies_text.count("Password: ")
+        )
+        if attempts >= 5:
+            return AttackType.DICTIONARY, f"{attempts} login attempts"
+        if attempts >= 1:
+            return AttackType.BRUTE_FORCE, f"{attempts} login attempts"
+        return AttackType.SCANNING, "banner grab"
+
+    if protocol == ProtocolId.MQTT:
+        publishes = sum(
+            1 for request, _ in transcript.exchanges
+            if request and request[0] >> 4 == 3  # PUBLISH
+        )
+        if publishes:
+            return AttackType.DATA_POISONING, f"{publishes} PUBLISH packets"
+        subscribes = sum(
+            1 for request, _ in transcript.exchanges
+            if request and request[0] >> 4 == 8  # SUBSCRIBE
+        )
+        if subscribes:
+            return AttackType.DISCOVERY, "topic subscription"
+        return AttackType.SCANNING, "bare CONNECT"
+
+    if protocol == ProtocolId.AMQP:
+        if "publish " in requests_text:
+            return AttackType.DATA_POISONING, "queue publish"
+        if "get " in requests_text:
+            return AttackType.DISCOVERY, "queue read"
+        return AttackType.SCANNING, "handshake only"
+
+    if protocol == ProtocolId.XMPP:
+        if "<set " in requests_text:
+            return AttackType.DATA_POISONING, "device state mutation"
+        attempts = requests_text.count("<auth ")
+        anonymous = requests_text.count("mechanism='ANONYMOUS'")
+        if attempts - anonymous >= 5:
+            return AttackType.DICTIONARY, f"{attempts} SASL attempts"
+        if attempts - anonymous >= 1:
+            return AttackType.BRUTE_FORCE, f"{attempts} SASL attempts"
+        return AttackType.SCANNING, "stream open"
+
+    if protocol == ProtocolId.COAP:
+        # PUT (0x03) / DELETE (0x04) codes in the second header byte.
+        writes = sum(
+            1 for request, _ in transcript.exchanges
+            if len(request) >= 2 and request[1] in (0x02, 0x03, 0x04)
+        )
+        if writes:
+            return AttackType.DATA_POISONING, f"{writes} write/delete requests"
+        return AttackType.DISCOVERY, "resource discovery"
+
+    if protocol == ProtocolId.UPNP:
+        return AttackType.DISCOVERY, "ssdp discovery"
+
+    if protocol == ProtocolId.SMB:
+        if "Eternal" in requests_text or any(
+            len(request) > 1024 for request, _ in transcript.exchanges
+        ):
+            return AttackType.EXPLOIT, "Trans2 exploitation attempt"
+        return AttackType.SCANNING, "dialect negotiation"
+
+    if protocol in (ProtocolId.MODBUS, ProtocolId.S7):
+        writes = _count_ics_writes(transcript)
+        if writes:
+            return AttackType.DATA_POISONING, f"{writes} register writes"
+        return AttackType.SCANNING, "device identification"
+
+    if protocol == ProtocolId.HTTP:
+        attempts = requests_text.count("POST /login")
+        if attempts >= 5:
+            return AttackType.DICTIONARY, f"{attempts} web login attempts"
+        if attempts >= 1:
+            return AttackType.BRUTE_FORCE, f"{attempts} web login attempts"
+        paths = set(re.findall(r"GET (\S+)", requests_text))
+        if len(paths) >= 5:
+            return AttackType.WEB_SCRAPING, f"{len(paths)} distinct paths"
+        return AttackType.SCANNING, "front page fetch"
+
+    return AttackType.SCANNING, "unclassified interaction"
+
+
+def _count_ics_writes(transcript: SessionTranscript) -> int:
+    """Count Modbus write PDUs / S7 write-var jobs in a session."""
+    writes = 0
+    for request, _ in transcript.exchanges:
+        if transcript.protocol == ProtocolId.MODBUS and len(request) >= 8:
+            if request[7] in (0x06, 0x10):
+                writes += 1
+        if transcript.protocol == ProtocolId.S7 and len(request) >= 14:
+            # TPKT(4) + COTP(3) + S7 header: magic, pdu-type, 4 reserved
+            # bytes, then the function code at offset 13.
+            if request[7] == 0x32 and request[13] == 0x05:
+                writes += 1
+    return writes

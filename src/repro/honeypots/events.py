@@ -1,0 +1,191 @@
+"""Attack-event records captured by the lab honeypots.
+
+"All the attacks gathered on the honeypots are exported daily and imported
+into the database" (Section 3.3.2).  :class:`AttackEvent` is one row of that
+database; :class:`EventLog` is the store with the aggregation surface that
+Tables 7/8 and Figures 3/4/7/8/9 query.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.taxonomy import AttackType, TrafficClass
+from repro.net.ipv4 import int_to_ip
+from repro.protocols.base import ProtocolId
+
+__all__ = ["AttackEvent", "EventLog"]
+
+
+@dataclass
+class AttackEvent:
+    """One attack interaction observed by a honeypot."""
+
+    honeypot: str
+    protocol: ProtocolId
+    source: int
+    day: int            # 0-based day within the observation month
+    timestamp: float    # seconds since the month's start
+    attack_type: AttackType
+    #: actor label for debugging/traceability (e.g. "mirai", "shodan").
+    actor: str = ""
+    #: short free-text of what happened ("CONNECT; PUBLISH $SYS/...").
+    summary: str = ""
+    #: SHA-256 of a dropped/injected binary, when one was captured.
+    malware_hash: str = ""
+    #: bytes sent by the attacker in this session (for pcap-style analysis).
+    request_bytes: int = 0
+
+    @property
+    def source_text(self) -> str:
+        """Dotted-quad source."""
+        return int_to_ip(self.source)
+
+    def to_json(self) -> str:
+        """One JSONL row (the daily-export format of §3.3.2)."""
+        return json.dumps({
+            "honeypot": self.honeypot,
+            "protocol": str(self.protocol),
+            "source": self.source_text,
+            "day": self.day,
+            "timestamp": self.timestamp,
+            "attack_type": str(self.attack_type),
+            "actor": self.actor,
+            "summary": self.summary,
+            "malware_hash": self.malware_hash,
+            "request_bytes": self.request_bytes,
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "AttackEvent":
+        """Parse one JSONL row back into an event."""
+        from repro.net.ipv4 import ip_to_int
+
+        row = json.loads(line)
+        return cls(
+            honeypot=row["honeypot"],
+            protocol=ProtocolId(row["protocol"]),
+            source=ip_to_int(row["source"]),
+            day=row["day"],
+            timestamp=row["timestamp"],
+            attack_type=AttackType(row["attack_type"]),
+            actor=row.get("actor", ""),
+            summary=row.get("summary", ""),
+            malware_hash=row.get("malware_hash", ""),
+            request_bytes=row.get("request_bytes", 0),
+        )
+
+
+class EventLog:
+    """Queryable store of attack events across the deployment."""
+
+    def __init__(self, events: Optional[Iterable[AttackEvent]] = None) -> None:
+        self._events: List[AttackEvent] = list(events or [])
+
+    def add(self, event: AttackEvent) -> None:
+        """Record one event."""
+        self._events.append(event)
+
+    def extend(self, events: Iterable[AttackEvent]) -> None:
+        """Record many events."""
+        self._events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AttackEvent]:
+        return iter(self._events)
+
+    # -- aggregations used by the paper's tables/figures -------------------
+
+    def by_honeypot(self, honeypot: str) -> List[AttackEvent]:
+        """Events captured by one honeypot."""
+        return [event for event in self._events if event.honeypot == honeypot]
+
+    def count_by_honeypot_protocol(self) -> Dict[Tuple[str, str], int]:
+        """(honeypot, protocol) → events — Table 7's first matrix."""
+        counts: Dict[Tuple[str, str], int] = {}
+        for event in self._events:
+            key = (event.honeypot, str(event.protocol))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def count_by_protocol(self) -> Dict[str, int]:
+        """protocol → events."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            key = str(event.protocol)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def count_by_day(self) -> Dict[int, int]:
+        """day → events — Figure 8's series."""
+        counts: Dict[int, int] = {}
+        for event in self._events:
+            counts[event.day] = counts.get(event.day, 0) + 1
+        return counts
+
+    def count_by_type(
+        self, protocol: Optional[ProtocolId] = None
+    ) -> Dict[AttackType, int]:
+        """attack type → events, optionally for one protocol — Figures 4/7."""
+        counts: Dict[AttackType, int] = {}
+        for event in self._events:
+            if protocol is not None and event.protocol != protocol:
+                continue
+            counts[event.attack_type] = counts.get(event.attack_type, 0) + 1
+        return counts
+
+    def unique_sources(
+        self,
+        honeypot: Optional[str] = None,
+        protocol: Optional[ProtocolId] = None,
+    ) -> Set[int]:
+        """Distinct source addresses, optionally filtered."""
+        return {
+            event.source
+            for event in self._events
+            if (honeypot is None or event.honeypot == honeypot)
+            and (protocol is None or event.protocol == protocol)
+        }
+
+    def sources_by_actor_kind(self) -> Dict[str, Set[int]]:
+        """actor label → source set (for traceability in tests)."""
+        result: Dict[str, Set[int]] = {}
+        for event in self._events:
+            result.setdefault(event.actor, set()).add(event.source)
+        return result
+
+    def multistage_candidates(self) -> Dict[int, List[AttackEvent]]:
+        """source → its events sorted by time, for sources touching
+        multiple protocols — the Figure 9 detection input."""
+        per_source: Dict[int, List[AttackEvent]] = {}
+        for event in self._events:
+            per_source.setdefault(event.source, []).append(event)
+        result: Dict[int, List[AttackEvent]] = {}
+        for source, events in per_source.items():
+            protocols = {event.protocol for event in events}
+            if len(protocols) >= 2:
+                result[source] = sorted(events, key=lambda e: e.timestamp)
+        return result
+
+    def malware_hashes(self) -> Set[str]:
+        """Distinct captured malware hashes (Table 13's corpus)."""
+        return {event.malware_hash for event in self._events if event.malware_hash}
+
+    # -- persistence (the daily export of §3.3.2) -------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize all events as JSONL."""
+        return "\n".join(event.to_json() for event in self._events)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        """Load a previously exported log."""
+        return cls(
+            AttackEvent.from_json(line)
+            for line in text.splitlines()
+            if line.strip()
+        )

@@ -1,0 +1,259 @@
+"""Pcap-format session capture and payload analysis.
+
+"The network traffic is captured with tcpdump on the hosts where the
+honeypots are deployed and the pcap files are further analyzed to determine
+the attack vectors ... We examine the pcap files with the Virustotal
+database for signs of malware signatures and discover 113 Mirai variants"
+(Section 5.1).
+
+This module writes honeypot session transcripts as **real pcap bytes**
+(classic libpcap format: 0xa1b2c3d4 magic, 24-byte global header, 16-byte
+per-record headers) with synthesized Ethernet/IPv4/TCP headers, reads them
+back, and runs the §5.1-style payload analysis: dropper-URL extraction and
+binary (ELF) carving with SHA-256 hashing for VirusTotal lookup.
+
+The paper's §6 also wants "a deeper analysis on raw packet data" from the
+telescope — the same reader/analyzer applies to any pcap built here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.honeypots.base import SessionTranscript
+from repro.net.errors import ProtocolError
+from repro.net.ipv4 import int_to_ip
+
+__all__ = [
+    "PCAP_MAGIC",
+    "PcapPacket",
+    "PcapWriter",
+    "read_pcap",
+    "PcapCapture",
+    "PayloadFinding",
+    "analyze_payloads",
+]
+
+PCAP_MAGIC = 0xA1B2C3D4
+_LINKTYPE_ETHERNET = 1
+_ETHERTYPE_IPV4 = 0x0800
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass
+class PcapPacket:
+    """One captured packet (decoded view)."""
+
+    timestamp: float
+    src: int
+    dst: int
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    @property
+    def src_text(self) -> str:
+        """Dotted-quad source."""
+        return int_to_ip(self.src)
+
+
+def _ethernet_ipv4_tcp(
+    src: int, dst: int, src_port: int, dst_port: int, payload: bytes
+) -> bytes:
+    """Synthesize the L2-L4 headers tcpdump would have recorded."""
+    ethernet = b"\x02\x00\x00\x00\x00\x01" + b"\x02\x00\x00\x00\x00\x02" \
+        + _ETHERTYPE_IPV4.to_bytes(2, "big")
+    total_length = 20 + 20 + len(payload)
+    ip = struct.pack(
+        ">BBHHHBBH4s4s",
+        0x45, 0, total_length, 0, 0, 64, 6, 0,
+        src.to_bytes(4, "big"), dst.to_bytes(4, "big"),
+    )
+    tcp = struct.pack(
+        ">HHIIBBHHH",
+        src_port, dst_port, 0, 0, 0x50, 0x18, 0xFFFF, 0, 0,
+    )
+    return ethernet + ip + tcp + payload
+
+
+def _decode_frame(frame: bytes) -> Optional[Tuple[int, int, int, int, bytes]]:
+    """Parse Ethernet/IPv4/TCP; None for non-TCP/IPv4 frames."""
+    if len(frame) < 14 + 20 + 20:
+        return None
+    if frame[12:14] != _ETHERTYPE_IPV4.to_bytes(2, "big"):
+        return None
+    ip_header_length = (frame[14] & 0x0F) * 4
+    if frame[14 + 9] != 6:  # not TCP
+        return None
+    ip_start = 14
+    tcp_start = ip_start + ip_header_length
+    src = int.from_bytes(frame[ip_start + 12 : ip_start + 16], "big")
+    dst = int.from_bytes(frame[ip_start + 16 : ip_start + 20], "big")
+    src_port = int.from_bytes(frame[tcp_start : tcp_start + 2], "big")
+    dst_port = int.from_bytes(frame[tcp_start + 2 : tcp_start + 4], "big")
+    tcp_header_length = (frame[tcp_start + 12] >> 4) * 4
+    payload = frame[tcp_start + tcp_header_length :]
+    return src, dst, src_port, dst_port, payload
+
+
+class PcapWriter:
+    """Builds a classic-format pcap byte stream."""
+
+    def __init__(self) -> None:
+        self._records: List[bytes] = []
+
+    def add_packet(
+        self,
+        timestamp: float,
+        src: int,
+        dst: int,
+        src_port: int,
+        dst_port: int,
+        payload: bytes,
+    ) -> None:
+        """Append one TCP packet."""
+        frame = _ethernet_ipv4_tcp(src, dst, src_port, dst_port, payload)
+        seconds = int(timestamp)
+        micros = int((timestamp - seconds) * 1_000_000)
+        self._records.append(
+            _RECORD_HEADER.pack(seconds, micros, len(frame), len(frame))
+            + frame
+        )
+
+    def add_transcript(
+        self,
+        transcript: SessionTranscript,
+        honeypot_address: int,
+        timestamp: float,
+    ) -> None:
+        """Serialize one session: attacker→honeypot and reply packets."""
+        attacker_port = 30_000 + (transcript.source % 20_000)
+        clock = timestamp
+        if transcript.banner:
+            self.add_packet(clock, honeypot_address, transcript.source,
+                            transcript.port, attacker_port, transcript.banner)
+            clock += 0.01
+        for request, reply in transcript.exchanges:
+            if request:
+                self.add_packet(clock, transcript.source, honeypot_address,
+                                attacker_port, transcript.port, request)
+                clock += 0.005
+            if reply:
+                self.add_packet(clock, honeypot_address, transcript.source,
+                                transcript.port, attacker_port, reply)
+                clock += 0.005
+
+    def getvalue(self) -> bytes:
+        """The complete pcap file bytes."""
+        header = _GLOBAL_HEADER.pack(
+            PCAP_MAGIC, 2, 4, 0, 0, 65_535, _LINKTYPE_ETHERNET
+        )
+        return header + b"".join(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def read_pcap(data: bytes) -> Iterator[PcapPacket]:
+    """Parse pcap bytes back into decoded packets."""
+    if len(data) < _GLOBAL_HEADER.size:
+        raise ProtocolError("pcap shorter than global header")
+    magic = struct.unpack("<I", data[:4])[0]
+    if magic != PCAP_MAGIC:
+        raise ProtocolError(f"bad pcap magic {magic:#x}")
+    offset = _GLOBAL_HEADER.size
+    while offset + _RECORD_HEADER.size <= len(data):
+        seconds, micros, captured, _original = _RECORD_HEADER.unpack(
+            data[offset : offset + _RECORD_HEADER.size]
+        )
+        offset += _RECORD_HEADER.size
+        frame = data[offset : offset + captured]
+        if len(frame) < captured:
+            raise ProtocolError("truncated pcap record")
+        offset += captured
+        decoded = _decode_frame(frame)
+        if decoded is None:
+            continue
+        src, dst, src_port, dst_port, payload = decoded
+        yield PcapPacket(
+            timestamp=seconds + micros / 1_000_000,
+            src=src, dst=dst, src_port=src_port, dst_port=dst_port,
+            payload=payload,
+        )
+
+
+class PcapCapture:
+    """A per-honeypot rolling capture (the tcpdump stand-in)."""
+
+    def __init__(self, honeypot_address: int) -> None:
+        self.honeypot_address = honeypot_address
+        self.writer = PcapWriter()
+
+    def record(self, transcript: SessionTranscript, timestamp: float) -> None:
+        """Capture one finished session."""
+        self.writer.add_transcript(transcript, self.honeypot_address, timestamp)
+
+    def pcap_bytes(self) -> bytes:
+        """The capture as a pcap file."""
+        return self.writer.getvalue()
+
+
+# -- §5.1 payload analysis ---------------------------------------------------
+
+_DROPPER_URL_RE = re.compile(
+    rb"(?:wget|curl|tftp)\s+(?:-\S+\s+)*(http://\S+|\S+\.(?:arm7?|mips|bin|sh))"
+)
+_ELF_MAGIC = b"\x7fELF"
+
+
+@dataclass
+class PayloadFinding:
+    """One suspicious artefact carved from a capture."""
+
+    kind: str          # "dropper-url" or "binary"
+    source: int        # attacker address
+    value: str         # URL text, or the binary's SHA-256
+    timestamp: float = 0.0
+
+
+def analyze_payloads(
+    packets: Iterator[PcapPacket],
+    honeypot_address: int,
+) -> List[PayloadFinding]:
+    """Scan attacker→honeypot payloads for droppers and binaries.
+
+    This is the paper's pcap pass: extract malware-download URLs from shell
+    commands and hash embedded binaries so they can be checked against
+    VirusTotal.
+    """
+    findings: List[PayloadFinding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for packet in packets:
+        if packet.dst != honeypot_address:
+            continue  # only attacker-sent payloads
+        for match in _DROPPER_URL_RE.finditer(packet.payload):
+            url = match.group(1).decode("utf-8", errors="replace")
+            key = ("dropper-url", packet.src, url)
+            if key not in seen:
+                seen.add(key)
+                findings.append(PayloadFinding(
+                    kind="dropper-url", source=packet.src, value=url,
+                    timestamp=packet.timestamp,
+                ))
+        index = packet.payload.find(_ELF_MAGIC)
+        if index >= 0:
+            blob = packet.payload[index:]
+            digest = hashlib.sha256(blob).hexdigest()
+            key = ("binary", packet.src, digest)
+            if key not in seen:
+                seen.add(key)
+                findings.append(PayloadFinding(
+                    kind="binary", source=packet.src, value=digest,
+                    timestamp=packet.timestamp,
+                ))
+    return findings

@@ -1,0 +1,14 @@
+"""Threat-intelligence stores: GreyNoise, VirusTotal, Censys-IoT, ExoneraTor."""
+
+from repro.intel.censysiot import CensysIotDB
+from repro.intel.exonerator import ExoneraTorDB
+from repro.intel.greynoise import REGIONAL_SERVICES, GreyNoiseDB
+from repro.intel.virustotal import VirusTotalDB
+
+__all__ = [
+    "CensysIotDB",
+    "ExoneraTorDB",
+    "GreyNoiseDB",
+    "REGIONAL_SERVICES",
+    "VirusTotalDB",
+]

@@ -1,0 +1,39 @@
+"""ExoneraTor model — Tor relay lookups for the HTTP-attack analysis.
+
+"Upon performing a reverse lookup of the attack sources with the Exonerator
+service we determine a total of 151 unique IPs originating from Tor relays"
+(Section 5.1.6).  The store answers the single question the paper asks:
+was this address a Tor relay during the observation window?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Set
+
+from repro.attacks.actors import ActorRegistry
+
+__all__ = ["ExoneraTorDB"]
+
+
+@dataclass
+class ExoneraTorDB:
+    """Known Tor relay addresses for the observation month."""
+
+    relays: Set[int] = field(default_factory=set)
+
+    @classmethod
+    def build_from(cls, registry: ActorRegistry) -> "ExoneraTorDB":
+        """Collect the ledger's Tor-exit sources (ExoneraTor's records are
+        authoritative for relays, so no miss model is applied)."""
+        return cls(
+            relays={info.address for info in registry if info.tor_exit}
+        )
+
+    def was_tor_relay(self, address: int) -> bool:
+        """True when the address served as a relay in the window."""
+        return address in self.relays
+
+    def count_relays(self, addresses: Iterable[int]) -> int:
+        """How many of ``addresses`` were Tor relays."""
+        return sum(1 for address in addresses if address in self.relays)

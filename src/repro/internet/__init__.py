@@ -1,0 +1,35 @@
+"""Synthetic Internet: hosts, device profiles, wild honeypots, the fabric."""
+
+from repro.internet.devices import DEVICE_PROFILES, DeviceProfile, build_server, profiles_for
+from repro.internet.fabric import SimulatedInternet, TcpConnection
+from repro.internet.host import SimulatedHost
+from repro.internet.population import (
+    PAPER_EXPOSED_ZMAP,
+    PAPER_MISCONFIG_COUNTS,
+    Population,
+    PopulationBuilder,
+    PopulationConfig,
+)
+from repro.internet.wild_honeypots import (
+    WILD_HONEYPOT_CATALOG,
+    WildHoneypotKind,
+    build_wild_honeypot_server,
+)
+
+__all__ = [
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "PAPER_EXPOSED_ZMAP",
+    "PAPER_MISCONFIG_COUNTS",
+    "Population",
+    "PopulationBuilder",
+    "PopulationConfig",
+    "SimulatedHost",
+    "SimulatedInternet",
+    "TcpConnection",
+    "WILD_HONEYPOT_CATALOG",
+    "WildHoneypotKind",
+    "build_server",
+    "build_wild_honeypot_server",
+    "profiles_for",
+]

@@ -1,0 +1,371 @@
+"""Device-profile catalog: the identities behind the banners.
+
+The paper identifies device types by matching banner/response text (its
+Table 11 lists the identifiers: a HiKVision camera greets Telnet with
+``192.0.0.64 login:``, a Belkin Wemo answers SSDP with its friendly name,
+an Octoprint 3D printer exposes ``octoPrint/temperature/bed`` MQTT topics).
+
+Every profile here carries exactly the identification material Table 11
+names for it, plus a relative prevalence weight that shapes the Figure 2
+device-type mix.  ``build_server`` turns a profile + misconfiguration label
+into a live :class:`~repro.protocols.base.ProtocolServer` whose *observable
+bytes* carry the identifiers — the classifiers later recover device type and
+misconfiguration from those bytes alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import Misconfig
+from repro.net.prng import RandomStream
+from repro.protocols.amqp import AmqpConfig, AmqpServer
+from repro.protocols.base import ProtocolId, ProtocolServer
+from repro.protocols.coap import CoapConfig, CoapServer
+from repro.protocols.cwmp import CwmpConfig, CwmpServer
+from repro.protocols.dds import DdsConfig, DdsServer
+from repro.protocols.opcua import (
+    SECURITY_POLICY_BASIC256,
+    SECURITY_POLICY_NONE,
+    OpcUaConfig,
+    OpcUaServer,
+)
+from repro.protocols.mqtt import MqttBroker, MqttConfig
+from repro.protocols.telnet import TelnetConfig, TelnetServer
+from repro.protocols.upnp import SsdpDeviceInfo, UpnpConfig, UpnpServer
+from repro.protocols.xmpp import XmppConfig, XmppServer
+
+__all__ = ["DeviceProfile", "DEVICE_PROFILES", "profiles_for", "build_server"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Identity of one device model and the banner material it discloses."""
+
+    name: str
+    device_type: str
+    protocol: ProtocolId
+    weight: float = 1.0
+    #: Telnet: text before/at the login prompt (Table 11 column 4).
+    telnet_greeting: str = ""
+    #: UPnP: SSDP header / description XML fields.
+    upnp_server: str = ""
+    upnp_friendly_name: str = ""
+    upnp_manufacturer: str = ""
+    upnp_model_name: str = ""
+    upnp_model_description: str = ""
+    upnp_model_number: str = ""
+    #: MQTT: characteristic retained topics.
+    mqtt_topics: Tuple[str, ...] = ()
+    #: CoAP: characteristic resources / titles.
+    coap_resources: Tuple[str, ...] = ()
+    coap_title: str = ""
+    #: XMPP / AMQP service domains and products.
+    xmpp_domain: str = ""
+    amqp_product: str = ""
+    amqp_version: str = ""
+
+
+#: The catalog is Table 11 verbatim, with generic fillers per protocol so
+#: that non-IoT hosts (plain servers) exist too — the paper notes XMPP and
+#: AMQP responses were "not sufficient to label the target as an IoT device".
+DEVICE_PROFILES: List[DeviceProfile] = [
+    # -- Cameras (Telnet) -------------------------------------------------
+    DeviceProfile("HiKVision Camera", "Camera", ProtocolId.TELNET, 9.0,
+                  telnet_greeting="192.0.0.64 login:"),
+    DeviceProfile("Polycom HDX", "Camera", ProtocolId.TELNET, 2.0,
+                  telnet_greeting="Welcome to ViewStation"),
+    DeviceProfile("D-Link DCS-6620", "Camera", ProtocolId.TELNET, 1.5,
+                  telnet_greeting="Welcome to DCS-6620"),
+    DeviceProfile("D-Link DCS-5220", "Camera", ProtocolId.TELNET, 1.5,
+                  telnet_greeting="Network-Camera login:"),
+    # -- Cameras (UPnP) ---------------------------------------------------
+    DeviceProfile("Avtech AVN801", "Camera", ProtocolId.UPNP, 4.0,
+                  upnp_server="Linux/2.x UPnP/1.0 Avtech/1.0"),
+    DeviceProfile("Panasonic BB-HCM581", "Camera", ProtocolId.UPNP, 2.0,
+                  upnp_friendly_name="Network Camera BB-HCM581"),
+    DeviceProfile("Anbash NC336FG", "Camera", ProtocolId.UPNP, 1.0,
+                  upnp_model_name="NC336FG"),
+    DeviceProfile("Beward N100", "Camera", ProtocolId.UPNP, 1.0,
+                  upnp_friendly_name="N100 H.264 IP Camera - 004B1000E3E2"),
+    DeviceProfile("Io Data TS-WLC2", "Camera", ProtocolId.UPNP, 1.0,
+                  upnp_model_name="TS-WLC2"),
+    DeviceProfile("Io Data TS-WPTCAM", "Camera", ProtocolId.UPNP, 1.0,
+                  upnp_model_name="TS-WPTCAM"),
+    DeviceProfile("G-Cam EFD-4430", "Camera", ProtocolId.UPNP, 0.8,
+                  upnp_friendly_name="G-Cam/EFD-4430"),
+    DeviceProfile("Seyeon Tech FW7511-TVM", "Camera", ProtocolId.UPNP, 0.8,
+                  upnp_model_name="FW7511-TVM"),
+    # -- DSL modems (Telnet) ----------------------------------------------
+    DeviceProfile("ZyXEL PK5001Z", "DSL Modem", ProtocolId.TELNET, 5.0,
+                  telnet_greeting="PK5001Z login:"),
+    DeviceProfile("ZTE ZXHN H108N", "DSL Modem", ProtocolId.TELNET, 3.0,
+                  telnet_greeting="Welcome to the world of CLI"),
+    DeviceProfile("Technicolor modem", "DSL Modem", ProtocolId.TELNET, 2.0,
+                  telnet_greeting="TG234 login:"),
+    DeviceProfile("ZTE ZXV10", "DSL Modem", ProtocolId.TELNET, 2.0,
+                  telnet_greeting="F670L Login"),
+    DeviceProfile("Datacom DM991", "DSL Modem", ProtocolId.TELNET, 1.0,
+                  telnet_greeting="DM991CR - G.SHDSL Modem Router"),
+    DeviceProfile("TP-Link TD-W8960N", "DSL Modem", ProtocolId.TELNET, 2.5,
+                  telnet_greeting="TD-W8960N 6.0 DSL Modem"),
+    DeviceProfile("Cisco C11-4P", "DSL Modem", ProtocolId.TELNET, 1.0,
+                  telnet_greeting="MODEM : C111-4P"),
+    DeviceProfile("TP-Link TD-W8968", "DSL Modem", ProtocolId.TELNET, 1.5,
+                  telnet_greeting="TD-W8968 4.0 DSL Modem Router"),
+    # -- Routers ----------------------------------------------------------
+    DeviceProfile("BelAir 100N", "Router", ProtocolId.TELNET, 1.0,
+                  telnet_greeting="BelAir100N - BelAir Backhaul and Access Wireless Router"),
+    DeviceProfile("Tenda Wireless Router", "Router", ProtocolId.UPNP, 4.0,
+                  upnp_manufacturer="Tenda"),
+    DeviceProfile("Totolink N150", "Router", ProtocolId.UPNP, 2.0,
+                  upnp_friendly_name="TOTOLINK N150RA"),
+    DeviceProfile("ZTE H108N", "Router", ProtocolId.UPNP, 3.0,
+                  upnp_model_name="H108N"),
+    DeviceProfile("OBSERVA BHS_RTA", "Router", ProtocolId.UPNP, 1.0,
+                  upnp_model_name="BHS_RTA"),
+    DeviceProfile("DASAN H660GM", "Router", ProtocolId.UPNP, 1.0,
+                  upnp_model_name="H660GM"),
+    DeviceProfile("Huawei HG532e", "Router", ProtocolId.UPNP, 3.0,
+                  upnp_model_name="HG532e"),
+    DeviceProfile("ASUSTeK RT-AC53", "Router", ProtocolId.UPNP, 2.0,
+                  upnp_friendly_name="RT-AC53"),
+    DeviceProfile("NDM Router", "Router", ProtocolId.COAP, 3.0,
+                  coap_resources=("/ndm/login",)),
+    DeviceProfile("QLink Router", "Router", ProtocolId.COAP, 2.0,
+                  coap_resources=("/qlink/ack",), coap_title="Qlink-ACK Resource"),
+    # -- Smart home ---------------------------------------------------------
+    DeviceProfile("Signify Philips hue bridge", "Smart Home", ProtocolId.UPNP, 2.5,
+                  upnp_model_name="Philips hue bridge 2015"),
+    DeviceProfile("EQ3 HomeMatic", "Smart Home", ProtocolId.UPNP, 1.0,
+                  upnp_model_name="HomeMatic Central"),
+    DeviceProfile("Hyperion", "Smart Home", ProtocolId.UPNP, 0.8,
+                  upnp_model_description="Hyperion Open Source Ambient Light"),
+    DeviceProfile("Home Assistant (Telnet)", "Smart Home", ProtocolId.TELNET, 1.0,
+                  telnet_greeting="Home Assistant: Installation Type: Home Assistant OS"),
+    DeviceProfile("Home Assistant (MQTT)", "Smart Home", ProtocolId.MQTT, 4.0,
+                  mqtt_topics=("homeassistant/light/kitchen/state",
+                               "homeassistant/sensor/temp/state")),
+    # -- TV receivers / media ----------------------------------------------
+    DeviceProfile("Emby", "TV Receiver", ProtocolId.UPNP, 1.5,
+                  upnp_friendly_name="Emby - DS720plus"),
+    DeviceProfile("Dedicated Micros DS2", "TV Receiver", ProtocolId.TELNET, 0.8,
+                  telnet_greeting="Welcome to the DS2 command line processor"),
+    DeviceProfile("Roku", "TV Receiver", ProtocolId.UPNP, 2.0,
+                  upnp_server="Roku UPnP/1.0 MiniUPnPd/1.4"),
+    # -- Misc ---------------------------------------------------------------
+    DeviceProfile("Realtek RTL8671", "Access Point", ProtocolId.UPNP, 1.5,
+                  upnp_model_name="RTL8671"),
+    DeviceProfile("Synology DS918+", "NAS", ProtocolId.UPNP, 1.2,
+                  upnp_friendly_name="DiskStation (DS918+)"),
+    DeviceProfile("Sonos ZP100", "Smart Speaker", ProtocolId.UPNP, 1.2,
+                  upnp_model_number="ZP120"),
+    DeviceProfile("Octoprint", "3D Printer", ProtocolId.MQTT, 2.0,
+                  mqtt_topics=("octoPrint/temperature/bed",
+                               "octoPrint/temperature/tool0")),
+    DeviceProfile("Gozmart HVAC", "HVAC", ProtocolId.MQTT, 1.5,
+                  mqtt_topics=("gozmart/sonoff/CC50E3C943CC110511/app",)),
+    DeviceProfile("Advantech HVAC", "HVAC", ProtocolId.MQTT, 1.5,
+                  mqtt_topics=("Advantech/plant1/status",)),
+    DeviceProfile("Emerson RDU", "Remote Display Unit", ProtocolId.TELNET, 0.8,
+                  telnet_greeting="Emerson Network Power Co., Ltd."),
+    DeviceProfile("Trimble SPS855", "Remote Display Unit", ProtocolId.UPNP, 0.8,
+                  upnp_friendly_name="SPS855, 6013R31531: Trimble"),
+    # -- Generic (non-IoT) servers: XMPP/AMQP hosts whose responses are not
+    # enough to label an IoT device type (paper, §4.1.2).
+    DeviceProfile("Generic XMPP server", "Server", ProtocolId.XMPP, 10.0,
+                  xmpp_domain="jabber.example.net"),
+    DeviceProfile("Generic AMQP broker", "Server", ProtocolId.AMQP, 8.0,
+                  amqp_product="RabbitMQ", amqp_version="3.8.9"),
+    DeviceProfile("Vulnerable AMQP broker 2.7.1", "Server", ProtocolId.AMQP, 1.0,
+                  amqp_product="RabbitMQ", amqp_version="2.7.1"),
+    DeviceProfile("Vulnerable AMQP broker 2.8.4", "Server", ProtocolId.AMQP, 1.0,
+                  amqp_product="RabbitMQ", amqp_version="2.8.4"),
+    DeviceProfile("Generic Linux Telnet host", "Server", ProtocolId.TELNET, 8.0,
+                  telnet_greeting="Ubuntu 18.04 LTS login:"),
+    DeviceProfile("Generic MQTT broker", "Server", ProtocolId.MQTT, 6.0,
+                  mqtt_topics=("devices/status",)),
+    DeviceProfile("Generic CoAP node", "IoT Node", ProtocolId.COAP, 6.0,
+                  coap_resources=("/sensors/temp", "/sensors/humidity")),
+    DeviceProfile("Generic SSDP endpoint", "Router", ProtocolId.UPNP, 6.0,
+                  upnp_server="Ubuntu/lucid UPnP/1.0 MiniUPnPd/1.4"),
+    # -- Extension protocols (§6 future work) --------------------------------
+    DeviceProfile("Zyxel VMG1312 CPE", "DSL Modem", ProtocolId.TR069, 5.0),
+    DeviceProfile("Speedport W724 CPE", "Router", ProtocolId.TR069, 4.0),
+    DeviceProfile("ROS2 Conveyor Cell", "Industrial Controller",
+                  ProtocolId.DDS, 3.0),
+    DeviceProfile("Water-Treatment DDS Node", "Industrial Controller",
+                  ProtocolId.DDS, 1.0),
+    DeviceProfile("SIMATIC OPC UA Gateway", "Industrial Controller",
+                  ProtocolId.OPCUA, 3.0),
+    DeviceProfile("Kepware OPC UA Server", "Industrial Controller",
+                  ProtocolId.OPCUA, 2.0),
+]
+
+
+def profiles_for(protocol: ProtocolId) -> List[DeviceProfile]:
+    """All catalog profiles advertised on ``protocol``."""
+    return [profile for profile in DEVICE_PROFILES if profile.protocol == protocol]
+
+
+def _credentials(stream: RandomStream) -> Dict[str, str]:
+    """Default-looking credentials for properly 'configured' devices.
+
+    A slice of devices keeps factory defaults — that is what the botnet
+    brute-force model exploits.
+    """
+    if stream.bernoulli(0.15):
+        return {"admin": "admin"}
+    if stream.bernoulli(0.05):
+        return {"root": "root"}
+    return {"admin": stream.hex_token(6)}
+
+
+def build_server(
+    profile: DeviceProfile,
+    misconfig: Misconfig,
+    stream: RandomStream,
+) -> ProtocolServer:
+    """Instantiate the protocol server for one host.
+
+    The returned server's observable behaviour encodes both the device
+    identity (Table 11 banner material) and the misconfiguration class
+    (Tables 2/3 indicators).
+    """
+    if profile.protocol == ProtocolId.TELNET:
+        # A console with no authentication never shows a login prompt, so
+        # strip prompt words from the device greeting for misconfigured
+        # variants (matches the real artefact: you land straight in a shell).
+        open_greeting = profile.telnet_greeting
+        for token in ("login:", "Login:", "Login", "login"):
+            open_greeting = open_greeting.replace(token, "").strip()
+        if misconfig == Misconfig.TELNET_NO_AUTH_ROOT:
+            hostname = profile.name.split()[0].lower()
+            prompt = stream.choice(
+                [f"root@{hostname}:~$ ", f"admin@{hostname}:~$ "]
+            )
+            config = TelnetConfig(
+                auth_required=False, shell_prompt=prompt,
+                pre_banner=open_greeting,
+            )
+        elif misconfig == Misconfig.TELNET_NO_AUTH:
+            config = TelnetConfig(
+                auth_required=False, shell_prompt="$ ",
+                pre_banner=open_greeting,
+            )
+        else:
+            config = TelnetConfig(
+                auth_required=True,
+                credentials=_credentials(stream),
+                pre_banner=profile.telnet_greeting,
+                login_banner="login: ",
+            )
+        return TelnetServer(config)
+
+    if profile.protocol == ProtocolId.MQTT:
+        topics = {topic: b"0" for topic in profile.mqtt_topics}
+        if misconfig == Misconfig.MQTT_NO_AUTH:
+            return MqttBroker(MqttConfig(auth_required=False, topics=topics))
+        return MqttBroker(
+            MqttConfig(auth_required=True, credentials=_credentials(stream),
+                       topics=topics)
+        )
+
+    if profile.protocol == ProtocolId.COAP:
+        resources = {path: b"0" for path in profile.coap_resources} or None
+        kwargs = {"device_title": profile.coap_title}
+        if resources:
+            kwargs["resources"] = resources
+        if misconfig == Misconfig.COAP_NO_AUTH_ADMIN:
+            return CoapServer(CoapConfig(access="admin", **kwargs))
+        if misconfig == Misconfig.COAP_NO_AUTH:
+            return CoapServer(CoapConfig(access="full", **kwargs))
+        if misconfig == Misconfig.COAP_REFLECTOR:
+            return CoapServer(CoapConfig(access="read", **kwargs))
+        return CoapServer(CoapConfig(access="auth", **kwargs))
+
+    if profile.protocol == ProtocolId.AMQP:
+        product = profile.amqp_product or "RabbitMQ"
+        version = profile.amqp_version or "3.8.9"
+        if misconfig == Misconfig.AMQP_NO_AUTH:
+            return AmqpServer(
+                AmqpConfig(product=product, version=version,
+                           auth_required=False, allow_anonymous=True)
+            )
+        return AmqpServer(
+            AmqpConfig(product=product, version=version, auth_required=True,
+                       credentials=_credentials(stream))
+        )
+
+    if profile.protocol == ProtocolId.XMPP:
+        domain = profile.xmpp_domain or "xmpp.local"
+        if misconfig == Misconfig.XMPP_ANONYMOUS:
+            return XmppServer(
+                XmppConfig(domain=domain, mechanisms=["ANONYMOUS", "PLAIN"],
+                           starttls=False, tls_required=False,
+                           device_state={"light-1": "off"})
+            )
+        if misconfig == Misconfig.XMPP_NO_ENCRYPTION:
+            return XmppServer(
+                XmppConfig(domain=domain, mechanisms=["PLAIN"],
+                           starttls=False, tls_required=False,
+                           credentials=_credentials(stream))
+            )
+        return XmppServer(
+            XmppConfig(domain=domain, mechanisms=["SCRAM-SHA-1"],
+                       starttls=True, tls_required=True,
+                       credentials=_credentials(stream))
+        )
+
+    if profile.protocol == ProtocolId.UPNP:
+        info = SsdpDeviceInfo(
+            uuid=(stream.hex_token(4) + "-" + stream.hex_token(2) + "-"
+                  + stream.hex_token(2) + "-" + stream.hex_token(2) + "-"
+                  + stream.hex_token(6)),
+            server=profile.upnp_server or "Ubuntu/lucid UPnP/1.0 MiniUPnPd/1.4",
+            friendly_name=profile.upnp_friendly_name,
+            manufacturer=profile.upnp_manufacturer,
+            model_name=profile.upnp_model_name,
+            model_description=profile.upnp_model_description,
+            model_number=profile.upnp_model_number,
+        )
+        if misconfig == Misconfig.UPNP_REFLECTOR:
+            return UpnpServer(
+                UpnpConfig(info=info, respond_to_search=True,
+                           expose_description=True)
+            )
+        # Hardened endpoints still answer discovery (they are "exposed" in
+        # Table 4) but disclose no LOCATION, so they carry no reflection
+        # resource in Table 5 terms.
+        return UpnpServer(
+            UpnpConfig(info=info, respond_to_search=True,
+                       expose_description=False)
+        )
+
+    if profile.protocol == ProtocolId.TR069:
+        server_header = (
+            "RomPager/4.07 UPnP/1.0" if "Zyxel" in profile.name
+            else "gSOAP/2.8"
+        )
+        return CwmpServer(CwmpConfig(
+            server_header=server_header,
+            auth_required=misconfig != Misconfig.TR069_NO_AUTH,
+        ))
+
+    if profile.protocol == ProtocolId.DDS:
+        return DdsServer(DdsConfig(
+            guid_prefix=stream.bytes(12),
+            participant_name=profile.name.replace(" ", "/"),
+            answer_unknown_peers=misconfig == Misconfig.DDS_OPEN_DISCOVERY,
+        ))
+
+    if profile.protocol == ProtocolId.OPCUA:
+        policies = [SECURITY_POLICY_BASIC256]
+        if misconfig == Misconfig.OPCUA_NO_SECURITY:
+            policies = [SECURITY_POLICY_NONE, SECURITY_POLICY_BASIC256]
+        return OpcUaServer(OpcUaConfig(
+            product_name=profile.name, security_policies=policies,
+        ))
+
+    raise ValueError(f"no server factory for protocol {profile.protocol}")

@@ -1,0 +1,111 @@
+"""Honeypots deployed *in the wild* — the pollution the scan must filter.
+
+The paper detected 8,192 honeypots inside its scan results using static
+Telnet banner signatures (Table 6).  Each catalog entry here carries the
+honeypot's published counts and the *exact* banner bytes that fingerprint
+it; the population builder deploys these on the simulated Internet, where
+they look like misconfigured Telnet devices until the fingerprinting stage
+removes them.
+
+Note the asymmetry the paper leans on: Kippo is an SSH honeypot but is
+detected through its frozen SSH version banner; everything else is a Telnet
+(or Telnet-speaking) honeypot with frozen negotiation + prompt bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.protocols.base import ProtocolId, ProtocolServer
+from repro.protocols.ssh import SshConfig, SshServer
+from repro.protocols.telnet import TelnetConfig, TelnetServer
+
+__all__ = ["WildHoneypotKind", "WILD_HONEYPOT_CATALOG", "build_wild_honeypot_server"]
+
+
+@dataclass(frozen=True)
+class WildHoneypotKind:
+    """One honeypot product: its fingerprintable banner and paper count."""
+
+    name: str
+    protocol: ProtocolId
+    banner: bytes
+    paper_count: int
+    port: int = 23
+
+
+#: Table 6 verbatim. Banners are the static bytes the fingerprinting stage
+#: matches; counts drive the scaled deployment mix.
+WILD_HONEYPOT_CATALOG: List[WildHoneypotKind] = [
+    WildHoneypotKind(
+        name="HoneyPy",
+        protocol=ProtocolId.TELNET,
+        banner=b"Debian GNU/Linux 7\r\nLogin: ",
+        paper_count=27,
+    ),
+    WildHoneypotKind(
+        name="Cowrie",
+        protocol=ProtocolId.TELNET,
+        banner=b"\xff\xfd\x1flogin: ",
+        paper_count=3228,
+    ),
+    WildHoneypotKind(
+        name="MTPot",
+        protocol=ProtocolId.TELNET,
+        banner=b"\xff\xfb\x01\xff\xfb\x03\xff\xfc'\xff\xfe\x01\xff\xfd\x03"
+               b"\xff\xfe\"\xff\xfd\x18\r\nlogin: ",
+        paper_count=194,
+    ),
+    WildHoneypotKind(
+        name="Telnet IoT Honeypot",
+        protocol=ProtocolId.TELNET,
+        banner=b"\xff\xfd\x01Login: Password: \r\nWelcome to EmbyLinux "
+               b"3.13.0-24-generic\r\n # ",
+        paper_count=211,
+    ),
+    WildHoneypotKind(
+        name="Conpot",
+        protocol=ProtocolId.TELNET,
+        banner=b"Connected to [00:13:EA:00:00:00]\r\n",
+        paper_count=216,
+    ),
+    WildHoneypotKind(
+        name="Kippo",
+        protocol=ProtocolId.SSH,
+        banner=b"SSH-2.0-OpenSSH_5.1p1 Debian-5\r\n",
+        paper_count=47,
+        port=22,
+    ),
+    WildHoneypotKind(
+        name="Kako",
+        protocol=ProtocolId.TELNET,
+        banner=b"BusyBox v1.19.3 (2013-11-01 10:10:26 CST) built-in shell"
+               b"\r\n# ",
+        paper_count=16,
+    ),
+    WildHoneypotKind(
+        name="Hontel",
+        protocol=ProtocolId.TELNET,
+        banner=b"BusyBox v1.18.4 (2012-04-17 18:58:31 CST) built-in shell"
+               b"\r\n# ",
+        paper_count=12,
+    ),
+    WildHoneypotKind(
+        name="Anglerfish",
+        protocol=ProtocolId.TELNET,
+        banner=b"[root@LocalHost tmp]$ ",
+        paper_count=4241,
+    ),
+]
+
+#: Sanity anchor: the catalog totals the paper's headline number.
+PAPER_TOTAL_WILD_HONEYPOTS = sum(kind.paper_count for kind in WILD_HONEYPOT_CATALOG)
+assert PAPER_TOTAL_WILD_HONEYPOTS == 8192
+
+
+def build_wild_honeypot_server(kind: WildHoneypotKind) -> ProtocolServer:
+    """A server whose banner is the honeypot's frozen signature bytes."""
+    if kind.protocol == ProtocolId.SSH:
+        return SshServer(SshConfig(raw_banner=kind.banner))
+    return TelnetServer(TelnetConfig(auth_required=True, raw_banner=kind.banner))

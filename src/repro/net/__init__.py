@@ -1,0 +1,58 @@
+"""Networking substrate: addresses, packets, PRNG streams, geo/ASN/rDNS."""
+
+from repro.net.asn import AsnRegistry
+from repro.net.errors import (
+    AddressError,
+    AllocationError,
+    ConfigError,
+    ConnectionRefused,
+    HostUnreachable,
+    ProtocolError,
+    ReproError,
+    ScanError,
+)
+from repro.net.geo import COUNTRY_WEIGHTS, GeoRegistry
+from repro.net.latency import LatencySampler, honeypot_latency, real_device_latency
+from repro.net.ipv4 import (
+    RESERVED_BLOCKS,
+    AddressAllocator,
+    CidrBlock,
+    int_to_ip,
+    ip_to_int,
+    is_valid_ip,
+)
+from repro.net.packet import Packet, TcpFlags, TransportProtocol, syn_probe, udp_probe
+from repro.net.prng import RandomStream, derive_seed
+from repro.net.rdns import DomainRecord, ReverseDns
+
+__all__ = [
+    "AddressAllocator",
+    "AddressError",
+    "AllocationError",
+    "AsnRegistry",
+    "CidrBlock",
+    "ConfigError",
+    "ConnectionRefused",
+    "COUNTRY_WEIGHTS",
+    "DomainRecord",
+    "GeoRegistry",
+    "HostUnreachable",
+    "LatencySampler",
+    "honeypot_latency",
+    "real_device_latency",
+    "Packet",
+    "ProtocolError",
+    "RandomStream",
+    "ReproError",
+    "RESERVED_BLOCKS",
+    "ReverseDns",
+    "ScanError",
+    "TcpFlags",
+    "TransportProtocol",
+    "derive_seed",
+    "int_to_ip",
+    "ip_to_int",
+    "is_valid_ip",
+    "syn_probe",
+    "udp_probe",
+]

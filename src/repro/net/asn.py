@@ -1,0 +1,68 @@
+"""Synthetic Autonomous System registry.
+
+The telescope FlowTuple schema carries an ASN per source address.  We model
+AS assignment the same way as geolocation (:mod:`repro.net.geo`): the unicast
+space is partitioned into /14 blocks and each block is owned by one AS drawn
+from a heavy-tailed (Zipf-like) popularity distribution — a handful of large
+eyeball/hosting networks own much of the space, with a long tail of small
+networks, matching the qualitative shape of real BGP tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.prng import RandomStream
+
+__all__ = ["AsnRegistry"]
+
+#: A few well-known network names give the synthetic data a realistic look in
+#: reports; the remainder are generated "AS<number>" entries.
+_SEED_NETWORKS = [
+    "SYN-TELECOM-BACKBONE",
+    "EYEBALL-CABLE-NET",
+    "CLOUD-HOSTING-ALPHA",
+    "UNIV-RESEARCH-NET",
+    "MOBILE-CARRIER-EAST",
+    "REGIONAL-ISP-SOUTH",
+    "DATACENTER-BETA",
+    "IOT-MVNO-NET",
+]
+
+
+class AsnRegistry:
+    """Deterministic block-granular IPv4 → (ASN, AS name) mapping."""
+
+    def __init__(self, seed: int, n_asns: int = 4096, block_prefix: int = 14) -> None:
+        if n_asns < 1:
+            raise ValueError("need at least one AS")
+        self.block_prefix = block_prefix
+        self._shift = 32 - block_prefix
+        stream = RandomStream(seed, "asn.blocks")
+        # Zipf-ish weights: weight of rank r is 1/r.
+        asn_numbers = list(range(64496, 64496 + n_asns))
+        weights = [1.0 / rank for rank in range(1, n_asns + 1)]
+        n_blocks = 1 << block_prefix
+        self._blocks: List[int] = stream.choices(asn_numbers, weights, k=n_blocks)
+        self._names: Dict[int, str] = {}
+        for index, asn in enumerate(asn_numbers):
+            if index < len(_SEED_NETWORKS):
+                self._names[asn] = _SEED_NETWORKS[index]
+            else:
+                self._names[asn] = f"AS{asn}-NET"
+
+    def asn_of(self, address: int) -> int:
+        """AS number owning the block containing ``address``."""
+        return self._blocks[address >> self._shift]
+
+    def name_of(self, asn: int) -> str:
+        """Registered name of an AS (generated for tail ASes)."""
+        return self._names.get(asn, f"AS{asn}-NET")
+
+    def histogram(self, addresses) -> Dict[int, int]:
+        """Count addresses per ASN."""
+        counts: Dict[int, int] = {}
+        for address in addresses:
+            asn = self.asn_of(address)
+            counts[asn] = counts.get(asn, 0) + 1
+        return counts

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` networking substrate.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or CIDR block could not be parsed or is invalid."""
+
+
+class AllocationError(ReproError):
+    """The address allocator ran out of space in the requested pool."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message could not be encoded or decoded."""
+
+
+class ConnectionRefused(ReproError):
+    """A simulated TCP connection attempt was refused (no listener)."""
+
+
+class HostUnreachable(ReproError):
+    """The destination address is not present in the simulated Internet."""
+
+
+class ScanError(ReproError):
+    """A scanning campaign was misconfigured or failed."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A study or component configuration is invalid."""

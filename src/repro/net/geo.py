@@ -1,0 +1,105 @@
+"""Synthetic IP geolocation registry.
+
+The paper geolocates misconfigured devices with the ipgeolocation.io
+database (its Table 10 gives the country distribution).  We model geolocation
+as a deterministic partition of the unicast IPv4 space into /12 blocks, each
+assigned to a country with probability proportional to that country's share
+of misconfigured devices in Table 10.  Looking up an address is then an O(1)
+index into the partition.
+
+This preserves the property the analysis pipeline relies on: hosts allocated
+uniformly at random across the space land in countries with Table 10's
+proportions, and *all* hosts within one block agree on their country (real
+geolocation is likewise block-granular).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.prng import RandomStream
+
+__all__ = ["COUNTRY_WEIGHTS", "GeoRegistry"]
+
+#: (country, weight) — weights are the Table 10 misconfigured-device counts.
+#: "Other" aggregates the long tail exactly as the paper does.
+COUNTRY_WEIGHTS: List[Tuple[str, float]] = [
+    ("US", 494_881),
+    ("CN", 238_276),
+    ("RU", 166_793),
+    ("TW", 163_127),
+    ("DE", 142_966),
+    ("PH", 113_639),
+    ("GB", 106_308),
+    ("BR", 60_485),
+    ("IN", 58_653),
+    ("TH", 49_488),
+    ("HK", 45_822),
+    ("KR", 45_822),
+    ("IL", 38_491),
+    ("CA", 34_825),
+    ("OTHER", 23_828),
+    ("BD", 20_162),
+    ("FR", 16_496),
+    ("JP", 12_830),
+]
+
+#: Human-readable names used in report rendering, keyed by ISO-ish code.
+COUNTRY_NAMES: Dict[str, str] = {
+    "US": "USA",
+    "CN": "China",
+    "RU": "Russia",
+    "TW": "Taiwan",
+    "DE": "Germany",
+    "PH": "Philippines",
+    "GB": "UK",
+    "BR": "Brazil",
+    "IN": "India",
+    "TH": "Thailand",
+    "HK": "Hong Kong",
+    "KR": "South Korea",
+    "IL": "Israel",
+    "CA": "Canada",
+    "OTHER": "Other countries",
+    "BD": "Bangladesh",
+    "FR": "France",
+    "JP": "Japan",
+}
+
+
+class GeoRegistry:
+    """Deterministic block-granular IPv4 → country mapping.
+
+    Parameters
+    ----------
+    seed:
+        Study seed; two registries with the same seed agree on every lookup.
+    block_prefix:
+        Granularity of country blocks (default /12 → 4096 blocks).
+    """
+
+    def __init__(self, seed: int, block_prefix: int = 12) -> None:
+        if not 4 <= block_prefix <= 20:
+            raise ValueError("block_prefix should be between /4 and /20")
+        self.block_prefix = block_prefix
+        self._shift = 32 - block_prefix
+        n_blocks = 1 << block_prefix
+        stream = RandomStream(seed, "geo.blocks")
+        countries, weights = zip(*COUNTRY_WEIGHTS)
+        self._blocks: List[str] = stream.choices(countries, weights, k=n_blocks)
+
+    def country_of(self, address: int) -> str:
+        """Country code for an address (always defined, O(1))."""
+        return self._blocks[address >> self._shift]
+
+    def country_name(self, code: str) -> str:
+        """Human-readable country name for report rendering."""
+        return COUNTRY_NAMES.get(code, code)
+
+    def histogram(self, addresses) -> Dict[str, int]:
+        """Count addresses per country code."""
+        counts: Dict[str, int] = {}
+        for address in addresses:
+            code = self.country_of(address)
+            counts[code] = counts.get(code, 0) + 1
+        return counts

@@ -1,0 +1,74 @@
+"""Response-latency models for hosts on the simulated Internet.
+
+Honeypot fingerprinting does not stop at banners: "Some examples include
+banner-based, static-response, the use of low-interaction libraries, and
+response times" (§2.4), and U-Pot was explicitly evaluated by "trying to
+measure the response times from the honeypot".
+
+The physical intuition: a real embedded device answers from a slow SoC
+behind a DSL line — tens of milliseconds with heavy load-dependent jitter —
+while a low-interaction honeypot answers from an in-memory emulation on a
+datacenter VM: fast and eerily *consistent*.  We model each host with a
+:class:`LatencySampler` whose draws are deterministic per (seed, host), so
+timing measurements are reproducible observables like banners.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.prng import RandomStream
+
+__all__ = [
+    "LatencySampler",
+    "real_device_latency",
+    "honeypot_latency",
+]
+
+
+@dataclass(frozen=True)
+class LatencySampler:
+    """One host's response-time distribution.
+
+    ``base_ms`` is the median RTT; draws are lognormal around it with
+    ``sigma`` controlling jitter, plus a uniform load term up to
+    ``load_jitter_ms``.
+    """
+
+    base_ms: float
+    sigma: float
+    load_jitter_ms: float = 0.0
+
+    def sample(self, stream: RandomStream) -> float:
+        """One RTT measurement in milliseconds."""
+        lognormal = self.base_ms * math.exp(self.sigma * stream.gauss(0, 1))
+        load = stream.uniform(0, self.load_jitter_ms)
+        return max(0.05, lognormal + load)
+
+    def sample_many(self, stream: RandomStream, n: int) -> list:
+        """``n`` RTT measurements."""
+        return [self.sample(stream) for _ in range(n)]
+
+
+def real_device_latency(stream: RandomStream) -> LatencySampler:
+    """A per-device distribution for real embedded hardware.
+
+    Medians span ~8-120 ms (consumer uplinks, slow SoCs), with substantial
+    lognormal jitter and a load component.
+    """
+    base = stream.uniform(8.0, 120.0)
+    sigma = stream.uniform(0.25, 0.6)
+    load = stream.uniform(2.0, 25.0)
+    return LatencySampler(base_ms=base, sigma=sigma, load_jitter_ms=load)
+
+
+def honeypot_latency(stream: Optional[RandomStream] = None) -> LatencySampler:
+    """The emulator signature: sub-millisecond, nearly jitter-free.
+
+    Low-interaction honeypots answer from memory on datacenter machines;
+    only network noise moves the needle.
+    """
+    base = 0.6 if stream is None else stream.uniform(0.4, 1.2)
+    return LatencySampler(base_ms=base, sigma=0.05, load_jitter_ms=0.1)

@@ -1,0 +1,134 @@
+"""Packet-level models shared by the scanner, attacker and telescope layers.
+
+The simulation does not serialize full IP headers; it models the fields that
+the paper's pipeline actually consumes — the FlowTuple schema of the CAIDA
+telescope (src/dst, ports, protocol, TTL, TCP flags, lengths, packet counts)
+plus the scanner-visible artifacts (``is_masscan``-style fingerprints,
+spoofed sources).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.ipv4 import int_to_ip
+
+__all__ = ["TransportProtocol", "TcpFlags", "Packet", "syn_probe", "udp_probe"]
+
+
+class TransportProtocol(enum.IntEnum):
+    """IANA transport protocol numbers used in the study."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP header flags (subset relevant to scan classification)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+@dataclass
+class Packet:
+    """A single simulated packet.
+
+    ``payload`` carries the application-layer bytes when present; scan SYNs
+    and telescope backscatter usually carry none.
+    """
+
+    src: int
+    dst: int
+    src_port: int
+    dst_port: int
+    protocol: TransportProtocol
+    timestamp: float = 0.0
+    ttl: int = 64
+    flags: TcpFlags = TcpFlags(0)
+    length: int = 40
+    payload: bytes = b""
+    is_spoofed: bool = False
+    #: ZMap encodes the destination IP in the TCP sequence/ID fields;
+    #: Masscan uses a distinctive ip-id. The telescope tags both.
+    scanner_fingerprint: Optional[str] = None
+
+    @property
+    def src_text(self) -> str:
+        """Dotted-quad source address."""
+        return int_to_ip(self.src)
+
+    @property
+    def dst_text(self) -> str:
+        """Dotted-quad destination address."""
+        return int_to_ip(self.dst)
+
+    @property
+    def is_syn(self) -> bool:
+        """True for a pure SYN (connection attempt / SYN scan probe)."""
+        return self.flags == TcpFlags.SYN
+
+    def __repr__(self) -> str:  # compact for logs
+        proto = self.protocol.name
+        return (
+            f"Packet({self.src_text}:{self.src_port} -> "
+            f"{self.dst_text}:{self.dst_port} {proto} len={self.length})"
+        )
+
+
+def syn_probe(
+    src: int,
+    dst: int,
+    dst_port: int,
+    *,
+    timestamp: float = 0.0,
+    src_port: int = 54321,
+    ttl: int = 64,
+    fingerprint: Optional[str] = "zmap",
+) -> Packet:
+    """Build a TCP SYN scan probe as emitted by ZMap-style scanners."""
+    return Packet(
+        src=src,
+        dst=dst,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=TransportProtocol.TCP,
+        timestamp=timestamp,
+        ttl=ttl,
+        flags=TcpFlags.SYN,
+        length=44,
+        scanner_fingerprint=fingerprint,
+    )
+
+
+def udp_probe(
+    src: int,
+    dst: int,
+    dst_port: int,
+    payload: bytes,
+    *,
+    timestamp: float = 0.0,
+    src_port: int = 54321,
+    ttl: int = 64,
+    fingerprint: Optional[str] = "zmap",
+) -> Packet:
+    """Build a UDP application probe (e.g. CoAP GET /.well-known/core)."""
+    return Packet(
+        src=src,
+        dst=dst,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=TransportProtocol.UDP,
+        timestamp=timestamp,
+        ttl=ttl,
+        length=28 + len(payload),
+        payload=payload,
+        scanner_fingerprint=fingerprint,
+    )

@@ -1,0 +1,100 @@
+"""Reverse-DNS / domain registry for the simulated Internet.
+
+Three analyses in the paper depend on reverse lookups:
+
+* scanning services are recognised by their registered rDNS domains
+  (``*.shodan.io``, ``*.stretchoid.com``, ...) — Section 4.3.1;
+* infected non-IoT hosts are found by reverse-resolving attack sources to
+  registered domains serving web pages (797 domains, 427 with a web page,
+  346 flagged malicious) — Section 5.3;
+* the CoAP DoS case study observed duplicate DNS entries across two source
+  addresses (Section 5.1.3).
+
+The registry is a simple bidirectional store; population builders and actor
+models register entries, analyses query them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+__all__ = ["DomainRecord", "ReverseDns"]
+
+
+@dataclass
+class DomainRecord:
+    """A registered domain and what a web probe of it would find."""
+
+    domain: str
+    has_webpage: bool = False
+    page_kind: str = ""  # e.g. "wordpress-default", "apache-test", "fake-shop"
+    serves_malware: bool = False
+    addresses: Set[int] = field(default_factory=set)
+
+
+class ReverseDns:
+    """Bidirectional IP ↔ domain store with duplicate-entry support."""
+
+    def __init__(self) -> None:
+        self._by_address: Dict[int, str] = {}
+        self._records: Dict[str, DomainRecord] = {}
+
+    def register(
+        self,
+        address: int,
+        domain: str,
+        *,
+        has_webpage: bool = False,
+        page_kind: str = "",
+        serves_malware: bool = False,
+    ) -> DomainRecord:
+        """Bind ``address`` to ``domain`` (one domain may span addresses)."""
+        record = self._records.get(domain)
+        if record is None:
+            record = DomainRecord(
+                domain=domain,
+                has_webpage=has_webpage,
+                page_kind=page_kind,
+                serves_malware=serves_malware,
+            )
+            self._records[domain] = record
+        record.addresses.add(address)
+        record.has_webpage = record.has_webpage or has_webpage
+        record.serves_malware = record.serves_malware or serves_malware
+        if page_kind:
+            record.page_kind = page_kind
+        self._by_address[address] = domain
+        return record
+
+    def lookup(self, address: int) -> Optional[str]:
+        """PTR-style lookup; None when unregistered (the common case)."""
+        return self._by_address.get(address)
+
+    def record(self, domain: str) -> Optional[DomainRecord]:
+        """Full record for a registered domain."""
+        return self._records.get(domain)
+
+    def addresses_of(self, domain: str) -> Set[int]:
+        """All addresses a domain resolves to (empty set if unknown)."""
+        record = self._records.get(domain)
+        return set(record.addresses) if record else set()
+
+    def domains(self) -> List[str]:
+        """All registered domain names."""
+        return list(self._records)
+
+    def duplicate_entry_addresses(self) -> List[Set[int]]:
+        """Groups of addresses sharing one domain (size >= 2).
+
+        The paper used such duplicates as a hint of reflection/amplification
+        infrastructure (Section 5.1.3).
+        """
+        return [
+            set(record.addresses)
+            for record in self._records.values()
+            if len(record.addresses) >= 2
+        ]
+
+    def __len__(self) -> int:
+        return len(self._by_address)

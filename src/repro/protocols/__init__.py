@@ -1,0 +1,60 @@
+"""Protocol codecs and server engines for the twelve protocols in the study."""
+
+from repro.protocols.amqp import AmqpConfig, AmqpServer
+from repro.protocols.base import (
+    DEFAULT_PORTS,
+    ProtocolId,
+    ProtocolServer,
+    ServerReply,
+    Session,
+    TransportKind,
+    transport_of,
+)
+from repro.protocols.coap import CoapConfig, CoapMessage, CoapServer
+from repro.protocols.ftp import FtpConfig, FtpServer
+from repro.protocols.http import HttpConfig, HttpServer
+from repro.protocols.modbus import ModbusConfig, ModbusServer
+from repro.protocols.mqtt import ConnectReturnCode, MqttBroker, MqttConfig
+from repro.protocols.s7 import S7Config, S7Server
+from repro.protocols.smb import SmbConfig, SmbServer
+from repro.protocols.ssh import SshConfig, SshServer
+from repro.protocols.telnet import TelnetConfig, TelnetServer
+from repro.protocols.upnp import SsdpDeviceInfo, UpnpConfig, UpnpServer
+from repro.protocols.xmpp import XmppConfig, XmppServer
+
+__all__ = [
+    "AmqpConfig",
+    "AmqpServer",
+    "CoapConfig",
+    "CoapMessage",
+    "CoapServer",
+    "ConnectReturnCode",
+    "DEFAULT_PORTS",
+    "FtpConfig",
+    "FtpServer",
+    "HttpConfig",
+    "HttpServer",
+    "ModbusConfig",
+    "ModbusServer",
+    "MqttBroker",
+    "MqttConfig",
+    "ProtocolId",
+    "ProtocolServer",
+    "S7Config",
+    "S7Server",
+    "ServerReply",
+    "Session",
+    "SmbConfig",
+    "SmbServer",
+    "SsdpDeviceInfo",
+    "SshConfig",
+    "SshServer",
+    "TelnetConfig",
+    "TelnetServer",
+    "TransportKind",
+    "UpnpConfig",
+    "UpnpServer",
+    "XmppConfig",
+    "XmppServer",
+    "transport_of",
+]

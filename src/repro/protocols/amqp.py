@@ -1,0 +1,239 @@
+"""AMQP 0-9-1: protocol header, Connection.Start frame, and a queue engine.
+
+The scan opens TCP 5672 and sends the 8-byte protocol header
+``AMQP\\x00\\x00\\x09\\x01``; a broker answers with a ``Connection.Start``
+method frame whose *server-properties* table leaks product and version —
+the paper keys its "no auth" verdict off vulnerable RabbitMQ versions (Table
+2 lists 2.7.1 and 2.8.4) and off brokers offering the ``ANONYMOUS`` SASL
+mechanism.  Attack emulation needs publish/consume so the AMQP honeypot can
+observe queue poisoning and message floods (Section 5.1.2).
+
+Frames follow the 0-9-1 grammar: ``type(1) channel(2) size(4) payload END``
+with END = 0xCE.  The field-table encoding implements the subset used by the
+Connection.Start properties (long strings and field tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = [
+    "PROTOCOL_HEADER",
+    "FRAME_METHOD",
+    "FRAME_END",
+    "encode_frame",
+    "decode_frame",
+    "encode_connection_start",
+    "parse_connection_start",
+    "AmqpConfig",
+    "AmqpServer",
+]
+
+PROTOCOL_HEADER = b"AMQP\x00\x00\x09\x01"
+FRAME_METHOD = 1
+FRAME_END = 0xCE
+
+CLASS_CONNECTION = 10
+METHOD_START = 10
+METHOD_START_OK = 11
+METHOD_CLOSE = 50
+
+
+def _long_string(value: bytes) -> bytes:
+    return len(value).to_bytes(4, "big") + value
+
+
+def _field_table(table: Dict[str, str]) -> bytes:
+    body = bytearray()
+    for key, value in table.items():
+        key_raw = key.encode("utf-8")
+        value_raw = value.encode("utf-8")
+        body += bytes([len(key_raw)]) + key_raw + b"S" + _long_string(value_raw)
+    return len(body).to_bytes(4, "big") + bytes(body)
+
+
+def _parse_field_table(data: bytes, offset: int) -> Tuple[Dict[str, str], int]:
+    size = int.from_bytes(data[offset : offset + 4], "big")
+    end = offset + 4 + size
+    cursor = offset + 4
+    table: Dict[str, str] = {}
+    while cursor < end:
+        key_length = data[cursor]
+        cursor += 1
+        key = data[cursor : cursor + key_length].decode("utf-8", errors="replace")
+        cursor += key_length
+        kind = data[cursor : cursor + 1]
+        cursor += 1
+        if kind != b"S":
+            raise ProtocolError(f"unsupported field-table type {kind!r}")
+        value_length = int.from_bytes(data[cursor : cursor + 4], "big")
+        cursor += 4
+        table[key] = data[cursor : cursor + value_length].decode(
+            "utf-8", errors="replace"
+        )
+        cursor += value_length
+    return table, end
+
+
+def encode_frame(frame_type: int, channel: int, payload: bytes) -> bytes:
+    """Encode one AMQP frame."""
+    return (
+        bytes([frame_type])
+        + channel.to_bytes(2, "big")
+        + len(payload).to_bytes(4, "big")
+        + payload
+        + bytes([FRAME_END])
+    )
+
+
+def decode_frame(data: bytes) -> Tuple[int, int, bytes]:
+    """Decode one frame; returns (type, channel, payload)."""
+    if len(data) < 8:
+        raise ProtocolError("AMQP frame shorter than header")
+    frame_type = data[0]
+    channel = int.from_bytes(data[1:3], "big")
+    size = int.from_bytes(data[3:7], "big")
+    if len(data) < 7 + size + 1:
+        raise ProtocolError("truncated AMQP frame")
+    if data[7 + size] != FRAME_END:
+        raise ProtocolError("missing AMQP frame-end octet")
+    return frame_type, channel, data[7 : 7 + size]
+
+
+def encode_connection_start(
+    product: str, version: str, mechanisms: List[str], locales: str = "en_US"
+) -> bytes:
+    """Build the Connection.Start method frame a broker sends first."""
+    properties = _field_table(
+        {"product": product, "version": version, "platform": "Erlang/OTP"}
+    )
+    payload = (
+        CLASS_CONNECTION.to_bytes(2, "big")
+        + METHOD_START.to_bytes(2, "big")
+        + bytes([0, 9])  # version-major, version-minor
+        + properties
+        + _long_string(" ".join(mechanisms).encode("utf-8"))
+        + _long_string(locales.encode("utf-8"))
+    )
+    return encode_frame(FRAME_METHOD, 0, payload)
+
+
+def parse_connection_start(data: bytes) -> Tuple[Dict[str, str], List[str]]:
+    """Parse a Connection.Start frame → (server-properties, SASL mechanisms)."""
+    frame_type, _channel, payload = decode_frame(data)
+    if frame_type != FRAME_METHOD:
+        raise ProtocolError("expected a method frame")
+    class_id = int.from_bytes(payload[0:2], "big")
+    method_id = int.from_bytes(payload[2:4], "big")
+    if (class_id, method_id) != (CLASS_CONNECTION, METHOD_START):
+        raise ProtocolError("not Connection.Start")
+    offset = 6  # class + method + version bytes
+    properties, offset = _parse_field_table(payload, offset)
+    mech_length = int.from_bytes(payload[offset : offset + 4], "big")
+    offset += 4
+    mechanisms = (
+        payload[offset : offset + mech_length].decode("utf-8").split()
+    )
+    return properties, mechanisms
+
+
+@dataclass
+class AmqpConfig:
+    """Broker behaviour: product/version banner and auth posture."""
+
+    product: str = "RabbitMQ"
+    version: str = "3.8.9"
+    auth_required: bool = True
+    credentials: Dict[str, str] = field(default_factory=dict)
+    allow_anonymous: bool = False
+    queues: Dict[str, List[bytes]] = field(default_factory=dict)
+    #: Messages a queue holds before the broker degrades (flood DoS model).
+    flood_threshold: int = 10_000
+
+
+class AmqpServer(ProtocolServer):
+    """AMQP 0-9-1 endpoint: handshake plus a minimal queue engine."""
+
+    protocol = ProtocolId.AMQP
+
+    def __init__(self, config: AmqpConfig) -> None:
+        self.config = config
+        self.queues: Dict[str, List[bytes]] = {
+            name: list(messages) for name, messages in config.queues.items()
+        }
+        self.poison_events = 0
+        self.flooded = False
+
+    def banner(self) -> bytes:
+        return b""  # broker waits for the client protocol header
+
+    def mechanisms(self) -> List[str]:
+        mechanisms = ["PLAIN", "AMQPLAIN"]
+        if self.config.allow_anonymous or not self.config.auth_required:
+            mechanisms.append("ANONYMOUS")
+        return mechanisms
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        if session.state == "new":
+            if request[:4] != b"AMQP":
+                # Spec: a broker answers a bad header with its own header
+                # and closes.
+                return ServerReply(PROTOCOL_HEADER, close=True)
+            session.state = "started"
+            return ServerReply(
+                encode_connection_start(
+                    self.config.product, self.config.version, self.mechanisms()
+                )
+            )
+        if session.state == "started":
+            return self._start_ok(request, session)
+        if session.state == "open":
+            return self._operate(request)
+        return ServerReply(close=True)
+
+    def _start_ok(self, request: bytes, session: Session) -> ServerReply:
+        """Handle the client's Start-Ok (credentials as 'user\\0pass')."""
+        text = request.decode("utf-8", errors="replace")
+        if text.startswith("ANONYMOUS"):
+            if self.config.allow_anonymous or not self.config.auth_required:
+                session.state = "open"
+                return ServerReply(b"connection.tune-ok")
+            return ServerReply(b"ACCESS_REFUSED", close=True)
+        if text.startswith("PLAIN\x00"):
+            _, username, password = text.split("\x00", 2)
+            if not self.config.auth_required:
+                session.state = "open"
+                return ServerReply(b"connection.tune-ok")
+            if self.config.credentials.get(username) == password:
+                session.state = "open"
+                session.username = username
+                return ServerReply(b"connection.tune-ok")
+            return ServerReply(b"ACCESS_REFUSED", close=True)
+        return ServerReply(b"ACCESS_REFUSED", close=True)
+
+    def _operate(self, request: bytes) -> ServerReply:
+        """Simplified basic.publish/basic.get as 'verb queue payload' lines."""
+        parts = request.split(b" ", 2)
+        verb = parts[0]
+        if verb == b"publish" and len(parts) == 3:
+            queue = parts[1].decode("utf-8", errors="replace")
+            existing = self.queues.setdefault(queue, [])
+            if existing:
+                self.poison_events += 1
+            existing.append(parts[2])
+            if len(existing) > self.config.flood_threshold:
+                self.flooded = True
+            return ServerReply(b"basic.ack")
+        if verb == b"get" and len(parts) >= 2:
+            queue = parts[1].decode("utf-8", errors="replace")
+            messages = self.queues.get(queue, [])
+            if messages:
+                return ServerReply(b"basic.deliver " + messages[0])
+            return ServerReply(b"basic.get-empty")
+        if verb == b"close":
+            return ServerReply(b"connection.close-ok", close=True)
+        return ServerReply(b"channel.error", close=True)

@@ -1,0 +1,305 @@
+"""CoAP (RFC 7252) binary codec and resource server.
+
+The scan sends ``GET /.well-known/core`` over UDP to port 5683; an
+unauthenticated server answers with a CoRE link-format (RFC 6690) resource
+listing.  Table 3 keys misconfiguration off response markers — full access
+(``x1C``-style), connected sessions, admin access and resource disclosure —
+and the paper stresses that *any* Internet-exposed CoAP responder is an
+amplification reflector: the link-format response is much larger than the
+~21-byte query, which is exactly the amplification factor our DoS model uses.
+
+The codec implements the 4-byte fixed header (version/type/TKL, code, message
+ID), tokens, and the delta-encoded option list for Uri-Path — enough to
+round-trip every message the study exercises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = [
+    "CoapType",
+    "CoapCode",
+    "CoapMessage",
+    "encode_message",
+    "decode_message",
+    "well_known_core_request",
+    "CoapConfig",
+    "CoapServer",
+]
+
+COAP_VERSION = 1
+OPTION_URI_PATH = 11
+OPTION_CONTENT_FORMAT = 12
+CONTENT_FORMAT_LINK = 40  # application/link-format
+
+
+class CoapType(enum.IntEnum):
+    """Message types (header bits 2-3)."""
+
+    CONFIRMABLE = 0
+    NON_CONFIRMABLE = 1
+    ACKNOWLEDGEMENT = 2
+    RESET = 3
+
+
+class CoapCode(enum.IntEnum):
+    """Codes as class.detail packed into one byte (c << 5 | dd)."""
+
+    EMPTY = 0x00
+    GET = 0x01
+    POST = 0x02
+    PUT = 0x03
+    DELETE = 0x04
+    CREATED = 0x41  # 2.01
+    DELETED = 0x42  # 2.02
+    CONTENT = 0x45  # 2.05
+    CHANGED = 0x44  # 2.04
+    BAD_REQUEST = 0x80  # 4.00
+    UNAUTHORIZED = 0x81  # 4.01
+    FORBIDDEN = 0x83  # 4.03
+    NOT_FOUND = 0x84  # 4.04
+
+    @property
+    def dotted(self) -> str:
+        """Human form, e.g. ``2.05``."""
+        return f"{int(self) >> 5}.{int(self) & 0x1F:02d}"
+
+
+@dataclass
+class CoapMessage:
+    """A decoded CoAP message."""
+
+    mtype: CoapType
+    code: CoapCode
+    message_id: int
+    token: bytes = b""
+    uri_path: Tuple[str, ...] = ()
+    payload: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """Slash-joined Uri-Path."""
+        return "/" + "/".join(self.uri_path)
+
+
+def _encode_option(number_delta: int, value: bytes) -> bytes:
+    """Encode one option with delta/length nibbles plus extended bytes."""
+    out = bytearray()
+
+    def nibble(value_: int) -> Tuple[int, bytes]:
+        if value_ < 13:
+            return value_, b""
+        if value_ < 269:
+            return 13, bytes([value_ - 13])
+        return 14, (value_ - 269).to_bytes(2, "big")
+
+    delta_nibble, delta_ext = nibble(number_delta)
+    length_nibble, length_ext = nibble(len(value))
+    out.append((delta_nibble << 4) | length_nibble)
+    out += delta_ext + length_ext + value
+    return bytes(out)
+
+
+def encode_message(message: CoapMessage) -> bytes:
+    """Serialize a :class:`CoapMessage` to RFC 7252 bytes."""
+    if len(message.token) > 8:
+        raise ProtocolError("CoAP token longer than 8 bytes")
+    header = bytes(
+        [
+            (COAP_VERSION << 6) | (int(message.mtype) << 4) | len(message.token),
+            int(message.code),
+        ]
+    ) + message.message_id.to_bytes(2, "big")
+    body = bytearray(header + message.token)
+    previous = 0
+    for segment in message.uri_path:
+        body += _encode_option(OPTION_URI_PATH - previous, segment.encode("utf-8"))
+        previous = OPTION_URI_PATH
+    if message.payload:
+        body += b"\xff" + message.payload
+    return bytes(body)
+
+
+def decode_message(data: bytes) -> CoapMessage:
+    """Parse RFC 7252 bytes into a :class:`CoapMessage`."""
+    if len(data) < 4:
+        raise ProtocolError("CoAP message shorter than fixed header")
+    version = data[0] >> 6
+    if version != COAP_VERSION:
+        raise ProtocolError(f"unsupported CoAP version {version}")
+    mtype = CoapType((data[0] >> 4) & 0x03)
+    token_length = data[0] & 0x0F
+    if token_length > 8:
+        raise ProtocolError("invalid CoAP token length")
+    try:
+        code = CoapCode(data[1])
+    except ValueError as exc:
+        raise ProtocolError(f"unknown CoAP code {data[1]:#x}") from exc
+    message_id = int.from_bytes(data[2:4], "big")
+    offset = 4
+    token = data[offset : offset + token_length]
+    offset += token_length
+
+    uri_path: List[str] = []
+    option_number = 0
+    while offset < len(data):
+        if data[offset] == 0xFF:
+            offset += 1
+            break
+        byte = data[offset]
+        offset += 1
+        delta, length = byte >> 4, byte & 0x0F
+
+        def extend(nibble_value: int) -> int:
+            nonlocal offset
+            if nibble_value == 13:
+                value = data[offset] + 13
+                offset += 1
+                return value
+            if nibble_value == 14:
+                value = int.from_bytes(data[offset : offset + 2], "big") + 269
+                offset += 2
+                return value
+            if nibble_value == 15:
+                raise ProtocolError("reserved CoAP option nibble")
+            return nibble_value
+
+        delta = extend(delta)
+        length = extend(length)
+        option_number += delta
+        value = data[offset : offset + length]
+        offset += length
+        if option_number == OPTION_URI_PATH:
+            uri_path.append(value.decode("utf-8", errors="replace"))
+    payload = data[offset:]
+    return CoapMessage(
+        mtype=mtype,
+        code=code,
+        message_id=message_id,
+        token=token,
+        uri_path=tuple(uri_path),
+        payload=payload,
+    )
+
+
+def well_known_core_request(message_id: int = 0x1234) -> bytes:
+    """The scan probe: ``GET /.well-known/core`` (confirmable)."""
+    return encode_message(
+        CoapMessage(
+            mtype=CoapType.CONFIRMABLE,
+            code=CoapCode.GET,
+            message_id=message_id,
+            token=b"\xca\xfe",
+            uri_path=("." + "well-known", "core"),
+        )
+    )
+
+
+@dataclass
+class CoapConfig:
+    """Server behaviour: resources and access control.
+
+    ``access`` levels mirror Table 3:
+
+    * ``"full"`` — unauthenticated read *and write* on every resource;
+    * ``"admin"`` — additionally exposes ``/admin`` management resources;
+    * ``"read"`` — resource disclosure only (the well-known listing);
+    * ``"auth"`` — responds 4.01 Unauthorized to everything.
+    """
+
+    access: str = "read"
+    resources: Dict[str, bytes] = field(
+        default_factory=lambda: {"/sensors/temp": b"21.5"}
+    )
+    device_title: str = ""
+
+
+class CoapServer(ProtocolServer):
+    """CoAP resource server with RFC 6690 discovery."""
+
+    protocol = ProtocolId.COAP
+
+    def __init__(self, config: CoapConfig) -> None:
+        if config.access not in ("full", "admin", "read", "auth"):
+            raise ProtocolError(f"unknown CoAP access level {config.access!r}")
+        self.config = config
+        self.resources: Dict[str, bytes] = dict(config.resources)
+        if config.access == "admin":
+            self.resources.setdefault("/admin/config", b"220-Admin")
+        self.poison_events = 0
+
+    def banner(self) -> bytes:
+        return b""  # UDP: no unsolicited bytes
+
+    def link_format(self) -> bytes:
+        """RFC 6690 listing of all resources."""
+        entries = []
+        for path in sorted(self.resources):
+            attrs = ';rt="observe"' if path.startswith("/sensors") else ""
+            if self.config.device_title and path == sorted(self.resources)[0]:
+                attrs += f';title="{self.config.device_title}"'
+            entries.append(f"<{path}>{attrs}")
+        return ",".join(entries).encode("utf-8")
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        try:
+            message = decode_message(request)
+        except ProtocolError:
+            return ServerReply()  # UDP: garbage is silently dropped
+        reply_type = (
+            CoapType.ACKNOWLEDGEMENT
+            if message.mtype == CoapType.CONFIRMABLE
+            else CoapType.NON_CONFIRMABLE
+        )
+
+        def reply(code: CoapCode, payload: bytes = b"") -> ServerReply:
+            return ServerReply(
+                encode_message(
+                    CoapMessage(
+                        mtype=reply_type,
+                        code=code,
+                        message_id=message.message_id,
+                        token=message.token,
+                        payload=payload,
+                    )
+                )
+            )
+
+        if self.config.access == "auth":
+            return reply(CoapCode.UNAUTHORIZED)
+        path = message.path
+        if message.code == CoapCode.GET:
+            if path == "/.well-known/core":
+                # Devices that gateway CoAP to other services prefix their
+                # listing with session markers; Table 3 keys access level off
+                # exactly these: "x1C" = full access, "220-Admin" = admin.
+                if self.config.access == "full":
+                    return reply(CoapCode.CONTENT, b"x1C " + self.link_format())
+                if self.config.access == "admin":
+                    return reply(
+                        CoapCode.CONTENT, b"220-Admin " + self.link_format()
+                    )
+                return reply(CoapCode.CONTENT, self.link_format())
+            if path in self.resources:
+                return reply(CoapCode.CONTENT, self.resources[path])
+            return reply(CoapCode.NOT_FOUND)
+        if message.code in (CoapCode.PUT, CoapCode.POST):
+            if self.config.access in ("full", "admin"):
+                if path in self.resources:
+                    self.poison_events += 1
+                self.resources[path] = message.payload
+                return reply(CoapCode.CHANGED)
+            return reply(CoapCode.FORBIDDEN)
+        if message.code == CoapCode.DELETE:
+            if self.config.access in ("full", "admin") and path in self.resources:
+                del self.resources[path]
+                self.poison_events += 1
+                return reply(CoapCode.DELETED)
+            return reply(CoapCode.FORBIDDEN)
+        return reply(CoapCode.BAD_REQUEST)

@@ -1,0 +1,104 @@
+"""TR-069 / CWMP — the paper's first named future-work protocol.
+
+TR-069 (CPE WAN Management Protocol) lets ISPs manage routers and modems.
+Every CPE runs a *connection-request* HTTP endpoint, conventionally on TCP
+7547, which the ACS pokes to make the device call home.  That endpoint was
+the vector of the November 2016 Mirai variant that knocked ~900k Deutsche
+Telekom routers offline: devices exposed 7547 to the whole Internet, many
+without digest authentication.
+
+The scan surface mirrors that reality:
+
+* a GET to the connection-request path answers with the embedded HTTP
+  server banner (``RomPager/4.07`` and friends — themselves vulnerable,
+  cf. the "Misfortune Cookie" CVE-2014-9222);
+* a hardened CPE answers ``401`` with a ``WWW-Authenticate: Digest``
+  challenge;
+* a misconfigured CPE answers ``200 OK`` — anyone can trigger management
+  sessions ("no auth" in Table 2 terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+from repro.protocols.http import build_response, parse_request
+
+__all__ = ["CwmpConfig", "CwmpServer", "connection_request"]
+
+CONNECTION_REQUEST_PATH = "/tr069"
+
+
+def connection_request(path: str = CONNECTION_REQUEST_PATH) -> bytes:
+    """The ACS-style connection-request probe the scanner sends."""
+    return (
+        f"GET {path} HTTP/1.1\r\nHost: cpe\r\n"
+        "User-Agent: zgrab-cwmp\r\n\r\n"
+    ).encode("ascii")
+
+
+@dataclass
+class CwmpConfig:
+    """CPE behaviour: server banner and authentication posture."""
+
+    server_header: str = "RomPager/4.07 UPnP/1.0"
+    auth_required: bool = True
+    realm: str = "IGD"
+    connection_request_path: str = CONNECTION_REQUEST_PATH
+    #: Number of unauthenticated management sessions triggered (attack
+    #: observability for the honeypot side).
+    max_sessions: int = 64
+
+
+class CwmpServer(ProtocolServer):
+    """TR-069 connection-request endpoint on TCP 7547."""
+
+    protocol = ProtocolId.TR069
+
+    def __init__(self, config: CwmpConfig) -> None:
+        self.config = config
+        self.sessions_triggered = 0
+
+    def banner(self) -> bytes:
+        return b""
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        try:
+            parsed = parse_request(request)
+        except ProtocolError:
+            return ServerReply(
+                build_response(400, "Bad Request",
+                               server=self.config.server_header),
+                close=True,
+            )
+        if parsed.path != self.config.connection_request_path:
+            return ServerReply(
+                build_response(404, "Not Found",
+                               server=self.config.server_header),
+                close=True,
+            )
+        if self.config.auth_required:
+            authorization = parsed.headers.get("authorization", "")
+            if not authorization.startswith("Digest "):
+                return ServerReply(
+                    build_response(
+                        401, "Unauthorized",
+                        server=self.config.server_header,
+                        extra_headers={
+                            "WWW-Authenticate":
+                                f'Digest realm="{self.config.realm}", '
+                                'qop="auth", nonce="0011223344"',
+                        },
+                    ),
+                    close=True,
+                )
+        # Misconfigured (or authenticated): the CPE schedules an ACS
+        # session — the behaviour the Mirai TR-069 variant abused.
+        self.sessions_triggered += 1
+        return ServerReply(
+            build_response(200, "OK", b"", server=self.config.server_header),
+            close=True,
+        )

@@ -1,0 +1,116 @@
+"""DDS/RTPS — the paper's named industrial-IoT future-work protocol.
+
+DDS (Data Distribution Service) middleware rides the RTPS wire protocol;
+participant discovery (SPDP) runs over UDP on the well-known port
+7400 + 250·domain + 0/1 (domain 0 discovery = 7400).  An SPDP announcement
+answers with the participant's GUID prefix, vendor id and offered
+endpoints — exposed to the Internet this both discloses the industrial
+topology and, like CoAP/SSDP, works as a reflection primitive.
+
+We implement the RTPS header (magic "RTPS", protocol version, vendor id,
+GUID prefix) and a minimal SPDP DATA(p) submessage carrying the participant
+name; enough to round-trip the discovery exchange the scanner and attack
+layers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = [
+    "RTPS_MAGIC",
+    "encode_rtps_header",
+    "decode_rtps_header",
+    "spdp_probe",
+    "DdsConfig",
+    "DdsServer",
+]
+
+RTPS_MAGIC = b"RTPS"
+PROTOCOL_VERSION = (2, 3)
+SUBMESSAGE_DATA_P = 0x15
+#: Vendor ids from the OMG registry (a few well-known implementations).
+VENDOR_RTI = b"\x01\x01"
+VENDOR_OPENSPLICE = b"\x01\x02"
+VENDOR_EPROSIMA = b"\x01\x0f"
+
+
+def encode_rtps_header(guid_prefix: bytes, vendor: bytes = VENDOR_EPROSIMA) -> bytes:
+    """The 20-byte RTPS message header."""
+    if len(guid_prefix) != 12:
+        raise ProtocolError("RTPS GUID prefix must be 12 bytes")
+    if len(vendor) != 2:
+        raise ProtocolError("RTPS vendor id must be 2 bytes")
+    return RTPS_MAGIC + bytes(PROTOCOL_VERSION) + vendor + guid_prefix
+
+
+def decode_rtps_header(data: bytes) -> Tuple[Tuple[int, int], bytes, bytes]:
+    """Parse an RTPS header → (version, vendor id, GUID prefix)."""
+    if len(data) < 20 or data[:4] != RTPS_MAGIC:
+        raise ProtocolError("not an RTPS message")
+    version = (data[4], data[5])
+    vendor = data[6:8]
+    guid_prefix = data[8:20]
+    return version, vendor, guid_prefix
+
+
+def spdp_probe(guid_prefix: bytes = b"\x00" * 12) -> bytes:
+    """A participant-discovery probe (what the scanner emits)."""
+    header = encode_rtps_header(guid_prefix)
+    # An (empty) DATA(p) submessage asking for participant announcements.
+    submessage = bytes([SUBMESSAGE_DATA_P, 0x05, 0x00, 0x00])
+    return header + submessage
+
+
+@dataclass
+class DdsConfig:
+    """Participant behaviour: identity and discovery policy."""
+
+    guid_prefix: bytes = b"\x01\x0f\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd"
+    vendor: bytes = VENDOR_EPROSIMA
+    participant_name: str = "FactoryCell/ConveyorController"
+    #: Topics the participant publishes (disclosed in discovery).
+    topics: Tuple[str, ...] = ("rt/conveyor/speed", "rt/plc/setpoints")
+    #: Hardened deployments ignore unicast SPDP from unknown peers.
+    answer_unknown_peers: bool = True
+
+
+class DdsServer(ProtocolServer):
+    """RTPS participant answering SPDP discovery."""
+
+    protocol = ProtocolId.DDS
+
+    def __init__(self, config: DdsConfig) -> None:
+        self.config = config
+        self.discoveries_answered = 0
+
+    def banner(self) -> bytes:
+        return b""
+
+    def announcement(self) -> bytes:
+        """The SPDP DATA(p) reply disclosing the participant."""
+        header = encode_rtps_header(self.config.guid_prefix, self.config.vendor)
+        name = self.config.participant_name.encode("utf-8")
+        topics = ",".join(self.config.topics).encode("utf-8")
+        body = (
+            bytes([SUBMESSAGE_DATA_P, 0x05])
+            + len(name).to_bytes(2, "little") + name
+            + len(topics).to_bytes(2, "little") + topics
+        )
+        return header + body
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        try:
+            _version, _vendor, _prefix = decode_rtps_header(request)
+        except ProtocolError:
+            return ServerReply()  # UDP garbage: drop silently
+        if not self.config.answer_unknown_peers:
+            return ServerReply()
+        if len(request) > 20 and request[20] == SUBMESSAGE_DATA_P:
+            self.discoveries_answered += 1
+            return ServerReply(self.announcement())
+        return ServerReply()

@@ -1,0 +1,81 @@
+"""FTP (RFC 959) control-channel engine.
+
+Dionaea emulates FTP; the paper observed brute-force/dictionary attacks and
+*malware uploads after successful authentication* (Mozi and Lokibot binaries
+were deposited — Section 5.1.5).  Springall et al.'s "FTP: The forgotten
+cloud" — the work the paper calls closest to its own — studied exactly the
+anonymous-login misconfiguration, so the engine models ``USER anonymous``
+plus the credential flow and a ``STOR`` upload path that records dropped
+files for later VirusTotal-style inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = ["FtpConfig", "FtpServer"]
+
+
+@dataclass
+class FtpConfig:
+    """Server behaviour: greeting, anonymous policy, credentials."""
+
+    greeting: str = "220 (vsFTPd 3.0.3)"
+    allow_anonymous: bool = False
+    credentials: Dict[str, str] = field(default_factory=dict)
+    writable: bool = True
+
+
+class FtpServer(ProtocolServer):
+    """FTP control-channel state machine with upload capture."""
+
+    protocol = ProtocolId.FTP
+
+    def __init__(self, config: FtpConfig) -> None:
+        self.config = config
+        #: (filename, payload) pairs captured via STOR.
+        self.uploads: List[Tuple[str, bytes]] = []
+
+    def banner(self) -> bytes:
+        return (self.config.greeting + "\r\n").encode("ascii")
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        line = request.decode("utf-8", errors="replace").strip()
+        verb, _, argument = line.partition(" ")
+        verb = verb.upper()
+
+        if verb == "USER":
+            session.username = argument
+            if argument.lower() == "anonymous" and self.config.allow_anonymous:
+                session.state = "authenticated"
+                return ServerReply(b"230 Login successful.\r\n")
+            session.state = "await-password"
+            return ServerReply(b"331 Please specify the password.\r\n")
+        if verb == "PASS":
+            if session.state != "await-password":
+                return ServerReply(b"503 Login with USER first.\r\n")
+            if self.config.credentials.get(session.username) == argument:
+                session.state = "authenticated"
+                return ServerReply(b"230 Login successful.\r\n")
+            session.state = "new"
+            return ServerReply(b"530 Login incorrect.\r\n")
+        if verb == "QUIT":
+            return ServerReply(b"221 Goodbye.\r\n", close=True)
+        if session.state != "authenticated":
+            return ServerReply(b"530 Please login with USER and PASS.\r\n")
+        if verb == "STOR":
+            if not self.config.writable:
+                return ServerReply(b"550 Permission denied.\r\n")
+            # Data channel is abstracted: the payload rides after a newline.
+            filename, _, payload_text = argument.partition("\n")
+            self.uploads.append((filename.strip(), payload_text.encode("utf-8")))
+            return ServerReply(b"226 Transfer complete.\r\n")
+        if verb == "LIST":
+            names = " ".join(name for name, _ in self.uploads) or "(empty)"
+            return ServerReply(f"150 {names}\r\n226 Done.\r\n".encode("ascii"))
+        if verb == "SYST":
+            return ServerReply(b"215 UNIX Type: L8\r\n")
+        return ServerReply(b"502 Command not implemented.\r\n")

@@ -1,0 +1,159 @@
+"""HTTP/1.1: request parsing, device login pages, flood degradation.
+
+The honeypots serve static device frontends with a login form (Section
+5.1.6); the attack mix against them is web scraping, credential brute force,
+crypto-miner injection attempts and HTTP floods that crash the service.  The
+engine implements a minimal but real request parser (request line + headers +
+optional body) and a response builder, plus a request-rate crash model so the
+DoS experiments have an observable effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = ["HttpRequest", "parse_request", "build_response", "HttpConfig", "HttpServer"]
+
+
+@dataclass
+class HttpRequest:
+    """A parsed HTTP request."""
+
+    method: str
+    path: str
+    version: str
+    headers: Dict[str, str]
+    body: bytes = b""
+
+
+def parse_request(data: bytes) -> HttpRequest:
+    """Parse an HTTP/1.x request; raises :class:`ProtocolError` on garbage."""
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("utf-8", errors="replace").split("\r\n")
+    if not lines or " " not in lines[0]:
+        raise ProtocolError("malformed HTTP request line")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError("malformed HTTP request line")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+    return HttpRequest(
+        method=parts[0], path=parts[1], version=parts[2], headers=headers, body=body
+    )
+
+
+def build_response(
+    status: int,
+    reason: str,
+    body: bytes = b"",
+    *,
+    server: str = "lighttpd/1.4.54",
+    content_type: str = "text/html",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialize an HTTP/1.1 response."""
+    headers = {
+        "Server": server,
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    head = f"HTTP/1.1 {status} {reason}\r\n" + "".join(
+        f"{key}: {value}\r\n" for key, value in headers.items()
+    )
+    return head.encode("ascii") + b"\r\n" + body
+
+
+@dataclass
+class HttpConfig:
+    """Server behaviour: identity, pages, credentials, crash threshold."""
+
+    server_header: str = "lighttpd/1.4.54"
+    title: str = "Device Web Interface"
+    pages: Dict[str, bytes] = field(default_factory=dict)
+    credentials: Dict[str, str] = field(default_factory=dict)
+    #: Requests within one session after which the server "crashes"
+    #: (models the HTTP-flood DoS the honeypots suffered).
+    flood_threshold: int = 5_000
+
+
+class HttpServer(ProtocolServer):
+    """Device web frontend: login form, static pages, flood crash model."""
+
+    protocol = ProtocolId.HTTP
+
+    def __init__(self, config: HttpConfig) -> None:
+        self.config = config
+        self.crashed = False
+        self.request_count = 0
+        self.login_successes = 0
+        self.login_failures = 0
+
+    def banner(self) -> bytes:
+        return b""
+
+    def _login_page(self) -> bytes:
+        return (
+            f"<html><head><title>{self.config.title}</title></head>"
+            "<body><h1>Login</h1>"
+            "<form method='POST' action='/login'>"
+            "<input name='username'/><input name='password' type='password'/>"
+            "</form></body></html>"
+        ).encode("utf-8")
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        self.request_count += 1
+        if self.request_count > self.config.flood_threshold:
+            self.crashed = True
+        if self.crashed:
+            return ServerReply(close=True)  # no response: service down
+        try:
+            parsed = parse_request(request)
+        except ProtocolError:
+            return ServerReply(
+                build_response(400, "Bad Request", server=self.config.server_header),
+                close=True,
+            )
+        def respond(status, reason, body=b"", close=False):
+            return ServerReply(
+                build_response(
+                    status, reason, body, server=self.config.server_header
+                ),
+                close=close,
+            )
+        if parsed.method == "GET":
+            if parsed.path in ("/", "/index.html", "/login"):
+                return respond(200, "OK", self._login_page())
+            page = self.config.pages.get(parsed.path)
+            if page is not None:
+                return respond(200, "OK", page)
+            return respond(404, "Not Found", b"<html>404</html>")
+        if parsed.method == "POST" and parsed.path == "/login":
+            form = _parse_form(parsed.body)
+            username = form.get("username", "")
+            password = form.get("password", "")
+            if self.config.credentials.get(username) == password:
+                self.login_successes += 1
+                return respond(200, "OK", b"<html>Welcome</html>")
+            self.login_failures += 1
+            return respond(401, "Unauthorized", b"<html>Bad credentials</html>")
+        return respond(405, "Method Not Allowed")
+
+
+def _parse_form(body: bytes) -> Dict[str, str]:
+    """Parse a urlencoded form body (minimal: no percent decoding needed)."""
+    form: Dict[str, str] = {}
+    for pair in body.decode("utf-8", errors="replace").split("&"):
+        if "=" in pair:
+            key, _, value = pair.partition("=")
+            form[key] = value
+    return form

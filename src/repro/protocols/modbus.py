@@ -1,0 +1,166 @@
+"""Modbus/TCP: MBAP framing, function codes, and a register bank.
+
+Conpot emulates a Siemens PLC exposing Modbus; the paper saw "a large number
+of poisoning attacks where adversaries tried to access and change the values
+stored in the registers", targeting three of the nineteen function codes —
+Read Device Identification (0x2B), the holding registers (0x03/0x06/0x10)
+and Report Server/Slave ID (0x11) — with only ~10% of traffic using valid
+function codes (Section 5.1.4).
+
+The codec implements the 7-byte MBAP header (transaction id, protocol id 0,
+length, unit id) and the PDUs for those functions, plus proper exception
+responses (function | 0x80, exception code) for everything else — the
+invalid-function-code ratio is an observable the benchmarks reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = [
+    "FUNC_READ_HOLDING",
+    "FUNC_WRITE_SINGLE",
+    "FUNC_WRITE_MULTIPLE",
+    "FUNC_REPORT_SERVER_ID",
+    "FUNC_READ_DEVICE_ID",
+    "encode_request",
+    "decode_mbap",
+    "ModbusConfig",
+    "ModbusServer",
+]
+
+FUNC_READ_HOLDING = 0x03
+FUNC_WRITE_SINGLE = 0x06
+FUNC_WRITE_MULTIPLE = 0x10
+FUNC_REPORT_SERVER_ID = 0x11
+FUNC_READ_DEVICE_ID = 0x2B
+
+EXCEPTION_ILLEGAL_FUNCTION = 0x01
+EXCEPTION_ILLEGAL_ADDRESS = 0x02
+
+#: All function codes a real Modbus device may implement ("nineteen
+#: available" in the paper's phrasing for their Conpot profile).
+VALID_FUNCTION_CODES = frozenset(
+    [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x0B, 0x0C, 0x0F,
+     0x10, 0x11, 0x14, 0x15, 0x16, 0x17, 0x18, 0x2B]
+)
+
+
+def encode_request(
+    transaction_id: int, unit: int, function: int, data: bytes = b""
+) -> bytes:
+    """Encode an MBAP-framed request PDU."""
+    pdu = bytes([function]) + data
+    return (
+        transaction_id.to_bytes(2, "big")
+        + b"\x00\x00"  # protocol id 0 = Modbus
+        + (len(pdu) + 1).to_bytes(2, "big")
+        + bytes([unit])
+        + pdu
+    )
+
+
+def decode_mbap(frame: bytes) -> Tuple[int, int, int, bytes]:
+    """Split a frame into (transaction id, unit, function, data)."""
+    if len(frame) < 8:
+        raise ProtocolError("Modbus frame shorter than MBAP header + function")
+    if frame[2:4] != b"\x00\x00":
+        raise ProtocolError("not a Modbus protocol id")
+    transaction_id = int.from_bytes(frame[0:2], "big")
+    length = int.from_bytes(frame[4:6], "big")
+    if len(frame) < 6 + length:
+        raise ProtocolError("truncated Modbus frame")
+    unit = frame[6]
+    function = frame[7]
+    return transaction_id, unit, function, frame[8 : 6 + length]
+
+
+@dataclass
+class ModbusConfig:
+    """Device behaviour: identification strings and register bank size."""
+
+    vendor: str = "Siemens"
+    product_code: str = "SIMATIC S7-200"
+    revision: str = "V2.1"
+    register_count: int = 128
+
+
+class ModbusServer(ProtocolServer):
+    """Modbus/TCP slave with holding registers and device identification."""
+
+    protocol = ProtocolId.MODBUS
+
+    def __init__(self, config: ModbusConfig) -> None:
+        self.config = config
+        self.registers: List[int] = [0] * config.register_count
+        self.poison_events = 0
+        self.invalid_function_requests = 0
+        self.valid_function_requests = 0
+
+    def banner(self) -> bytes:
+        return b""
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        try:
+            transaction_id, unit, function, data = decode_mbap(request)
+        except ProtocolError:
+            return ServerReply(close=True)
+
+        def respond(pdu: bytes) -> ServerReply:
+            return ServerReply(
+                transaction_id.to_bytes(2, "big")
+                + b"\x00\x00"
+                + (len(pdu) + 1).to_bytes(2, "big")
+                + bytes([unit])
+                + pdu
+            )
+
+        def exception(code: int) -> ServerReply:
+            self.invalid_function_requests += 1
+            return respond(bytes([function | 0x80, code]))
+
+        if function not in VALID_FUNCTION_CODES:
+            return exception(EXCEPTION_ILLEGAL_FUNCTION)
+
+        if function == FUNC_READ_HOLDING and len(data) >= 4:
+            self.valid_function_requests += 1
+            address = int.from_bytes(data[0:2], "big")
+            count = int.from_bytes(data[2:4], "big")
+            if address + count > len(self.registers):
+                return exception(EXCEPTION_ILLEGAL_ADDRESS)
+            values = b"".join(
+                value.to_bytes(2, "big")
+                for value in self.registers[address : address + count]
+            )
+            return respond(bytes([function, len(values)]) + values)
+
+        if function == FUNC_WRITE_SINGLE and len(data) >= 4:
+            self.valid_function_requests += 1
+            address = int.from_bytes(data[0:2], "big")
+            value = int.from_bytes(data[2:4], "big")
+            if address >= len(self.registers):
+                return exception(EXCEPTION_ILLEGAL_ADDRESS)
+            if self.registers[address] != value:
+                self.poison_events += 1
+            self.registers[address] = value
+            return respond(bytes([function]) + data[:4])
+
+        if function == FUNC_REPORT_SERVER_ID:
+            self.valid_function_requests += 1
+            identity = f"{self.config.vendor} {self.config.product_code}".encode()
+            return respond(bytes([function, len(identity)]) + identity + b"\xff")
+
+        if function == FUNC_READ_DEVICE_ID:
+            self.valid_function_requests += 1
+            body = (
+                f"{self.config.vendor}\x00{self.config.product_code}\x00"
+                f"{self.config.revision}"
+            ).encode()
+            return respond(bytes([function, 0x0E, 0x01]) + body)
+
+        # Valid-but-unimplemented function for this device profile.
+        return exception(EXCEPTION_ILLEGAL_FUNCTION)

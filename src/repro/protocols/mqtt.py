@@ -1,0 +1,336 @@
+"""MQTT 3.1.1 wire codec and a minimal broker engine.
+
+Implements the packet types the study touches: CONNECT/CONNACK (the scan
+checks whether a broker answers CONNECT-without-credentials with return code
+0 — Table 2's ``MQTT Connection Code:0`` indicator), SUBSCRIBE/SUBACK and
+PUBLISH (attackers read ``$SYS`` topics and poison retained data — Section
+5.1.2), and PINGREQ/PINGRESP.
+
+The remaining-length field uses MQTT's base-128 varint; strings are UTF-8
+with a two-byte length prefix, both per the OASIS 3.1.1 specification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = [
+    "MqttPacketType",
+    "ConnectReturnCode",
+    "encode_remaining_length",
+    "decode_remaining_length",
+    "encode_connect",
+    "encode_connack",
+    "decode_connack",
+    "encode_publish",
+    "encode_subscribe",
+    "MqttConfig",
+    "MqttBroker",
+]
+
+
+class MqttPacketType(enum.IntEnum):
+    """MQTT control packet types (high nibble of byte 0)."""
+
+    CONNECT = 1
+    CONNACK = 2
+    PUBLISH = 3
+    PUBACK = 4
+    SUBSCRIBE = 8
+    SUBACK = 9
+    UNSUBSCRIBE = 10
+    UNSUBACK = 11
+    PINGREQ = 12
+    PINGRESP = 13
+    DISCONNECT = 14
+
+
+class ConnectReturnCode(enum.IntEnum):
+    """CONNACK return codes (3.1.1 §3.2.2.3)."""
+
+    ACCEPTED = 0
+    UNACCEPTABLE_PROTOCOL = 1
+    IDENTIFIER_REJECTED = 2
+    SERVER_UNAVAILABLE = 3
+    BAD_CREDENTIALS = 4
+    NOT_AUTHORIZED = 5
+
+
+def encode_remaining_length(value: int) -> bytes:
+    """Encode MQTT's base-128 variable length (max 4 bytes)."""
+    if value < 0 or value > 268_435_455:
+        raise ProtocolError(f"remaining length out of range: {value}")
+    out = bytearray()
+    while True:
+        digit = value % 128
+        value //= 128
+        if value:
+            out.append(digit | 0x80)
+        else:
+            out.append(digit)
+            return bytes(out)
+
+
+def decode_remaining_length(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode the varint at ``offset``; returns (value, bytes consumed)."""
+    multiplier = 1
+    value = 0
+    consumed = 0
+    while True:
+        if offset + consumed >= len(data):
+            raise ProtocolError("truncated remaining-length field")
+        byte = data[offset + consumed]
+        value += (byte & 0x7F) * multiplier
+        consumed += 1
+        if not byte & 0x80:
+            return value, consumed
+        multiplier *= 128
+        if consumed > 4:
+            raise ProtocolError("remaining-length varint too long")
+
+
+def _mqtt_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError("MQTT string too long")
+    return len(raw).to_bytes(2, "big") + raw
+
+
+def _read_string(data: bytes, offset: int) -> Tuple[str, int]:
+    if offset + 2 > len(data):
+        raise ProtocolError("truncated MQTT string length")
+    length = int.from_bytes(data[offset : offset + 2], "big")
+    end = offset + 2 + length
+    if end > len(data):
+        raise ProtocolError("truncated MQTT string body")
+    return data[offset + 2 : end].decode("utf-8", errors="replace"), end
+
+
+def encode_connect(
+    client_id: str,
+    username: Optional[str] = None,
+    password: Optional[str] = None,
+    keepalive: int = 60,
+) -> bytes:
+    """Encode a CONNECT packet (3.1.1, clean session)."""
+    flags = 0x02  # clean session
+    if username is not None:
+        flags |= 0x80
+    if password is not None:
+        flags |= 0x40
+    variable = (
+        _mqtt_string("MQTT")
+        + bytes([0x04, flags])
+        + keepalive.to_bytes(2, "big")
+        + _mqtt_string(client_id)
+    )
+    if username is not None:
+        variable += _mqtt_string(username)
+    if password is not None:
+        variable += _mqtt_string(password)
+    return bytes([MqttPacketType.CONNECT << 4]) + encode_remaining_length(
+        len(variable)
+    ) + variable
+
+
+def encode_connack(return_code: ConnectReturnCode, session_present: bool = False) -> bytes:
+    """Encode a CONNACK packet."""
+    return bytes(
+        [
+            MqttPacketType.CONNACK << 4,
+            2,
+            1 if session_present else 0,
+            int(return_code),
+        ]
+    )
+
+
+def decode_connack(data: bytes) -> ConnectReturnCode:
+    """Extract the return code from a CONNACK; raises on anything else."""
+    if len(data) < 4 or data[0] >> 4 != MqttPacketType.CONNACK:
+        raise ProtocolError("not a CONNACK packet")
+    return ConnectReturnCode(data[3])
+
+
+def encode_publish(
+    topic: str, payload: bytes, retain: bool = False,
+    qos: int = 0, packet_id: int = 0,
+) -> bytes:
+    """Encode a PUBLISH packet (QoS 0 or 1; QoS 1 carries a packet id)."""
+    if qos not in (0, 1):
+        raise ProtocolError("only QoS 0/1 are modelled")
+    header = (
+        (MqttPacketType.PUBLISH << 4)
+        | (qos << 1)
+        | (0x01 if retain else 0x00)
+    )
+    variable = _mqtt_string(topic)
+    if qos == 1:
+        variable += packet_id.to_bytes(2, "big")
+    variable += payload
+    return bytes([header]) + encode_remaining_length(len(variable)) + variable
+
+
+def encode_subscribe(packet_id: int, topics: List[str]) -> bytes:
+    """Encode a SUBSCRIBE packet (QoS 0 for every filter)."""
+    variable = packet_id.to_bytes(2, "big")
+    for topic in topics:
+        variable += _mqtt_string(topic) + b"\x00"
+    header = (MqttPacketType.SUBSCRIBE << 4) | 0x02
+    return bytes([header]) + encode_remaining_length(len(variable)) + variable
+
+
+@dataclass
+class MqttConfig:
+    """Broker behaviour: authentication and initial topic tree."""
+
+    auth_required: bool = True
+    credentials: Dict[str, str] = field(default_factory=dict)
+    #: retained messages keyed by topic; includes $SYS info topics.
+    topics: Dict[str, bytes] = field(default_factory=dict)
+    broker_product: str = "mosquitto"
+    broker_version: str = "1.6.9"
+
+
+class MqttBroker(ProtocolServer):
+    """A small MQTT 3.1.1 broker sufficient for scans and attack emulation."""
+
+    protocol = ProtocolId.MQTT
+
+    def __init__(self, config: MqttConfig) -> None:
+        self.config = config
+        self.topics: Dict[str, bytes] = dict(config.topics)
+        self.topics.setdefault(
+            "$SYS/broker/version",
+            f"{config.broker_product} version {config.broker_version}".encode(),
+        )
+        self.poison_events: int = 0  # writes observed to existing topics
+
+    def banner(self) -> bytes:
+        return b""  # MQTT servers speak only when spoken to
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        if not request:
+            return ServerReply()
+        packet_type = request[0] >> 4
+        if packet_type == MqttPacketType.CONNECT:
+            return self._connect(request, session)
+        if session.state != "connected":
+            return ServerReply(close=True)
+        if packet_type == MqttPacketType.PINGREQ:
+            return ServerReply(bytes([MqttPacketType.PINGRESP << 4, 0]))
+        if packet_type == MqttPacketType.SUBSCRIBE:
+            return self._subscribe(request)
+        if packet_type == MqttPacketType.PUBLISH:
+            return self._publish(request)
+        if packet_type == MqttPacketType.DISCONNECT:
+            return ServerReply(close=True)
+        return ServerReply()
+
+    # -- packet handlers --------------------------------------------------
+
+    def _connect(self, request: bytes, session: Session) -> ServerReply:
+        try:
+            _, var_offset = decode_remaining_length(request, 1)
+            offset = 1 + var_offset
+            _, offset = _read_string(request, offset)  # protocol name
+            flags = request[offset + 1]
+            offset += 4  # level + flags + keepalive
+            _, offset = _read_string(request, offset)  # client id
+            username = password = None
+            if flags & 0x80:
+                username, offset = _read_string(request, offset)
+            if flags & 0x40:
+                password, offset = _read_string(request, offset)
+        except (ProtocolError, IndexError):
+            return ServerReply(close=True)
+
+        if not self.config.auth_required:
+            session.state = "connected"
+            return ServerReply(encode_connack(ConnectReturnCode.ACCEPTED))
+        if username is None:
+            return ServerReply(
+                encode_connack(ConnectReturnCode.NOT_AUTHORIZED), close=True
+            )
+        if self.config.credentials.get(username) == password:
+            session.state = "connected"
+            session.username = username
+            return ServerReply(encode_connack(ConnectReturnCode.ACCEPTED))
+        return ServerReply(
+            encode_connack(ConnectReturnCode.BAD_CREDENTIALS), close=True
+        )
+
+    def _subscribe(self, request: bytes) -> ServerReply:
+        try:
+            _, var_offset = decode_remaining_length(request, 1)
+            offset = 1 + var_offset
+            packet_id = int.from_bytes(request[offset : offset + 2], "big")
+            offset += 2
+            granted = bytearray()
+            replies = bytearray()
+            while offset < len(request):
+                topic_filter, offset = _read_string(request, offset)
+                offset += 1  # requested QoS
+                granted.append(0x00)
+                for topic, payload in self._matching(topic_filter):
+                    replies += encode_publish(topic, payload, retain=True)
+        except (ProtocolError, IndexError):
+            return ServerReply(close=True)
+        suback = (
+            bytes([MqttPacketType.SUBACK << 4])
+            + encode_remaining_length(2 + len(granted))
+            + packet_id.to_bytes(2, "big")
+            + bytes(granted)
+        )
+        return ServerReply(suback + bytes(replies))
+
+    def _publish(self, request: bytes) -> ServerReply:
+        qos = (request[0] >> 1) & 0x03
+        try:
+            _, var_offset = decode_remaining_length(request, 1)
+            offset = 1 + var_offset
+            topic, offset = _read_string(request, offset)
+            packet_id = 0
+            if qos == 1:
+                packet_id = int.from_bytes(request[offset : offset + 2], "big")
+                offset += 2
+            payload = request[offset:]
+        except (ProtocolError, IndexError):
+            return ServerReply(close=True)
+        if topic in self.topics:
+            self.poison_events += 1  # overwriting existing (retained) data
+        self.topics[topic] = payload
+        if qos == 1:
+            puback = (
+                bytes([MqttPacketType.PUBACK << 4, 2])
+                + packet_id.to_bytes(2, "big")
+            )
+            return ServerReply(puback)
+        return ServerReply()
+
+    def _matching(self, topic_filter: str) -> List[Tuple[str, bytes]]:
+        """Retained messages matching a filter (supports ``#`` and ``+``)."""
+        results = []
+        for topic, payload in self.topics.items():
+            if _topic_matches(topic_filter, topic):
+                results.append((topic, payload))
+        return results
+
+
+def _topic_matches(topic_filter: str, topic: str) -> bool:
+    """MQTT topic-filter matching with ``+`` and trailing ``#`` wildcards."""
+    filter_parts = topic_filter.split("/")
+    topic_parts = topic.split("/")
+    for index, part in enumerate(filter_parts):
+        if part == "#":
+            return True
+        if index >= len(topic_parts):
+            return False
+        if part != "+" and part != topic_parts[index]:
+            return False
+    return len(filter_parts) == len(topic_parts)

@@ -1,0 +1,135 @@
+"""OPC UA — the paper's second named industrial-IoT future-work protocol.
+
+OPC UA's binary transport (TCP 4840) opens with a ``HEL``/``ACK`` message
+exchange, after which ``GetEndpoints`` returns the server's endpoint
+descriptions including their *security policies*.  The notorious
+misconfiguration is an endpoint offering
+``http://opcfoundation.org/UA/SecurityPolicy#None`` — unauthenticated,
+unencrypted access to an industrial server (repeatedly flagged by BSI and
+CISA advisories).
+
+Messages use the real framing: a 3-byte type (``HEL``/``ACK``/``MSG``/
+``ERR``), 1 reserved byte (``F``), and a 4-byte little-endian total length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = [
+    "SECURITY_POLICY_NONE",
+    "SECURITY_POLICY_BASIC256",
+    "encode_message",
+    "decode_message",
+    "hello",
+    "get_endpoints",
+    "OpcUaConfig",
+    "OpcUaServer",
+]
+
+SECURITY_POLICY_NONE = "http://opcfoundation.org/UA/SecurityPolicy#None"
+SECURITY_POLICY_BASIC256 = (
+    "http://opcfoundation.org/UA/SecurityPolicy#Basic256Sha256"
+)
+
+
+def encode_message(message_type: bytes, payload: bytes) -> bytes:
+    """Frame one OPC UA TCP message."""
+    if len(message_type) != 3:
+        raise ProtocolError("OPC UA message type must be 3 bytes")
+    total = 8 + len(payload)
+    return message_type + b"F" + total.to_bytes(4, "little") + payload
+
+
+def decode_message(data: bytes) -> Tuple[bytes, bytes]:
+    """Unframe → (message type, payload)."""
+    if len(data) < 8:
+        raise ProtocolError("OPC UA message shorter than header")
+    total = int.from_bytes(data[4:8], "little")
+    if total != len(data):
+        raise ProtocolError("OPC UA length mismatch")
+    return data[:3], data[8:]
+
+
+def hello(endpoint_url: str = "opc.tcp://scanner:4840") -> bytes:
+    """The client HEL message opening a connection."""
+    url = endpoint_url.encode("utf-8")
+    payload = (
+        (0).to_bytes(4, "little")          # protocol version
+        + (65_536).to_bytes(4, "little")   # receive buffer
+        + (65_536).to_bytes(4, "little")   # send buffer
+        + len(url).to_bytes(4, "little") + url
+    )
+    return encode_message(b"HEL", payload)
+
+
+def get_endpoints() -> bytes:
+    """A GetEndpoints service request (simplified body)."""
+    return encode_message(b"MSG", b"GetEndpointsRequest")
+
+
+@dataclass
+class OpcUaConfig:
+    """Server behaviour: product identity and offered security policies."""
+
+    product_name: str = "SIMATIC NET OPC UA Server"
+    endpoint_url: str = "opc.tcp://plc-gateway:4840"
+    security_policies: List[str] = field(
+        default_factory=lambda: [SECURITY_POLICY_BASIC256]
+    )
+
+    @property
+    def allows_anonymous(self) -> bool:
+        """True when an unsecured endpoint is offered."""
+        return SECURITY_POLICY_NONE in self.security_policies
+
+
+class OpcUaServer(ProtocolServer):
+    """OPC UA binary endpoint: HEL/ACK plus GetEndpoints."""
+
+    protocol = ProtocolId.OPCUA
+
+    def __init__(self, config: OpcUaConfig) -> None:
+        self.config = config
+        self.anonymous_sessions = 0
+
+    def banner(self) -> bytes:
+        return b""  # client speaks first
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        try:
+            message_type, payload = decode_message(request)
+        except ProtocolError:
+            return ServerReply(close=True)
+        if message_type == b"HEL":
+            session.state = "acknowledged"
+            ack = (
+                (0).to_bytes(4, "little")
+                + (65_536).to_bytes(4, "little") * 2
+            )
+            return ServerReply(encode_message(b"ACK", ack))
+        if session.state != "acknowledged":
+            return ServerReply(
+                encode_message(b"ERR", b"BadTcpMessageTypeInvalid"),
+                close=True,
+            )
+        if message_type == b"MSG" and b"GetEndpointsRequest" in payload:
+            body = "|".join(
+                f"{self.config.endpoint_url};{policy};{self.config.product_name}"
+                for policy in self.config.security_policies
+            ).encode("utf-8")
+            return ServerReply(encode_message(b"MSG", body))
+        if message_type == b"MSG" and b"CreateSessionRequest" in payload:
+            if self.config.allows_anonymous:
+                self.anonymous_sessions += 1
+                return ServerReply(encode_message(b"MSG", b"SessionCreated"))
+            return ServerReply(
+                encode_message(b"ERR", b"BadSecurityPolicyRejected"),
+                close=True,
+            )
+        return ServerReply(encode_message(b"ERR", b"BadServiceUnsupported"),
+                           close=True)

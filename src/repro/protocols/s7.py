@@ -1,0 +1,154 @@
+"""Siemens S7comm over COTP/TPKT, with the ICSA-16-299-01 DoS surface.
+
+Conpot's flagship profile is a Siemens S7 PLC on TCP 102.  S7comm rides
+ISO-COTP inside TPKT: a TPKT header (version 3), a COTP connection request /
+data TPDU, then the S7 PDU whose first byte after the 0x32 magic is the *PDU
+type* — 1 = Job request, 3 = Ack-Data.  The paper observed DoS attacks
+"flooding the requests with PDU type 1, that results in spawning of a job
+request in the device" — the ICSA-16-299-01 advisory.  The engine therefore
+counts outstanding job requests and trips a denial-of-service state when the
+job table overflows, which is the observable the Conpot attack analysis and
+Figure 4's S7 DoS share rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = [
+    "TPKT_VERSION",
+    "S7_MAGIC",
+    "PDU_TYPE_JOB",
+    "PDU_TYPE_ACK_DATA",
+    "encode_tpkt",
+    "decode_tpkt",
+    "cotp_connect_request",
+    "s7_job_request",
+    "S7Config",
+    "S7Server",
+]
+
+TPKT_VERSION = 3
+COTP_CONNECT_REQUEST = 0xE0
+COTP_CONNECT_CONFIRM = 0xD0
+COTP_DATA = 0xF0
+S7_MAGIC = 0x32
+PDU_TYPE_JOB = 0x01
+PDU_TYPE_ACK_DATA = 0x03
+
+#: Function codes within a Job PDU.
+S7_FUNC_SETUP_COMM = 0xF0
+S7_FUNC_READ_VAR = 0x04
+S7_FUNC_WRITE_VAR = 0x05
+
+
+def encode_tpkt(payload: bytes) -> bytes:
+    """Wrap a COTP payload in a TPKT header."""
+    length = len(payload) + 4
+    return bytes([TPKT_VERSION, 0]) + length.to_bytes(2, "big") + payload
+
+
+def decode_tpkt(frame: bytes) -> bytes:
+    """Strip and validate the TPKT header, returning the COTP payload."""
+    if len(frame) < 4 or frame[0] != TPKT_VERSION:
+        raise ProtocolError("not a TPKT frame")
+    length = int.from_bytes(frame[2:4], "big")
+    if len(frame) < length:
+        raise ProtocolError("truncated TPKT frame")
+    return frame[4:length]
+
+
+def cotp_connect_request() -> bytes:
+    """A COTP CR TPDU as S7 clients send on connect."""
+    cotp = bytes([6, COTP_CONNECT_REQUEST, 0x00, 0x00, 0x00, 0x01, 0x00])
+    return encode_tpkt(cotp)
+
+
+def s7_job_request(function: int = S7_FUNC_SETUP_COMM, payload: bytes = b"") -> bytes:
+    """An S7 Job PDU (the ICSA-16-299-01 flood uses these)."""
+    s7 = bytes([S7_MAGIC, PDU_TYPE_JOB, 0, 0, 0, 1]) + bytes([function]) + payload
+    cotp = bytes([2, COTP_DATA, 0x80]) + s7
+    return encode_tpkt(cotp)
+
+
+@dataclass
+class S7Config:
+    """PLC behaviour: identity and the job-table capacity."""
+
+    module: str = "6ES7 315-2EH14-0AB0"
+    firmware: str = "V3.2.6"
+    plant_id: str = "Mouser Factory"
+    #: Outstanding jobs before the CPU enters DoS (ICSA-16-299-01 model).
+    job_table_size: int = 1_000
+
+
+class S7Server(ProtocolServer):
+    """S7 PLC endpoint: COTP handshake, identification, job-flood DoS."""
+
+    protocol = ProtocolId.S7
+
+    def __init__(self, config: S7Config) -> None:
+        self.config = config
+        self.outstanding_jobs = 0
+        self.denial_of_service = False
+        self.read_requests = 0
+        self.write_requests = 0
+
+    def banner(self) -> bytes:
+        return b""
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        if self.denial_of_service:
+            return ServerReply(close=True)  # CPU stalled
+        try:
+            cotp = decode_tpkt(request)
+        except ProtocolError:
+            return ServerReply(close=True)
+        if len(cotp) < 2:
+            return ServerReply(close=True)
+        tpdu_type = cotp[1]
+        if tpdu_type == COTP_CONNECT_REQUEST:
+            session.state = "connected"
+            confirm = bytes([6, COTP_CONNECT_CONFIRM, 0x00, 0x00, 0x00, 0x01, 0x00])
+            return ServerReply(encode_tpkt(confirm))
+        if tpdu_type != COTP_DATA or session.state != "connected":
+            return ServerReply(close=True)
+        s7 = cotp[3:]
+        if len(s7) < 7 or s7[0] != S7_MAGIC:
+            return ServerReply(close=True)
+        pdu_type = s7[1]
+        if pdu_type == PDU_TYPE_JOB:
+            self.outstanding_jobs += 1
+            if self.outstanding_jobs > self.config.job_table_size:
+                self.denial_of_service = True
+                return ServerReply(close=True)
+            function = s7[6]
+            if function == S7_FUNC_SETUP_COMM:
+                ack = bytes([S7_MAGIC, PDU_TYPE_ACK_DATA, 0, 0, 0, 1, function, 0])
+                self.outstanding_jobs -= 1
+                return ServerReply(encode_tpkt(bytes([2, COTP_DATA, 0x80]) + ack))
+            if function == S7_FUNC_READ_VAR:
+                self.read_requests += 1
+                self.outstanding_jobs -= 1
+                identity = (
+                    f"{self.config.module};{self.config.firmware};"
+                    f"{self.config.plant_id}"
+                ).encode()
+                ack = (
+                    bytes([S7_MAGIC, PDU_TYPE_ACK_DATA, 0, 0, 0, 1, function, 0])
+                    + identity
+                )
+                return ServerReply(encode_tpkt(bytes([2, COTP_DATA, 0x80]) + ack))
+            if function == S7_FUNC_WRITE_VAR:
+                self.write_requests += 1
+                self.outstanding_jobs -= 1
+                ack = bytes([S7_MAGIC, PDU_TYPE_ACK_DATA, 0, 0, 0, 1, function, 0])
+                return ServerReply(encode_tpkt(bytes([2, COTP_DATA, 0x80]) + ack))
+            # Unknown function: job stays outstanding — this is the leak the
+            # flood exploits (the device spawns a job and never retires it).
+            return ServerReply(encode_tpkt(bytes([2, COTP_DATA, 0x80, 0x00])))
+        return ServerReply(close=True)

@@ -1,0 +1,110 @@
+"""SMB negotiation surface and the Eternal* exploit interaction model.
+
+HosTaGe and Dionaea emulate SMB; the paper found it "largely targeted with
+the EternalBlue, EternalRomance and EternalChampion exploits" delivering
+WannaCry variants (Section 5.1.5), and Figure 6 shows SMB honeypot sources
+with the highest VirusTotal malicious rate.
+
+We model the protocol at the dialect-negotiation level — which is the level
+those exploits key on: a server that still negotiates the ancient ``NT LM
+0.12`` (SMBv1) dialect and lacks the MS17-010 patch is exploitable.  The
+request/response bytes follow the SMBv1 header magic (``\\xffSMB``) so the
+engine distinguishes real negotiation from garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = ["SMB1_MAGIC", "SMB2_MAGIC", "SmbConfig", "SmbServer", "ETERNAL_EXPLOITS"]
+
+SMB1_MAGIC = b"\xffSMB"
+SMB2_MAGIC = b"\xfeSMB"
+SMB_COM_NEGOTIATE = 0x72
+SMB_COM_TRANSACTION2 = 0x32  # EternalBlue rides Trans2 secondary requests
+
+#: The exploit family names seen against the honeypots.
+ETERNAL_EXPLOITS = ("EternalBlue", "EternalRomance", "EternalChampion")
+
+
+@dataclass
+class SmbConfig:
+    """Server behaviour: dialect support and patch level."""
+
+    supports_smb1: bool = True
+    dialects: List[str] = field(default_factory=lambda: ["NT LM 0.12", "SMB 2.002"])
+    ms17_010_patched: bool = False
+    hostname: str = "WORKGROUP-PC"
+
+
+class SmbServer(ProtocolServer):
+    """SMB endpoint: negotiate, session setup, Trans2 exploit surface."""
+
+    protocol = ProtocolId.SMB
+
+    def __init__(self, config: SmbConfig) -> None:
+        self.config = config
+        self.exploit_attempts: List[str] = []
+        self.compromised = False
+
+    def banner(self) -> bytes:
+        return b""  # SMB clients speak first
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        if request[:4] == SMB2_MAGIC:
+            return ServerReply(SMB2_MAGIC + b"\x00negotiate-response SMB 2.002")
+        if request[:4] != SMB1_MAGIC:
+            return ServerReply(close=True)
+        if not self.config.supports_smb1:
+            # Modern servers refuse SMB1 entirely.
+            return ServerReply(close=True)
+        if len(request) < 5:
+            return ServerReply(close=True)
+        command = request[4]
+        if command == SMB_COM_NEGOTIATE:
+            dialect = (
+                "NT LM 0.12" if "NT LM 0.12" in self.config.dialects else "SMB 2.002"
+            )
+            session.state = "negotiated"
+            return ServerReply(
+                SMB1_MAGIC + b"\x72" + dialect.encode("ascii")
+                + b"\x00host=" + self.config.hostname.encode("ascii")
+            )
+        if command == SMB_COM_TRANSACTION2:
+            # An overlong Trans2 secondary = Eternal* exploitation attempt.
+            exploit_name = _classify_exploit(request)
+            if exploit_name:
+                self.exploit_attempts.append(exploit_name)
+                if not self.config.ms17_010_patched:
+                    self.compromised = True
+                    return ServerReply(SMB1_MAGIC + b"\x32\x00pwned")
+                return ServerReply(SMB1_MAGIC + b"\x32\xff STATUS_NOT_IMPLEMENTED")
+            return ServerReply(SMB1_MAGIC + b"\x32\x00ok")
+        return ServerReply(SMB1_MAGIC + b"\x00unsupported")
+
+
+def _classify_exploit(request: bytes) -> Optional[str]:
+    """Name the Eternal* variant from payload markers (our exploit encoder
+    stamps the family name; real classification uses byte signatures)."""
+    for name in ETERNAL_EXPLOITS:
+        if name.encode("ascii") in request:
+            return name
+    if len(request) > 1024:  # oversized Trans2: generic MS17-010 attempt
+        return "EternalBlue"
+    return None
+
+
+def eternal_exploit_request(family: str = "EternalBlue") -> bytes:
+    """Build an exploit attempt as the attack models emit it."""
+    if family not in ETERNAL_EXPLOITS:
+        raise ValueError(f"unknown exploit family {family!r}")
+    return SMB1_MAGIC + bytes([SMB_COM_TRANSACTION2]) + family.encode("ascii")
+
+
+def negotiate_request(dialects: Optional[List[str]] = None) -> bytes:
+    """Build an SMB1 negotiate request listing client dialects."""
+    listing = ",".join(dialects or ["NT LM 0.12"])
+    return SMB1_MAGIC + bytes([SMB_COM_NEGOTIATE]) + listing.encode("ascii")

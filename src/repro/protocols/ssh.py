@@ -1,0 +1,87 @@
+"""SSH transport-layer identification and password authentication model.
+
+SSH peers exchange identification strings (``SSH-2.0-<software>``) before the
+binary key exchange.  Honeypot fingerprinting leans on these banners —
+Table 6 detects Kippo by its frozen ``SSH-2.0-OpenSSH_5.1p1 Debian-5``
+string — and the brute-force attack model needs a credential check (Table 12
+lists the credentials attackers tried, e.g. ``zyfwp / PrOw!aN_fXp``, the
+hardcoded Zyxel backdoor account).
+
+We do not simulate the Diffie-Hellman exchange itself: the study only uses
+banner identity and authentication outcomes, so the engine models exactly
+that surface with an explicit ``userauth`` request/response step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = ["SshConfig", "SshServer", "parse_identification"]
+
+
+def parse_identification(banner: bytes) -> Optional[str]:
+    """Extract the software identifier from an SSH identification line."""
+    text = banner.decode("utf-8", errors="replace").strip()
+    if not text.startswith("SSH-"):
+        return None
+    parts = text.split("-", 2)
+    return parts[2] if len(parts) == 3 else None
+
+
+@dataclass
+class SshConfig:
+    """Server behaviour: banner, credential set, auth attempt budget."""
+
+    software: str = "OpenSSH_8.2p1 Ubuntu-4ubuntu0.2"
+    credentials: Dict[str, str] = field(default_factory=dict)
+    max_attempts: int = 6
+    #: Frozen full banner (honeypots); overrides software when set.
+    raw_banner: Optional[bytes] = None
+
+
+class SshServer(ProtocolServer):
+    """SSH endpoint: identification exchange plus password auth."""
+
+    protocol = ProtocolId.SSH
+
+    def __init__(self, config: SshConfig) -> None:
+        self.config = config
+
+    def banner(self) -> bytes:
+        if self.config.raw_banner is not None:
+            return self.config.raw_banner
+        return f"SSH-2.0-{self.config.software}\r\n".encode("ascii")
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        text = request.decode("utf-8", errors="replace").strip()
+        if session.state == "new":
+            if not text.startswith("SSH-"):
+                return ServerReply(b"Protocol mismatch.\r\n", close=True)
+            session.state = "kex"
+            return ServerReply(b"kexinit\r\n")
+        if session.state in ("kex", "auth"):
+            # 'userauth <user> <password>' models one password attempt.
+            if text.startswith("userauth "):
+                parts = text.split(" ", 2)
+                if len(parts) != 3:
+                    return ServerReply(b"userauth-failure\r\n")
+                _, username, password = parts
+                attempts = int(session.attributes.get("attempts", "0")) + 1
+                session.attributes["attempts"] = str(attempts)
+                if self.config.credentials.get(username) == password:
+                    session.state = "shell"
+                    session.username = username
+                    return ServerReply(b"userauth-success\r\n$ ")
+                if attempts >= self.config.max_attempts:
+                    return ServerReply(b"userauth-failure\r\n", close=True)
+                session.state = "auth"
+                return ServerReply(b"userauth-failure\r\n")
+            return ServerReply(b"kexinit\r\n")
+        if session.state == "shell":
+            if text in ("exit", "logout"):
+                return ServerReply(b"Bye\r\n", close=True)
+            return ServerReply(b"$ ")
+        return ServerReply(close=True)

@@ -1,0 +1,163 @@
+"""UPnP/SSDP: HTTP-over-UDP discovery and device description.
+
+SSDP (the discovery leg of UPnP) answers an ``M-SEARCH`` multicast/unicast
+request on UDP 1900 with an HTTP/1.1 ``200 OK`` whose headers disclose the
+device: ``USN`` (unique service name with UUID), ``SERVER`` (OS + UPnP stack,
+e.g. ``Ubuntu/lucid UPnP/1.0 MiniUPnPd/1.4``), ``LOCATION`` (URL of the XML
+device description), and ``ST`` (search target).  Table 3's UPnP row shows
+exactly such a response as a "resource disclosure" misconfiguration; any
+Internet-exposed SSDP responder is also a DDoS reflector (the answer is far
+larger than the query — Cloudflare's SSDP attack writeup is cited in the
+paper).
+
+The XML device description carries ``friendlyName``, ``manufacturer`` and
+``modelName`` — the fields Table 11 uses to identify device types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.protocols.base import ProtocolId, ProtocolServer, ServerReply, Session
+
+__all__ = [
+    "msearch_request",
+    "parse_headers",
+    "SsdpDeviceInfo",
+    "UpnpConfig",
+    "UpnpServer",
+]
+
+SSDP_MULTICAST = "239.255.255.250"
+SSDP_PORT = 1900
+
+
+def msearch_request(search_target: str = "upnp:rootdevice", mx: int = 2) -> bytes:
+    """Build an SSDP M-SEARCH discovery request (the scan probe)."""
+    lines = [
+        "M-SEARCH * HTTP/1.1",
+        f"HOST: {SSDP_MULTICAST}:{SSDP_PORT}",
+        'MAN: "ssdp:discover"',
+        f"MX: {mx}",
+        f"ST: {search_target}",
+        "",
+        "",
+    ]
+    return "\r\n".join(lines).encode("ascii")
+
+
+def parse_headers(response: bytes) -> Dict[str, str]:
+    """Parse HTTP-style headers from an SSDP datagram (case-insensitive keys,
+    upper-cased in the result as SSDP convention renders them)."""
+    headers: Dict[str, str] = {}
+    text = response.decode("utf-8", errors="replace")
+    for line in text.split("\r\n")[1:]:
+        if ":" in line:
+            key, _, value = line.partition(":")
+            headers[key.strip().upper()] = value.strip()
+    return headers
+
+
+@dataclass
+class SsdpDeviceInfo:
+    """Identity material disclosed by an SSDP endpoint."""
+
+    uuid: str = "5a34308c-1a2c-4546-ac5d-7663dd01dca1"
+    server: str = "Ubuntu/lucid UPnP/1.0 MiniUPnPd/1.4"
+    friendly_name: str = ""
+    manufacturer: str = ""
+    model_name: str = ""
+    model_description: str = ""
+    model_number: str = ""
+    location_host: str = "192.168.0.1"
+    location_port: int = 16537
+
+
+@dataclass
+class UpnpConfig:
+    """Server behaviour: identity + whether description XML is exposed."""
+
+    info: SsdpDeviceInfo = field(default_factory=SsdpDeviceInfo)
+    expose_description: bool = True
+    #: Silent endpoints do not answer unicast M-SEARCH (properly firewalled).
+    respond_to_search: bool = True
+
+
+class UpnpServer(ProtocolServer):
+    """SSDP responder plus the device-description fetch."""
+
+    protocol = ProtocolId.UPNP
+
+    def __init__(self, config: UpnpConfig) -> None:
+        self.config = config
+
+    def banner(self) -> bytes:
+        return b""
+
+    def search_response(self, search_target: str = "upnp:rootdevice") -> bytes:
+        """The 200 OK unicast reply to an M-SEARCH."""
+        info = self.config.info
+        location = (
+            f"http://{info.location_host}:{info.location_port}/rootDesc.xml"
+        )
+        lines = [
+            "HTTP/1.1 200 OK",
+            "CACHE-CONTROL: max-age=120",
+            f"ST: {search_target}",
+            f"USN: uuid:{info.uuid}::{search_target}",
+            "EXT:",
+            f"SERVER: {info.server}",
+        ]
+        # Disclosing LOCATION is the "resource disclosure" misconfiguration
+        # of Table 3 — hardened endpoints answer without it.
+        if self.config.expose_description:
+            lines.append(f"LOCATION: {location}")
+        lines.extend(["", ""])
+        return "\r\n".join(lines).encode("ascii")
+
+    def description_xml(self) -> bytes:
+        """UPnP device description (fetched from LOCATION)."""
+        info = self.config.info
+        fields = []
+        if info.friendly_name:
+            fields.append(f"<friendlyName>{info.friendly_name}</friendlyName>")
+        if info.manufacturer:
+            fields.append(f"<manufacturer>{info.manufacturer}</manufacturer>")
+        if info.model_name:
+            fields.append(f"<modelName>{info.model_name}</modelName>")
+        if info.model_description:
+            fields.append(
+                f"<modelDescription>{info.model_description}</modelDescription>"
+            )
+        if info.model_number:
+            fields.append(f"<modelNumber>{info.model_number}</modelNumber>")
+        body = (
+            "<?xml version=\"1.0\"?>"
+            "<root xmlns=\"urn:schemas-upnp-org:device-1-0\">"
+            "<device>" + "".join(fields) + f"<UDN>uuid:{info.uuid}</UDN>"
+            "</device></root>"
+        )
+        return body.encode("utf-8")
+
+    def handle(self, request: bytes, session: Session) -> ServerReply:
+        text = request.decode("utf-8", errors="replace")
+        first = text.split("\r\n", 1)[0]
+        if first.startswith("M-SEARCH"):
+            if not self.config.respond_to_search:
+                return ServerReply()
+            target = "upnp:rootdevice"
+            for line in text.split("\r\n"):
+                if line.upper().startswith("ST:"):
+                    target = line.partition(":")[2].strip()
+            return ServerReply(self.search_response(target))
+        if first.startswith("GET") and "rootDesc.xml" in first:
+            if not self.config.expose_description:
+                return ServerReply(b"HTTP/1.1 404 Not Found\r\n\r\n")
+            xml = self.description_xml()
+            head = (
+                b"HTTP/1.1 200 OK\r\nCONTENT-TYPE: text/xml\r\n"
+                + f"CONTENT-LENGTH: {len(xml)}\r\n\r\n".encode("ascii")
+            )
+            return ServerReply(head + xml)
+        return ServerReply()

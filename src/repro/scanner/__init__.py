@@ -1,0 +1,59 @@
+"""Scanning: ZMap sweep, ZGrab banners, probes, ZTag, blocklists, datasets."""
+
+from repro.scanner.blocklist import (
+    EU_COUNTRIES,
+    Blocklist,
+    CidrBlocklist,
+    CompositeBlocklist,
+    GeoBlocklist,
+    zmap_default_blocklist,
+)
+from repro.scanner.datasets import (
+    CENSYS_IOT_TYPES,
+    DatasetProvider,
+    censys,
+    project_sonar,
+    shodan,
+)
+from repro.scanner.probes import tcp_probe_payload, udp_probe_payload
+from repro.scanner.rate import ROUTABLE_IPV4_ADDRESSES, ScanRateModel, ScanRatePlan
+from repro.scanner.records import ScanDatabase, ScanRecord
+from repro.scanner.vantage import (
+    DEFAULT_VANTAGES,
+    DistributedScanner,
+    Vantage,
+    VantageComparison,
+)
+from repro.scanner.zmap import SCAN_START_DAY, InternetScanner, ScanConfig
+from repro.scanner.ztag import TagEngine, TaggedRecord, TagSignature
+
+__all__ = [
+    "Blocklist",
+    "CENSYS_IOT_TYPES",
+    "CidrBlocklist",
+    "CompositeBlocklist",
+    "DatasetProvider",
+    "DEFAULT_VANTAGES",
+    "DistributedScanner",
+    "Vantage",
+    "VantageComparison",
+    "EU_COUNTRIES",
+    "GeoBlocklist",
+    "InternetScanner",
+    "ROUTABLE_IPV4_ADDRESSES",
+    "ScanRateModel",
+    "ScanRatePlan",
+    "SCAN_START_DAY",
+    "ScanConfig",
+    "ScanDatabase",
+    "ScanRecord",
+    "TagEngine",
+    "TagSignature",
+    "TaggedRecord",
+    "censys",
+    "project_sonar",
+    "shodan",
+    "tcp_probe_payload",
+    "udp_probe_payload",
+    "zmap_default_blocklist",
+]

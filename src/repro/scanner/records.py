@@ -1,0 +1,132 @@
+"""Scan result records and the in-memory result database.
+
+The paper stores "IP address, port, response, banner" per responding host
+"in a database for further analysis" (Section 3.1.1).  :class:`ScanRecord`
+is that row; :class:`ScanDatabase` is the store with the query surface the
+analysis stages need (per protocol, per address, joins against other data).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.net.ipv4 import int_to_ip
+from repro.protocols.base import ProtocolId, TransportKind
+
+__all__ = ["ScanRecord", "ScanDatabase"]
+
+
+@dataclass
+class ScanRecord:
+    """One responding (address, port, protocol) observation."""
+
+    address: int
+    port: int
+    protocol: ProtocolId
+    transport: TransportKind
+    #: Unsolicited bytes at connect time (TCP banner grab).
+    banner: bytes = b""
+    #: Reply to the protocol-specific probe (handshake or UDP query).
+    response: bytes = b""
+    timestamp: float = 0.0
+    source: str = "zmap"
+
+    @property
+    def address_text(self) -> str:
+        """Dotted-quad address."""
+        return int_to_ip(self.address)
+
+    @property
+    def banner_text(self) -> str:
+        """Banner decoded leniently for signature matching."""
+        return self.banner.decode("utf-8", errors="backslashreplace")
+
+    @property
+    def response_text(self) -> str:
+        """Response decoded leniently for signature matching."""
+        return self.response.decode("utf-8", errors="backslashreplace")
+
+    def to_json(self) -> str:
+        """One JSONL row (bytes hex-encoded)."""
+        return json.dumps(
+            {
+                "ip": self.address_text,
+                "port": self.port,
+                "protocol": str(self.protocol),
+                "transport": self.transport.value,
+                "banner": self.banner.hex(),
+                "response": self.response.hex(),
+                "timestamp": self.timestamp,
+                "source": self.source,
+            }
+        )
+
+
+class ScanDatabase:
+    """Queryable store of scan records."""
+
+    def __init__(self, records: Optional[Iterable[ScanRecord]] = None) -> None:
+        self._records: List[ScanRecord] = list(records or [])
+
+    def add(self, record: ScanRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ScanRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ScanRecord]:
+        return iter(self._records)
+
+    def by_protocol(self, protocol: ProtocolId) -> List[ScanRecord]:
+        """All records for one protocol."""
+        return [record for record in self._records if record.protocol == protocol]
+
+    def unique_hosts(self, protocol: Optional[ProtocolId] = None) -> Set[int]:
+        """Distinct responding addresses (optionally per protocol)."""
+        return {
+            record.address
+            for record in self._records
+            if protocol is None or record.protocol == protocol
+        }
+
+    def counts_by_protocol(self) -> Dict[ProtocolId, int]:
+        """Unique responding hosts per protocol — Table 4's unit."""
+        counts: Dict[ProtocolId, Set[int]] = {}
+        for record in self._records:
+            counts.setdefault(record.protocol, set()).add(record.address)
+        return {protocol: len(addresses) for protocol, addresses in counts.items()}
+
+    def records_for(self, address: int) -> List[ScanRecord]:
+        """All records from one address."""
+        return [record for record in self._records if record.address == address]
+
+    def filter(self, predicate) -> "ScanDatabase":
+        """New database with records satisfying ``predicate``."""
+        return ScanDatabase(record for record in self._records if predicate(record))
+
+    def merge(self, other: "ScanDatabase") -> "ScanDatabase":
+        """Union of two databases, deduplicated on (address, port, protocol).
+
+        This is the paper's dataset-correlation step: ZMap results merged
+        with Project Sonar / Shodan rows.  The first occurrence wins, so
+        our own scan's richer banners are preferred over dataset rows.
+        """
+        seen = set()
+        merged: List[ScanRecord] = []
+        for record in list(self._records) + list(other._records):
+            key = (record.address, record.port, record.protocol)
+            if key not in seen:
+                seen.add(key)
+                merged.append(record)
+        return ScanDatabase(merged)
+
+    def to_jsonl(self) -> str:
+        """Serialize all records as JSONL."""
+        return "\n".join(record.to_json() for record in self._records)

@@ -1,0 +1,142 @@
+"""Geographically distributed scanning — the paper's last future-work item.
+
+"Based on the recent work of Wan et al. we see the need for combining
+geographically distributed scanners, especially for certain protocols
+(e.g. SSH)" (Section 6).  Wan et al. ("On the Origin of Scanning", IMC
+2020) showed that where a scan originates changes what it sees: networks
+apply geo-dependent filtering, so a single-vantage scan systematically
+undercounts.
+
+We model that with per-vantage *visibility*: each :class:`Vantage` has a
+location country and a filtering model — a host is invisible to a vantage
+with some probability depending on whether host and vantage share a region
+(operators preferentially drop far-away scan traffic, and some networks
+blanket-block known single origins).  :class:`DistributedScanner` runs the
+same campaign from every vantage and unions the results, quantifying the
+single-vs-multi-vantage gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.internet.fabric import SimulatedInternet
+from repro.net.geo import GeoRegistry
+from repro.net.ipv4 import ip_to_int
+from repro.net.prng import RandomStream
+from repro.protocols.base import ProtocolId
+from repro.scanner.records import ScanDatabase
+from repro.scanner.zmap import InternetScanner, ScanConfig
+
+__all__ = ["Vantage", "DEFAULT_VANTAGES", "DistributedScanner", "VantageComparison"]
+
+
+@dataclass(frozen=True)
+class Vantage:
+    """One scan origin."""
+
+    name: str
+    address: str
+    country: str
+    #: Probability a host outside this vantage's region filters its probes.
+    far_filter_rate: float = 0.12
+    #: Probability a same-region host filters its probes.
+    near_filter_rate: float = 0.02
+
+
+#: A default three-continent deployment (the shape Wan et al. used).
+DEFAULT_VANTAGES: List[Vantage] = [
+    Vantage("eu-aalborg", "130.225.0.99", "DE"),
+    Vantage("us-east", "23.128.10.5", "US"),
+    Vantage("ap-tokyo", "133.11.240.7", "JP"),
+]
+
+
+@dataclass
+class VantageComparison:
+    """Results of a multi-vantage campaign."""
+
+    per_vantage: Dict[str, ScanDatabase] = field(default_factory=dict)
+    union: Optional[ScanDatabase] = None
+
+    def hosts_seen(self, vantage_name: str) -> Set[int]:
+        """Hosts one vantage found."""
+        return self.per_vantage[vantage_name].unique_hosts()
+
+    def union_hosts(self) -> Set[int]:
+        """Hosts any vantage found."""
+        return self.union.unique_hosts() if self.union else set()
+
+    def exclusive_to(self, vantage_name: str) -> Set[int]:
+        """Hosts only this vantage saw — the Wan et al. effect."""
+        others: Set[int] = set()
+        for name, database in self.per_vantage.items():
+            if name != vantage_name:
+                others |= database.unique_hosts()
+        return self.hosts_seen(vantage_name) - others
+
+    def single_vantage_miss_rate(self, vantage_name: str) -> float:
+        """Fraction of the union a single vantage would have missed."""
+        union = self.union_hosts()
+        if not union:
+            return 0.0
+        return 1.0 - len(self.hosts_seen(vantage_name)) / len(union)
+
+
+class DistributedScanner:
+    """Runs one campaign from several vantages and unions the results."""
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        geo: GeoRegistry,
+        vantages: Optional[Sequence[Vantage]] = None,
+        *,
+        protocols: Optional[Tuple[ProtocolId, ...]] = None,
+        seed: int = 7,
+    ) -> None:
+        self.internet = internet
+        self.geo = geo
+        self.vantages = list(vantages or DEFAULT_VANTAGES)
+        self.protocols = protocols
+        self.seed = seed
+
+    def _visibility_filter(self, vantage: Vantage):
+        """Per-vantage host filter implementing geo-dependent dropping.
+
+        Deterministic per (seed, vantage, host): the same host always
+        filters the same vantage — that is what makes vantage diversity
+        *recover* hosts rather than just resample noise.
+        """
+        stream_name = f"vantage.{vantage.name}"
+
+        def visible(address: int) -> bool:
+            stream = RandomStream(self.seed, f"{stream_name}.{address}")
+            near = self.geo.country_of(address) == vantage.country
+            rate = vantage.near_filter_rate if near else vantage.far_filter_rate
+            return not stream.bernoulli(rate)
+
+        return visible
+
+    def run(self) -> VantageComparison:
+        """Scan from every vantage; returns per-vantage and union results."""
+        comparison = VantageComparison()
+        union: Optional[ScanDatabase] = None
+        for vantage in self.vantages:
+            config = ScanConfig(
+                scanner_address=vantage.address, seed=self.seed,
+            )
+            if self.protocols is not None:
+                config.protocols = self.protocols
+            scanner = InternetScanner(
+                self.internet, config,
+                host_filter=self._visibility_filter(vantage),
+            )
+            database = scanner.run_campaign()
+            for record in database:
+                record.source = f"zmap@{vantage.name}"
+            comparison.per_vantage[vantage.name] = database
+            union = database if union is None else union.merge(database)
+        comparison.union = union
+        return comparison

@@ -1,0 +1,35 @@
+"""Network telescope: FlowTuple codec and the /8 darknet generator."""
+
+from repro.telescope.flowtuple import (
+    FlowTupleRecord,
+    FlowTupleWriter,
+    decode_flowtuple,
+    encode_flowtuple,
+)
+from repro.telescope.rsdos import (
+    BackscatterGenerator,
+    RsdosAttack,
+    SpoofedDosAttack,
+    detect_rsdos,
+)
+from repro.telescope.telescope import (
+    PAPER_TELESCOPE,
+    NetworkTelescope,
+    TelescopeCapture,
+    TelescopeConfig,
+)
+
+__all__ = [
+    "BackscatterGenerator",
+    "FlowTupleRecord",
+    "RsdosAttack",
+    "SpoofedDosAttack",
+    "detect_rsdos",
+    "FlowTupleWriter",
+    "NetworkTelescope",
+    "PAPER_TELESCOPE",
+    "TelescopeCapture",
+    "TelescopeConfig",
+    "decode_flowtuple",
+    "encode_flowtuple",
+]

@@ -1,0 +1,129 @@
+"""FlowTuple records — the CAIDA STARDUST schema.
+
+"The FlowTuple data is captured hourly and consists of elementary
+information about the suspicious traffic ... source and destination IP
+address, ports, timestamp, protocol, TTL, TCP flags, IP packet length,
+packet count, country code, and ASN ... additional metadata like is_spoofed
+and is_masscan" (Section 3.4).  :class:`FlowTupleRecord` carries exactly
+those fields; the codec serialises to the CSV-ish line format the analysis
+tooling reads and writes, so the telescope pipeline round-trips through the
+same representation the real study parsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.net.errors import ProtocolError
+from repro.net.ipv4 import int_to_ip, ip_to_int
+from repro.net.packet import TransportProtocol
+
+__all__ = ["FlowTupleRecord", "encode_flowtuple", "decode_flowtuple", "FlowTupleWriter"]
+
+_FIELDS = [
+    "time", "src_ip", "dst_ip", "src_port", "dst_port", "protocol", "ttl",
+    "tcp_flags", "ip_len", "packet_cnt", "is_spoofed", "is_masscan",
+    "country", "asn",
+]
+
+
+@dataclass
+class FlowTupleRecord:
+    """One aggregated flow observed at the telescope."""
+
+    time: int              # epoch-ish seconds of the aggregation interval
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: TransportProtocol
+    ttl: int = 64
+    tcp_flags: int = 0x02  # SYN: scan probes dominate darknet traffic
+    ip_len: int = 44
+    packet_count: int = 1
+    is_spoofed: bool = False
+    is_masscan: bool = False
+    country: str = ""
+    asn: int = 0
+
+    @property
+    def src_text(self) -> str:
+        """Dotted-quad source."""
+        return int_to_ip(self.src_ip)
+
+    @property
+    def day(self) -> int:
+        """0-based day of the record within the capture month."""
+        return self.time // 86_400
+
+
+def encode_flowtuple(record: FlowTupleRecord) -> str:
+    """One CSV line in field order."""
+    return ",".join(
+        str(value)
+        for value in (
+            record.time,
+            record.src_text,
+            int_to_ip(record.dst_ip),
+            record.src_port,
+            record.dst_port,
+            int(record.protocol),
+            record.ttl,
+            record.tcp_flags,
+            record.ip_len,
+            record.packet_count,
+            int(record.is_spoofed),
+            int(record.is_masscan),
+            record.country,
+            record.asn,
+        )
+    )
+
+
+def decode_flowtuple(line: str) -> FlowTupleRecord:
+    """Parse one CSV line back into a record."""
+    parts = line.strip().split(",")
+    if len(parts) != len(_FIELDS):
+        raise ProtocolError(f"flowtuple line has {len(parts)} fields")
+    return FlowTupleRecord(
+        time=int(parts[0]),
+        src_ip=ip_to_int(parts[1]),
+        dst_ip=ip_to_int(parts[2]),
+        src_port=int(parts[3]),
+        dst_port=int(parts[4]),
+        protocol=TransportProtocol(int(parts[5])),
+        ttl=int(parts[6]),
+        tcp_flags=int(parts[7]),
+        ip_len=int(parts[8]),
+        packet_count=int(parts[9]),
+        is_spoofed=bool(int(parts[10])),
+        is_masscan=bool(int(parts[11])),
+        country=parts[12],
+        asn=int(parts[13]),
+    )
+
+
+class FlowTupleWriter:
+    """Accumulates records and renders the per-day file layout (the real
+    telescope stores 1,440 per-minute files a day; we aggregate to days)."""
+
+    def __init__(self) -> None:
+        self._by_day: dict = {}
+
+    def add(self, record: FlowTupleRecord) -> None:
+        """File one record under its capture day."""
+        self._by_day.setdefault(record.day, []).append(record)
+
+    def days(self) -> List[int]:
+        """Days with data, ascending."""
+        return sorted(self._by_day)
+
+    def lines_for_day(self, day: int) -> Iterator[str]:
+        """Encoded lines of one day's file."""
+        return (encode_flowtuple(record) for record in self._by_day.get(day, []))
+
+    def records(self) -> Iterator[FlowTupleRecord]:
+        """All records across days."""
+        for day in self.days():
+            yield from self._by_day[day]

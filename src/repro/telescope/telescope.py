@@ -1,0 +1,324 @@
+"""The /8 network telescope — Table 8's data source.
+
+The UCSD telescope watches a dark /8 (1/256th of IPv4); it sees the
+Internet's unsolicited "background radiation": bot scans, backscatter, and
+scanning services sweeping the whole space.  Our generator reproduces the
+April 2021 capture for the six IoT protocols:
+
+* the same actor population that attacks the honeypots (the registry's
+  ``visits_telescope`` sources) emits here too — this shared population is
+  what makes the §5.3 intersection analysis possible;
+* per-protocol *bulk background* sources top the unique-IP counts up to the
+  Table 8 shape (Telnet's 85.6 M unique sources dwarf everything else);
+* packet volumes are fitted to Table 8's daily averages.
+
+Scaling note (documented in EXPERIMENTS.md): source counts use two tiers —
+Telnet at 1:8192 and the rest at 1:64 — because Table 8 spans four orders
+of magnitude; packet counts use a single 1:16384 scale so the inter-protocol
+volume ratios stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.attacks.actors import ActorRegistry, SourceInfo
+from repro.core.scaling import scale_count
+from repro.core.taxonomy import TrafficClass
+from repro.net.asn import AsnRegistry
+from repro.net.errors import ConfigError
+from repro.net.geo import GeoRegistry
+from repro.net.ipv4 import AddressAllocator, CidrBlock
+from repro.net.packet import TransportProtocol
+from repro.net.prng import RandomStream
+from repro.protocols.base import DEFAULT_PORTS, ProtocolId, TransportKind, transport_of
+from repro.telescope.flowtuple import FlowTupleRecord, FlowTupleWriter
+from repro.telescope.rsdos import BackscatterGenerator, SpoofedDosAttack
+
+__all__ = [
+    "PAPER_TELESCOPE",
+    "TelescopeConfig",
+    "TelescopeCapture",
+    "NetworkTelescope",
+]
+
+#: Table 8: (daily average packet count, unique IPs, scanning-service IPs).
+PAPER_TELESCOPE: Dict[ProtocolId, Tuple[int, int, int]] = {
+    ProtocolId.TELNET: (2_554_585_920, 85_615_200, 4_142),
+    ProtocolId.UPNP: (131_794_560, 18_633, 2_279),
+    ProtocolId.COAP: (68_353_920, 2_342, 627),
+    ProtocolId.MQTT: (17_072_640, 5_572, 1_248),
+    ProtocolId.AMQP: (13_907_520, 7_132, 2_256),
+    ProtocolId.XMPP: (6_429_600, 4_255, 1_973),
+}
+
+
+@dataclass
+class TelescopeConfig:
+    """Telescope generation knobs."""
+
+    seed: int = 7
+    days: int = 30
+    dark_prefix: str = "44.0.0.0/8"
+    #: Source-count scale for Telnet (its 85.6 M unique IPs need a much
+    #: harsher scale than the small protocols).
+    telnet_source_scale: int = 8192
+    #: Source-count scale for the other five protocols.
+    source_scale: int = 64
+    #: Packet-count scale (uniform, so volume ratios are preserved exactly).
+    packet_scale: int = 16_384
+    #: Fraction of flows flagged as spoofed / emitted by Masscan.
+    spoofed_fraction: float = 0.03
+    masscan_fraction: float = 0.06
+    #: Randomly-spoofed DoS attacks whose backscatter the telescope sees
+    #: per day (the RSDoS metadata product).
+    rsdos_attacks_per_day: int = 3
+
+    def __post_init__(self) -> None:
+        if min(self.telnet_source_scale, self.source_scale, self.packet_scale) < 1:
+            raise ConfigError("telescope scales must be >= 1")
+
+
+@dataclass
+class TelescopeCapture:
+    """The month of captured FlowTuples plus per-protocol source ledgers."""
+
+    writer: FlowTupleWriter
+    sources_by_protocol: Dict[ProtocolId, Set[int]]
+    scanning_sources_by_protocol: Dict[ProtocolId, Set[int]]
+    packets_by_protocol: Dict[ProtocolId, int]
+    config: TelescopeConfig
+    #: Ground truth of the spoofed DoS attacks whose backscatter landed
+    #: here (for scoring the RSDoS detector; the detector never reads it).
+    rsdos_truth: List[SpoofedDosAttack] = field(default_factory=list)
+
+    def unique_sources(self, protocol: Optional[ProtocolId] = None) -> Set[int]:
+        """Distinct sources, optionally per protocol."""
+        if protocol is not None:
+            return set(self.sources_by_protocol.get(protocol, set()))
+        result: Set[int] = set()
+        for sources in self.sources_by_protocol.values():
+            result.update(sources)
+        return result
+
+    def daily_average(self, protocol: ProtocolId) -> float:
+        """Average packets/day for one protocol (scaled units)."""
+        return self.packets_by_protocol.get(protocol, 0) / max(1, self.config.days)
+
+    def daily_average_rescaled(self, protocol: ProtocolId) -> float:
+        """Average packets/day mapped back to paper units."""
+        return self.daily_average(protocol) * self.config.packet_scale
+
+    def suspicious_sources(self, protocol: ProtocolId) -> Set[int]:
+        """Sources not attributable to scanning services (Table 8's last
+        column)."""
+        return self.sources_by_protocol.get(protocol, set()) - (
+            self.scanning_sources_by_protocol.get(protocol, set())
+        )
+
+
+class NetworkTelescope:
+    """Generates the month of darknet traffic from the actor population."""
+
+    def __init__(
+        self,
+        registry: ActorRegistry,
+        geo: GeoRegistry,
+        asn: AsnRegistry,
+        config: Optional[TelescopeConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.geo = geo
+        self.asn = asn
+        self.config = config or TelescopeConfig()
+        self._stream = RandomStream(self.config.seed, "telescope")
+        self._dark = CidrBlock.parse(self.config.dark_prefix)
+        self._allocator = AddressAllocator(
+            [CidrBlock.parse("24.0.0.0/6"), CidrBlock.parse("150.0.0.0/6")],
+            self._stream.child("background"),
+        )
+
+    # -- generation ------------------------------------------------------
+
+    def capture_month(self) -> TelescopeCapture:
+        """Produce the full scaled April capture."""
+        writer = FlowTupleWriter()
+        sources_by_protocol: Dict[ProtocolId, Set[int]] = {}
+        scanning_by_protocol: Dict[ProtocolId, Set[int]] = {}
+        packets_by_protocol: Dict[ProtocolId, int] = {}
+
+        registry_scanners = [
+            info for info in self.registry
+            if info.visits_telescope
+            and info.traffic_class == TrafficClass.SCANNING_SERVICE
+        ]
+        registry_malicious = [
+            info for info in self.registry
+            if info.visits_telescope
+            and info.traffic_class != TrafficClass.SCANNING_SERVICE
+        ]
+        # Every registry source flagged as telescope-visiting MUST appear in
+        # the capture (a bot scanning the Internet cannot miss a /8) —
+        # partition them across protocols proportionally to source counts,
+        # with Telnet absorbing the bulk (bots scan Telnet first).
+        partition_stream = self._stream.child("partition")
+        protocol_list = list(PAPER_TELESCOPE)
+        protocol_weights = [
+            PAPER_TELESCOPE[protocol][1] for protocol in protocol_list
+        ]
+        malicious_by_protocol: Dict[ProtocolId, List[SourceInfo]] = {
+            protocol: [] for protocol in protocol_list
+        }
+        for info in registry_malicious:
+            protocol = partition_stream.choices(
+                protocol_list, protocol_weights, k=1
+            )[0]
+            malicious_by_protocol[protocol].append(info)
+
+        for protocol, (daily_avg, unique_ips, scanning_ips) in PAPER_TELESCOPE.items():
+            stream = self._stream.child(f"proto.{protocol}")
+            source_scale = (
+                self.config.telnet_source_scale
+                if protocol == ProtocolId.TELNET
+                else self.config.source_scale
+            )
+            n_sources = max(2, scale_count(unique_ips, source_scale))
+            # Scanning-service counts are small enough to share one scale.
+            n_scanning = min(
+                n_sources - 1,
+                max(1, scale_count(scanning_ips, self.config.source_scale)),
+            )
+
+            # Scanning-service sources come from the shared registry first.
+            scanning_sources: List[int] = []
+            pool = list(registry_scanners)
+            stream.shuffle(pool)
+            for info in pool[:n_scanning]:
+                scanning_sources.append(info.address)
+            while len(scanning_sources) < n_scanning:
+                scanning_sources.append(self._allocator.allocate())
+
+            # Suspicious sources: this protocol's registry attackers, all of
+            # them, then bulk background (the unattributed radiation that
+            # dominates the real telescope) up to the scaled unique count.
+            suspicious: List[int] = [
+                info.address for info in malicious_by_protocol[protocol]
+            ]
+            n_suspicious = max(len(suspicious), n_sources - n_scanning)
+            while len(suspicious) < n_suspicious:
+                background = self._allocator.allocate()
+                suspicious.append(background)
+                # Background radiation sources join the shared ledger as
+                # unknowns, so intel lookups (Figure 6's telescope side)
+                # see them with unknown-grade reputations.
+                self.registry.register(SourceInfo(
+                    address=background,
+                    traffic_class=TrafficClass.UNKNOWN,
+                    actor="darknet-background",
+                    visits_telescope=True,
+                ))
+
+            all_sources = scanning_sources + suspicious
+            sources_by_protocol[protocol] = set(all_sources)
+            scanning_by_protocol[protocol] = set(scanning_sources)
+
+            total_packets = scale_count(
+                daily_avg * self.config.days, self.config.packet_scale
+            )
+            packets_by_protocol[protocol] = self._emit_records(
+                writer, protocol, all_sources, set(scanning_sources),
+                total_packets, stream,
+            )
+
+        rsdos_truth = self._emit_rsdos_backscatter(writer)
+
+        return TelescopeCapture(
+            writer=writer,
+            sources_by_protocol=sources_by_protocol,
+            scanning_sources_by_protocol=scanning_by_protocol,
+            packets_by_protocol=packets_by_protocol,
+            config=self.config,
+            rsdos_truth=rsdos_truth,
+        )
+
+    def _emit_rsdos_backscatter(
+        self, writer: FlowTupleWriter
+    ) -> List[SpoofedDosAttack]:
+        """Generate the month's spoofed-DoS victims and their backscatter."""
+        stream = self._stream.child("rsdos")
+        generator = BackscatterGenerator(
+            self.config.dark_prefix, self.config.seed,
+            packet_scale=self.config.packet_scale,
+        )
+        attacks: List[SpoofedDosAttack] = []
+        for day in range(self.config.days):
+            for _ in range(self.config.rsdos_attacks_per_day):
+                attack = SpoofedDosAttack(
+                    victim=self._allocator.allocate(),
+                    victim_port=stream.choice([80, 443, 53, 22, 25565]),
+                    day=day,
+                    duration_seconds=stream.randint(120, 7_200),
+                    packets_per_second=stream.randint(20_000, 400_000),
+                )
+                generator.emit(attack, writer)
+                attacks.append(attack)
+        return attacks
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit_records(
+        self,
+        writer: FlowTupleWriter,
+        protocol: ProtocolId,
+        sources: List[int],
+        scanning_sources: Set[int],
+        total_packets: int,
+        stream: RandomStream,
+    ) -> int:
+        """Spread a packet budget over sources and days; returns packets."""
+        port = DEFAULT_PORTS[protocol][0]
+        transport = (
+            TransportProtocol.UDP
+            if transport_of(protocol) == TransportKind.UDP
+            else TransportProtocol.TCP
+        )
+        # Zipf-ish activity: a few heavy hitters, a long quiet tail.
+        weights = [1.0 / (rank + 1) for rank in range(len(sources))]
+        weight_sum = sum(weights) or 1.0
+        emitted = 0
+        for rank, source in enumerate(sources):
+            share = max(1, int(total_packets * weights[rank] / weight_sum))
+            recurring = source in scanning_sources or stream.bernoulli(0.3)
+            active_days = (
+                list(range(0, self.config.days, stream.randint(1, 3)))
+                if recurring
+                else sorted(
+                    stream.sample(
+                        range(self.config.days),
+                        min(self.config.days, stream.randint(1, 4)),
+                    )
+                )
+            )
+            per_day = max(1, share // max(1, len(active_days)))
+            for day in active_days:
+                dst = stream.randint(self._dark.first, self._dark.last)
+                record = FlowTupleRecord(
+                    time=day * 86_400 + stream.randint(0, 86_399),
+                    src_ip=source,
+                    dst_ip=dst,
+                    src_port=stream.randint(1024, 65_535),
+                    dst_port=port,
+                    protocol=transport,
+                    ttl=stream.randint(32, 255),
+                    tcp_flags=0x02 if transport == TransportProtocol.TCP else 0,
+                    ip_len=44 if transport == TransportProtocol.TCP else 60,
+                    packet_count=per_day,
+                    is_spoofed=stream.bernoulli(self.config.spoofed_fraction),
+                    is_masscan=stream.bernoulli(self.config.masscan_fraction),
+                    country=self.geo.country_of(source),
+                    asn=self.asn.asn_of(source),
+                )
+                writer.add(record)
+                emitted += per_day
+        return emitted

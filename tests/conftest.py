@@ -1,0 +1,33 @@
+"""Shared fixtures.
+
+Expensive artifacts (a built population, a full quick-scale study) are
+session-scoped: dozens of tests read them, none mutates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Study, StudyConfig
+from repro.honeypots import build_deployment
+from repro.internet import PopulationBuilder, PopulationConfig
+
+
+@pytest.fixture(scope="session")
+def population():
+    """A mid-scale world shared by read-only tests."""
+    return PopulationBuilder(
+        PopulationConfig(seed=7, scale=4096, honeypot_scale=128)
+    ).build()
+
+
+@pytest.fixture(scope="session")
+def quick_study():
+    """A full quick-scale study run once per session."""
+    return Study(StudyConfig.quick(seed=7)).run()
+
+
+@pytest.fixture()
+def deployment():
+    """A fresh honeypot lab (tests mutate logs, so function-scoped)."""
+    return build_deployment()

@@ -1,0 +1,199 @@
+"""Tests for the AMQP and XMPP protocol engines."""
+
+import pytest
+
+from repro.net.errors import ProtocolError
+from repro.protocols.amqp import (
+    PROTOCOL_HEADER,
+    AmqpConfig,
+    AmqpServer,
+    decode_frame,
+    encode_connection_start,
+    encode_frame,
+    parse_connection_start,
+)
+from repro.protocols.base import Session
+from repro.protocols.xmpp import (
+    XmppConfig,
+    XmppServer,
+    offers_starttls,
+    parse_mechanisms,
+    stream_features,
+)
+
+
+class TestAmqpFrames:
+    def test_frame_round_trip(self):
+        frame = encode_frame(1, 0, b"payload")
+        assert decode_frame(frame) == (1, 0, b"payload")
+
+    def test_truncated_frame(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x01\x00\x00")
+
+    def test_missing_frame_end(self):
+        frame = bytearray(encode_frame(1, 0, b"x"))
+        frame[-1] = 0x00
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_connection_start_round_trip(self):
+        frame = encode_connection_start("RabbitMQ", "2.7.1",
+                                        ["PLAIN", "ANONYMOUS"])
+        properties, mechanisms = parse_connection_start(frame)
+        assert properties["product"] == "RabbitMQ"
+        assert properties["version"] == "2.7.1"
+        assert mechanisms == ["PLAIN", "ANONYMOUS"]
+
+
+class TestAmqpServer:
+    def _handshake(self, server):
+        session = server.open_session()
+        reply = server.handle(PROTOCOL_HEADER, session)
+        return session, reply
+
+    def test_header_elicits_connection_start(self):
+        server = AmqpServer(AmqpConfig(product="RabbitMQ", version="3.8.9"))
+        _, reply = self._handshake(server)
+        properties, mechanisms = parse_connection_start(reply.data)
+        assert properties["version"] == "3.8.9"
+        assert "ANONYMOUS" not in mechanisms
+
+    def test_open_broker_advertises_anonymous(self):
+        server = AmqpServer(AmqpConfig(auth_required=False))
+        _, reply = self._handshake(server)
+        _, mechanisms = parse_connection_start(reply.data)
+        assert "ANONYMOUS" in mechanisms
+
+    def test_bad_header_answered_and_closed(self):
+        server = AmqpServer(AmqpConfig())
+        reply = server.handle(b"HTTP/1.1", server.open_session())
+        assert reply.data == PROTOCOL_HEADER
+        assert reply.close
+
+    def test_anonymous_login_on_open_broker(self):
+        server = AmqpServer(AmqpConfig(auth_required=False))
+        session, _ = self._handshake(server)
+        reply = server.handle(b"ANONYMOUS", session)
+        assert session.state == "open"
+        assert b"tune-ok" in reply.data
+
+    def test_anonymous_rejected_on_secured_broker(self):
+        server = AmqpServer(AmqpConfig(auth_required=True))
+        session, _ = self._handshake(server)
+        reply = server.handle(b"ANONYMOUS", session)
+        assert reply.close
+
+    def test_plain_credentials(self):
+        server = AmqpServer(
+            AmqpConfig(auth_required=True, credentials={"u": "p"})
+        )
+        session, _ = self._handshake(server)
+        reply = server.handle(b"PLAIN\x00u\x00p", session)
+        assert session.state == "open"
+        reply = server.handle(b"publish q1 hello", session)
+        assert reply.data == b"basic.ack"
+
+    def test_publish_to_existing_queue_is_poisoning(self):
+        server = AmqpServer(AmqpConfig(auth_required=False,
+                                       queues={"q": [b"seed"]}))
+        session, _ = self._handshake(server)
+        server.handle(b"ANONYMOUS", session)
+        server.handle(b"publish q evil", session)
+        assert server.poison_events == 1
+
+    def test_flood_threshold_marks_flooded(self):
+        server = AmqpServer(AmqpConfig(auth_required=False, flood_threshold=5))
+        session, _ = self._handshake(server)
+        server.handle(b"ANONYMOUS", session)
+        for index in range(7):
+            server.handle(b"publish q msg%d" % index, session)
+        assert server.flooded
+
+    def test_get_from_queue(self):
+        server = AmqpServer(AmqpConfig(auth_required=False,
+                                       queues={"q": [b"first"]}))
+        session, _ = self._handshake(server)
+        server.handle(b"ANONYMOUS", session)
+        reply = server.handle(b"get q", session)
+        assert b"first" in reply.data
+
+
+class TestXmppFeatures:
+    def test_features_parse(self):
+        xml = stream_features(["PLAIN", "ANONYMOUS"], starttls=False,
+                              tls_required=False)
+        assert parse_mechanisms(xml) == ["PLAIN", "ANONYMOUS"]
+        assert not offers_starttls(xml)
+
+    def test_starttls_advertised(self):
+        xml = stream_features(["SCRAM-SHA-1"], starttls=True, tls_required=True)
+        assert offers_starttls(xml)
+        assert "<required/>" in xml
+
+
+class TestXmppServer:
+    _OPEN = (b"<stream:stream to='x' xmlns='jabber:client' "
+             b"xmlns:stream='http://etherx.jabber.org/streams'>")
+
+    def _started(self, **config):
+        server = XmppServer(XmppConfig(**config))
+        session = server.open_session()
+        reply = server.handle(self._OPEN, session)
+        return server, session, reply
+
+    def test_stream_open_returns_features(self):
+        _, _, reply = self._started(mechanisms=["ANONYMOUS"], starttls=False,
+                                    tls_required=False)
+        assert "ANONYMOUS" in parse_mechanisms(reply.data.decode())
+
+    def test_non_stream_garbage_closes(self):
+        server = XmppServer(XmppConfig())
+        assert server.handle(b"GET / HTTP/1.1", server.open_session()).close
+
+    def test_anonymous_login(self):
+        server, session, _ = self._started(
+            mechanisms=["ANONYMOUS"], starttls=False, tls_required=False,
+            device_state={"light-1": "off"},
+        )
+        reply = server.handle(b"<auth mechanism='ANONYMOUS'></auth>", session)
+        assert b"<success" in reply.data
+        assert session.username == "anonymous"
+
+    def test_plain_login_wrong_password(self):
+        server, session, _ = self._started(
+            mechanisms=["PLAIN"], starttls=False, tls_required=False,
+            credentials={"hue": "bridge"},
+        )
+        reply = server.handle(
+            b"<auth mechanism='PLAIN'>\x00hue\x00wrong</auth>", session
+        )
+        assert b"<failure" in reply.data
+
+    def test_state_mutation_counts_poisoning(self):
+        server, session, _ = self._started(
+            mechanisms=["ANONYMOUS"], starttls=False, tls_required=False,
+            device_state={"light-1": "off"},
+        )
+        server.handle(b"<auth mechanism='ANONYMOUS'></auth>", session)
+        server.handle(b"<iq type='set'><set name='light-1' value='on'/></iq>",
+                      session)
+        assert server.poison_events == 1
+        assert server.state["light-1"] == "on"
+
+    def test_get_state(self):
+        server, session, _ = self._started(
+            mechanisms=["ANONYMOUS"], starttls=False, tls_required=False,
+            device_state={"light-1": "off"},
+        )
+        server.handle(b"<auth mechanism='ANONYMOUS'></auth>", session)
+        reply = server.handle(b"<iq type='get'><get name='light-1'/></iq>",
+                              session)
+        assert b"off" in reply.data
+
+    def test_scram_not_brute_forceable(self):
+        server, session, _ = self._started(
+            mechanisms=["SCRAM-SHA-1"], credentials={"u": "p"},
+        )
+        reply = server.handle(b"<auth mechanism='SCRAM-SHA-1'>x</auth>", session)
+        assert b"<failure" in reply.data

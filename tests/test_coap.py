@@ -1,0 +1,175 @@
+"""Tests for the CoAP codec and resource server."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import Session
+from repro.protocols.coap import (
+    CoapCode,
+    CoapConfig,
+    CoapMessage,
+    CoapServer,
+    CoapType,
+    decode_message,
+    encode_message,
+    well_known_core_request,
+)
+
+
+_path_segment = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=12,
+)
+
+
+class TestCodec:
+    def test_well_known_request_shape(self):
+        message = decode_message(well_known_core_request(0x1234))
+        assert message.code == CoapCode.GET
+        assert message.path == "/.well-known/core"
+        assert message.message_id == 0x1234
+
+    @given(
+        st.sampled_from(list(CoapType)),
+        st.sampled_from([CoapCode.GET, CoapCode.PUT, CoapCode.POST,
+                         CoapCode.DELETE, CoapCode.CONTENT]),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(max_size=8),
+        st.lists(_path_segment, max_size=4),
+        st.binary(max_size=64),
+    )
+    def test_round_trip(self, mtype, code, message_id, token, path, payload):
+        original = CoapMessage(
+            mtype=mtype, code=code, message_id=message_id, token=token,
+            uri_path=tuple(path), payload=payload,
+        )
+        decoded = decode_message(encode_message(original))
+        assert decoded.mtype == mtype
+        assert decoded.code == code
+        assert decoded.message_id == message_id
+        assert decoded.token == token
+        assert decoded.uri_path == tuple(path)
+        assert decoded.payload == payload
+
+    def test_long_uri_segment_extended_option(self):
+        # 13+ byte segment exercises the extended option-length nibble.
+        message = CoapMessage(
+            mtype=CoapType.CONFIRMABLE, code=CoapCode.GET, message_id=1,
+            uri_path=("a" * 40,),
+        )
+        assert decode_message(encode_message(message)).uri_path == ("a" * 40,)
+
+    def test_rejects_short_and_bad_version(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\x40\x01")
+        bad_version = bytes([0x80, 0x01, 0, 1])
+        with pytest.raises(ProtocolError):
+            decode_message(bad_version)
+
+    def test_token_too_long(self):
+        message = CoapMessage(
+            mtype=CoapType.CONFIRMABLE, code=CoapCode.GET, message_id=1,
+            token=b"123456789",
+        )
+        with pytest.raises(ProtocolError):
+            encode_message(message)
+
+    def test_dotted_code(self):
+        assert CoapCode.CONTENT.dotted == "2.05"
+        assert CoapCode.NOT_FOUND.dotted == "4.04"
+
+
+class TestServer:
+    def _query(self, server, request):
+        reply = server.handle(request, Session())
+        return decode_message(reply.data) if reply.data else None
+
+    def test_read_access_lists_resources(self):
+        server = CoapServer(CoapConfig(access="read",
+                                       resources={"/s/t": b"1"}))
+        response = self._query(server, well_known_core_request())
+        assert response.code == CoapCode.CONTENT
+        assert b"</s/t>" in response.payload
+        assert not response.payload.startswith(b"x1C")
+
+    def test_full_access_marker(self):
+        server = CoapServer(CoapConfig(access="full"))
+        response = self._query(server, well_known_core_request())
+        assert response.payload.startswith(b"x1C ")
+
+    def test_admin_access_marker_and_resource(self):
+        server = CoapServer(CoapConfig(access="admin"))
+        response = self._query(server, well_known_core_request())
+        assert response.payload.startswith(b"220-Admin ")
+        assert b"/admin/config" in response.payload
+
+    def test_auth_mode_refuses(self):
+        server = CoapServer(CoapConfig(access="auth"))
+        response = self._query(server, well_known_core_request())
+        assert response.code == CoapCode.UNAUTHORIZED
+
+    def test_get_resource_value(self):
+        server = CoapServer(CoapConfig(access="read",
+                                       resources={"/s/t": b"21.5"}))
+        request = encode_message(CoapMessage(
+            mtype=CoapType.CONFIRMABLE, code=CoapCode.GET, message_id=2,
+            uri_path=("s", "t"),
+        ))
+        assert self._query(server, request).payload == b"21.5"
+
+    def test_put_denied_in_read_mode(self):
+        server = CoapServer(CoapConfig(access="read",
+                                       resources={"/s/t": b"1"}))
+        request = encode_message(CoapMessage(
+            mtype=CoapType.CONFIRMABLE, code=CoapCode.PUT, message_id=3,
+            uri_path=("s", "t"), payload=b"999",
+        ))
+        assert self._query(server, request).code == CoapCode.FORBIDDEN
+        assert server.poison_events == 0
+
+    def test_put_overwrites_in_full_mode(self):
+        server = CoapServer(CoapConfig(access="full",
+                                       resources={"/s/t": b"1"}))
+        request = encode_message(CoapMessage(
+            mtype=CoapType.CONFIRMABLE, code=CoapCode.PUT, message_id=4,
+            uri_path=("s", "t"), payload=b"999",
+        ))
+        assert self._query(server, request).code == CoapCode.CHANGED
+        assert server.poison_events == 1
+        assert server.resources["/s/t"] == b"999"
+
+    def test_delete_in_full_mode(self):
+        server = CoapServer(CoapConfig(access="full",
+                                       resources={"/s/t": b"1"}))
+        request = encode_message(CoapMessage(
+            mtype=CoapType.CONFIRMABLE, code=CoapCode.DELETE, message_id=5,
+            uri_path=("s", "t"),
+        ))
+        assert self._query(server, request).code == CoapCode.DELETED
+        assert "/s/t" not in server.resources
+
+    def test_unknown_path_404(self):
+        server = CoapServer(CoapConfig(access="read"))
+        request = encode_message(CoapMessage(
+            mtype=CoapType.CONFIRMABLE, code=CoapCode.GET, message_id=6,
+            uri_path=("nope",),
+        ))
+        assert self._query(server, request).code == CoapCode.NOT_FOUND
+
+    def test_garbage_dropped_silently(self):
+        server = CoapServer(CoapConfig(access="read"))
+        reply = server.handle(b"\x00\x00", Session())
+        assert reply.data == b""
+
+    def test_non_confirmable_gets_non_confirmable_reply(self):
+        server = CoapServer(CoapConfig(access="read"))
+        request = encode_message(CoapMessage(
+            mtype=CoapType.NON_CONFIRMABLE, code=CoapCode.GET, message_id=7,
+            uri_path=(".well-known", "core"),
+        ))
+        assert self._query(server, request).mtype == CoapType.NON_CONFIRMABLE
+
+    def test_invalid_access_level_rejected(self):
+        with pytest.raises(ProtocolError):
+            CoapServer(CoapConfig(access="bogus"))

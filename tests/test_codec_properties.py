@@ -1,0 +1,156 @@
+"""Property-based tests on the protocol codecs (hypothesis).
+
+These complement the per-protocol unit tests with invariants that must hold
+for *arbitrary* inputs: round trips, idempotence, and robustness of every
+decoder against garbage (a scanner parsing Internet traffic must never
+crash on malformed bytes — it must either decode or raise ProtocolError).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.errors import ProtocolError
+from repro.protocols.amqp import (
+    decode_frame,
+    encode_connection_start,
+    encode_frame,
+    parse_connection_start,
+)
+from repro.protocols.modbus import decode_mbap, encode_request
+from repro.protocols.opcua import decode_message as opcua_decode
+from repro.protocols.opcua import encode_message as opcua_encode
+from repro.protocols.s7 import decode_tpkt, encode_tpkt
+from repro.protocols.telnet import negotiate, strip_iac
+from repro.protocols.upnp import parse_headers
+from repro.protocols.xmpp import parse_mechanisms, stream_features
+
+_ident = st.text(
+    alphabet=st.characters(min_codepoint=48, max_codepoint=122,
+                           blacklist_characters="<>&'\\"),
+    min_size=1, max_size=24,
+)
+
+
+class TestAmqpProperties:
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=65_535),
+           st.binary(max_size=512))
+    def test_frame_round_trip(self, frame_type, channel, payload):
+        encoded = encode_frame(frame_type, channel, payload)
+        assert decode_frame(encoded) == (frame_type, channel, payload)
+
+    @given(_ident, _ident, st.lists(st.sampled_from(
+        ["PLAIN", "AMQPLAIN", "ANONYMOUS", "EXTERNAL"]), min_size=1,
+        max_size=4, unique=True))
+    def test_connection_start_round_trip(self, product, version, mechanisms):
+        frame = encode_connection_start(product, version, mechanisms)
+        properties, parsed = parse_connection_start(frame)
+        assert properties["product"] == product
+        assert properties["version"] == version
+        assert parsed == mechanisms
+
+    @given(st.binary(max_size=64))
+    def test_decoder_never_crashes(self, garbage):
+        try:
+            decode_frame(garbage)
+        except ProtocolError:
+            pass  # the only acceptable failure mode
+
+
+class TestTelnetProperties:
+    @given(st.binary(max_size=256))
+    def test_strip_iac_idempotent_on_text(self, data):
+        # Filter IAC bytes out: pure text must pass through unchanged.
+        text = bytes(b for b in data if b != 0xFF)
+        assert strip_iac(text) == text
+
+    @given(st.lists(st.tuples(
+        st.sampled_from([0xFB, 0xFC, 0xFD, 0xFE]),
+        st.integers(min_value=0, max_value=254),
+    ), max_size=8), st.binary(max_size=64))
+    def test_strip_removes_all_negotiation(self, commands, tail):
+        text = bytes(b for b in tail if b != 0xFF)
+        assert strip_iac(negotiate(commands) + text) == text
+
+    @given(st.binary(max_size=256))
+    def test_strip_never_crashes_never_grows(self, data):
+        stripped = strip_iac(data)
+        assert len(stripped) <= len(data)
+
+
+class TestModbusProperties:
+    @given(st.integers(min_value=0, max_value=65_535),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255),
+           st.binary(max_size=64))
+    def test_mbap_round_trip(self, transaction, unit, function, data):
+        frame = encode_request(transaction, unit, function, data)
+        decoded = decode_mbap(frame)
+        assert decoded == (transaction, unit, function, data)
+
+    @given(st.binary(max_size=32))
+    def test_decoder_never_crashes(self, garbage):
+        try:
+            decode_mbap(garbage)
+        except ProtocolError:
+            pass
+
+
+class TestTpktProperties:
+    @given(st.binary(max_size=512))
+    def test_round_trip(self, payload):
+        assert decode_tpkt(encode_tpkt(payload)) == payload
+
+    @given(st.binary(max_size=32))
+    def test_decoder_never_crashes(self, garbage):
+        try:
+            decode_tpkt(garbage)
+        except ProtocolError:
+            pass
+
+
+class TestOpcUaProperties:
+    @given(st.sampled_from([b"HEL", b"ACK", b"MSG", b"ERR"]),
+           st.binary(max_size=512))
+    def test_round_trip(self, message_type, payload):
+        frame = opcua_encode(message_type, payload)
+        assert opcua_decode(frame) == (message_type, payload)
+
+    @given(st.binary(max_size=32))
+    def test_decoder_never_crashes(self, garbage):
+        try:
+            opcua_decode(garbage)
+        except ProtocolError:
+            pass
+
+
+class TestXmppProperties:
+    @given(st.lists(st.sampled_from(
+        ["PLAIN", "ANONYMOUS", "SCRAM-SHA-1", "EXTERNAL", "DIGEST-MD5"]),
+        max_size=5, unique=True),
+        st.booleans(), st.booleans())
+    def test_features_round_trip(self, mechanisms, starttls, required):
+        xml = stream_features(mechanisms, starttls, required)
+        assert parse_mechanisms(xml) == mechanisms
+
+
+class TestSsdpProperties:
+    @given(st.dictionaries(
+        st.text(alphabet=st.characters(min_codepoint=65, max_codepoint=90),
+                min_size=1, max_size=12),
+        st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                                       blacklist_characters=":"),
+                min_size=1, max_size=30),
+        max_size=8,
+    ))
+    def test_headers_round_trip(self, headers):
+        raw = "HTTP/1.1 200 OK\r\n" + "".join(
+            f"{key}: {value}\r\n" for key, value in headers.items()
+        ) + "\r\n"
+        parsed = parse_headers(raw.encode())
+        for key, value in headers.items():
+            assert parsed[key.upper()] == value
+
+    @given(st.binary(max_size=128))
+    def test_parser_never_crashes(self, garbage):
+        parse_headers(garbage)  # must not raise

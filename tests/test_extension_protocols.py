@@ -1,0 +1,247 @@
+"""Tests for the §6 future-work protocols: TR-069/CWMP, DDS/RTPS, OPC UA."""
+
+import pytest
+
+from repro.analysis.misconfig import classify_database, classify_record
+from repro.core.taxonomy import Misconfig
+from repro.internet.population import (
+    EXTENSION_EXPOSED,
+    EXTENSION_MISCONFIG_COUNTS,
+    PopulationBuilder,
+    PopulationConfig,
+)
+from repro.net.errors import ProtocolError
+from repro.protocols.base import (
+    DEFAULT_PORTS,
+    ProtocolId,
+    Session,
+    TransportKind,
+    transport_of,
+)
+from repro.protocols.cwmp import CwmpConfig, CwmpServer, connection_request
+from repro.protocols.dds import (
+    DdsConfig,
+    DdsServer,
+    decode_rtps_header,
+    encode_rtps_header,
+    spdp_probe,
+)
+from repro.protocols.opcua import (
+    SECURITY_POLICY_BASIC256,
+    SECURITY_POLICY_NONE,
+    OpcUaConfig,
+    OpcUaServer,
+    decode_message,
+    encode_message,
+    get_endpoints,
+    hello,
+)
+from repro.scanner.records import ScanRecord
+from repro.scanner.zmap import InternetScanner, ScanConfig
+
+
+class TestRegistration:
+    def test_ports(self):
+        assert DEFAULT_PORTS[ProtocolId.TR069] == (7547,)
+        assert DEFAULT_PORTS[ProtocolId.DDS] == (7400,)
+        assert DEFAULT_PORTS[ProtocolId.OPCUA] == (4840,)
+
+    def test_transports(self):
+        assert transport_of(ProtocolId.DDS) == TransportKind.UDP
+        assert transport_of(ProtocolId.TR069) == TransportKind.TCP
+        assert transport_of(ProtocolId.OPCUA) == TransportKind.TCP
+
+
+class TestCwmp:
+    def test_open_cpe_triggers_session(self):
+        server = CwmpServer(CwmpConfig(auth_required=False))
+        reply = server.handle(connection_request(), Session())
+        assert b"200 OK" in reply.data
+        assert server.sessions_triggered == 1
+
+    def test_hardened_cpe_challenges(self):
+        server = CwmpServer(CwmpConfig(auth_required=True))
+        reply = server.handle(connection_request(), Session())
+        assert b"401" in reply.data
+        assert b"WWW-Authenticate: Digest" in reply.data
+        assert server.sessions_triggered == 0
+
+    def test_digest_credentials_accepted(self):
+        server = CwmpServer(CwmpConfig(auth_required=True))
+        request = (
+            b"GET /tr069 HTTP/1.1\r\nHost: cpe\r\n"
+            b"Authorization: Digest username=acs\r\n\r\n"
+        )
+        reply = server.handle(request, Session())
+        assert b"200 OK" in reply.data
+
+    def test_wrong_path_404(self):
+        server = CwmpServer(CwmpConfig(auth_required=False))
+        reply = server.handle(b"GET /other HTTP/1.1\r\n\r\n", Session())
+        assert b"404" in reply.data
+
+    def test_rompager_banner_disclosed(self):
+        server = CwmpServer(CwmpConfig(auth_required=False,
+                                       server_header="RomPager/4.07 UPnP/1.0"))
+        reply = server.handle(connection_request(), Session())
+        assert b"RomPager/4.07" in reply.data
+
+    def test_classifier(self):
+        open_record = ScanRecord(
+            address=1, port=7547, protocol=ProtocolId.TR069,
+            transport=TransportKind.TCP,
+            response=b"HTTP/1.1 200 OK\r\nServer: RomPager/4.07\r\n\r\n",
+        )
+        hardened = ScanRecord(
+            address=2, port=7547, protocol=ProtocolId.TR069,
+            transport=TransportKind.TCP,
+            response=b"HTTP/1.1 401 Unauthorized\r\n"
+                     b"WWW-Authenticate: Digest realm=\"IGD\"\r\n\r\n",
+        )
+        assert classify_record(open_record) == Misconfig.TR069_NO_AUTH
+        assert classify_record(hardened) == Misconfig.NONE
+
+
+class TestDds:
+    def test_rtps_header_round_trip(self):
+        prefix = bytes(range(12))
+        header = encode_rtps_header(prefix)
+        version, vendor, decoded_prefix = decode_rtps_header(header)
+        assert version == (2, 3)
+        assert decoded_prefix == prefix
+
+    def test_header_validation(self):
+        with pytest.raises(ProtocolError):
+            encode_rtps_header(b"short")
+        with pytest.raises(ProtocolError):
+            decode_rtps_header(b"HTTP/1.1 200 OK")
+
+    def test_open_participant_answers_discovery(self):
+        server = DdsServer(DdsConfig(answer_unknown_peers=True,
+                                     participant_name="Cell/Conveyor"))
+        reply = server.handle(spdp_probe(), Session())
+        assert reply.data.startswith(b"RTPS")
+        assert b"Cell/Conveyor" in reply.data
+        assert server.discoveries_answered == 1
+
+    def test_hardened_participant_silent(self):
+        server = DdsServer(DdsConfig(answer_unknown_peers=False))
+        assert not server.handle(spdp_probe(), Session()).data
+
+    def test_garbage_dropped(self):
+        server = DdsServer(DdsConfig())
+        assert not server.handle(b"\x00" * 30, Session()).data
+
+    def test_topics_disclosed(self):
+        server = DdsServer(DdsConfig(topics=("rt/plc/setpoints",)))
+        reply = server.handle(spdp_probe(), Session())
+        assert b"rt/plc/setpoints" in reply.data
+
+    def test_classifier(self):
+        announcing = ScanRecord(
+            address=1, port=7400, protocol=ProtocolId.DDS,
+            transport=TransportKind.UDP,
+            response=DdsServer(DdsConfig()).announcement(),
+        )
+        assert classify_record(announcing) == Misconfig.DDS_OPEN_DISCOVERY
+
+
+class TestOpcUa:
+    def test_framing_round_trip(self):
+        frame = encode_message(b"MSG", b"payload")
+        assert decode_message(frame) == (b"MSG", b"payload")
+
+    def test_framing_validation(self):
+        with pytest.raises(ProtocolError):
+            encode_message(b"TOOLONG", b"")
+        with pytest.raises(ProtocolError):
+            decode_message(b"MSGF\x10\x00\x00\x00short")
+
+    def test_hello_ack(self):
+        server = OpcUaServer(OpcUaConfig())
+        session = server.open_session()
+        reply = server.handle(hello(), session)
+        assert reply.data[:3] == b"ACK"
+        assert session.state == "acknowledged"
+
+    def test_get_endpoints_discloses_policies(self):
+        server = OpcUaServer(OpcUaConfig(
+            security_policies=[SECURITY_POLICY_NONE, SECURITY_POLICY_BASIC256],
+        ))
+        session = server.open_session()
+        server.handle(hello(), session)
+        reply = server.handle(get_endpoints(), session)
+        assert b"SecurityPolicy#None" in reply.data
+        assert b"Basic256" in reply.data
+
+    def test_message_before_hello_rejected(self):
+        server = OpcUaServer(OpcUaConfig())
+        reply = server.handle(get_endpoints(), server.open_session())
+        assert reply.data[:3] == b"ERR"
+
+    def test_anonymous_session_only_on_none_policy(self):
+        open_server = OpcUaServer(OpcUaConfig(
+            security_policies=[SECURITY_POLICY_NONE],
+        ))
+        session = open_server.open_session()
+        open_server.handle(hello(), session)
+        reply = open_server.handle(
+            encode_message(b"MSG", b"CreateSessionRequest"), session
+        )
+        assert b"SessionCreated" in reply.data
+        assert open_server.anonymous_sessions == 1
+
+        secured = OpcUaServer(OpcUaConfig())
+        session = secured.open_session()
+        secured.handle(hello(), session)
+        reply = secured.handle(
+            encode_message(b"MSG", b"CreateSessionRequest"), session
+        )
+        assert reply.data[:3] == b"ERR"
+
+    def test_classifier(self):
+        none_endpoint = ScanRecord(
+            address=1, port=4840, protocol=ProtocolId.OPCUA,
+            transport=TransportKind.TCP,
+            response=b"...opc.tcp://x;http://opcfoundation.org/UA/"
+                     b"SecurityPolicy#None;Server",
+        )
+        secured = ScanRecord(
+            address=2, port=4840, protocol=ProtocolId.OPCUA,
+            transport=TransportKind.TCP,
+            response=b"...SecurityPolicy#Basic256Sha256;Server",
+        )
+        assert classify_record(none_endpoint) == Misconfig.OPCUA_NO_SECURITY
+        assert classify_record(secured) == Misconfig.NONE
+
+
+class TestExtendedScanPipeline:
+    @pytest.fixture(scope="class")
+    def extended_world(self):
+        return PopulationBuilder(PopulationConfig(
+            seed=11, scale=4096, honeypot_scale=512, include_extended=True,
+        )).build()
+
+    def test_extension_population_shapes(self, extended_world):
+        for protocol, paper in EXTENSION_EXPOSED.items():
+            got = len(extended_world.by_protocol[protocol])
+            expected = max(1, round(paper / 4096))
+            assert abs(got - expected) <= max(2, 0.05 * expected)
+
+    def test_extended_scan_and_classification(self, extended_world):
+        scanner = InternetScanner(
+            extended_world.internet,
+            ScanConfig(protocols=(ProtocolId.TR069, ProtocolId.DDS,
+                                  ProtocolId.OPCUA)),
+        )
+        database = scanner.run_campaign()
+        report = classify_database(database)
+        for label in EXTENSION_MISCONFIG_COUNTS:
+            truth = len(extended_world.misconfigured[label])
+            assert report.count(label) == truth, label
+
+    def test_extension_off_by_default(self):
+        population = PopulationBuilder(PopulationConfig(
+            seed=11, scale=16_384,
+        )).build()
+        assert ProtocolId.TR069 not in population.by_protocol

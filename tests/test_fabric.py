@@ -1,0 +1,142 @@
+"""Tests for the simulated Internet fabric and hosts."""
+
+import pytest
+
+from repro.core.taxonomy import Misconfig
+from repro.internet.fabric import SimulatedInternet
+from repro.internet.host import SimulatedHost
+from repro.net.errors import ConnectionRefused, HostUnreachable
+from repro.net.ipv4 import ip_to_int
+from repro.net.prng import RandomStream
+from repro.protocols.base import ProtocolId
+from repro.protocols.telnet import TelnetConfig, TelnetServer
+from repro.protocols.coap import CoapConfig, CoapServer, well_known_core_request
+
+
+def _host(address_text: str, port: int = 23) -> SimulatedHost:
+    return SimulatedHost(
+        address=ip_to_int(address_text),
+        services={port: TelnetServer(TelnetConfig(auth_required=False))},
+        device_name="test-device",
+    )
+
+
+class TestTopology:
+    def test_add_and_lookup(self):
+        net = SimulatedInternet()
+        host = _host("1.2.3.4")
+        net.add_host(host)
+        assert net.host_at(host.address) is host
+        assert host.address in net
+        assert len(net) == 1
+
+    def test_duplicate_address_rejected(self):
+        net = SimulatedInternet([_host("1.2.3.4")])
+        with pytest.raises(ValueError):
+            net.add_host(_host("1.2.3.4"))
+
+    def test_remove_host(self):
+        net = SimulatedInternet([_host("1.2.3.4")])
+        net.remove_host(ip_to_int("1.2.3.4"))
+        assert len(net) == 0
+        net.remove_host(ip_to_int("1.2.3.4"))  # idempotent
+
+
+class TestHostViews:
+    def test_open_ports_and_protocols(self):
+        host = SimulatedHost(
+            address=1,
+            services={
+                23: TelnetServer(TelnetConfig()),
+                2323: TelnetServer(TelnetConfig()),
+                5683: CoapServer(CoapConfig()),
+            },
+        )
+        assert host.open_ports == [23, 2323, 5683]
+        assert host.protocols() == [ProtocolId.TELNET, ProtocolId.COAP]
+
+    def test_ground_truth_defaults(self):
+        host = _host("9.9.9.9")
+        assert host.misconfig == Misconfig.NONE
+        assert not host.is_honeypot and not host.infected
+
+
+class TestTcp:
+    def test_connect_returns_banner(self):
+        net = SimulatedInternet([_host("1.2.3.4")])
+        connection = net.tcp_connect(0, ip_to_int("1.2.3.4"), 23)
+        assert b"$" in connection.banner
+
+    def test_unreachable_address(self):
+        net = SimulatedInternet()
+        with pytest.raises(HostUnreachable):
+            net.tcp_connect(0, ip_to_int("1.2.3.4"), 23)
+
+    def test_closed_port_refused(self):
+        net = SimulatedInternet([_host("1.2.3.4", port=23)])
+        with pytest.raises(ConnectionRefused):
+            net.tcp_connect(0, ip_to_int("1.2.3.4"), 80)
+
+    def test_send_after_close_raises(self):
+        net = SimulatedInternet([_host("1.2.3.4")])
+        connection = net.tcp_connect(0, ip_to_int("1.2.3.4"), 23)
+        connection.close()
+        with pytest.raises(ConnectionRefused):
+            connection.send(b"hello")
+
+    def test_sessions_are_independent(self):
+        net = SimulatedInternet([_host("1.2.3.4")])
+        a = net.tcp_connect(0, ip_to_int("1.2.3.4"), 23)
+        b = net.tcp_connect(0, ip_to_int("1.2.3.4"), 23)
+        assert a.session is not b.session
+
+
+class TestUdp:
+    def test_query_response(self):
+        host = SimulatedHost(
+            address=ip_to_int("1.2.3.4"),
+            services={5683: CoapServer(CoapConfig(access="read"))},
+        )
+        net = SimulatedInternet([host])
+        response = net.udp_query(0, host.address, 5683,
+                                 well_known_core_request())
+        assert response is not None
+
+    def test_query_to_nowhere_returns_none(self):
+        net = SimulatedInternet()
+        assert net.udp_query(0, ip_to_int("1.2.3.4"), 5683, b"x") is None
+
+    def test_query_closed_port_returns_none(self):
+        net = SimulatedInternet([_host("1.2.3.4", port=23)])
+        assert net.udp_query(0, ip_to_int("1.2.3.4"), 5683, b"x") is None
+
+
+class TestLossAndObservers:
+    def test_loss_rate_drops_probes(self):
+        hosts = [_host(f"1.2.{i}.4") for i in range(50)]
+        net = SimulatedInternet(
+            hosts, loss_rate=0.5, loss_stream=RandomStream(3, "loss")
+        )
+        successes = 0
+        for host in hosts:
+            try:
+                net.tcp_connect(0, host.address, 23)
+                successes += 1
+            except HostUnreachable:
+                pass
+        assert 5 < successes < 45  # ~half survive
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            SimulatedInternet(loss_rate=1.0)
+
+    def test_observers_see_all_attempts(self):
+        net = SimulatedInternet([_host("1.2.3.4")])
+        seen = []
+        net.observers.append(lambda *args: seen.append(args))
+        net.tcp_connect(7, ip_to_int("1.2.3.4"), 23)
+        net.udp_query(7, ip_to_int("9.9.9.9"), 5683, b"x")
+        assert seen == [
+            (7, ip_to_int("1.2.3.4"), 23, "tcp"),
+            (7, ip_to_int("9.9.9.9"), 5683, "udp"),
+        ]

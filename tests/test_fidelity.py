@@ -1,0 +1,66 @@
+"""Tests for the fidelity scorer and the study's aggregate fidelity."""
+
+import pytest
+
+from repro.core.fidelity import FidelityReport, FidelityRow, score_study
+
+
+class TestFidelityRow:
+    def test_relative_error(self):
+        row = FidelityRow("T5", "x", paper=100, measured=110)
+        assert row.relative_error == pytest.approx(0.10)
+
+    def test_zero_paper(self):
+        assert FidelityRow("T5", "x", 0, 0).relative_error == 0.0
+        assert FidelityRow("T5", "x", 0, 5).relative_error == float("inf")
+
+
+class TestFidelityReport:
+    def _report(self):
+        report = FidelityReport()
+        report.add("T5", "a", 100, 105)
+        report.add("T5", "b", 100, 90)
+        report.add("T6", "floored", 12, 256, scale=256)  # floor-dominated
+        return report
+
+    def test_floor_rows_marked_and_excluded(self):
+        report = self._report()
+        floored = [row for row in report.rows if row.floor_dominated]
+        assert len(floored) == 1
+        # Aggregates skip the floor row by default.
+        assert report.mean_relative_error() == pytest.approx(0.075)
+        assert report.mean_relative_error(include_floor_dominated=True) > 1.0
+
+    def test_experiment_filter_and_worst(self):
+        report = self._report()
+        assert len(report.for_experiment("T5")) == 2
+        assert report.worst(1)[0].quantity == "floored"
+        assert report.max_relative_error("T5") == pytest.approx(0.10)
+
+    def test_render(self):
+        text = self._report().render()
+        assert "floored" in text and "(floor)" in text
+        assert "mean relative error" in text
+
+
+class TestStudyFidelity:
+    def test_quick_study_scores_well(self, quick_study):
+        report = score_study(quick_study)
+        assert len(report.rows) > 60
+        # Non-floor quantities track the paper within a few percent even
+        # at the coarse quick scale.
+        assert report.mean_relative_error() < 0.10
+        # Every experiment family is represented.
+        experiments = {row.experiment for row in report.rows}
+        assert {"T4", "T5", "T6", "T7", "T8", "F9", "S5.3"} <= experiments
+
+    def test_headline_numbers_tight(self, quick_study):
+        report = score_study(quick_study)
+        by_quantity = {row.quantity: row for row in report.rows}
+        assert by_quantity["total misconfigured"].relative_error < 0.05
+        assert by_quantity["infected misconfigured total"].relative_error < 0.10
+
+    def test_render_is_complete(self, quick_study):
+        text = score_study(quick_study).render()
+        assert "exposed telnet" in text
+        assert "multistage attacks" in text

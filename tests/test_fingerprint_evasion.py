@@ -1,0 +1,92 @@
+"""Fingerprint-evasion study: what happens when honeypots randomize.
+
+The paper's fingerprinting line of work (§2.4, [75]) cuts both ways: static
+banners let researchers *filter* honeypots, and let adversaries *evade*
+them.  These tests quantify the flip side on our pipeline: a wild honeypot
+that ships a randomized banner escapes the Table 6 filter — and, depending
+on the banner it fakes, pollutes Table 5 exactly the way the paper warns.
+"""
+
+import pytest
+
+from repro.analysis.fingerprint import HoneypotFingerprinter
+from repro.analysis.misconfig import classify_database
+from repro.core.taxonomy import Misconfig
+from repro.internet.fabric import SimulatedInternet
+from repro.internet.host import SimulatedHost
+from repro.net.ipv4 import ip_to_int
+from repro.protocols.base import ProtocolId
+from repro.protocols.telnet import TelnetConfig, TelnetServer
+from repro.scanner.zmap import InternetScanner, ScanConfig
+
+
+def _scan(hosts):
+    net = SimulatedInternet(hosts)
+    scanner = InternetScanner(
+        net, ScanConfig(protocols=(ProtocolId.TELNET,))
+    )
+    return scanner.run_campaign()
+
+
+def _wild_honeypot(address_text, banner):
+    return SimulatedHost(
+        address=ip_to_int(address_text),
+        services={23: TelnetServer(TelnetConfig(raw_banner=banner))},
+        is_honeypot=True,
+        honeypot_kind="custom",
+    )
+
+
+class TestEvasion:
+    def test_stock_cowrie_banner_is_caught(self):
+        database = _scan([_wild_honeypot("9.0.0.1", b"\xff\xfd\x1flogin: ")])
+        report = HoneypotFingerprinter().fingerprint(database)
+        assert report.total == 1
+
+    def test_randomized_banner_evades(self):
+        """One byte of personality defeats the static signature."""
+        database = _scan([
+            _wild_honeypot("9.0.0.1", b"gateway-7f3a login: "),
+        ])
+        report = HoneypotFingerprinter().fingerprint(database)
+        assert report.total == 0
+
+    def test_evading_root_prompt_pollutes_table5(self):
+        """An Anglerfish-style honeypot with a *customised* root prompt
+        escapes the filter AND lands in the root-console misconfiguration
+        count — the paper's poisoning scenario realised."""
+        database = _scan([
+            _wild_honeypot("9.0.0.1", b"root@gw-7f3a:~$ "),
+        ])
+        fingerprints = HoneypotFingerprinter().fingerprint(database)
+        assert fingerprints.total == 0  # evaded
+        report = classify_database(
+            database, exclude_addresses=fingerprints.addresses()
+        )
+        assert report.count(Misconfig.TELNET_NO_AUTH_ROOT) == 1  # polluted
+
+    def test_evading_login_banner_harmless_to_table5(self):
+        """An evading honeypot that fakes a *login prompt* stays out of
+        both Table 6 and Table 5 — invisible, but not poisonous."""
+        database = _scan([
+            _wild_honeypot("9.0.0.1", b"EdgeRouter login: "),
+        ])
+        fingerprints = HoneypotFingerprinter().fingerprint(database)
+        report = classify_database(
+            database, exclude_addresses=fingerprints.addresses()
+        )
+        assert fingerprints.total == 0
+        assert report.total == 0
+
+    def test_signature_prefix_sensitivity(self):
+        """Signatures match prefixes: appending bytes does not evade,
+        prepending does."""
+        fingerprinter = HoneypotFingerprinter()
+        appended = _scan([
+            _wild_honeypot("9.0.0.1", b"\xff\xfd\x1flogin: extra"),
+        ])
+        prepended = _scan([
+            _wild_honeypot("9.0.0.2", b"x\xff\xfd\x1flogin: "),
+        ])
+        assert fingerprinter.fingerprint(appended).total == 1
+        assert fingerprinter.fingerprint(prepended).total == 0

@@ -1,0 +1,108 @@
+"""Tests for the geo, ASN and reverse-DNS registries."""
+
+import pytest
+
+from repro.net.asn import AsnRegistry
+from repro.net.geo import COUNTRY_WEIGHTS, GeoRegistry
+from repro.net.ipv4 import ip_to_int
+from repro.net.prng import RandomStream
+from repro.net.rdns import ReverseDns
+
+
+class TestGeoRegistry:
+    def test_deterministic(self):
+        a, b = GeoRegistry(7), GeoRegistry(7)
+        for text in ("8.8.8.8", "1.1.1.1", "200.1.2.3"):
+            address = ip_to_int(text)
+            assert a.country_of(address) == b.country_of(address)
+
+    def test_block_granularity(self):
+        geo = GeoRegistry(7, block_prefix=12)
+        base = ip_to_int("100.16.0.0")
+        country = geo.country_of(base)
+        # Same /12 block → same country.
+        assert geo.country_of(base + 12345) == country
+
+    def test_distribution_roughly_table10(self):
+        geo = GeoRegistry(7)
+        stream = RandomStream(1, "geo-sample")
+        addresses = [stream.randint(0, 0xFFFFFFFF) for _ in range(20_000)]
+        histogram = geo.histogram(addresses)
+        total = sum(histogram.values())
+        us_share = histogram.get("US", 0) / total
+        jp_share = histogram.get("JP", 0) / total
+        # US ~27%, Japan ~0.7% in Table 10 — allow generous slack.
+        assert 0.20 < us_share < 0.34
+        assert jp_share < 0.03
+        assert us_share > jp_share
+
+    def test_all_countries_reachable(self):
+        geo = GeoRegistry(7)
+        seen = {geo.country_of(block << geo._shift) for block in range(4096)}
+        assert seen == {code for code, _ in COUNTRY_WEIGHTS}
+
+    def test_country_name(self):
+        geo = GeoRegistry(7)
+        assert geo.country_name("US") == "USA"
+        assert geo.country_name("ZZ") == "ZZ"  # unknown passes through
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            GeoRegistry(7, block_prefix=2)
+
+
+class TestAsnRegistry:
+    def test_deterministic_and_in_range(self):
+        a, b = AsnRegistry(7), AsnRegistry(7)
+        address = ip_to_int("100.2.3.4")
+        assert a.asn_of(address) == b.asn_of(address)
+        assert 64_496 <= a.asn_of(address) < 64_496 + 4096
+
+    def test_heavy_tail(self):
+        asn = AsnRegistry(7)
+        stream = RandomStream(2, "asn-sample")
+        histogram = asn.histogram(
+            stream.randint(0, 0xFFFFFFFF) for _ in range(20_000)
+        )
+        counts = sorted(histogram.values(), reverse=True)
+        # Zipf-ish: top AS owns far more than the median AS.
+        assert counts[0] > 10 * counts[len(counts) // 2]
+
+    def test_names(self):
+        asn = AsnRegistry(7)
+        assert asn.name_of(64_496)  # seeded name
+        assert asn.name_of(99_999) == "AS99999-NET"
+
+
+class TestReverseDns:
+    def test_lookup_round_trip(self):
+        rdns = ReverseDns()
+        rdns.register(ip_to_int("5.5.5.5"), "host.example.com")
+        assert rdns.lookup(ip_to_int("5.5.5.5")) == "host.example.com"
+        assert rdns.lookup(ip_to_int("5.5.5.6")) is None
+
+    def test_domain_spanning_addresses(self):
+        rdns = ReverseDns()
+        a, b = ip_to_int("5.5.5.5"), ip_to_int("5.5.5.6")
+        rdns.register(a, "dup.example.com")
+        rdns.register(b, "dup.example.com")
+        assert rdns.addresses_of("dup.example.com") == {a, b}
+        groups = rdns.duplicate_entry_addresses()
+        assert {a, b} in groups
+
+    def test_webpage_flags_merge(self):
+        rdns = ReverseDns()
+        address = ip_to_int("5.5.5.5")
+        rdns.register(address, "shop.example.com", has_webpage=False)
+        record = rdns.register(
+            address, "shop.example.com", has_webpage=True,
+            page_kind="fake-shop", serves_malware=True,
+        )
+        assert record.has_webpage and record.serves_malware
+        assert record.page_kind == "fake-shop"
+
+    def test_len_counts_addresses(self):
+        rdns = ReverseDns()
+        rdns.register(1, "a.example")
+        rdns.register(2, "a.example")
+        assert len(rdns) == 2

@@ -1,0 +1,158 @@
+"""Tests for the HTTP and FTP engines."""
+
+import pytest
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import Session
+from repro.protocols.ftp import FtpConfig, FtpServer
+from repro.protocols.http import (
+    HttpConfig,
+    HttpServer,
+    build_response,
+    parse_request,
+)
+
+
+class TestHttpCodec:
+    def test_parse_request_line_and_headers(self):
+        request = parse_request(
+            b"GET /login HTTP/1.1\r\nHost: cam\r\nUser-Agent: probe\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/login"
+        assert request.headers["host"] == "cam"
+
+    def test_parse_body(self):
+        request = parse_request(
+            b"POST /login HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+        )
+        assert request.body == b"abc"
+
+    @pytest.mark.parametrize("garbage", [b"", b"NOT HTTP", b"GET /\r\n\r\n"])
+    def test_rejects_garbage(self, garbage):
+        with pytest.raises(ProtocolError):
+            parse_request(garbage)
+
+    def test_build_response_shape(self):
+        response = build_response(200, "OK", b"hi", server="test/1.0")
+        assert response.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Server: test/1.0" in response
+        assert response.endswith(b"\r\n\r\nhi")
+
+
+class TestHttpServer:
+    def _server(self, **kwargs):
+        return HttpServer(HttpConfig(credentials={"admin": "polycom"},
+                                     **kwargs))
+
+    def test_front_page(self):
+        server = self._server(title="Device Web Interface")
+        reply = server.handle(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n", Session())
+        assert b"200 OK" in reply.data
+        assert b"Device Web Interface" in reply.data
+
+    def test_static_page_and_404(self):
+        server = self._server(pages={"/status": b"<html>up</html>"})
+        ok = server.handle(b"GET /status HTTP/1.1\r\n\r\n", Session())
+        missing = server.handle(b"GET /nope HTTP/1.1\r\n\r\n", Session())
+        assert b"up" in ok.data
+        assert b"404" in missing.data
+
+    def test_login_success_and_failure(self):
+        server = self._server()
+        good = server.handle(
+            b"POST /login HTTP/1.1\r\n\r\nusername=admin&password=polycom",
+            Session(),
+        )
+        bad = server.handle(
+            b"POST /login HTTP/1.1\r\n\r\nusername=admin&password=x",
+            Session(),
+        )
+        assert b"Welcome" in good.data
+        assert b"401" in bad.data
+        assert server.login_successes == 1
+        assert server.login_failures == 1
+
+    def test_flood_crashes_server(self):
+        server = self._server(flood_threshold=10)
+        session = Session()
+        for _ in range(12):
+            server.handle(b"GET / HTTP/1.1\r\n\r\n", session)
+        assert server.crashed
+        # Crashed server goes dark.
+        reply = server.handle(b"GET / HTTP/1.1\r\n\r\n", session)
+        assert not reply.data and reply.close
+
+    def test_bad_request(self):
+        server = self._server()
+        reply = server.handle(b"garbage", Session())
+        assert b"400" in reply.data
+
+    def test_method_not_allowed(self):
+        server = self._server()
+        reply = server.handle(b"DELETE / HTTP/1.1\r\n\r\n", Session())
+        assert b"405" in reply.data
+
+
+class TestFtpServer:
+    def test_banner(self):
+        assert FtpServer(FtpConfig()).banner().startswith(b"220")
+
+    def test_anonymous_allowed(self):
+        server = FtpServer(FtpConfig(allow_anonymous=True))
+        session = server.open_session()
+        reply = server.handle(b"USER anonymous", session)
+        assert b"230" in reply.data
+        assert session.state == "authenticated"
+
+    def test_anonymous_denied_asks_password(self):
+        server = FtpServer(FtpConfig(allow_anonymous=False))
+        session = server.open_session()
+        reply = server.handle(b"USER anonymous", session)
+        assert b"331" in reply.data
+
+    def test_credential_login(self):
+        server = FtpServer(FtpConfig(credentials={"u": "p"}))
+        session = server.open_session()
+        server.handle(b"USER u", session)
+        reply = server.handle(b"PASS p", session)
+        assert b"230" in reply.data
+
+    def test_wrong_password(self):
+        server = FtpServer(FtpConfig(credentials={"u": "p"}))
+        session = server.open_session()
+        server.handle(b"USER u", session)
+        reply = server.handle(b"PASS x", session)
+        assert b"530" in reply.data
+        assert session.state == "new"
+
+    def test_pass_without_user(self):
+        server = FtpServer(FtpConfig())
+        reply = server.handle(b"PASS x", server.open_session())
+        assert b"503" in reply.data
+
+    def test_upload_captured(self):
+        server = FtpServer(FtpConfig(allow_anonymous=True))
+        session = server.open_session()
+        server.handle(b"USER anonymous", session)
+        reply = server.handle(b"STOR mozi.bin\n\x7fELF\x01\x02", session)
+        assert b"226" in reply.data
+        assert server.uploads[0][0] == "mozi.bin"
+        assert server.uploads[0][1].startswith(b"\x7fELF")
+
+    def test_upload_requires_auth(self):
+        server = FtpServer(FtpConfig())
+        reply = server.handle(b"STOR x\npayload", server.open_session())
+        assert b"530" in reply.data
+        assert not server.uploads
+
+    def test_readonly_server_denies_stor(self):
+        server = FtpServer(FtpConfig(allow_anonymous=True, writable=False))
+        session = server.open_session()
+        server.handle(b"USER anonymous", session)
+        reply = server.handle(b"STOR x\npayload", session)
+        assert b"550" in reply.data
+
+    def test_quit(self):
+        server = FtpServer(FtpConfig())
+        assert server.handle(b"QUIT", server.open_session()).close

@@ -1,0 +1,156 @@
+"""Tests for the threat-intelligence stores."""
+
+import pytest
+
+from repro.attacks.actors import ActorRegistry, SourceInfo
+from repro.attacks.malware import MalwareCorpus
+from repro.core.taxonomy import TrafficClass
+from repro.intel.censysiot import CensysIotDB
+from repro.intel.exonerator import ExoneraTorDB
+from repro.intel.greynoise import REGIONAL_SERVICES, GreyNoiseDB
+from repro.intel.virustotal import VirusTotalDB
+from repro.net.rdns import ReverseDns
+
+
+def _registry():
+    registry = ActorRegistry()
+    # global scanning service sources
+    for index in range(100):
+        registry.register(SourceInfo(
+            address=1000 + index,
+            traffic_class=TrafficClass.SCANNING_SERVICE,
+            service_name="Shodan", actor="shodan",
+        ))
+    # regional (Europe-focused) scanning services
+    for index in range(100):
+        registry.register(SourceInfo(
+            address=2000 + index,
+            traffic_class=TrafficClass.SCANNING_SERVICE,
+            service_name="Bitsight", actor="bitsight",
+        ))
+    # malicious: infected devices, droppers, plain bots
+    for index in range(50):
+        registry.register(SourceInfo(
+            address=3000 + index, traffic_class=TrafficClass.MALICIOUS,
+            infected_misconfigured=True,
+        ))
+    for index in range(50):
+        info = SourceInfo(address=4000 + index,
+                          traffic_class=TrafficClass.MALICIOUS)
+        info.malware_families.add("Mirai")
+        registry.register(info)
+    for index in range(50):
+        registry.register(SourceInfo(
+            address=5000 + index, traffic_class=TrafficClass.UNKNOWN,
+        ))
+    registry.register(SourceInfo(address=6000,
+                                 traffic_class=TrafficClass.MALICIOUS,
+                                 tor_exit=True))
+    return registry
+
+
+class TestGreyNoise:
+    def test_regional_services_mostly_missed(self):
+        db = GreyNoiseDB.build_from(_registry(), seed=7)
+        shodan_hits = db.count_benign(range(1000, 1100))
+        bitsight_hits = db.count_benign(range(2000, 2100))
+        assert shodan_hits > 80
+        assert bitsight_hits < 40
+        assert shodan_hits > bitsight_hits  # the Figure 5 gap
+
+    def test_regional_catalog(self):
+        assert "Bitsight" in REGIONAL_SERVICES
+        assert "Shodan" not in REGIONAL_SERVICES
+
+    def test_classification_labels(self):
+        db = GreyNoiseDB.build_from(_registry(), seed=7)
+        verdicts = {db.classification(a) for a in range(3000, 3050)}
+        assert verdicts <= {"malicious", None}
+
+    def test_deterministic(self):
+        a = GreyNoiseDB.build_from(_registry(), seed=7)
+        b = GreyNoiseDB.build_from(_registry(), seed=7)
+        assert a.classifications == b.classifications
+
+
+class TestVirusTotal:
+    def _db(self, rdns=None):
+        return VirusTotalDB.build_from(_registry(), MalwareCorpus(7),
+                                       rdns=rdns, seed=7)
+
+    def test_infected_devices_always_flagged(self):
+        db = self._db()
+        assert all(db.is_malicious_ip(a) for a in range(3000, 3050))
+
+    def test_droppers_almost_always_flagged(self):
+        db = self._db()
+        flagged = sum(db.is_malicious_ip(a) for a in range(4000, 4050))
+        assert flagged >= 45
+
+    def test_scanners_rarely_flagged(self):
+        db = self._db()
+        flagged = sum(db.is_malicious_ip(a) for a in range(1000, 1100))
+        assert flagged <= 15
+
+    def test_malicious_fraction_ordering(self):
+        """Dropper-heavy pools show higher VT fractions — the Figure 6
+        mechanism that puts SMB on top."""
+        db = self._db()
+        droppers = db.malicious_fraction(range(4000, 4050))
+        unknown = db.malicious_fraction(range(5000, 5050))
+        assert droppers > unknown
+
+    def test_hash_lookup(self):
+        corpus = MalwareCorpus(7)
+        db = VirusTotalDB.build_from(_registry(), corpus, seed=7)
+        sample = corpus.samples[0]
+        assert db.lookup_hash(sample.sha256) == sample.family
+        assert db.lookup_hash("00" * 32) is None
+
+    def test_url_reputation(self):
+        rdns = ReverseDns()
+        rdns.register(9999, "evil.example.com", has_webpage=True,
+                      serves_malware=True)
+        rdns.register(9998, "ok.example.com", has_webpage=True)
+        db = self._db(rdns=rdns)
+        assert db.is_malicious_url("http://evil.example.com/")
+        assert not db.is_malicious_url("http://ok.example.com/")
+
+    def test_empty_fraction(self):
+        assert self._db().malicious_fraction([]) == 0.0
+
+
+class TestCensysIot:
+    def test_tags_iot_devices_only(self, population):
+        db = CensysIotDB.build_from(population, seed=7, coverage=1.0)
+        camera = next(h for h in population.hosts
+                      if h.device_type == "Camera")
+        server = next(h for h in population.hosts
+                      if h.device_type == "Server")
+        assert db.iot_tag(camera.address) == "Camera"
+        assert not db.is_iot(server.address)
+
+    def test_honeypots_never_tagged(self, population):
+        db = CensysIotDB.build_from(population, seed=7, coverage=1.0)
+        for host in population.wild_honeypots:
+            assert not db.is_iot(host.address)
+
+    def test_coverage_rate(self, population):
+        full = CensysIotDB.build_from(population, seed=7, coverage=1.0)
+        partial = CensysIotDB.build_from(population, seed=7, coverage=0.5)
+        ratio = len(partial.tags) / len(full.tags)
+        assert 0.4 < ratio < 0.6
+
+    def test_iot_subset(self, population):
+        db = CensysIotDB.build_from(population, seed=7, coverage=1.0)
+        addresses = list(db.tags)[:5] + [0xFFFFFFF0]
+        subset = db.iot_subset(addresses)
+        assert len(subset) == 5
+
+
+class TestExoneraTor:
+    def test_relay_lookup(self):
+        db = ExoneraTorDB.build_from(_registry())
+        assert db.was_tor_relay(6000)
+        assert not db.was_tor_relay(1000)
+        assert db.count_relays([6000, 1000, 3000]) == 1

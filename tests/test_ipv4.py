@@ -1,0 +1,131 @@
+"""Tests for the IPv4 address/CIDR machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.errors import AddressError, AllocationError
+from repro.net.ipv4 import (
+    RESERVED_BLOCKS,
+    AddressAllocator,
+    CidrBlock,
+    int_to_ip,
+    ip_to_int,
+    is_valid_ip,
+)
+from repro.net.prng import RandomStream
+
+
+class TestIpConversion:
+    def test_round_trip_known(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("8.8.8.8") == 0x08080808
+        assert int_to_ip(0x7F000001) == "127.0.0.1"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_round_trip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4",
+         "1..2.3", "-1.2.3.4"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            ip_to_int(bad)
+        assert not is_valid_ip(bad)
+
+    def test_int_to_ip_range_check(self):
+        with pytest.raises(AddressError):
+            int_to_ip(-1)
+        with pytest.raises(AddressError):
+            int_to_ip(1 << 32)
+
+
+class TestCidrBlock:
+    def test_parse_and_str(self):
+        block = CidrBlock.parse("10.0.0.0/8")
+        assert str(block) == "10.0.0.0/8"
+        assert block.size == 1 << 24
+
+    def test_parse_normalizes_host_bits(self):
+        block = CidrBlock.parse("10.1.2.3/8")
+        assert block.network == ip_to_int("10.0.0.0")
+
+    def test_bare_address_is_slash_32(self):
+        block = CidrBlock.parse("1.2.3.4")
+        assert block.prefix == 32
+        assert block.size == 1
+
+    def test_contains_boundaries(self):
+        block = CidrBlock.parse("192.168.0.0/16")
+        assert ip_to_int("192.168.0.0") in block
+        assert ip_to_int("192.168.255.255") in block
+        assert ip_to_int("192.169.0.0") not in block
+        assert ip_to_int("192.167.255.255") not in block
+
+    def test_overlaps(self):
+        a = CidrBlock.parse("10.0.0.0/8")
+        b = CidrBlock.parse("10.5.0.0/16")
+        c = CidrBlock.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_subnets(self):
+        block = CidrBlock.parse("10.0.0.0/8")
+        subnets = list(block.subnets(10))
+        assert len(subnets) == 4
+        assert subnets[0].network == block.network
+        assert all(subnet.prefix == 10 for subnet in subnets)
+
+    def test_subnets_invalid_prefix(self):
+        with pytest.raises(AddressError):
+            list(CidrBlock.parse("10.0.0.0/16").subnets(8))
+
+    def test_bad_prefix(self):
+        with pytest.raises(AddressError):
+            CidrBlock.parse("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            CidrBlock.parse("10.0.0.0/x")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=32))
+    def test_membership_consistent_with_range(self, address, prefix):
+        block = CidrBlock(address & CidrBlock._mask(prefix), prefix)
+        assert block.contains(address) == (block.first <= address <= block.last)
+
+
+class TestAllocator:
+    def _make(self, pools):
+        return AddressAllocator(
+            [CidrBlock.parse(p) for p in pools], RandomStream(1, "alloc-test")
+        )
+
+    def test_unique_allocations(self):
+        allocator = self._make(["150.100.0.0/16"])
+        addresses = allocator.allocate_many(500)
+        assert len(set(addresses)) == 500
+        assert all(ip_to_int("150.100.0.0") <= a <= ip_to_int("150.100.255.255")
+                   for a in addresses)
+
+    def test_never_allocates_reserved(self):
+        # Pool overlapping loopback: allocations must dodge it.
+        allocator = self._make(["126.0.0.0/7"])  # includes 127/8
+        for address in allocator.allocate_many(200):
+            assert not any(block.contains(address) for block in RESERVED_BLOCKS)
+
+    def test_exhaustion_detected(self):
+        allocator = self._make(["150.100.0.0/30"])  # 2 usable hosts
+        allocator.allocate_many(2)
+        with pytest.raises(AllocationError):
+            allocator.allocate()
+
+    def test_empty_pools_rejected(self):
+        with pytest.raises(AllocationError):
+            AddressAllocator([], RandomStream(1, "x"))
+
+    def test_deterministic_given_stream(self):
+        a = self._make(["150.100.0.0/16"]).allocate_many(50)
+        b = self._make(["150.100.0.0/16"]).allocate_many(50)
+        assert a == b

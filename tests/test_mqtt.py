@@ -1,0 +1,187 @@
+"""Tests for the MQTT codec and broker."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import Session
+from repro.protocols.mqtt import (
+    ConnectReturnCode,
+    MqttBroker,
+    MqttConfig,
+    MqttPacketType,
+    _topic_matches,
+    decode_connack,
+    decode_remaining_length,
+    encode_connack,
+    encode_connect,
+    encode_publish,
+    encode_remaining_length,
+    encode_subscribe,
+)
+
+
+class TestRemainingLength:
+    @pytest.mark.parametrize("value,encoded", [
+        (0, b"\x00"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (16_383, b"\xff\x7f"),
+        (268_435_455, b"\xff\xff\xff\x7f"),
+    ])
+    def test_spec_vectors(self, value, encoded):
+        assert encode_remaining_length(value) == encoded
+        assert decode_remaining_length(encoded) == (value, len(encoded))
+
+    @given(st.integers(min_value=0, max_value=268_435_455))
+    def test_round_trip(self, value):
+        encoded = encode_remaining_length(value)
+        assert decode_remaining_length(encoded) == (value, len(encoded))
+
+    def test_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            encode_remaining_length(268_435_456)
+        with pytest.raises(ProtocolError):
+            encode_remaining_length(-1)
+
+    def test_truncated(self):
+        with pytest.raises(ProtocolError):
+            decode_remaining_length(b"\x80")
+
+
+class TestConnack:
+    def test_round_trip(self):
+        for code in ConnectReturnCode:
+            assert decode_connack(encode_connack(code)) == code
+
+    def test_rejects_non_connack(self):
+        with pytest.raises(ProtocolError):
+            decode_connack(encode_connect("x"))
+
+
+class TestBrokerAuth:
+    def test_open_broker_accepts_blank_connect(self):
+        broker = MqttBroker(MqttConfig(auth_required=False))
+        session = broker.open_session()
+        reply = broker.handle(encode_connect("probe"), session)
+        assert decode_connack(reply.data) == ConnectReturnCode.ACCEPTED
+        assert session.state == "connected"
+
+    def test_secured_broker_rejects_blank_connect(self):
+        broker = MqttBroker(MqttConfig(auth_required=True))
+        reply = broker.handle(encode_connect("probe"), broker.open_session())
+        assert decode_connack(reply.data) == ConnectReturnCode.NOT_AUTHORIZED
+        assert reply.close
+
+    def test_secured_broker_accepts_good_credentials(self):
+        broker = MqttBroker(
+            MqttConfig(auth_required=True, credentials={"user": "pw"})
+        )
+        reply = broker.handle(
+            encode_connect("c", username="user", password="pw"),
+            broker.open_session(),
+        )
+        assert decode_connack(reply.data) == ConnectReturnCode.ACCEPTED
+
+    def test_secured_broker_rejects_bad_credentials(self):
+        broker = MqttBroker(
+            MqttConfig(auth_required=True, credentials={"user": "pw"})
+        )
+        reply = broker.handle(
+            encode_connect("c", username="user", password="nope"),
+            broker.open_session(),
+        )
+        assert decode_connack(reply.data) == ConnectReturnCode.BAD_CREDENTIALS
+
+    def test_packets_before_connect_close(self):
+        broker = MqttBroker(MqttConfig(auth_required=False))
+        reply = broker.handle(encode_publish("t", b"x"), broker.open_session())
+        assert reply.close
+
+
+class TestBrokerData:
+    def _connected(self, **config):
+        broker = MqttBroker(MqttConfig(auth_required=False, **config))
+        session = broker.open_session()
+        broker.handle(encode_connect("c"), session)
+        return broker, session
+
+    def test_subscribe_returns_retained(self):
+        broker, session = self._connected(topics={"a/b": b"42"})
+        reply = broker.handle(encode_subscribe(1, ["a/b"]), session)
+        assert reply.data[0] >> 4 == MqttPacketType.SUBACK
+        assert b"42" in reply.data
+
+    def test_wildcard_subscription_lists_sys(self):
+        broker, session = self._connected()
+        reply = broker.handle(encode_subscribe(1, ["$SYS/#"]), session)
+        assert b"mosquitto" in reply.data
+
+    def test_publish_to_existing_topic_counts_poisoning(self):
+        broker, session = self._connected(topics={"a/b": b"42"})
+        broker.handle(encode_publish("a/b", b"HACKED"), session)
+        assert broker.poison_events == 1
+        assert broker.topics["a/b"] == b"HACKED"
+
+    def test_publish_new_topic_not_poisoning(self):
+        broker, session = self._connected()
+        broker.handle(encode_publish("new/topic", b"x"), session)
+        assert broker.poison_events == 0
+
+    def test_pingreq(self):
+        broker, session = self._connected()
+        reply = broker.handle(bytes([MqttPacketType.PINGREQ << 4, 0]), session)
+        assert reply.data[0] >> 4 == MqttPacketType.PINGRESP
+
+    def test_disconnect_closes(self):
+        broker, session = self._connected()
+        assert broker.handle(bytes([MqttPacketType.DISCONNECT << 4, 0]),
+                             session).close
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize("pattern,topic,expected", [
+        ("a/b", "a/b", True),
+        ("a/+", "a/b", True),
+        ("a/+", "a/b/c", False),
+        ("#", "anything/at/all", True),
+        ("a/#", "a/b/c", True),
+        ("a/#", "b/c", False),
+        ("+/b", "a/b", True),
+        ("a/b", "a/c", False),
+    ])
+    def test_cases(self, pattern, topic, expected):
+        assert _topic_matches(pattern, topic) is expected
+
+
+class TestQos1:
+    def test_qos1_publish_gets_puback(self):
+        broker = MqttBroker(MqttConfig(auth_required=False))
+        session = broker.open_session()
+        broker.handle(encode_connect("c"), session)
+        reply = broker.handle(
+            encode_publish("a/b", b"x", qos=1, packet_id=0x1234), session
+        )
+        assert reply.data[0] >> 4 == MqttPacketType.PUBACK
+        assert reply.data[2:4] == b"\x12\x34"
+        assert broker.topics["a/b"] == b"x"
+
+    def test_qos0_publish_silent(self):
+        broker = MqttBroker(MqttConfig(auth_required=False))
+        session = broker.open_session()
+        broker.handle(encode_connect("c"), session)
+        reply = broker.handle(encode_publish("a/b", b"x"), session)
+        assert reply.data == b""
+
+    def test_qos2_rejected_by_encoder(self):
+        with pytest.raises(ProtocolError):
+            encode_publish("a/b", b"x", qos=2)
+
+    def test_qos1_payload_not_polluted_by_packet_id(self):
+        broker = MqttBroker(MqttConfig(auth_required=False))
+        session = broker.open_session()
+        broker.handle(encode_connect("c"), session)
+        broker.handle(
+            encode_publish("t", b"payload", qos=1, packet_id=7), session
+        )
+        assert broker.topics["t"] == b"payload"

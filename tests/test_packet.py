@@ -1,0 +1,55 @@
+"""Tests for the packet models shared by scanner/telescope layers."""
+
+from repro.net.ipv4 import ip_to_int
+from repro.net.packet import (
+    Packet,
+    TcpFlags,
+    TransportProtocol,
+    syn_probe,
+    udp_probe,
+)
+
+
+class TestSynProbe:
+    def test_shape(self):
+        probe = syn_probe(src=ip_to_int("1.1.1.1"), dst=ip_to_int("2.2.2.2"),
+                          dst_port=23)
+        assert probe.protocol == TransportProtocol.TCP
+        assert probe.is_syn
+        assert probe.dst_port == 23
+        assert probe.scanner_fingerprint == "zmap"
+
+    def test_texts(self):
+        probe = syn_probe(src=ip_to_int("1.1.1.1"), dst=ip_to_int("2.2.2.2"),
+                          dst_port=23)
+        assert probe.src_text == "1.1.1.1"
+        assert probe.dst_text == "2.2.2.2"
+        assert "1.1.1.1" in repr(probe)
+
+    def test_custom_fingerprint(self):
+        probe = syn_probe(1, 2, 23, fingerprint="masscan")
+        assert probe.scanner_fingerprint == "masscan"
+
+
+class TestUdpProbe:
+    def test_payload_carried_and_length(self):
+        payload = b"\x40\x01\x12\x34"
+        probe = udp_probe(1, 2, 5683, payload)
+        assert probe.protocol == TransportProtocol.UDP
+        assert probe.payload == payload
+        assert probe.length == 28 + len(payload)
+        assert not probe.is_syn
+
+
+class TestTcpFlags:
+    def test_flag_composition(self):
+        synack = TcpFlags.SYN | TcpFlags.ACK
+        assert int(synack) == 0x12
+        assert TcpFlags.SYN in synack
+        assert TcpFlags.RST not in synack
+
+    def test_pure_syn_detection(self):
+        packet = Packet(src=1, dst=2, src_port=3, dst_port=4,
+                        protocol=TransportProtocol.TCP,
+                        flags=TcpFlags.SYN | TcpFlags.ACK)
+        assert not packet.is_syn

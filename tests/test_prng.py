@@ -1,0 +1,81 @@
+"""Tests for deterministic splittable random streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.prng import RandomStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    @given(st.integers(min_value=0, max_value=2**63), st.text(max_size=50))
+    def test_64_bit_range(self, seed, name):
+        assert 0 <= derive_seed(seed, name) < 2**64
+
+
+class TestRandomStream:
+    def test_same_name_same_draws(self):
+        a = RandomStream(7, "x")
+        b = RandomStream(7, "x")
+        assert [a.randint(0, 1000) for _ in range(20)] == [
+            b.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_children_independent_of_sibling_usage(self):
+        parent1 = RandomStream(7, "p")
+        parent2 = RandomStream(7, "p")
+        # Consuming from one child must not perturb another.
+        noisy = parent1.child("noisy")
+        [noisy.random() for _ in range(100)]
+        assert parent1.child("quiet").random() == parent2.child("quiet").random()
+
+    def test_bernoulli_extremes(self):
+        stream = RandomStream(7, "b")
+        assert not any(stream.bernoulli(0.0) for _ in range(100))
+        assert all(stream.bernoulli(1.0 + 1e-9) for _ in range(100))
+
+    def test_poisson_zero_rate(self):
+        assert RandomStream(7, "p").poisson(0) == 0
+
+    def test_poisson_mean_roughly_lambda(self):
+        stream = RandomStream(7, "p2")
+        draws = [stream.poisson(10) for _ in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 9.0 < mean < 11.0
+
+    def test_poisson_large_lambda_normal_path(self):
+        stream = RandomStream(7, "p3")
+        draws = [stream.poisson(10_000) for _ in range(50)]
+        assert all(draw >= 0 for draw in draws)
+        mean = sum(draws) / len(draws)
+        assert 9_500 < mean < 10_500
+
+    def test_bytes_and_hex(self):
+        stream = RandomStream(7, "bytes")
+        blob = stream.bytes(16)
+        assert len(blob) == 16
+        assert len(stream.hex_token(8)) == 16
+
+    def test_pick_weighted_respects_zero_weight(self):
+        stream = RandomStream(7, "w")
+        picks = {stream.pick_weighted([("a", 1.0), ("b", 0.0)]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_sample_distinct(self):
+        stream = RandomStream(7, "s")
+        sample = stream.sample(list(range(100)), 10)
+        assert len(set(sample)) == 10
+
+    def test_shuffle_is_permutation(self):
+        stream = RandomStream(7, "sh")
+        items = list(range(50))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items

@@ -1,0 +1,109 @@
+"""Tests for largest-remainder apportionment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scaling import apportion, scale_count
+
+
+class TestScaleCount:
+    def test_round_half_up(self):
+        assert scale_count(10, 4) == 3  # 2.5 rounds up
+        assert scale_count(9, 4) == 2
+        assert scale_count(0, 4) == 0
+
+    def test_identity_scale(self):
+        assert scale_count(12345, 1) == 12345
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scale_count(10, 0)
+
+
+class TestApportion:
+    def test_total_preserved(self):
+        counts = {"a": 700, "b": 200, "c": 100}
+        scaled = apportion(counts, 10)
+        assert sum(scaled.values()) == 100
+
+    def test_proportions_preserved(self):
+        counts = {"a": 700, "b": 200, "c": 100}
+        scaled = apportion(counts, 10)
+        assert scaled == {"a": 70, "b": 20, "c": 10}
+
+    def test_min_count_keeps_rare_categories(self):
+        counts = {"big": 100_000, "tiny": 3}
+        scaled = apportion(counts, 1000, min_count=1)
+        assert scaled["tiny"] == 1
+        assert scaled["big"] == 100
+
+    def test_min_count_skips_true_zeros(self):
+        scaled = apportion({"a": 100, "b": 0}, 10, min_count=1)
+        assert scaled["b"] == 0
+
+    def test_total_override(self):
+        scaled = apportion({"a": 3, "b": 1}, 1, total_override=8)
+        assert sum(scaled.values()) == 8
+        assert scaled["a"] == 6
+
+    def test_zero_total(self):
+        assert apportion({"a": 0, "b": 0}, 10) == {"a": 0, "b": 0}
+
+    def test_deterministic_tie_break(self):
+        counts = {"a": 1, "b": 1, "c": 1}
+        assert apportion(counts, 2) == apportion(counts, 2)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            apportion({"a": 1}, 0)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.integers(min_value=0, max_value=10**7),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    def test_sum_matches_scaled_total(self, counts, scale):
+        scaled = apportion(counts, scale)
+        raw_total = sum(counts.values())
+        expected = (raw_total + scale // 2) // scale
+        if raw_total == 0 or expected <= 0:
+            assert all(value == 0 for value in scaled.values())
+        else:
+            assert sum(scaled.values()) == expected
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.integers(min_value=0, max_value=10**6),
+            min_size=2,
+            max_size=10,
+        ),
+        st.integers(min_value=1, max_value=1000),
+    )
+    def test_quota_error_below_one(self, counts, scale):
+        """Hamilton's method: every result within 1 of its exact quota."""
+        scaled = apportion(counts, scale)
+        raw_total = sum(counts.values())
+        target = (raw_total + scale // 2) // scale
+        if raw_total == 0 or target <= 0:
+            return
+        for key, count in counts.items():
+            quota = count * target / raw_total
+            assert abs(scaled[key] - quota) < 1.0 + 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10**6), min_size=2, max_size=8),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_monotone_in_counts(self, values, scale):
+        """A category with a larger paper count never gets fewer units."""
+        counts = {f"k{i}": v for i, v in enumerate(values)}
+        scaled = apportion(counts, scale)
+        pairs = sorted(counts.items(), key=lambda item: item[1])
+        for (low_key, low), (high_key, high) in zip(pairs, pairs[1:]):
+            if high > low:
+                assert scaled[high_key] >= scaled[low_key] - 1

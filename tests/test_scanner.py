@@ -1,0 +1,204 @@
+"""Tests for the scan engine, records, probes and blocklists."""
+
+import pytest
+
+from repro.internet.fabric import SimulatedInternet
+from repro.internet.host import SimulatedHost
+from repro.net.geo import GeoRegistry
+from repro.net.ipv4 import CidrBlock, ip_to_int
+from repro.protocols.base import DEFAULT_PORTS, ProtocolId, TransportKind
+from repro.protocols.mqtt import MqttBroker, MqttConfig
+from repro.protocols.telnet import TelnetConfig, TelnetServer
+from repro.scanner.blocklist import (
+    CidrBlocklist,
+    CompositeBlocklist,
+    GeoBlocklist,
+    zmap_default_blocklist,
+)
+from repro.scanner.probes import tcp_probe_payload, udp_probe_payload
+from repro.scanner.records import ScanDatabase, ScanRecord
+from repro.scanner.zmap import SCAN_START_DAY, InternetScanner, ScanConfig
+from repro.scanner.ztag import TagEngine, TagSignature
+
+
+def _telnet_host(text):
+    return SimulatedHost(
+        address=ip_to_int(text),
+        services={23: TelnetServer(TelnetConfig(auth_required=False))},
+    )
+
+
+class TestProbes:
+    def test_tcp_probes_defined_for_handshake_protocols(self):
+        for protocol in (ProtocolId.MQTT, ProtocolId.AMQP, ProtocolId.XMPP):
+            assert tcp_probe_payload(protocol)
+
+    def test_telnet_is_banner_only(self):
+        assert tcp_probe_payload(ProtocolId.TELNET) is None
+
+    def test_udp_probes(self):
+        assert udp_probe_payload(ProtocolId.COAP)
+        assert b"ssdp:discover" in udp_probe_payload(ProtocolId.UPNP)
+        with pytest.raises(KeyError):
+            udp_probe_payload(ProtocolId.TELNET)
+
+
+class TestScanner:
+    def test_finds_open_telnet(self):
+        net = SimulatedInternet([_telnet_host("1.2.3.4")])
+        scanner = InternetScanner(
+            net, ScanConfig(protocols=(ProtocolId.TELNET,))
+        )
+        records = scanner.scan_protocol(ProtocolId.TELNET)
+        assert len(records) == 1
+        assert records[0].address == ip_to_int("1.2.3.4")
+        assert b"$" in records[0].banner
+
+    def test_mqtt_probe_elicits_connack(self):
+        host = SimulatedHost(
+            address=ip_to_int("1.2.3.5"),
+            services={1883: MqttBroker(MqttConfig(auth_required=False))},
+        )
+        scanner = InternetScanner(SimulatedInternet([host]))
+        records = scanner.scan_protocol(ProtocolId.MQTT)
+        assert records[0].response[0] >> 4 == 2  # CONNACK
+
+    def test_blocklist_skips_targets(self):
+        net = SimulatedInternet([_telnet_host("1.2.3.4")])
+        blocklist = CidrBlocklist([CidrBlock.parse("1.0.0.0/8")])
+        scanner = InternetScanner(net, blocklist=blocklist)
+        assert scanner.scan_protocol(ProtocolId.TELNET) == []
+
+    def test_host_filter(self):
+        hosts = [_telnet_host("1.2.3.4"), _telnet_host("1.2.3.5")]
+        net = SimulatedInternet(hosts)
+        scanner = InternetScanner(
+            net, host_filter=lambda a: a == ip_to_int("1.2.3.4")
+        )
+        records = scanner.scan_protocol(ProtocolId.TELNET)
+        assert [r.address for r in records] == [ip_to_int("1.2.3.4")]
+
+    def test_timestamps_follow_scan_calendar(self):
+        net = SimulatedInternet([_telnet_host("1.2.3.4")])
+        scanner = InternetScanner(net)
+        records = scanner.scan_protocol(ProtocolId.TELNET)
+        assert records[0].timestamp == SCAN_START_DAY[ProtocolId.TELNET] * 86_400
+
+    def test_udp_retry_recovers_loss(self):
+        from repro.net.prng import RandomStream
+        from repro.protocols.coap import CoapConfig, CoapServer
+
+        host = SimulatedHost(
+            address=ip_to_int("1.2.3.6"),
+            services={5683: CoapServer(CoapConfig(access="read"))},
+        )
+        net = SimulatedInternet(
+            [host], loss_rate=0.4, loss_stream=RandomStream(5, "loss")
+        )
+        found_with_retries = len(
+            InternetScanner(net, ScanConfig(udp_retries=6)).scan_protocol(
+                ProtocolId.COAP
+            )
+        )
+        assert found_with_retries == 1
+
+
+class TestScanDatabase:
+    def _record(self, address, protocol=ProtocolId.TELNET, port=23):
+        return ScanRecord(
+            address=address, port=port, protocol=protocol,
+            transport=TransportKind.TCP, banner=b"x",
+        )
+
+    def test_counts_unique_hosts(self):
+        db = ScanDatabase([self._record(1), self._record(1, port=2323),
+                           self._record(2)])
+        assert db.counts_by_protocol()[ProtocolId.TELNET] == 2
+        assert db.unique_hosts() == {1, 2}
+
+    def test_merge_dedupes(self):
+        a = ScanDatabase([self._record(1)])
+        b = ScanDatabase([self._record(1), self._record(2)])
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.unique_hosts() == {1, 2}
+
+    def test_merge_prefers_first(self):
+        rich = self._record(1)
+        rich.banner = b"rich-banner"
+        poor = self._record(1)
+        poor.banner = b""
+        merged = ScanDatabase([rich]).merge(ScanDatabase([poor]))
+        assert list(merged)[0].banner == b"rich-banner"
+
+    def test_filter(self):
+        db = ScanDatabase([self._record(1), self._record(2)])
+        assert len(db.filter(lambda r: r.address == 1)) == 1
+
+    def test_jsonl_round_trip_fields(self):
+        import json
+
+        record = self._record(ip_to_int("1.2.3.4"))
+        row = json.loads(record.to_json())
+        assert row["ip"] == "1.2.3.4"
+        assert row["protocol"] == "telnet"
+        assert bytes.fromhex(row["banner"]) == b"x"
+
+
+class TestBlocklists:
+    def test_zmap_default_blocks_reserved(self):
+        blocklist = zmap_default_blocklist()
+        assert blocklist.blocks(ip_to_int("127.0.0.1"))
+        assert blocklist.blocks(ip_to_int("10.1.2.3"))
+        assert not blocklist.blocks(ip_to_int("8.8.8.8"))
+
+    def test_geo_blocklist(self):
+        geo = GeoRegistry(7)
+        blocklist = GeoBlocklist(geo, {"DE"})
+        blocked = [a for a in range(0, 2**32, 2**24)
+                   if blocklist.blocks(a)]
+        assert blocked  # some /8s land in DE
+        for address in blocked:
+            assert geo.country_of(address) == "DE"
+
+    def test_composite(self):
+        blocklist = CompositeBlocklist([
+            CidrBlocklist([CidrBlock.parse("1.0.0.0/8")]),
+            CidrBlocklist([CidrBlock.parse("2.0.0.0/8")]),
+        ])
+        assert blocklist.blocks(ip_to_int("1.1.1.1"))
+        assert blocklist.blocks(ip_to_int("2.1.1.1"))
+        assert not blocklist.blocks(ip_to_int("3.1.1.1"))
+
+
+class TestTagEngine:
+    def test_first_match_wins_per_namespace(self):
+        engine = TagEngine([
+            TagSignature("PK5001Z", (("device_type", "DSL Modem"),)),
+            TagSignature("PK", (("device_type", "Generic"),)),
+        ])
+        record = ScanRecord(
+            address=1, port=23, protocol=ProtocolId.TELNET,
+            transport=TransportKind.TCP, banner=b"PK5001Z login:",
+        )
+        assert engine.tag_record(record).tag("device_type") == "DSL Modem"
+
+    def test_protocol_restriction(self):
+        engine = TagEngine([
+            TagSignature("x", (("k", "v"),), protocol="mqtt"),
+        ])
+        record = ScanRecord(
+            address=1, port=23, protocol=ProtocolId.TELNET,
+            transport=TransportKind.TCP, banner=b"x",
+        )
+        assert engine.tag_record(record).tag("k") is None
+
+    def test_where_restriction(self):
+        engine = TagEngine([
+            TagSignature("marker", (("k", "v"),), where="response"),
+        ])
+        banner_only = ScanRecord(
+            address=1, port=23, protocol=ProtocolId.TELNET,
+            transport=TransportKind.TCP, banner=b"marker",
+        )
+        assert engine.tag_record(banner_only).tag("k") is None

