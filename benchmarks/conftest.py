@@ -4,6 +4,11 @@ Scales (documented in EXPERIMENTS.md): population 1:1024, wild honeypots
 1:64, attacks 1:16, telescope sources 1:8192 (Telnet) / 1:64 (rest),
 telescope packets 1:16384.  Every bench times the *regeneration* of its
 artifact from pipeline inputs and prints a paper-vs-measured comparison.
+
+The pipeline run goes through the phase engine's shared cache, so ablation
+benches that re-run partial pipelines with the same config reuse the
+world/scan artifacts instead of rebuilding them; the per-phase breakdown
+(wall time, cache hits, items/sec) is printed at the end of the session.
 """
 
 from __future__ import annotations
@@ -11,12 +16,27 @@ from __future__ import annotations
 import pytest
 
 from repro import Study, StudyConfig
+from repro.core.engine import default_cache
 
 
 @pytest.fixture(scope="session")
-def study():
+def study(_pipeline_study):
     """The full paper-scale reproduction, run once per bench session."""
-    return Study(StudyConfig.paper_scale(seed=7)).run()
+    return _pipeline_study.results
+
+
+@pytest.fixture(scope="session")
+def _pipeline_study():
+    instance = Study(StudyConfig.paper_scale(seed=7))
+    instance.run()
+    yield instance
+    # Session teardown: the per-phase breakdown of the shared pipeline run.
+    stats = default_cache().stats
+    print()
+    print("=== engine phase metrics (paper-scale pipeline) ===")
+    print(instance.metrics.render())
+    print(f"shared phase cache: {stats.hits} hits / "
+          f"{stats.misses} misses / {stats.stores} stores")
 
 
 def compare(title, rows):

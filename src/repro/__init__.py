@@ -16,8 +16,22 @@ Quickstart::
 """
 
 from repro.core.config import StudyConfig
+from repro.core.engine import PhaseCache, StudyEngine
+from repro.core.metrics import StudyMetrics
 from repro.core.study import Study, StudyResults
+from repro.net.errors import ConfigError, PhaseOrderError, ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Study", "StudyConfig", "StudyResults", "__version__"]
+__all__ = [
+    "ConfigError",
+    "PhaseCache",
+    "PhaseOrderError",
+    "ReproError",
+    "Study",
+    "StudyConfig",
+    "StudyEngine",
+    "StudyMetrics",
+    "StudyResults",
+    "__version__",
+]

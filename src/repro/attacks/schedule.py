@@ -149,7 +149,8 @@ DOS_SPIKE_DAYS = (23, 25)
 class AttackScheduleConfig:
     """Scheduler knobs."""
 
-    seed: int = 7
+    #: ``None`` inherits the master study seed.
+    seed: Optional[int] = None
     attack_scale: int = 16
     days: int = 30
     #: Share of each budget coming from known scanning services (fitted

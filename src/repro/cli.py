@@ -11,7 +11,16 @@ experiment without writing Python:
 * ``intersect``  — the §5.3 infected-host join.
 
 All commands accept ``--seed`` and the scale knobs, so campaigns are
-reproducible from the shell line alone.
+reproducible from the shell line alone, plus the engine knobs:
+``--threads`` (parallel phase execution — same bytes out, less wall time),
+``--cache-dir PATH`` (persistent on-disk phase cache shared across
+invocations), ``--no-cache``, and ``--metrics-json PATH`` (per-phase wall
+time, cache hits and throughput as JSON, for scripted campaigns).
+
+Exit codes are stable for shell scripting: 0 on success, 2 for an invalid
+configuration (:class:`~repro.net.errors.ConfigError`; argparse usage
+errors also exit 2), 3 for a phase-ordering violation
+(:class:`~repro.net.errors.PhaseOrderError`).
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from typing import List, Optional
 
 from repro import Study, StudyConfig, __version__
 from repro.attacks.schedule import AttackScheduleConfig
+from repro.core.engine import PhaseCache
 from repro.core.report import (
     render_case_studies,
     render_figure2,
@@ -38,9 +48,14 @@ from repro.core.report import (
     render_table10,
 )
 from repro.internet.population import PopulationConfig
-from repro.telescope.telescope import TelescopeConfig
+from repro.net.errors import ConfigError, PhaseOrderError
 
 __all__ = ["main", "build_parser"]
+
+#: Exit codes, stable across releases (documented in the module docstring).
+EXIT_OK = 0
+EXIT_CONFIG = 2
+EXIT_PHASE_ORDER = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="study seed (default 7)")
         sub.add_argument("--quick", action="store_true",
                          help="coarse scales for a ~1s run")
+        sub.add_argument("--threads", action="store_true",
+                         help="run independent phases on a thread pool "
+                              "(byte-identical output, less wall time)")
+        sub.add_argument("--no-cache", action="store_true",
+                         help="disable phase-artifact memoization")
+        sub.add_argument("--cache-dir", metavar="PATH", default="",
+                         help="persist phase artifacts to PATH so repeated "
+                              "invocations reuse the world/scan phases")
+        sub.add_argument("--metrics-json", metavar="PATH", default="",
+                         help="write per-phase wall time, cache hits and "
+                              "rates as JSON to PATH ('-' for stdout)")
 
     run = subparsers.add_parser("run", help="full study, all tables")
     add_common(run)
@@ -120,9 +146,41 @@ def _config(args) -> StudyConfig:
     return config
 
 
+def _study(args) -> Study:
+    """Build the study with the engine knobs the flags selected."""
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir:
+        cache = PhaseCache(directory=args.cache_dir)
+    else:
+        cache = None  # the shared in-process cache
+    return Study(
+        _config(args),
+        executor="thread" if args.threads else None,
+        cache=cache,
+    )
+
+
+def _write_metrics(study: Study, args, out) -> None:
+    if not args.metrics_json:
+        return
+    text = study.metrics.to_json()
+    if args.metrics_json == "-":
+        out.write(text + "\n")
+    else:
+        try:
+            with open(args.metrics_json, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as error:
+            raise ConfigError(
+                f"cannot write metrics to {args.metrics_json!r}: {error}"
+            ) from error
+
+
 def _cmd_run(args, out) -> int:
     started = time.perf_counter()
-    results = Study(_config(args)).run()
+    study = _study(args)
+    results = study.run()
     out.write(f"study completed in {time.perf_counter() - started:.1f}s\n\n")
     for renderer in (render_table4, render_table5, render_table6,
                      render_table10, render_figure2, render_table7,
@@ -131,15 +189,13 @@ def _cmd_run(args, out) -> int:
                      render_intersection):
         out.write(renderer(results))
         out.write("\n\n")
-    return 0
+    _write_metrics(study, args, out)
+    return EXIT_OK
 
 
 def _cmd_scan(args, out) -> int:
-    study = Study(_config(args))
-    study.build_world()
-    study.run_scans()
-    study.run_fingerprinting()
-    study.run_classification()
+    study = _study(args)
+    study.run_classification()  # auto-resolves world, scans, fingerprints
     for renderer in (render_table4, render_table6, render_table5,
                      render_table10, render_figure2):
         out.write(renderer(study.results))
@@ -149,12 +205,12 @@ def _cmd_scan(args, out) -> int:
             handle.write(study.results.merged_db.to_jsonl())
         out.write(f"wrote {len(study.results.merged_db)} rows to "
                   f"{args.export}\n")
-    return 0
+    _write_metrics(study, args, out)
+    return EXIT_OK
 
 
 def _cmd_attacks(args, out) -> int:
-    study = Study(_config(args))
-    study.build_world()
+    study = _study(args)
     study.run_attacks()
     # Joins that only need the log.
     from repro.analysis.multistage import detect_multistage
@@ -166,28 +222,30 @@ def _cmd_attacks(args, out) -> int:
                      render_figure9):
         out.write(renderer(study.results))
         out.write("\n\n")
-    return 0
+    _write_metrics(study, args, out)
+    return EXIT_OK
 
 
 def _cmd_telescope(args, out) -> int:
-    study = Study(_config(args))
-    study.build_world()
-    study.run_attacks()
-    capture = study.run_telescope()
+    study = _study(args)
+    capture = study.run_telescope()  # auto-resolves world + attacks
     out.write(render_table8(study.results))
     out.write("\n")
     out.write(f"rsdos attacks in capture: {len(capture.rsdos_truth)}\n")
     if args.export_day is not None:
         for line in capture.writer.lines_for_day(args.export_day):
             out.write(line + "\n")
-    return 0
+    _write_metrics(study, args, out)
+    return EXIT_OK
 
 
 def _cmd_intersect(args, out) -> int:
-    results = Study(_config(args)).run()
+    study = _study(args)
+    results = study.run()
     out.write(render_intersection(results))
     out.write("\n")
-    return 0
+    _write_metrics(study, args, out)
+    return EXIT_OK
 
 
 _COMMANDS = {
@@ -203,7 +261,14 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ConfigError as error:
+        print(f"repro: configuration error: {error}", file=sys.stderr)
+        return EXIT_CONFIG
+    except PhaseOrderError as error:
+        print(f"repro: phase-order error: {error}", file=sys.stderr)
+        return EXIT_PHASE_ORDER
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,7 +1,19 @@
 """Core: study configuration, orchestration, results and report rendering."""
 
 from repro.core.config import StudyConfig
+from repro.core.engine import (
+    PhaseCache,
+    PhaseGraph,
+    PhaseSpec,
+    SerialExecutor,
+    StudyEngine,
+    ThreadedExecutor,
+    build_study_graph,
+    config_fingerprint,
+    default_cache,
+)
 from repro.core.fidelity import FidelityReport, FidelityRow, score_study
+from repro.core.metrics import PhaseMetric, StudyMetrics
 from repro.core.report import (
     format_table,
     render_case_studies,
@@ -35,11 +47,22 @@ __all__ = [
     "MISCONFIG_LABELS",
     "MISCONFIG_PROTOCOL",
     "Misconfig",
+    "PhaseCache",
+    "PhaseGraph",
+    "PhaseMetric",
+    "PhaseSpec",
+    "SerialExecutor",
     "Study",
     "StudyConfig",
+    "StudyEngine",
+    "StudyMetrics",
     "StudyResults",
+    "ThreadedExecutor",
     "TrafficClass",
     "apportion",
+    "build_study_graph",
+    "config_fingerprint",
+    "default_cache",
     "format_table",
     "render_case_studies",
     "render_figure2",

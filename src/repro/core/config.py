@@ -8,12 +8,14 @@ from equal configs produce identical tables.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.attacks.schedule import AttackScheduleConfig
 from repro.internet.population import PopulationConfig
 from repro.net.errors import ConfigError
+from repro.net.prng import DEFAULT_SEED
 from repro.scanner.zmap import ScanConfig
 from repro.telescope.telescope import TelescopeConfig
 
@@ -25,7 +27,9 @@ class StudyConfig:
     """Everything a full study run needs.
 
     ``seed`` is folded into every sub-config whose seed is left at the
-    sentinel value, so a single integer pins the whole world.
+    ``None`` inherit-sentinel, so a single integer pins the whole world.
+    Passing an explicit integer to a sub-config always wins — including
+    an explicit ``7``, which older releases silently overwrote.
     """
 
     seed: int = 7
@@ -46,22 +50,33 @@ class StudyConfig:
     def __post_init__(self) -> None:
         if self.seed < 0:
             raise ConfigError("seed must be non-negative")
-        # Propagate the master seed into sub-configs still on defaults.
+        # Propagate the master seed into sub-configs left at the inherit
+        # sentinel.  The pre-1.1 rule overwrote any sub-seed equal to the
+        # legacy default (7) whenever the master differed, so it could not
+        # distinguish "left at default" from "explicitly 7"; warn callers
+        # who would have been silently overridden under that rule.
         for sub in (self.population, self.scan, self.attacks, self.telescope):
-            if getattr(sub, "seed", None) == 7 and self.seed != 7:
+            if getattr(sub, "seed", 0) is None:
                 sub.seed = self.seed
+            elif sub.seed == DEFAULT_SEED and self.seed != DEFAULT_SEED:
+                warnings.warn(
+                    f"{type(sub).__name__}(seed={DEFAULT_SEED}) is now kept "
+                    f"as-is even though the master seed is {self.seed}; "
+                    "earlier releases overwrote it with the master seed. "
+                    "Pass seed=None (the default) to inherit.",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
 
     @classmethod
     def quick(cls, seed: int = 7) -> "StudyConfig":
         """A fast configuration for tests and examples (coarser scales)."""
         return cls(
             seed=seed,
-            population=PopulationConfig(
-                seed=seed, scale=8192, honeypot_scale=256
-            ),
-            attacks=AttackScheduleConfig(seed=seed, attack_scale=128),
+            population=PopulationConfig(scale=8192, honeypot_scale=256),
+            attacks=AttackScheduleConfig(attack_scale=128),
             telescope=TelescopeConfig(
-                seed=seed, telnet_source_scale=65_536, source_scale=512,
+                telnet_source_scale=65_536, source_scale=512,
                 packet_scale=131_072,
             ),
         )

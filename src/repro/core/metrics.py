@@ -1,0 +1,137 @@
+"""Structured execution metrics for the phase engine.
+
+Every phase the engine runs (or serves from cache) is recorded as one
+:class:`PhaseMetric`; a :class:`StudyMetrics` aggregates them into the
+shapes the rest of the system consumes:
+
+* ``group_seconds()`` — wall time rolled up to the eight paper phases
+  (``world``/``scan``/…), feeding ``StudyResults.phase_seconds`` so the
+  pre-engine API keeps working;
+* ``to_dict()`` / ``to_json()`` — the ``--metrics-json`` CLI export;
+* ``render()`` — a human table for interactive runs.
+
+Rates are derived, not stored: a phase that reports an item count (hosts
+scanned, attack events, telescope packets) gets an items/second figure for
+free, which is what the benchmarks chart against the paper's own campaign
+durations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["PhaseMetric", "StudyMetrics"]
+
+
+@dataclass
+class PhaseMetric:
+    """One phase execution (or cache hit)."""
+
+    phase: str
+    #: Paper-level rollup bucket (``scan`` for zmap/sonar/shodan/merge …).
+    group: str
+    seconds: float
+    cache_hit: bool = False
+    #: Artifacts came off the on-disk layer rather than the in-process one.
+    disk_hit: bool = False
+    #: Domain items the phase produced (hosts, events, packets …).
+    items: Optional[int] = None
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Items per second, when the phase reported an item count."""
+        if self.items is None or self.seconds <= 0:
+            return None
+        return self.items / self.seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "group": self.group,
+            "seconds": round(self.seconds, 6),
+            "cache_hit": self.cache_hit,
+            "disk_hit": self.disk_hit,
+            "items": self.items,
+            "items_per_second": (
+                round(self.rate, 3) if self.rate is not None else None
+            ),
+        }
+
+
+@dataclass
+class StudyMetrics:
+    """Everything one engine run measured, in execution order."""
+
+    executor: str = "serial"
+    phases: List[PhaseMetric] = field(default_factory=list)
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, metric: PhaseMetric) -> None:
+        self.phases.append(metric)
+
+    # -- aggregate views --------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for metric in self.phases if metric.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for metric in self.phases if not metric.cache_hit)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Sum of per-phase times (an upper bound under a parallel executor)."""
+        return sum(metric.seconds for metric in self.phases)
+
+    def phase_order(self) -> List[str]:
+        """Phase names in the order they completed."""
+        return [metric.phase for metric in self.phases]
+
+    def group_seconds(self) -> Dict[str, float]:
+        """Wall time per paper-level phase group, insertion-ordered."""
+        totals: Dict[str, float] = {}
+        for metric in self.phases:
+            totals[metric.group] = totals.get(metric.group, 0.0) + metric.seconds
+        return totals
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "executor": self.executor,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "group_seconds": {
+                group: round(seconds, 6)
+                for group, seconds in self.group_seconds().items()
+            },
+            "phases": [metric.to_dict() for metric in self.phases],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """A fixed-width table for terminal output."""
+        header = (f"{'phase':<18} {'group':<11} {'seconds':>9} "
+                  f"{'cache':>6} {'items':>12} {'items/s':>12}")
+        lines = [header, "-" * len(header)]
+        for metric in self.phases:
+            cache = ("disk" if metric.disk_hit
+                     else "hit" if metric.cache_hit else "miss")
+            items = f"{metric.items:,}" if metric.items is not None else "-"
+            rate = f"{metric.rate:,.0f}" if metric.rate is not None else "-"
+            lines.append(
+                f"{metric.phase:<18} {metric.group:<11} "
+                f"{metric.seconds:>9.3f} {cache:>6} {items:>12} {rate:>12}"
+            )
+        lines.append(
+            f"total {self.wall_seconds:.3f}s over {len(self.phases)} phases "
+            f"({self.cache_hits} cached) via {self.executor} executor"
+        )
+        return "\n".join(lines)

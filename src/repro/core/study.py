@@ -1,7 +1,7 @@
 """The full study pipeline — every experiment of the paper, in order.
 
-:class:`Study` chains the phases exactly as the methodology section lays
-them out:
+:class:`Study` is a thin facade over the phase-DAG engine
+(:mod:`repro.core.engine`).  The phases match the methodology section:
 
 1. **world** — build the scaled population (devices + wild honeypots);
 2. **scan** — our ZMap/ZGrab campaign over six protocols, optionally behind
@@ -18,46 +18,52 @@ them out:
 8. **join** — suspicious-traffic classification (Figures 5/6), multistage
    detection (Figure 9), and the infected-host intersection (§5.3).
 
-Each phase's output lands on :class:`StudyResults`; `run()` executes all of
-them, while the per-phase methods allow partial pipelines (the benchmarks
-use those to time one experiment at a time).
+Where the old driver enforced ordering with ``assert``-guard chains, the
+facade now *auto-resolves* prerequisites: ``Study(cfg).run_classification()``
+builds the world and runs the scans on its own.  Construct with
+``auto_resolve=False`` to get the strict behaviour back as a typed
+:class:`~repro.net.errors.PhaseOrderError` (asserts would vanish under
+``python -O``).  Phase artifacts are memoized through the engine's shared
+:class:`~repro.core.engine.PhaseCache`, so a second study with an equal
+config replays the expensive world/scan phases from cache; pass
+``cache=False`` to opt out, or ``executor="thread"`` to fan independent
+branches out over a thread pool (same seed ⇒ byte-identical tables either
+way).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple, Union
 
-from repro.analysis.country import CountryReport, country_distribution
-from repro.analysis.device_type import DeviceTypeReport, identify_device_types
-from repro.analysis.fingerprint import FingerprintReport, HoneypotFingerprinter
-from repro.analysis.infected import InfectedHostsReport, analyze_infected_hosts
-from repro.analysis.misconfig import MisconfigReport, classify_database
-from repro.analysis.multistage import MultistageReport, detect_multistage
-from repro.attacks.schedule import AttackScheduler, ScheduleResult
+from repro.analysis.country import CountryReport
+from repro.analysis.device_type import DeviceTypeReport
+from repro.analysis.fingerprint import FingerprintReport
+from repro.analysis.infected import InfectedHostsReport
+from repro.analysis.misconfig import MisconfigReport
+from repro.analysis.multistage import MultistageReport
+from repro.attacks.schedule import ScheduleResult
 from repro.core.config import StudyConfig
+from repro.core.engine import (
+    PhaseCache,
+    SerialExecutor,
+    StudyEngine,
+    ThreadedExecutor,
+)
+from repro.core.metrics import StudyMetrics
 from repro.core.taxonomy import TrafficClass
-from repro.honeypots.deployment import build_deployment
 from repro.honeypots.base import HoneypotDeployment
 from repro.intel.censysiot import CensysIotDB
 from repro.intel.exonerator import ExoneraTorDB
 from repro.intel.greynoise import GreyNoiseDB
 from repro.intel.virustotal import VirusTotalDB
-from repro.internet.population import Population, PopulationBuilder
+from repro.internet.population import Population
 from repro.net.asn import AsnRegistry
+from repro.net.errors import PhaseOrderError
 from repro.net.geo import GeoRegistry
 from repro.protocols.base import ProtocolId
-from repro.scanner.blocklist import (
-    EU_COUNTRIES,
-    CompositeBlocklist,
-    GeoBlocklist,
-    zmap_default_blocklist,
-)
-from repro.scanner.datasets import project_sonar, shodan
 from repro.scanner.records import ScanDatabase
-from repro.scanner.zmap import InternetScanner
-from repro.telescope.telescope import NetworkTelescope, TelescopeCapture
+from repro.telescope.telescope import TelescopeCapture
 
 __all__ = ["StudyResults", "Study"]
 
@@ -113,7 +119,11 @@ class StudyResults:
     def honeypot_source_split(self, honeypot: str) -> Tuple[int, int, int]:
         """(scanning, malicious, unknown) unique sources for one honeypot —
         Table 7's last columns, computed via rDNS like the paper did."""
-        assert self.schedule is not None
+        if self.schedule is None:
+            raise PhaseOrderError(
+                "honeypot_source_split needs the attack month — "
+                "run_attacks first", missing=("schedule",),
+            )
         sources = self.schedule.log.unique_sources(honeypot=honeypot)
         scanning = malicious = unknown = 0
         for address in sources:
@@ -129,167 +139,142 @@ class StudyResults:
         return scanning, malicious, unknown
 
 
-class Study:
-    """Pipeline driver."""
+#: Facade method → (artifacts it must find materialized, hint) when strict.
+_STRICT_PREREQS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "run_scans": (("population",), "build_world"),
+    "run_fingerprinting": (("merged_db",), "run_scans"),
+    "run_classification": (("merged_db", "fingerprints"),
+                           "run_fingerprinting"),
+    "run_attacks": (("population",), "build_world"),
+    "run_telescope": (("schedule",), "run_attacks"),
+    "build_intel": (("schedule",), "run_attacks"),
+    "run_joins": (("misconfig", "schedule", "telescope", "virustotal"),
+                  "run_telescope and build_intel"),
+}
 
-    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+#: Engine artifact name → StudyResults field (identical today, but kept
+#: explicit so the facade fails loudly if the graph grows a new artifact).
+_RESULT_FIELDS = (
+    "population", "geo", "asn", "zmap_db", "sonar_db", "shodan_db",
+    "merged_db", "fingerprints", "misconfig", "device_types", "countries",
+    "deployment", "schedule", "telescope", "greynoise", "virustotal",
+    "censys_iot", "exonerator", "multistage", "infected",
+)
+
+
+class Study:
+    """Pipeline driver: a facade over :class:`StudyEngine`.
+
+    Parameters
+    ----------
+    config:
+        The study configuration (defaults to paper scales).
+    executor:
+        ``"serial"`` (default), ``"thread"``, or an executor instance —
+        how independent phases of one wave are dispatched.
+    cache:
+        ``None``/``True`` for the process-wide shared phase cache,
+        ``False`` to disable memoization, or a private
+        :class:`~repro.core.engine.PhaseCache` (e.g. with ``directory=``
+        for the persistent on-disk layer).
+    auto_resolve:
+        When True (default), calling any phase method runs its
+        prerequisites automatically; when False, missing prerequisites
+        raise :class:`~repro.net.errors.PhaseOrderError`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        *,
+        executor: Union[None, str, SerialExecutor, ThreadedExecutor] = None,
+        cache: Union[None, bool, PhaseCache] = None,
+        auto_resolve: bool = True,
+    ) -> None:
         self.config = config or StudyConfig()
+        self.auto_resolve = auto_resolve
+        self.engine = StudyEngine(
+            self.config, executor=executor, cache=cache
+        )
         self.results = StudyResults(config=self.config)
+
+    # -- engine plumbing ---------------------------------------------------
+
+    @property
+    def metrics(self) -> StudyMetrics:
+        """Per-phase wall time, cache hits and throughput for this study."""
+        return self.engine.metrics
+
+    def _ensure(self, method: str, *artifacts: str) -> None:
+        if not self.auto_resolve and method in _STRICT_PREREQS:
+            needed, hint = _STRICT_PREREQS[method]
+            missing = [a for a in needed if not self.engine.materialized(a)]
+            if missing:
+                raise PhaseOrderError(
+                    f"{method} requires {', '.join(missing)} — "
+                    f"call {hint} first",
+                    missing=missing,
+                )
+        self.engine.ensure(*artifacts)
+        self._sync()
+
+    def _sync(self) -> None:
+        """Mirror engine artifacts and timings onto :class:`StudyResults`."""
+        for name in _RESULT_FIELDS:
+            if self.engine.materialized(name):
+                setattr(self.results, name, self.engine.artifact(name))
+        self.results.phase_seconds = self.engine.metrics.group_seconds()
 
     # -- phases -----------------------------------------------------------
 
-    def _timed(self, name: str, start: float) -> None:
-        self.results.phase_seconds[name] = time.perf_counter() - start
-
     def build_world(self) -> Population:
         """Phase 1: the scaled Internet."""
-        start = time.perf_counter()
-        population = PopulationBuilder(self.config.population).build()
-        self.results.population = population
-        self.results.geo = GeoRegistry(self.config.seed)
-        self.results.asn = AsnRegistry(self.config.seed)
-        self._timed("world", start)
-        return population
+        self._ensure("build_world", "population", "geo", "asn")
+        return self.results.population
 
     def run_scans(self) -> ScanDatabase:
         """Phase 2: our campaign plus open datasets, merged."""
-        assert self.results.population is not None, "build_world first"
-        start = time.perf_counter()
-        internet = self.results.population.internet
-        blocklist = zmap_default_blocklist()
-        if self.config.use_eu_blocklist:
-            assert self.results.geo is not None
-            blocklist = CompositeBlocklist(
-                [blocklist, GeoBlocklist(self.results.geo, EU_COUNTRIES)]
-            )
-        scanner = InternetScanner(internet, self.config.scan, blocklist)
-        self.results.zmap_db = scanner.run_campaign()
-        merged = self.results.zmap_db
-        if self.config.use_open_datasets:
-            self.results.sonar_db = project_sonar(self.config.seed).snapshot(internet)
-            self.results.shodan_db = shodan(self.config.seed).snapshot(internet)
-            merged = merged.merge(self.results.sonar_db).merge(self.results.shodan_db)
-        self.results.merged_db = merged
-        self._timed("scan", start)
-        return merged
+        self._ensure("run_scans", "merged_db")
+        return self.results.merged_db
 
     def run_fingerprinting(self) -> FingerprintReport:
         """Phase 3: find honeypots hiding in the scan results."""
-        assert self.results.merged_db is not None, "run_scans first"
-        start = time.perf_counter()
-        fingerprinter = HoneypotFingerprinter()
-        report = fingerprinter.fingerprint(self.results.merged_db)
-        if self.config.active_fingerprinting:
-            assert self.results.population is not None
-            report = fingerprinter.active_ssh_probe(
-                self.results.population.internet,
-                (host.address for host in self.results.population.internet.hosts()),
-                report=report,
-            )
-        self.results.fingerprints = report
-        self._timed("fingerprint", start)
-        return report
+        self._ensure("run_fingerprinting", "fingerprints")
+        return self.results.fingerprints
 
     def run_classification(self) -> MisconfigReport:
         """Phase 4: misconfigurations, device types, countries."""
-        assert self.results.merged_db is not None, "run_scans first"
-        assert self.results.fingerprints is not None, "run_fingerprinting first"
-        start = time.perf_counter()
-        self.results.misconfig = classify_database(
-            self.results.merged_db,
-            exclude_addresses=self.results.fingerprints.addresses(),
+        self._ensure(
+            "run_classification", "misconfig", "device_types", "countries"
         )
-        self.results.device_types = identify_device_types(self.results.merged_db)
-        assert self.results.geo is not None
-        self.results.countries = country_distribution(
-            self.results.misconfig.all_addresses(), self.results.geo
-        )
-        self._timed("classify", start)
         return self.results.misconfig
 
     def run_attacks(self) -> ScheduleResult:
         """Phase 5: deploy the lab and simulate the month."""
-        assert self.results.population is not None, "build_world first"
-        start = time.perf_counter()
-        deployment = build_deployment()
-        if self.config.capture_pcap:
-            for honeypot in deployment.honeypots:
-                honeypot.enable_pcap()
-        deployment.attach(self.results.population.internet)
-        scheduler = AttackScheduler(
-            self.results.population.internet,
-            deployment,
-            self.results.population,
-            self.config.attacks,
-        )
-        self.results.deployment = deployment
-        self.results.schedule = scheduler.run()
-        self._timed("attacks", start)
+        self._ensure("run_attacks", "deployment", "schedule")
         return self.results.schedule
 
     def run_telescope(self) -> TelescopeCapture:
         """Phase 6: the darknet capture."""
-        assert self.results.schedule is not None, "run_attacks first"
-        assert self.results.geo is not None and self.results.asn is not None
-        start = time.perf_counter()
-        telescope = NetworkTelescope(
-            self.results.schedule.registry,
-            self.results.geo,
-            self.results.asn,
-            self.config.telescope,
-        )
-        self.results.telescope = telescope.capture_month()
-        self._timed("telescope", start)
+        self._ensure("run_telescope", "telescope")
         return self.results.telescope
 
     def build_intel(self) -> None:
         """Phase 7: populate the threat-intelligence stores."""
-        assert self.results.schedule is not None, "run_attacks first"
-        assert self.results.population is not None
-        start = time.perf_counter()
-        schedule = self.results.schedule
-        self.results.greynoise = GreyNoiseDB.build_from(
-            schedule.registry, self.config.seed
+        self._ensure(
+            "build_intel",
+            "greynoise", "virustotal", "censys_iot", "exonerator",
         )
-        self.results.virustotal = VirusTotalDB.build_from(
-            schedule.registry, schedule.corpus, schedule.rdns, self.config.seed
-        )
-        self.results.censys_iot = CensysIotDB.build_from(
-            self.results.population, self.config.seed
-        )
-        self.results.exonerator = ExoneraTorDB.build_from(schedule.registry)
-        self._timed("intel", start)
 
     def run_joins(self) -> InfectedHostsReport:
         """Phase 8: the cross-experiment analyses."""
-        results = self.results
-        assert results.schedule is not None and results.telescope is not None
-        assert results.misconfig is not None and results.virustotal is not None
-        start = time.perf_counter()
-        results.multistage = detect_multistage(
-            results.schedule.log, results.schedule.rdns
-        )
-        results.infected = analyze_infected_hosts(
-            results.misconfig.all_addresses(),
-            results.schedule.log,
-            results.telescope,
-            results.virustotal,
-            censys=results.censys_iot,
-            rdns=results.schedule.rdns,
-        )
-        self._timed("joins", start)
-        return results.infected
+        self._ensure("run_joins", "multistage", "infected")
+        return self.results.infected
 
     # -- the whole paper ----------------------------------------------------
 
     def run(self) -> StudyResults:
-        """Execute every phase in order and return the results."""
-        self.build_world()
-        self.run_scans()
-        self.run_fingerprinting()
-        self.run_classification()
-        self.run_attacks()
-        self.run_telescope()
-        self.build_intel()
-        self.run_joins()
+        """Execute every phase (independent branches may run concurrently)
+        and return the results."""
+        self._ensure("run", *self.engine.graph.artifacts())
         return self.results

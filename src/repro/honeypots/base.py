@@ -146,6 +146,16 @@ class HoneypotDeployment:
         for honeypot in self.honeypots:
             internet.add_host(honeypot.host())
 
+    def detach(self, internet: SimulatedInternet) -> None:
+        """Remove the lab's addresses from the fabric again.
+
+        The engine detaches after the attack month so a cached world can be
+        reused by scan/fingerprint phases without the lab leaking into their
+        results (logs and honeypot state survive on the deployment itself).
+        """
+        for honeypot in self.honeypots:
+            internet.remove_host(honeypot.address)
+
     def get(self, name: str) -> LabHoneypot:
         """Honeypot by name (KeyError when absent)."""
         return self._by_name[name]

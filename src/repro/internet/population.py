@@ -101,7 +101,10 @@ class PopulationConfig:
     need a gentler scale to keep every product represented).
     """
 
-    seed: int = 7
+    #: ``None`` means "inherit the master :class:`~repro.core.config.
+    #: StudyConfig` seed" (resolving to :data:`~repro.net.prng.DEFAULT_SEED`
+    #: when used standalone).
+    seed: Optional[int] = None
     scale: int = 1024
     honeypot_scale: int = 64
     min_category_count: int = 1

@@ -37,3 +37,22 @@ class ScanError(ReproError):
 
 class ConfigError(ReproError, ValueError):
     """A study or component configuration is invalid."""
+
+
+class PhaseOrderError(ReproError, RuntimeError):
+    """A pipeline phase was requested before its prerequisites ran.
+
+    Replaces the old ``assert results.X is not None, "run_Y first"`` guards
+    in the study driver: unlike ``assert``, this survives ``python -O``, and
+    it carries the missing artifacts so callers (and the CLI) can report
+    exactly which phase to run.
+    """
+
+    def __init__(self, message: str, *, missing=()) -> None:
+        super().__init__(message)
+        #: Artifact names that were required but not yet materialized.
+        self.missing = tuple(missing)
+
+
+class EngineError(ReproError):
+    """The phase graph itself is malformed (cycle, duplicate provider)."""

@@ -17,20 +17,30 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, List, Sequence, TypeVar
+from typing import Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["RandomStream", "derive_seed"]
+__all__ = ["DEFAULT_SEED", "RandomStream", "derive_seed", "resolve_seed"]
+
+#: The study-wide default seed.  Sub-configs use ``seed=None`` as an
+#: "inherit from the master config" sentinel; a bare ``None`` reaching a
+#: stream resolves here so standalone components stay usable.
+DEFAULT_SEED = 7
 
 
-def derive_seed(seed: int, name: str) -> int:
+def resolve_seed(seed: Optional[int]) -> int:
+    """Collapse the ``None`` inherit-sentinel to the concrete default."""
+    return DEFAULT_SEED if seed is None else seed
+
+
+def derive_seed(seed: Optional[int], name: str) -> int:
     """Derive a 64-bit child seed from a parent ``seed`` and a stream ``name``.
 
     The derivation is stable across Python versions and platforms (it does not
     rely on ``hash()``, which is salted).
     """
-    payload = f"{seed}:{name}".encode("utf-8")
+    payload = f"{resolve_seed(seed)}:{name}".encode("utf-8")
     digest = hashlib.sha256(payload).digest()
     return int.from_bytes(digest[:8], "big")
 
@@ -46,10 +56,10 @@ class RandomStream:
         A dotted path identifying the consumer, e.g. ``"population.mqtt"``.
     """
 
-    def __init__(self, seed: int, name: str) -> None:
-        self.seed = seed
+    def __init__(self, seed: Optional[int], name: str) -> None:
+        self.seed = resolve_seed(seed)
         self.name = name
-        self._rng = random.Random(derive_seed(seed, name))
+        self._rng = random.Random(derive_seed(self.seed, name))
 
     def child(self, suffix: str) -> "RandomStream":
         """Return an independent sub-stream named ``<name>.<suffix>``."""

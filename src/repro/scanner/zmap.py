@@ -72,7 +72,8 @@ class ScanConfig:
     )
     #: Retries per UDP probe (UDP loss is otherwise unrecoverable).
     udp_retries: int = 1
-    seed: int = 7
+    #: ``None`` inherits the master study seed.
+    seed: Optional[int] = None
 
 
 class InternetScanner:

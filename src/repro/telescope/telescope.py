@@ -58,7 +58,8 @@ PAPER_TELESCOPE: Dict[ProtocolId, Tuple[int, int, int]] = {
 class TelescopeConfig:
     """Telescope generation knobs."""
 
-    seed: int = 7
+    #: ``None`` inherits the master study seed.
+    seed: Optional[int] = None
     days: int = 30
     dark_prefix: str = "44.0.0.0/8"
     #: Source-count scale for Telnet (its 85.6 M unique IPs need a much

@@ -92,6 +92,63 @@ class TestCommands:
         assert first == second
 
 
+class TestEngineFlags:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_metrics_json_to_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code, _ = self._run(
+            ["scan", "--quick", "--metrics-json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["executor"] == "serial"
+        phases = {p["phase"] for p in payload["phases"]}
+        assert {"world", "zmap", "sonar", "shodan", "merge"} <= phases
+        assert "scan" in payload["group_seconds"]
+
+    def test_metrics_json_to_stdout(self):
+        code, text = self._run(
+            ["attacks", "--quick", "--days", "5", "--metrics-json", "-"]
+        )
+        assert code == 0
+        assert '"cache_hits"' in text
+
+    def test_threads_output_matches_serial(self):
+        _, serial = self._run(["scan", "--quick", "--seed", "6",
+                               "--no-cache"])
+        _, threaded = self._run(["scan", "--quick", "--seed", "6",
+                                 "--no-cache", "--threads"])
+        assert serial == threaded
+
+    def test_cache_dir_reused_across_invocations(self, tmp_path):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        self._run(["scan", "--quick", "--seed", "8", "--cache-dir",
+                   cache_dir, "--metrics-json", str(first)])
+        self._run(["scan", "--quick", "--seed", "8", "--cache-dir",
+                   cache_dir, "--metrics-json", str(second)])
+        assert json.loads(first.read_text())["cache_hits"] == 0
+        assert json.loads(second.read_text())["cache_misses"] == 0
+
+    def test_config_error_exit_code(self, capsys):
+        code, _ = self._run(["scan", "--quick", "--scale", "-4"])
+        assert code == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_negative_seed_exit_code(self):
+        code, _ = self._run(["run", "--quick", "--seed", "-3"])
+        assert code == 2
+
+
 class TestRunCommand:
     def test_run_quick_prints_every_artifact(self):
         import io
