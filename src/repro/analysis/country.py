@@ -10,8 +10,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
 from repro.net.geo import GeoRegistry
+from repro.scanner.records import ScanDatabase
 
-__all__ = ["CountryReport", "country_distribution"]
+__all__ = ["CountryReport", "country_distribution", "country_distribution_of"]
 
 
 @dataclass
@@ -43,3 +44,15 @@ class CountryReport:
 def country_distribution(addresses: Iterable[int], geo: GeoRegistry) -> CountryReport:
     """Roll addresses up into a per-country report."""
     return CountryReport(counts=geo.histogram(addresses))
+
+
+def country_distribution_of(
+    database: ScanDatabase, geo: GeoRegistry, *, misconfigured: bool = True
+) -> CountryReport:
+    """Table 10 straight from a scan database.
+
+    Filters with the typed query API (``db.where(misconfigured=True)``)
+    and geolocates the distinct responding addresses.
+    """
+    subset = database.where(misconfigured=misconfigured)
+    return country_distribution(subset.unique_hosts(), geo)

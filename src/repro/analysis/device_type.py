@@ -103,18 +103,20 @@ def identify_device_types(
     """Tag every record and aggregate the Figure 2 mix."""
     engine = engine or TagEngine(build_device_signatures())
     report = DeviceTypeReport()
+    # Dedup on (address, protocol) with one pass over the raw columns —
+    # only first-seen rows pay for a row view and signature matching.
     seen: set = set()
-    for record in database:
-        key = (record.address, record.protocol)
+    keys = zip(database.column("address"), database.column("protocol"))
+    for index, key in enumerate(keys):
         if key in seen:
             continue
         seen.add(key)
-        tagged = engine.tag_record(record)
+        tagged = engine.tag_record(database.row(index))
         device_type = tagged.tag(_NAMESPACE_TYPE)
         if device_type is None:
             report.unidentified += 1
             continue
         report.identified += 1
-        protocol_counts = report.counts.setdefault(record.protocol, {})
+        protocol_counts = report.counts.setdefault(key[1], {})
         protocol_counts[device_type] = protocol_counts.get(device_type, 0) + 1
     return report

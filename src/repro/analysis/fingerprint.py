@@ -110,10 +110,13 @@ class HoneypotFingerprinter:
         report = FingerprintReport(
             detections={signature.honeypot: set() for signature in self.signatures}
         )
-        for record in database:
-            name = self.fingerprint_record(record)
+        # Only rows of fingerprintable protocols can match; the typed
+        # query skips the rest without building row views for them.
+        protocols = {signature.protocol for signature in self.signatures}
+        for row in database.where(protocol=protocols).iter_rows():
+            name = self.fingerprint_record(row)
             if name is not None:
-                report.detections.setdefault(name, set()).add(record.address)
+                report.detections.setdefault(name, set()).add(row.address)
         return report
 
     def active_ssh_probe(

@@ -211,10 +211,10 @@ def classify_database(
     report = MisconfigReport(
         hosts_by_class={label: set() for label in MISCONFIG_PROTOCOL}
     )
-    for record in database:
-        if record.address in exclude:
+    for row in database.iter_rows():
+        if row.address in exclude:
             continue
-        label = classify_record(record)
+        label = classify_record(row)
         if label != Misconfig.NONE:
-            report.hosts_by_class[label].add(record.address)
+            report.hosts_by_class[label].add(row.address)
     return report

@@ -28,6 +28,7 @@ from repro.attacks.payloads import build_payloads
 from repro.attacks.scanning_services import SCANNING_SERVICES, ScanningService
 from repro.core.scaling import apportion, scale_count
 from repro.core.taxonomy import AttackType, TrafficClass
+from repro.net.compat import DATACLASS_KW_ONLY
 from repro.honeypots.base import HoneypotDeployment, LabHoneypot
 from repro.honeypots.events import EventLog
 from repro.internet.fabric import SimulatedInternet
@@ -145,7 +146,7 @@ MULTISTAGE_SEQUENCES: List[Tuple[Tuple[ProtocolId, ...], float]] = [
 DOS_SPIKE_DAYS = (23, 25)
 
 
-@dataclass
+@dataclass(**DATACLASS_KW_ONLY)
 class AttackScheduleConfig:
     """Scheduler knobs."""
 
@@ -164,6 +165,10 @@ class AttackScheduleConfig:
     dos_spike_fraction: float = 0.35
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.net.errors.ConfigError` on invalid knobs."""
         if self.attack_scale < 1:
             raise ConfigError("attack_scale must be >= 1")
         if not 0 < self.scanning_share < 1:

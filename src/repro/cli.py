@@ -13,9 +13,12 @@ experiment without writing Python:
 All commands accept ``--seed`` and the scale knobs, so campaigns are
 reproducible from the shell line alone, plus the engine knobs:
 ``--threads`` (parallel phase execution — same bytes out, less wall time),
+``--shards K`` (concurrent scan shards per protocol sweep — also byte
+identical for every K, with per-shard timings in the metrics),
 ``--cache-dir PATH`` (persistent on-disk phase cache shared across
 invocations), ``--no-cache``, and ``--metrics-json PATH`` (per-phase wall
-time, cache hits and throughput as JSON, for scripted campaigns).
+time, cache hits, shard timings and throughput as JSON, for scripted
+campaigns).
 
 Exit codes are stable for shell scripting: 0 on success, 2 for an invalid
 configuration (:class:`~repro.net.errors.ConfigError`; argparse usage
@@ -78,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--threads", action="store_true",
                          help="run independent phases on a thread pool "
                               "(byte-identical output, less wall time)")
+        sub.add_argument("--shards", type=int, default=1, metavar="K",
+                         help="concurrent address shards per protocol scan "
+                              "(byte-identical output for every K; "
+                              "default 1)")
         sub.add_argument("--no-cache", action="store_true",
                          help="disable phase-artifact memoization")
         sub.add_argument("--cache-dir", metavar="PATH", default="",
@@ -143,6 +150,9 @@ def _config(args) -> StudyConfig:
         config.attacks.days = args.days
     if getattr(args, "eu_blocklist", False):
         config.use_eu_blocklist = True
+    if getattr(args, "shards", 1) != 1:
+        config.scan.shards = args.shards
+        config.scan.validate()  # ConfigError -> exit code 2
     return config
 
 

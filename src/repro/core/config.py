@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from repro.attacks.schedule import AttackScheduleConfig
 from repro.internet.population import PopulationConfig
+from repro.net.compat import DATACLASS_KW_ONLY
 from repro.net.errors import ConfigError
 from repro.net.prng import DEFAULT_SEED
 from repro.scanner.zmap import ScanConfig
@@ -22,14 +23,19 @@ from repro.telescope.telescope import TelescopeConfig
 __all__ = ["StudyConfig"]
 
 
-@dataclass
+@dataclass(**DATACLASS_KW_ONLY)
 class StudyConfig:
-    """Everything a full study run needs.
+    """Everything a full study run needs (keyword-only on Python 3.10+).
 
     ``seed`` is folded into every sub-config whose seed is left at the
     ``None`` inherit-sentinel, so a single integer pins the whole world.
     Passing an explicit integer to a sub-config always wins — including
     an explicit ``7``, which older releases silently overwrote.
+
+    Every config in the tree exposes ``validate()`` raising the typed
+    :class:`~repro.net.errors.ConfigError` (the CLI's exit-code-2 path);
+    construction validates automatically, and callers who mutate a config
+    afterwards can re-validate explicitly.
     """
 
     seed: int = 7
@@ -48,8 +54,7 @@ class StudyConfig:
     capture_pcap: bool = False
 
     def __post_init__(self) -> None:
-        if self.seed < 0:
-            raise ConfigError("seed must be non-negative")
+        self.validate()
         # Propagate the master seed into sub-configs left at the inherit
         # sentinel.  The pre-1.1 rule overwrote any sub-seed equal to the
         # legacy default (7) whenever the master differed, so it could not
@@ -67,6 +72,20 @@ class StudyConfig:
                     DeprecationWarning,
                     stacklevel=3,
                 )
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.net.errors.ConfigError` on invalid knobs.
+
+        Sub-configs validate themselves at construction; this re-checks
+        them too, so a config mutated after construction (e.g. by CLI flag
+        application) can be revalidated in one call.
+        """
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
+        for sub in (self.population, self.scan, self.attacks, self.telescope):
+            validate = getattr(sub, "validate", None)
+            if validate is not None:
+                validate()
 
     @classmethod
     def quick(cls, seed: int = 7) -> "StudyConfig":

@@ -609,7 +609,9 @@ def _phase_zmap(engine: StudyEngine) -> Dict[str, object]:
     scanner = InternetScanner(
         population.internet, engine.config.scan, blocklist
     )
-    return {"zmap_db": scanner.run_campaign()}
+    database = scanner.run_campaign()
+    engine.metrics.record_shards(scanner.shard_timings)
+    return {"zmap_db": database}
 
 
 def _phase_sonar(engine: StudyEngine) -> Dict[str, object]:
@@ -798,15 +800,13 @@ def _count_telescope(artifacts: Dict[str, object]) -> Optional[int]:
 def build_study_graph(config: StudyConfig) -> PhaseGraph:
     """The paper's methodology as a :class:`PhaseGraph`.
 
-    Registration order is the canonical serial order; the only config
-    dependence is the ``fabric.loss`` resource, which serialises the three
-    scan snapshots whenever probe loss makes them share the fabric's loss
-    stream.
+    Registration order is the canonical serial order.  The three scan
+    snapshots used to serialise on a ``fabric.loss`` resource when probe
+    loss was drawn from a shared sequential stream; loss verdicts are now
+    keyed per probe flow (:class:`~repro.internet.fabric.ProbeLossModel`),
+    so concurrent scan phases cannot perturb each other and need no
+    resource fencing.
     """
-    scan_resources: Tuple[str, ...] = ()
-    if config.population.loss_rate > 0:
-        scan_resources = ("fabric.loss",)
-
     graph = PhaseGraph()
     graph.register(PhaseSpec(
         name="world", provides=("population", "geo", "asn"),
@@ -814,17 +814,17 @@ def build_study_graph(config: StudyConfig) -> PhaseGraph:
     ))
     graph.register(PhaseSpec(
         name="zmap", provides=("zmap_db",),
-        requires=("population", "geo"), resources=scan_resources,
+        requires=("population", "geo"),
         group="scan", run=_phase_zmap, count=_count_db("zmap_db"),
     ))
     graph.register(PhaseSpec(
         name="sonar", provides=("sonar_db",),
-        requires=("population",), resources=scan_resources,
+        requires=("population",),
         group="scan", run=_phase_sonar, count=_count_db("sonar_db"),
     ))
     graph.register(PhaseSpec(
         name="shodan", provides=("shodan_db",),
-        requires=("population",), resources=scan_resources,
+        requires=("population",),
         group="scan", run=_phase_shodan, count=_count_db("shodan_db"),
     ))
     graph.register(PhaseSpec(

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
+
+from repro.scanner.shard import ShardTiming
 
 __all__ = ["PhaseMetric", "StudyMetrics"]
 
@@ -66,11 +68,17 @@ class StudyMetrics:
 
     executor: str = "serial"
     phases: List[PhaseMetric] = field(default_factory=list)
+    #: Per-(protocol, shard) scan timings from sharded campaigns.
+    shards: List[ShardTiming] = field(default_factory=list)
 
     # -- recording --------------------------------------------------------
 
     def record(self, metric: PhaseMetric) -> None:
         self.phases.append(metric)
+
+    def record_shards(self, timings: Iterable[ShardTiming]) -> None:
+        """Attach the scanner's per-shard wall-time rows."""
+        self.shards.extend(timings)
 
     # -- aggregate views --------------------------------------------------
 
@@ -111,6 +119,7 @@ class StudyMetrics:
                 for group, seconds in self.group_seconds().items()
             },
             "phases": [metric.to_dict() for metric in self.phases],
+            "shards": [timing.to_dict() for timing in self.shards],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -134,4 +143,15 @@ class StudyMetrics:
             f"total {self.wall_seconds:.3f}s over {len(self.phases)} phases "
             f"({self.cache_hits} cached) via {self.executor} executor"
         )
+        if self.shards:
+            lines.append("")
+            lines.append(f"{'scan shard':<18} {'seconds':>9} {'records':>9} "
+                         f"{'probes':>9} {'rec/s':>12}")
+            for timing in self.shards:
+                label = f"{timing.protocol}#{timing.shard}"
+                lines.append(
+                    f"{label:<18} {timing.seconds:>9.3f} "
+                    f"{timing.records:>9,} {timing.probes:>9,} "
+                    f"{timing.records_per_second:>12,.0f}"
+                )
         return "\n".join(lines)

@@ -15,19 +15,73 @@ It offers the two primitives the study needs:
 A configurable probe-loss rate models the packet loss an Internet-wide scan
 actually suffers (ZMap's coverage is famously <100%); it is an ablation knob
 in the benchmarks.
+
+Loss is *order-independent*: each probe's fate is a pure function of
+``(loss seed, src, dst, port, kind, attempt#)`` via
+:func:`~repro.net.prng.keyed_uniform`, not a draw from a shared sequential
+stream.  Interleaving probes differently — scan shards racing each other,
+phases running on a thread pool — can therefore never change which probes
+are lost, which is the foundation of the sharded scanner's byte-identical
+guarantee.  Retries still make progress because the per-flow attempt
+counter advances the key.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.internet.host import SimulatedHost
 from repro.net.errors import ConnectionRefused, HostUnreachable
-from repro.net.prng import RandomStream
+from repro.net.prng import RandomStream, keyed_uniform
+
 from repro.protocols.base import ProtocolServer, ServerReply, Session
 
-__all__ = ["TcpConnection", "SimulatedInternet"]
+__all__ = ["TcpConnection", "ProbeLossModel", "SimulatedInternet"]
+
+
+class ProbeLossModel:
+    """Keyed (order-independent) probe-loss decisions.
+
+    ``lost(src, dst, port, kind)`` answers whether this probe vanishes.
+    Each distinct flow ``(src, dst, port, kind)`` carries an attempt
+    counter so retries of the same probe get fresh, independent verdicts;
+    the verdict for attempt *n* of a flow is identical no matter how probes
+    from other flows interleave with it.
+    """
+
+    def __init__(self, rate: float, seed: int, name: str = "fabric.loss") -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.rate = rate
+        self.seed = seed
+        self.name = name
+        self._attempts: Dict[Tuple[int, int, int, str], int] = {}
+        self._lock = threading.Lock()
+
+    def lost(self, src: int, dst: int, port: int, kind: str) -> bool:
+        """Draw this probe's fate and advance the flow's attempt counter."""
+        if self.rate <= 0:
+            return False
+        flow = (src, dst, port, kind)
+        with self._lock:
+            attempt = self._attempts.get(flow, 0)
+            self._attempts[flow] = attempt + 1
+        return keyed_uniform(
+            self.seed, self.name, src, dst, port, kind, attempt
+        ) < self.rate
+
+    # The model travels inside pickled phase artifacts (the engine's disk
+    # cache stores whole worlds); locks do not pickle, so rebuild one.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 @dataclass
@@ -65,12 +119,19 @@ class SimulatedInternet:
         *,
         loss_rate: float = 0.0,
         loss_stream: Optional[RandomStream] = None,
+        loss_model: Optional[ProbeLossModel] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self._hosts: Dict[int, SimulatedHost] = {}
         self.loss_rate = loss_rate
-        self._loss_stream = loss_stream or RandomStream(0, "fabric.loss")
+        # ``loss_stream`` used to be consumed sequentially; its (seed, name)
+        # identity now keys the order-independent loss model instead, so a
+        # caller pinning a stream still gets a fully deterministic fabric.
+        if loss_model is None:
+            anchor = loss_stream or RandomStream(0, "fabric.loss")
+            loss_model = ProbeLossModel(loss_rate, anchor.seed, anchor.name)
+        self.loss_model = loss_model
         #: Observers called for every connection attempt: (src, dst, port,
         #: kind) where kind is "tcp" or "udp".  The telescope and honeypot
         #: bookkeeping attach here.
@@ -106,8 +167,8 @@ class SimulatedInternet:
 
     # -- data plane ----------------------------------------------------------
 
-    def _lost(self) -> bool:
-        return self.loss_rate > 0 and self._loss_stream.bernoulli(self.loss_rate)
+    def _lost(self, src: int, dst: int, port: int, kind: str) -> bool:
+        return self.loss_rate > 0 and self.loss_model.lost(src, dst, port, kind)
 
     def _notify(self, src: int, dst: int, port: int, kind: str) -> None:
         for observer in self.observers:
@@ -121,7 +182,7 @@ class SimulatedInternet:
         and :class:`ConnectionRefused` when the host has no listener (RST).
         """
         self._notify(src, dst, port, "tcp")
-        if self._lost():
+        if self._lost(src, dst, port, "tcp"):
             raise HostUnreachable(f"probe to {dst}:{port} lost")
         host = self._hosts.get(dst)
         if host is None:
@@ -135,7 +196,35 @@ class SimulatedInternet:
             peer_port=port,
             server=server,
             session=session,
-            banner=server.banner(),
+            banner=server.accept(session),
+        )
+
+    def try_tcp_connect(
+        self, src: int, dst: int, port: int
+    ) -> Optional[TcpConnection]:
+        """Exception-free handshake: None when nothing answers.
+
+        Semantically identical to :meth:`tcp_connect` (same observer
+        notification, same loss draw) but returns ``None`` instead of
+        raising — the scanner's hot sweep loop uses it, since to a prober
+        "lost", "dark" and "refused" are all just silence.
+        """
+        self._notify(src, dst, port, "tcp")
+        if self._lost(src, dst, port, "tcp"):
+            return None
+        host = self._hosts.get(dst)
+        if host is None:
+            return None
+        server = host.service_on(port)
+        if server is None:
+            return None
+        session = server.open_session(peer=src)
+        return TcpConnection(
+            peer_address=dst,
+            peer_port=port,
+            server=server,
+            session=session,
+            banner=server.accept(session),
         )
 
     def measure_rtt(
@@ -164,7 +253,7 @@ class SimulatedInternet:
         UDP scanning.
         """
         self._notify(src, dst, port, "udp")
-        if self._lost():
+        if self._lost(src, dst, port, "udp"):
             return None
         host = self._hosts.get(dst)
         if host is None:

@@ -31,6 +31,7 @@ from repro.internet.wild_honeypots import (
     build_wild_honeypot_server,
 )
 from repro.net.errors import ConfigError
+from repro.net.compat import DATACLASS_KW_ONLY
 from repro.net.ipv4 import AddressAllocator, CidrBlock
 from repro.net.latency import honeypot_latency, real_device_latency
 from repro.net.prng import RandomStream
@@ -92,7 +93,7 @@ EXTENSION_MISCONFIG_COUNTS: Dict[Misconfig, int] = {
 }
 
 
-@dataclass
+@dataclass(**DATACLASS_KW_ONLY)
 class PopulationConfig:
     """Knobs controlling world generation.
 
@@ -117,10 +118,16 @@ class PopulationConfig:
     include_extended: bool = False
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.net.errors.ConfigError` on invalid knobs."""
         if self.scale < 1 or self.honeypot_scale < 1:
             raise ConfigError("scales must be >= 1")
         if not 0.0 <= self.telnet_alt_port_fraction <= 1.0:
             raise ConfigError("telnet_alt_port_fraction must be in [0, 1]")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigError("loss_rate must be in [0, 1)")
 
 
 @dataclass

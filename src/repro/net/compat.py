@@ -1,0 +1,20 @@
+"""Small version-compatibility shims shared by the config dataclasses.
+
+The project supports Python 3.9 (the CI floor) while using 3.10+ dataclass
+features where available.  ``DATACLASS_KW_ONLY`` expands to
+``{"kw_only": True}`` on interpreters that support it, so config classes
+are keyword-only everywhere the feature exists and degrade gracefully (but
+stay constructible) on 3.9.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+__all__ = ["DATACLASS_KW_ONLY"]
+
+#: ``@dataclass(**DATACLASS_KW_ONLY)`` — keyword-only fields on 3.10+.
+DATACLASS_KW_ONLY: Dict[str, Any] = (
+    {"kw_only": True} if sys.version_info >= (3, 10) else {}
+)

@@ -11,17 +11,44 @@ consumer owns its own stream.
 The implementation hashes ``(seed, name)`` with SHA-256 and feeds the digest
 into :class:`random.Random`, which is more than adequate statistically for a
 simulation (we do not need cryptographic randomness, we need stability).
+
+Two spawning styles coexist:
+
+* :meth:`RandomStream.child` — the original dotted-name derivation, for
+  singleton consumers wired up at construction time;
+* :meth:`RandomStream.derive` — SplitMix-style *key-based* spawning for
+  fan-out consumers (scan shards, per-probe decisions).  A derived stream
+  is a pure function of ``(seed, name, key parts)``: it does not matter how
+  many draws the parent or any sibling has made, nor in which order shards
+  ask for their streams.  This is what lets K scan shards run concurrently
+  and still reproduce the serial byte stream exactly.
+
+:func:`keyed_uniform` is the stateless end of the same idea: one uniform
+float fully determined by a key, with no stream object at all — the fabric
+loss model uses it so that packet-loss verdicts are independent of the
+order probes happen to traverse the fabric.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import Iterable, List, Optional, Sequence, TypeVar, Union
 
 T = TypeVar("T")
+KeyPart = Union[int, str]
 
-__all__ = ["DEFAULT_SEED", "RandomStream", "derive_seed", "resolve_seed"]
+__all__ = [
+    "DEFAULT_SEED",
+    "RandomStream",
+    "derive_seed",
+    "derive_key_seed",
+    "keyed_uniform",
+    "resolve_seed",
+    "splitmix64",
+]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
 
 #: The study-wide default seed.  Sub-configs use ``seed=None`` as an
 #: "inherit from the master config" sentinel; a bare ``None`` reaching a
@@ -45,6 +72,53 @@ def derive_seed(seed: Optional[int], name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def splitmix64(state: int) -> int:
+    """One SplitMix64 output step (Steele et al., the JDK's splittable PRNG).
+
+    Used as the mixing function for key-based stream derivation: it is
+    cheap, stable across platforms, and avalanches every input bit.
+    """
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _mix_part(state: int, part: KeyPart) -> int:
+    """Fold one key part into the mixer state."""
+    if isinstance(part, bool):  # bool is an int subclass; keep it distinct
+        part = 0x42 + int(part)
+    if isinstance(part, int):
+        return splitmix64(state ^ (part & _MASK64) ^ ((part >> 64) & _MASK64))
+    digest = hashlib.sha256(str(part).encode("utf-8")).digest()
+    return splitmix64(state ^ int.from_bytes(digest[:8], "big"))
+
+
+def derive_key_seed(seed: Optional[int], name: str, *key: KeyPart) -> int:
+    """A 64-bit seed fully determined by ``(seed, name, key parts)``.
+
+    Unlike sequential ``spawn`` designs, the derivation consumes no parent
+    state: deriving keys in any order (or concurrently) yields the same
+    seeds, which is the property the sharded scanner's determinism test
+    pins down.
+    """
+    state = derive_seed(seed, name)
+    for part in key:
+        state = _mix_part(state, part)
+    return splitmix64(state)
+
+
+def keyed_uniform(seed: Optional[int], name: str, *key: KeyPart) -> float:
+    """One uniform float in [0, 1) addressed purely by a key.
+
+    The float is the 53-bit mantissa fraction of the derived seed, so two
+    calls with equal keys always agree and calls with different keys are
+    statistically independent — a random *function*, not a random stream.
+    """
+    return (derive_key_seed(seed, name, *key) >> 11) / float(1 << 53)
+
+
 class RandomStream:
     """A named, deterministic random stream.
 
@@ -64,6 +138,23 @@ class RandomStream:
     def child(self, suffix: str) -> "RandomStream":
         """Return an independent sub-stream named ``<name>.<suffix>``."""
         return RandomStream(self.seed, f"{self.name}.{suffix}")
+
+    def derive(self, *key: KeyPart) -> "RandomStream":
+        """Key-derived sub-stream — SplitMix-style stable spawning.
+
+        ``stream.derive("telnet", 3)`` is a pure function of the stream's
+        ``(seed, name)`` identity and the key parts: independent of every
+        draw made from this stream or its other children, and of the order
+        sibling derivations happen.  Use it wherever consumers fan out
+        dynamically (one stream per scan shard, per protocol, per host).
+        """
+        derived = RandomStream.__new__(RandomStream)
+        derived.seed = self.seed
+        derived.name = f"{self.name}[{','.join(str(part) for part in key)}]"
+        derived._rng = random.Random(
+            derive_key_seed(self.seed, self.name, *key)
+        )
+        return derived
 
     # -- thin, typed wrappers over random.Random -------------------------
 

@@ -129,12 +129,37 @@ class ProtocolServer(abc.ABC):
     """One listening service on one simulated host.
 
     Subclasses implement the wire behaviour; the base class fixes the
-    interaction contract used by the simulated TCP/UDP fabric:
+    single probe surface used by the simulated TCP/UDP fabric and the
+    scanner (which no longer branches per protocol):
 
-    * :meth:`banner` — bytes volunteered immediately after a TCP accept
-      (empty for UDP services and silent TCP services);
-    * :meth:`handle` — reply to one inbound application-layer message in the
-      context of a :class:`Session`.
+    * :meth:`accept` — called exactly once when a TCP connection is
+      established; returns the bytes the server volunteers unprompted
+      (the banner) and may initialise :class:`Session` state.  UDP
+      services are never "accepted" — their first event is a datagram
+      delivered straight to :meth:`handle`.
+    * :meth:`handle` — reply to one inbound application-layer message in
+      the context of a :class:`Session`.
+
+    ``ServerReply.close`` semantics, uniform across protocols:
+
+    ========================  =============================================
+    ``close``                 meaning
+    ========================  =============================================
+    ``False`` (default)       session stays open; further ``handle`` calls
+                              continue the same dialogue
+    ``True`` with ``data``    reply bytes are delivered, *then* the server
+                              tears the connection down (FTP ``221``,
+                              Telnet ``Login incorrect``, AMQP header
+                              rejection, XMPP stream errors)
+    ``True`` without ``data``  silent teardown — a RST/FIN with no
+                              application bytes (SSH protocol mismatch,
+                              SMB rejecting an unknown dialect, services
+                              dropping garbage input)
+    ========================  =============================================
+
+    After a closing reply the fabric marks the :class:`TcpConnection`
+    closed; any further ``send`` raises ``ConnectionRefused``.  For UDP,
+    ``close`` is meaningless and ignored (there is no connection).
     """
 
     protocol: ProtocolId
@@ -142,6 +167,15 @@ class ProtocolServer(abc.ABC):
     @abc.abstractmethod
     def banner(self) -> bytes:
         """Bytes sent unprompted on connection establishment."""
+
+    def accept(self, session: Session) -> bytes:
+        """TCP accept hook: the unprompted greeting for this connection.
+
+        The default returns :meth:`banner`; stateful servers may override
+        to stamp ``session`` (e.g. advance a login state machine) while
+        keeping the banner bytes identical for every peer.
+        """
+        return self.banner()
 
     @abc.abstractmethod
     def handle(self, request: bytes, session: Session) -> ServerReply:

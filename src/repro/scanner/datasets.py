@@ -97,13 +97,12 @@ class DatasetProvider:
                 ),
                 host_filter=included.__contains__,
             )
-            records = scanner.scan_protocol(protocol)
+            snapshot = scanner.run_campaign()
             restrictions = (self.port_restrictions or {}).get(protocol)
-            for record in records:
-                if restrictions is not None and record.port not in restrictions:
-                    continue
-                record.source = self.name
-                database.add(record)
+            if restrictions is not None:
+                snapshot = snapshot.where(port=restrictions)
+            snapshot.set_source(self.name)
+            database.extend(snapshot.iter_rows())
         return database
 
 

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.net.errors import ConfigError
 from repro.protocols.base import DEFAULT_PORTS, ProtocolId, TransportKind, transport_of
-from repro.scanner.zmap import SCAN_START_DAY
+from repro.scanner.zmap import SCAN_START_DAY, scan_start_day
 
 __all__ = ["ScanRatePlan", "ScanRateModel", "ROUTABLE_IPV4_ADDRESSES"]
 
@@ -104,7 +104,7 @@ class ScanRateModel:
             probes=probes,
             sweep_seconds=sweep_seconds,
             grab_seconds=grab_seconds,
-            start_day=SCAN_START_DAY.get(protocol, 0),
+            start_day=scan_start_day(protocol),
         )
 
     def plan_campaign(

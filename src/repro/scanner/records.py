@@ -2,20 +2,79 @@
 
 The paper stores "IP address, port, response, banner" per responding host
 "in a database for further analysis" (Section 3.1.1).  :class:`ScanRecord`
-is that row; :class:`ScanDatabase` is the store with the query surface the
-analysis stages need (per protocol, per address, joins against other data).
+is that row as a standalone value; :class:`ScanDatabase` is the store.
+
+Storage is *columnar*: the database keeps parallel columns (compact
+``array`` columns for the numeric fields, lists for the byte payloads)
+instead of one Python object per record.  Iteration yields lightweight
+slotted :class:`ScanRow` views that read and write straight through to the
+columns, so the object-per-row API survives while memory stays flat and
+bulk queries scan contiguous arrays.
+
+The query surface the analysis stages use:
+
+* :meth:`ScanDatabase.where` — typed column filters,
+  ``db.where(protocol=ProtocolId.MQTT, misconfigured=True)``;
+* :meth:`ScanDatabase.count_by` — grouped counts,
+  ``db.count_by("protocol", unique="address")``;
+* :meth:`ScanDatabase.iter_rows` / :meth:`ScanDatabase.column` — row views
+  and raw column access for tight loops.
+
+``.records`` survives as a deprecated property so external one-liners keep
+working for one release cycle.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+import warnings
+from array import array
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Union,
+)
 
 from repro.net.ipv4 import int_to_ip
 from repro.protocols.base import ProtocolId, TransportKind
 
-__all__ = ["ScanRecord", "ScanDatabase"]
+__all__ = ["ScanRecord", "ScanRow", "ScanDatabase"]
+
+#: Fields every record-like object (ScanRecord, ScanRow, duck-typed rows)
+#: carries, in canonical column order.
+_FIELDS = (
+    "address",
+    "port",
+    "protocol",
+    "transport",
+    "banner",
+    "response",
+    "timestamp",
+    "source",
+)
+
+
+def _record_json(record: Any) -> str:
+    """One JSONL row (bytes hex-encoded) for any record-like object."""
+    return json.dumps(
+        {
+            "ip": int_to_ip(record.address),
+            "port": record.port,
+            "protocol": str(record.protocol),
+            "transport": record.transport.value,
+            "banner": record.banner.hex(),
+            "response": record.response.hex(),
+            "timestamp": record.timestamp,
+            "source": record.source,
+        }
+    )
 
 
 @dataclass
@@ -50,66 +109,377 @@ class ScanRecord:
 
     def to_json(self) -> str:
         """One JSONL row (bytes hex-encoded)."""
-        return json.dumps(
-            {
-                "ip": self.address_text,
-                "port": self.port,
-                "protocol": str(self.protocol),
-                "transport": self.transport.value,
-                "banner": self.banner.hex(),
-                "response": self.response.hex(),
-                "timestamp": self.timestamp,
-                "source": self.source,
-            }
+        return _record_json(self)
+
+
+class ScanRow:
+    """A slotted view of one database row.
+
+    Reads come straight from the columns; attribute writes go straight
+    back, so legacy code mutating ``record.source`` keeps working against
+    the columnar store.  Rows compare equal to any record-like object with
+    the same field values (including :class:`ScanRecord`).
+    """
+
+    __slots__ = ("_db", "_i")
+
+    def __init__(self, db: "ScanDatabase", index: int) -> None:
+        object.__setattr__(self, "_db", db)
+        object.__setattr__(self, "_i", index)
+
+    # -- column-backed attributes ---------------------------------------
+
+    @property
+    def address(self) -> int:
+        return self._db._addresses[self._i]
+
+    @address.setter
+    def address(self, value: int) -> None:
+        self._db._addresses[self._i] = value
+
+    @property
+    def port(self) -> int:
+        return self._db._ports[self._i]
+
+    @port.setter
+    def port(self, value: int) -> None:
+        self._db._ports[self._i] = value
+
+    @property
+    def protocol(self) -> ProtocolId:
+        return self._db._protocols[self._i]
+
+    @protocol.setter
+    def protocol(self, value: ProtocolId) -> None:
+        self._db._protocols[self._i] = value
+
+    @property
+    def transport(self) -> TransportKind:
+        return self._db._transports[self._i]
+
+    @transport.setter
+    def transport(self, value: TransportKind) -> None:
+        self._db._transports[self._i] = value
+
+    @property
+    def banner(self) -> bytes:
+        return self._db._banners[self._i]
+
+    @banner.setter
+    def banner(self, value: bytes) -> None:
+        self._db._banners[self._i] = value
+
+    @property
+    def response(self) -> bytes:
+        return self._db._responses[self._i]
+
+    @response.setter
+    def response(self, value: bytes) -> None:
+        self._db._responses[self._i] = value
+
+    @property
+    def timestamp(self) -> float:
+        return self._db._timestamps[self._i]
+
+    @timestamp.setter
+    def timestamp(self, value: float) -> None:
+        self._db._timestamps[self._i] = value
+
+    @property
+    def source(self) -> str:
+        return self._db._sources[self._i]
+
+    @source.setter
+    def source(self, value: str) -> None:
+        self._db._sources[self._i] = value
+
+    # -- derived views (shared with ScanRecord) -------------------------
+
+    @property
+    def address_text(self) -> str:
+        """Dotted-quad address."""
+        return int_to_ip(self.address)
+
+    @property
+    def banner_text(self) -> str:
+        """Banner decoded leniently for signature matching."""
+        return self.banner.decode("utf-8", errors="backslashreplace")
+
+    @property
+    def response_text(self) -> str:
+        """Response decoded leniently for signature matching."""
+        return self.response.decode("utf-8", errors="backslashreplace")
+
+    def to_json(self) -> str:
+        """One JSONL row (bytes hex-encoded)."""
+        return _record_json(self)
+
+    def to_record(self) -> ScanRecord:
+        """Materialize this row as a standalone :class:`ScanRecord`."""
+        return ScanRecord(**{name: getattr(self, name) for name in _FIELDS})
+
+    def __eq__(self, other: Any) -> bool:
+        try:
+            return all(
+                getattr(self, name) == getattr(other, name) for name in _FIELDS
+            )
+        except AttributeError:
+            return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"ScanRow(address={self.address_text!r}, port={self.port}, "
+            f"protocol={self.protocol}, source={self.source!r})"
         )
 
 
+#: Scalar-or-collection filter value accepted by :meth:`ScanDatabase.where`.
+_FilterValue = Union[Any, Iterable[Any]]
+
+
+def _as_membership(value: _FilterValue) -> Callable[[Any], bool]:
+    """Normalize a scalar or collection filter to a membership predicate."""
+    if isinstance(value, (set, frozenset, list, tuple, range)):
+        allowed = set(value)
+        return lambda item: item in allowed
+    return lambda item: item == value
+
+
 class ScanDatabase:
-    """Queryable store of scan records."""
+    """Queryable columnar store of scan records.
 
-    def __init__(self, records: Optional[Iterable[ScanRecord]] = None) -> None:
-        self._records: List[ScanRecord] = list(records or [])
+    Internally one compact column per field; externally both the legacy
+    record-at-a-time API (``add`` / iteration / ``filter``) and the typed
+    query API (``where`` / ``count_by`` / ``iter_rows``).
+    """
 
-    def add(self, record: ScanRecord) -> None:
-        """Append one record."""
-        self._records.append(record)
+    def __init__(self, records: Optional[Iterable[Any]] = None) -> None:
+        self._addresses = array("Q")
+        self._ports = array("L")
+        self._protocols: List[ProtocolId] = []
+        self._transports: List[TransportKind] = []
+        self._banners: List[bytes] = []
+        self._responses: List[bytes] = []
+        self._timestamps = array("d")
+        self._sources: List[str] = []
+        for record in records or []:
+            self.add(record)
 
-    def extend(self, records: Iterable[ScanRecord]) -> None:
+    # -- ingestion -------------------------------------------------------
+
+    def append_row(
+        self,
+        address: int,
+        port: int,
+        protocol: ProtocolId,
+        transport: TransportKind,
+        banner: bytes,
+        response: bytes,
+        timestamp: float,
+        source: str,
+    ) -> None:
+        """Append one row straight into the columns (the scanner hot path —
+        no intermediate record object)."""
+        self._addresses.append(address)
+        self._ports.append(port)
+        self._protocols.append(protocol)
+        self._transports.append(transport)
+        self._banners.append(banner)
+        self._responses.append(response)
+        self._timestamps.append(timestamp)
+        self._sources.append(source)
+
+    def add(self, record: Any) -> None:
+        """Append one record-like object (anything with the eight fields)."""
+        self.append_row(
+            record.address,
+            record.port,
+            record.protocol,
+            record.transport,
+            record.banner,
+            record.response,
+            record.timestamp,
+            record.source,
+        )
+
+    def extend(self, records: Iterable[Any]) -> None:
         """Append many records."""
-        self._records.extend(records)
+        for record in records:
+            self.add(record)
+
+    # -- row access ------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._addresses)
 
-    def __iter__(self) -> Iterator[ScanRecord]:
-        return iter(self._records)
+    def row(self, index: int) -> ScanRow:
+        """The view of one row by position."""
+        if not 0 <= index < len(self._addresses):
+            raise IndexError(f"row index {index} out of range")
+        return ScanRow(self, index)
 
-    def by_protocol(self, protocol: ProtocolId) -> List[ScanRecord]:
-        """All records for one protocol."""
-        return [record for record in self._records if record.protocol == protocol]
+    def iter_rows(self) -> Iterator[ScanRow]:
+        """Iterate lightweight row views in insertion order."""
+        for index in range(len(self._addresses)):
+            yield ScanRow(self, index)
+
+    def __iter__(self) -> Iterator[ScanRow]:
+        return self.iter_rows()
+
+    def column(self, name: str) -> Any:
+        """Direct (read-only by convention) access to one column sequence.
+
+        ``name`` is a field name: ``"address"``, ``"port"``, ``"protocol"``,
+        ``"transport"``, ``"banner"``, ``"response"``, ``"timestamp"`` or
+        ``"source"``.  Numeric columns come back as compact ``array``
+        objects — ideal for set-building and vector-style passes.
+        """
+        try:
+            return getattr(self, f"_{name}es" if name == "address" else
+                           f"_{name}s")
+        except AttributeError:
+            raise KeyError(f"no such column: {name!r}") from None
+
+    @property
+    def records(self) -> List[ScanRow]:
+        """Deprecated: materialized row-view list; use iteration,
+        :meth:`iter_rows` or :meth:`where` instead."""
+        warnings.warn(
+            "ScanDatabase.records is deprecated; iterate the database or "
+            "use iter_rows()/where() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.iter_rows())
+
+    # -- typed query API -------------------------------------------------
+
+    def where(
+        self,
+        *,
+        protocol: Optional[_FilterValue] = None,
+        port: Optional[_FilterValue] = None,
+        address: Optional[_FilterValue] = None,
+        transport: Optional[_FilterValue] = None,
+        source: Optional[_FilterValue] = None,
+        misconfigured: Optional[bool] = None,
+        predicate: Optional[Callable[[ScanRow], bool]] = None,
+    ) -> "ScanDatabase":
+        """New database with the rows matching every given filter.
+
+        Column filters accept a scalar or a collection (membership test).
+        ``misconfigured`` filters on the observable-behaviour classifier
+        (``True`` keeps flagged rows, ``False`` keeps healthy ones);
+        ``predicate`` is an escape hatch receiving each :class:`ScanRow`.
+        """
+        tests: List[Callable[[ScanRow], bool]] = []
+        for name, value in (
+            ("protocol", protocol),
+            ("port", port),
+            ("address", address),
+            ("transport", transport),
+            ("source", source),
+        ):
+            if value is not None:
+                member = _as_membership(value)
+                tests.append(
+                    lambda row, n=name, m=member: m(getattr(row, n))
+                )
+        if misconfigured is not None:
+            # Imported lazily: analysis.misconfig imports this module.
+            from repro.analysis.misconfig import classify_record
+            from repro.core.taxonomy import Misconfig
+
+            tests.append(
+                lambda row: (classify_record(row) != Misconfig.NONE)
+                == misconfigured
+            )
+        if predicate is not None:
+            tests.append(predicate)
+        selected = ScanDatabase()
+        for row in self.iter_rows():
+            if all(test(row) for test in tests):
+                selected.add(row)
+        return selected
+
+    def count_by(
+        self, column: str, *, unique: Optional[str] = None
+    ) -> Dict[Any, int]:
+        """Row (or distinct-value) counts grouped by one column.
+
+        ``db.count_by("protocol")`` counts rows per protocol;
+        ``db.count_by("protocol", unique="address")`` counts *distinct
+        addresses* per protocol — Table 4's unit.
+        """
+        keys = self.column(column)
+        if unique is None:
+            counts: Dict[Any, int] = {}
+            for key in keys:
+                counts[key] = counts.get(key, 0) + 1
+            return counts
+        values = self.column(unique)
+        groups: Dict[Any, Set[Any]] = {}
+        for key, value in zip(keys, values):
+            groups.setdefault(key, set()).add(value)
+        return {key: len(members) for key, members in groups.items()}
+
+    # -- legacy query surface (kept verbatim for call-site stability) ----
+
+    def by_protocol(self, protocol: ProtocolId) -> List[ScanRow]:
+        """All rows for one protocol."""
+        return [
+            ScanRow(self, index)
+            for index, value in enumerate(self._protocols)
+            if value == protocol
+        ]
 
     def unique_hosts(self, protocol: Optional[ProtocolId] = None) -> Set[int]:
         """Distinct responding addresses (optionally per protocol)."""
+        if protocol is None:
+            return set(self._addresses)
         return {
-            record.address
-            for record in self._records
-            if protocol is None or record.protocol == protocol
+            self._addresses[index]
+            for index, value in enumerate(self._protocols)
+            if value == protocol
         }
 
     def counts_by_protocol(self) -> Dict[ProtocolId, int]:
         """Unique responding hosts per protocol — Table 4's unit."""
-        counts: Dict[ProtocolId, Set[int]] = {}
-        for record in self._records:
-            counts.setdefault(record.protocol, set()).add(record.address)
-        return {protocol: len(addresses) for protocol, addresses in counts.items()}
+        return self.count_by("protocol", unique="address")
 
-    def records_for(self, address: int) -> List[ScanRecord]:
-        """All records from one address."""
-        return [record for record in self._records if record.address == address]
+    def records_for(self, address: int) -> List[ScanRow]:
+        """All rows from one address."""
+        return [
+            ScanRow(self, index)
+            for index, value in enumerate(self._addresses)
+            if value == address
+        ]
 
-    def filter(self, predicate) -> "ScanDatabase":
-        """New database with records satisfying ``predicate``."""
-        return ScanDatabase(record for record in self._records if predicate(record))
+    def filter(self, predicate: Callable[[ScanRow], bool]) -> "ScanDatabase":
+        """New database with rows satisfying ``predicate``."""
+        return self.where(predicate=predicate)
+
+    def set_source(self, source: str) -> None:
+        """Relabel every row's provenance in one pass (vantage/dataset
+        attribution)."""
+        self._sources = [source] * len(self._sources)
+
+    def sorted_canonical(self) -> "ScanDatabase":
+        """New database in canonical ``(address, port, protocol)`` order —
+        the order sharded campaigns merge into, making shard count (and
+        probe order generally) unobservable."""
+        order = sorted(
+            range(len(self._addresses)),
+            key=lambda index: (
+                self._addresses[index],
+                self._ports[index],
+                self._protocols[index],
+            ),
+        )
+        result = ScanDatabase()
+        for index in order:
+            result.add(ScanRow(self, index))
+        return result
 
     def merge(self, other: "ScanDatabase") -> "ScanDatabase":
         """Union of two databases, deduplicated on (address, port, protocol).
@@ -119,14 +489,15 @@ class ScanDatabase:
         our own scan's richer banners are preferred over dataset rows.
         """
         seen = set()
-        merged: List[ScanRecord] = []
-        for record in list(self._records) + list(other._records):
-            key = (record.address, record.port, record.protocol)
-            if key not in seen:
-                seen.add(key)
-                merged.append(record)
-        return ScanDatabase(merged)
+        merged = ScanDatabase()
+        for db in (self, other):
+            for row in db.iter_rows():
+                key = (row.address, row.port, row.protocol)
+                if key not in seen:
+                    seen.add(key)
+                    merged.add(row)
+        return merged
 
     def to_jsonl(self) -> str:
-        """Serialize all records as JSONL."""
-        return "\n".join(record.to_json() for record in self._records)
+        """Serialize all rows as JSONL."""
+        return "\n".join(row.to_json() for row in self.iter_rows())

@@ -134,8 +134,7 @@ class DistributedScanner:
                 host_filter=self._visibility_filter(vantage),
             )
             database = scanner.run_campaign()
-            for record in database:
-                record.source = f"zmap@{vantage.name}"
+            database.set_source(f"zmap@{vantage.name}")
             comparison.per_vantage[vantage.name] = database
             union = database if union is None else union.merge(database)
         comparison.union = union

@@ -2,15 +2,27 @@
 
 The study's pipeline is two-stage, and so is ours:
 
-1. **Reachability sweep** (:meth:`InternetScanner.sweep`) — a stateless
-   SYN/UDP probe per (address, port) establishing which endpoints answer.
-   In the simulation the candidate set is the fabric's attached hosts; this
-   is semantically the full IPv4 sweep, since unattached addresses cannot
+1. **Reachability sweep** (the per-shard workers) — a stateless SYN/UDP
+   probe per (address, port) establishing which endpoints answer.  In the
+   simulation the candidate set is the fabric's attached hosts; this is
+   semantically the full IPv4 sweep, since unattached addresses cannot
    answer and contribute nothing but time.
-2. **Application grab** (:meth:`InternetScanner.grab`) — for responding
-   TCP endpoints, connect, record the banner, send the per-protocol probe
-   and record the reply (ZGrab).  UDP endpoints get their reply in stage 1
-   already, since UDP scanning *is* application probing.
+2. **Application grab** — for responding TCP endpoints, connect, record
+   the banner, then drive the :func:`~repro.scanner.probes.next_probe`
+   dialogue and record the replies (ZGrab).  UDP endpoints get their reply
+   in stage 1 already, since UDP scanning *is* application probing.
+
+Campaigns shard like ZMap does: :meth:`InternetScanner.run_campaign`
+partitions the candidate addresses with a
+:class:`~repro.scanner.shard.ShardPlanner`, sweeps the ``K`` shards
+concurrently (each in its own ZMap-style pseudo-random probe order drawn
+from a key-derived stream), and merges the results in canonical
+``(address, port, protocol)`` order.  Because probe loss is keyed per flow in the
+fabric and shard assignment is a pure address function, the merged
+database is byte-identical for every ``K`` — the property
+``tests/test_sharding.py`` pins down.  :meth:`scan_protocol` keeps the
+original strictly-serial walk as the reference implementation (and the
+differential-testing oracle for the sharded path).
 
 Blocklists are enforced before any probe leaves the scanner, mirroring the
 paper's ethics setup.  The scan date window (Appendix Table 9: March 1-5
@@ -20,11 +32,14 @@ realistic times.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.internet.fabric import SimulatedInternet
-from repro.net.errors import ConnectionRefused, HostUnreachable, ScanError
+from repro.net.compat import DATACLASS_KW_ONLY
+from repro.net.errors import ConfigError, ConnectionRefused, HostUnreachable
 from repro.net.ipv4 import ip_to_int
 from repro.net.prng import RandomStream
 from repro.protocols.base import (
@@ -35,16 +50,25 @@ from repro.protocols.base import (
 )
 from repro.scanner.blocklist import Blocklist, zmap_default_blocklist
 from repro.scanner.probes import (
+    next_probe,
     tcp_followup_payload,
     tcp_probe_payload,
     udp_probe_payload,
 )
 from repro.scanner.records import ScanDatabase, ScanRecord
+from repro.scanner.shard import ShardPlanner, ShardTiming
 
-__all__ = ["ScanConfig", "InternetScanner", "SCAN_START_DAY"]
+__all__ = [
+    "ScanConfig",
+    "InternetScanner",
+    "SCAN_START_DAY",
+    "scan_start_day",
+]
 
 #: Appendix Table 9 — scan start day (offset within the scan week) per
-#: protocol; 1 March 2021 is day 0.
+#: protocol; 1 March 2021 is day 0.  Protocols without an entry (the §6
+#: extension protocols TR-069, DDS and OPC UA) default to day 0 via
+#: :func:`scan_start_day`.
 SCAN_START_DAY: Dict[ProtocolId, int] = {
     ProtocolId.COAP: 0,
     ProtocolId.UPNP: 1,
@@ -57,9 +81,26 @@ SCAN_START_DAY: Dict[ProtocolId, int] = {
 _SECONDS_PER_DAY = 86_400
 
 
-@dataclass
+def scan_start_day(protocol: ProtocolId) -> int:
+    """Scan start day for a protocol; extension protocols default to day 0."""
+    return SCAN_START_DAY.get(protocol, 0)
+
+
+@dataclass(**DATACLASS_KW_ONLY)
 class ScanConfig:
-    """Scanner behaviour."""
+    """Scanner behaviour (keyword-only on Python 3.10+).
+
+    ``seed=None`` is the seed-inheritance sentinel shared by every
+    sub-config: the study config stamps its master seed over ``None``
+    before the scanner is built, so a standalone ``ScanConfig()`` falls
+    back to :data:`~repro.net.prng.DEFAULT_SEED` while a study-owned one
+    always follows the study seed.
+
+    ``shards``/``shard_strategy`` tune wall-clock only — the scan output
+    is byte-identical for every value, which is why both fields are
+    excluded from comparison (and therefore from the engine's phase-cache
+    fingerprint: a cached serial scan satisfies a sharded request).
+    """
 
     scanner_address: str = "130.225.0.99"  # the university scan host
     protocols: Tuple[ProtocolId, ...] = (
@@ -72,8 +113,28 @@ class ScanConfig:
     )
     #: Retries per UDP probe (UDP loss is otherwise unrecoverable).
     udp_retries: int = 1
-    #: ``None`` inherits the master study seed.
+    #: ``None`` inherits the master study seed (see class docstring).
     seed: Optional[int] = None
+    #: Concurrent address shards per protocol sweep (1 = serial).
+    shards: int = field(default=1, compare=False)
+    #: ``"hash"`` or ``"block"`` — see :class:`~repro.scanner.shard.ShardPlanner`.
+    shard_strategy: str = field(default="hash", compare=False)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.net.errors.ConfigError` on invalid knobs."""
+        if self.udp_retries < 0:
+            raise ConfigError(
+                f"udp_retries must be >= 0, got {self.udp_retries}"
+            )
+        if self.seed is not None and self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
+        if not self.protocols:
+            raise ConfigError("protocols must name at least one protocol")
+        # Delegates shard knob validation so CLI and planner agree.
+        ShardPlanner(self.shards, self.shard_strategy)
 
 
 class InternetScanner:
@@ -96,19 +157,45 @@ class InternetScanner:
         self._stream = RandomStream(self.config.seed, "scanner")
         #: probes actually emitted, for rate/ethics accounting.
         self.probes_sent = 0
+        #: Per-(protocol, shard) wall-time rows from the last campaign.
+        self.shard_timings: List[ShardTiming] = []
 
     # -- campaign entry point ------------------------------------------------
 
     def run_campaign(self) -> ScanDatabase:
-        """Sweep + grab for every configured protocol; returns the database."""
-        database = ScanDatabase()
+        """Sweep + grab for every configured protocol; returns the database.
+
+        This is the sharded pipeline: the blocklist/host-filter admission
+        decision is made once per address per campaign, each protocol's
+        admitted addresses are partitioned into ``config.shards`` shards
+        scanned concurrently, and the shard outputs are merged in
+        canonical ``(address, port, protocol)`` order.  Output is byte-identical
+        for every shard count and strategy.
+        """
+        planner = ShardPlanner(self.config.shards, self.config.shard_strategy)
+        allowed = self._allowed_addresses()
+        shards = planner.partition(allowed)
+        self.shard_timings = []
+        rows: List[tuple] = []
         for protocol in self.config.protocols:
-            database.extend(self.scan_protocol(protocol))
+            rows.extend(self._scan_protocol_sharded(protocol, shards))
+        # Canonical merge order across the whole campaign — the same key
+        # ScanDatabase.sorted_canonical uses, so the reference serial path
+        # and any shard count produce byte-identical databases.
+        rows.sort(key=lambda row: (row[0], row[1], row[2]))
+        database = ScanDatabase()
+        for row in rows:
+            database.append_row(*row)
         return database
 
     def scan_protocol(self, protocol: ProtocolId) -> List[ScanRecord]:
-        """Full two-stage scan of one protocol."""
-        timestamp = SCAN_START_DAY.get(protocol, 0) * _SECONDS_PER_DAY
+        """Full two-stage scan of one protocol — the serial reference path.
+
+        Kept deliberately simple (per-target blocklist checks, one record
+        object per row): it is the oracle the sharded pipeline is tested
+        against, and the baseline the scaling benchmark measures.
+        """
+        timestamp = scan_start_day(protocol) * _SECONDS_PER_DAY
         transport = transport_of(protocol)
         records: List[ScanRecord] = []
         for address, port in self._targets(protocol):
@@ -122,7 +209,145 @@ class InternetScanner:
                 records.append(record)
         return records
 
-    # -- stages ---------------------------------------------------------------
+    # -- sharded pipeline ----------------------------------------------------
+
+    def _allowed_addresses(self) -> List[int]:
+        """Campaign-admitted addresses, sorted — blocklist and host filter
+        evaluated once per address instead of once per (target, protocol)."""
+        blocks = self.blocklist.blocks
+        host_filter = self.host_filter
+        return sorted(
+            host.address
+            for host in self.internet.hosts()
+            if (host_filter is None or host_filter(host.address))
+            and not blocks(host.address)
+        )
+
+    def _scan_protocol_sharded(
+        self, protocol: ProtocolId, shards: Sequence[Sequence[int]]
+    ) -> List[tuple]:
+        """Scan one protocol across address shards; unordered row tuples
+        (the campaign applies the canonical sort once, over all protocols)."""
+        worker = (
+            self._scan_tcp_shard
+            if transport_of(protocol) == TransportKind.TCP
+            else self._scan_udp_shard
+        )
+
+        def run_shard(index: int) -> Tuple[List[tuple], int, float]:
+            started = time.perf_counter()
+            rows, probes = worker(protocol, index, shards[index])
+            return rows, probes, time.perf_counter() - started
+
+        if len(shards) == 1:
+            outcomes = [run_shard(0)]
+        else:
+            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                outcomes = list(pool.map(run_shard, range(len(shards))))
+
+        merged: List[tuple] = []
+        for index, (rows, probes, seconds) in enumerate(outcomes):
+            merged.extend(rows)
+            self.probes_sent += probes
+            self.shard_timings.append(
+                ShardTiming(
+                    protocol=str(protocol),
+                    shard=index,
+                    seconds=seconds,
+                    records=len(rows),
+                    probes=probes,
+                )
+            )
+        return merged
+
+    def _shard_targets(
+        self, protocol: ProtocolId, shard: int, addresses: Sequence[int]
+    ) -> List[Tuple[int, int]]:
+        """This shard's (address, port) probe list in ZMap-style
+        pseudo-random order, drawn from the shard's key-derived stream."""
+        ports = DEFAULT_PORTS[protocol]
+        targets = [
+            (address, port) for address in addresses for port in ports
+        ]
+        # ZMap permutes the address space so probes spread over the
+        # network; the derived stream makes the permutation a pure
+        # function of (seed, protocol, shard) — no draw-order coupling
+        # between shards, so results cannot depend on thread scheduling.
+        self._stream.derive(str(protocol), shard).shuffle(targets)
+        return targets
+
+    def _scan_tcp_shard(
+        self, protocol: ProtocolId, shard: int, addresses: Sequence[int]
+    ) -> Tuple[List[tuple], int]:
+        """Sweep + grab one TCP shard; returns (rows, probes sent)."""
+        timestamp = scan_start_day(protocol) * float(_SECONDS_PER_DAY)
+        first_payload = tcp_probe_payload(protocol)
+        connect = self.internet.try_tcp_connect
+        source = self._source
+        transport = TransportKind.TCP
+        rows: List[tuple] = []
+        probes = 0
+        for address, port in self._shard_targets(protocol, shard, addresses):
+            probes += 1
+            connection = connect(source, address, port)
+            if connection is None:
+                continue
+            response = b""
+            if first_payload is not None and not connection.closed:
+                response = connection.send(first_payload)
+                followup = tcp_followup_payload(protocol, response)
+                if followup is not None and not connection.closed:
+                    response += connection.send(followup)
+            rows.append(
+                (
+                    address,
+                    port,
+                    protocol,
+                    transport,
+                    connection.banner,
+                    response,
+                    timestamp,
+                    "zmap",
+                )
+            )
+        return rows, probes
+
+    def _scan_udp_shard(
+        self, protocol: ProtocolId, shard: int, addresses: Sequence[int]
+    ) -> Tuple[List[tuple], int]:
+        """Probe one UDP shard with bounded retries; (rows, probes sent)."""
+        timestamp = scan_start_day(protocol) * float(_SECONDS_PER_DAY)
+        payload = udp_probe_payload(protocol)
+        attempts = 1 + max(0, self.config.udp_retries)
+        query = self.internet.udp_query
+        source = self._source
+        transport = TransportKind.UDP
+        rows: List[tuple] = []
+        probes = 0
+        for address, port in self._shard_targets(protocol, shard, addresses):
+            response: Optional[bytes] = None
+            for _ in range(attempts):
+                probes += 1
+                response = query(source, address, port, payload)
+                if response is not None:
+                    break
+            if response is None:
+                continue
+            rows.append(
+                (
+                    address,
+                    port,
+                    protocol,
+                    transport,
+                    b"",
+                    response,
+                    timestamp,
+                    "zmap",
+                )
+            )
+        return rows, probes
+
+    # -- reference serial stages ---------------------------------------------
 
     def _targets(self, protocol: ProtocolId) -> Iterable[Tuple[int, int]]:
         """Candidate (address, port) pairs for one protocol sweep."""
@@ -136,28 +361,26 @@ class InternetScanner:
     def _probe_tcp(
         self, protocol: ProtocolId, address: int, port: int, timestamp: float
     ) -> Optional[ScanRecord]:
-        """SYN probe then ZGrab application grab."""
+        """SYN probe, then the ZGrab dialogue driven by ``next_probe``."""
         self.probes_sent += 1
         try:
             connection = self.internet.tcp_connect(self._source, address, port)
         except (HostUnreachable, ConnectionRefused):
             return None
-        banner = connection.banner
-        response = b""
-        payload = tcp_probe_payload(protocol)
-        if payload is not None and not connection.closed:
-            response = connection.send(payload)
-            followup = tcp_followup_payload(protocol, response)
-            if followup is not None and not connection.closed:
-                response += connection.send(followup)
+        responses: List[bytes] = []
+        while not connection.closed:
+            payload = next_probe(protocol, responses)
+            if payload is None:
+                break
+            responses.append(connection.send(payload))
         connection.close()
         return ScanRecord(
             address=address,
             port=port,
             protocol=protocol,
             transport=TransportKind.TCP,
-            banner=banner,
-            response=response,
+            banner=connection.banner,
+            response=b"".join(responses),
             timestamp=timestamp,
             source="zmap",
         )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.scanner.records import ScanRecord
+from repro.scanner.records import ScanDatabase, ScanRecord
 
 __all__ = ["TagSignature", "TagEngine", "TaggedRecord"]
 
@@ -78,6 +78,10 @@ class TagEngine:
     def tag_all(self, records: Iterable[ScanRecord]) -> List[TaggedRecord]:
         """Tag a record collection."""
         return [self.tag_record(record) for record in records]
+
+    def tag_database(self, database: ScanDatabase) -> List[TaggedRecord]:
+        """Tag every row of a database (columnar row views, no copies)."""
+        return [self.tag_record(row) for row in database.iter_rows()]
 
     def __len__(self) -> int:
         return len(self._signatures)

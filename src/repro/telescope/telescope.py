@@ -28,6 +28,7 @@ from repro.core.scaling import scale_count
 from repro.core.taxonomy import TrafficClass
 from repro.net.asn import AsnRegistry
 from repro.net.errors import ConfigError
+from repro.net.compat import DATACLASS_KW_ONLY
 from repro.net.geo import GeoRegistry
 from repro.net.ipv4 import AddressAllocator, CidrBlock
 from repro.net.packet import TransportProtocol
@@ -54,7 +55,7 @@ PAPER_TELESCOPE: Dict[ProtocolId, Tuple[int, int, int]] = {
 }
 
 
-@dataclass
+@dataclass(**DATACLASS_KW_ONLY)
 class TelescopeConfig:
     """Telescope generation knobs."""
 
@@ -77,6 +78,10 @@ class TelescopeConfig:
     rsdos_attacks_per_day: int = 3
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.net.errors.ConfigError` on invalid knobs."""
         if min(self.telnet_source_scale, self.source_scale, self.packet_scale) < 1:
             raise ConfigError("telescope scales must be >= 1")
 
