@@ -1,0 +1,165 @@
+"""Attack-plane scaling benchmark: sharded month vs the serial reference.
+
+Generates the attack month and a sustained telescope capture on a 1:1024
+world three ways — the strictly-serial reference paths (``run_reference``
+/ ``capture_month_reference``, every session crossing the shared fabric
+and every FlowTuple drawn from one interleaved stream), the
+plan/execute/merge pipeline at K=1, and the same pipeline at K=4 — and
+compares combined events/sec.  The acceptance bar is the K=4 pipeline at
+>= 2x the reference throughput; the K=1 and K=4 pipelines must produce
+byte-identical output.
+
+The workload is weighted the way the paper's data plane is: the real
+telescope absorbs ~2.8 billion packets a day against a few thousand
+honeypot events, so the capture runs a 90-day sustained window at source
+scales (Telnet 1:2048, others 1:16) that keep record emission — not
+per-source setup — the dominant cost.  Wall times are best-of-2 per
+configuration because CI boxes are noisy; byte fingerprints are checked
+on every run.
+
+Results land in ``BENCH_attack_plane.json`` so CI runs leave a comparable
+trail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+from conftest import compare
+
+from repro.attacks.schedule import AttackScheduleConfig, AttackScheduler
+from repro.honeypots import build_deployment
+from repro.internet.population import PopulationBuilder, PopulationConfig
+from repro.net.asn import AsnRegistry
+from repro.net.geo import GeoRegistry
+from repro.telescope.flowtuple import encode_flowtuple
+from repro.telescope.telescope import NetworkTelescope, TelescopeConfig
+
+#: EXPERIMENTS.md population scale 1:1024; attacks thinned to 1:64 and the
+#: telescope run long and source-heavy (see the module docstring).
+_WORLD = dict(seed=7, scale=1024, honeypot_scale=64)
+_ATTACK_SCALE = 64
+_TELESCOPE = dict(seed=7, days=90, telnet_source_scale=2048, source_scale=16)
+_REPEATS = 2
+
+
+def _run_once(workers, reference):
+    """One timed attack month + telescope capture on a fresh world.
+
+    Fresh per run: servers and the fabric's loss model carry per-run
+    state, and both paths consume the same named streams.  Returns wall
+    times, event counts, and digests of the full byte output (the records
+    themselves are dropped so repeated runs do not stack memory).
+    """
+    population = PopulationBuilder(PopulationConfig(**_WORLD)).build()
+    deployment = build_deployment()
+    deployment.attach(population.internet)
+    scheduler = AttackScheduler(
+        population.internet, deployment, population,
+        AttackScheduleConfig(seed=7, attack_scale=_ATTACK_SCALE,
+                             workers=workers),
+    )
+    started = time.perf_counter()
+    result = scheduler.run_reference() if reference else scheduler.run()
+    attack_seconds = time.perf_counter() - started
+    deployment.detach(population.internet)
+
+    telescope = NetworkTelescope(
+        result.registry, GeoRegistry(7), AsnRegistry(7),
+        TelescopeConfig(workers=workers, **_TELESCOPE),
+    )
+    started = time.perf_counter()
+    capture = (telescope.capture_month_reference() if reference
+               else telescope.capture_month())
+    telescope_seconds = time.perf_counter() - started
+
+    log_digest = hashlib.sha256(result.log.to_jsonl().encode()).hexdigest()
+    flow_digest = hashlib.sha256()
+    records = 0
+    for record in capture.writer.records():
+        flow_digest.update(encode_flowtuple(record).encode())
+        records += 1
+    return {
+        "attack_seconds": attack_seconds,
+        "telescope_seconds": telescope_seconds,
+        "attack_events": len(result.log),
+        "telescope_records": records,
+        "log_digest": log_digest,
+        "flow_digest": flow_digest.hexdigest(),
+    }
+
+
+def _run_best(workers, reference=False):
+    """Best-of-N wall times (the output bytes are identical every run)."""
+    best = None
+    for _ in range(_REPEATS):
+        run = _run_once(workers, reference)
+        if best is None or (run["attack_seconds"] + run["telescope_seconds"]
+                            < best["attack_seconds"] + best["telescope_seconds"]):
+            best = run
+    seconds = best["attack_seconds"] + best["telescope_seconds"]
+    events = best["attack_events"] + best["telescope_records"]
+    best["seconds"] = round(seconds, 4)
+    best["events_per_second"] = round(events / seconds, 1)
+    best["attack_seconds"] = round(best["attack_seconds"], 4)
+    best["telescope_seconds"] = round(best["telescope_seconds"], 4)
+    best["workers"] = workers
+    return best
+
+
+def test_sharded_attack_plane_beats_serial_reference():
+    runs = {
+        "reference": _run_best(1, reference=True),
+        "K=1": _run_best(1),
+        "K=4": _run_best(4),
+    }
+
+    # Same bytes out of both pipeline paths before any throughput claim.
+    assert runs["K=1"]["log_digest"] == runs["K=4"]["log_digest"]
+    assert runs["K=1"]["flow_digest"] == runs["K=4"]["flow_digest"]
+    # The reference path agrees on the plan-determined event count.  (Its
+    # registry fills in a different draw order, so telescope byte identity
+    # against the reference is a tier-1 concern on pinned worlds — see
+    # tests/test_attack_sharding.py — not a benchmark one.)
+    assert (runs["reference"]["attack_events"]
+            == runs["K=1"]["attack_events"])
+
+    reference_rate = runs["reference"]["events_per_second"]
+    k4_rate = runs["K=4"]["events_per_second"]
+    speedup = k4_rate / reference_rate if reference_rate else float("inf")
+
+    compare("attack-plane scaling (population 1:1024, 90 telescope days)", [
+        ("reference serial ev/s", "baseline",
+         f"{reference_rate:,.0f}", f"{runs['reference']['seconds']:.2f}s"),
+        ("pipeline K=1 ev/s", ">= baseline",
+         f"{runs['K=1']['events_per_second']:,.0f}",
+         f"{runs['K=1']['seconds']:.2f}s"),
+        ("pipeline K=4 ev/s", ">= 2x baseline",
+         f"{k4_rate:,.0f}", f"{runs['K=4']['seconds']:.2f}s"),
+        ("attack events", runs["reference"]["attack_events"],
+         runs["K=4"]["attack_events"]),
+        ("telescope records", runs["reference"]["telescope_records"],
+         runs["K=4"]["telescope_records"]),
+    ])
+
+    payload = {
+        "benchmark": "attack_plane_scaling",
+        "world": _WORLD,
+        "attack_scale": _ATTACK_SCALE,
+        "telescope": _TELESCOPE,
+        "runs": runs,
+        "speedup_k4_vs_reference": round(speedup, 2),
+    }
+    with open("BENCH_attack_plane.json", "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote BENCH_attack_plane.json (K=4 speedup {speedup:.2f}x)")
+
+    # The ISSUE's acceptance bar: the sharded attack plane at K=4 shows
+    # >= 2x the serial reference throughput at this scale.
+    assert k4_rate >= 2.0 * reference_rate, (
+        f"K=4 rate {k4_rate:,.0f} ev/s < 2x reference "
+        f"{reference_rate:,.0f} ev/s"
+    )

@@ -47,12 +47,12 @@ def dos_origin_countries(
     Returns (country name, distinct sources) pairs, descending — the §5.1
     "attacks came from ..." lists.
     """
-    sources: Set[int] = {
-        event.source
-        for event in log
-        if event.attack_type in _DOS_TYPES
-        and (protocol is None or event.protocol == protocol)
-    }
+    dos_events = (
+        log.where(attack_type=_DOS_TYPES)
+        if protocol is None
+        else log.where(protocol=protocol, attack_type=_DOS_TYPES)
+    )
+    sources: Set[int] = set(dos_events.column("source"))
     histogram = geo.histogram(sources)
     ranked = sorted(histogram.items(), key=lambda item: -item[1])[:top_k]
     return [(geo.country_name(code), count) for code, count in ranked]
@@ -68,11 +68,7 @@ def duplicate_dns_sources(
     The paper's §5.1.3 tell for reflection infrastructure: distinct flood
     sources with duplicate DNS entries.
     """
-    attack_sources = {
-        event.source
-        for event in log
-        if protocol is None or event.protocol == protocol
-    }
+    attack_sources = log.unique_sources(protocol=protocol)
     groups = []
     for group in rdns.duplicate_entry_addresses():
         overlap = group & attack_sources
@@ -116,21 +112,22 @@ def analyze_tor_sources(
     protocol: ProtocolId = ProtocolId.HTTP,
     recurring_days: int = 3,
 ) -> TorAnalysis:
-    """Cross the protocol's attack sources with the ExoneraTor records."""
+    """Cross the protocol's attack sources with the ExoneraTor records.
+
+    Driven from the store's per-source grouping: one ExoneraTor lookup per
+    source instead of per event, and the per-source day sets come straight
+    from the grouped rows.
+    """
     analysis = TorAnalysis()
-    active_days: Dict[int, Set[int]] = {}
-    for event in log:
-        if event.protocol != protocol:
+    for source, events in log.where(protocol=protocol).group_by_source().items():
+        if not exonerator.was_tor_relay(source):
             continue
-        if not exonerator.was_tor_relay(event.source):
-            continue
-        analysis.relay_sources.add(event.source)
-        analysis.daily_events[event.day] = (
-            analysis.daily_events.get(event.day, 0) + 1
-        )
-        active_days.setdefault(event.source, set()).add(event.day)
-    analysis.recurring_relays = {
-        source for source, days in active_days.items()
-        if len(days) >= recurring_days
-    }
+        analysis.relay_sources.add(source)
+        days: Set[int] = set()
+        for event in events:
+            day = event.day
+            days.add(day)
+            analysis.daily_events[day] = analysis.daily_events.get(day, 0) + 1
+        if len(days) >= recurring_days:
+            analysis.recurring_relays.add(source)
     return analysis

@@ -69,9 +69,7 @@ def analyze_ics_traffic(
                 report.s7_register_writes += server.write_requests
                 report.s7_poisoning_events += server.write_requests
     if log is not None:
-        report.s7_job_floods = sum(
-            1 for event in log
-            if event.protocol == ProtocolId.S7
-            and event.attack_type == AttackType.DOS_FLOOD
+        report.s7_job_floods = log.count_by_type(ProtocolId.S7).get(
+            AttackType.DOS_FLOOD, 0
         )
     return report

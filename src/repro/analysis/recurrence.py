@@ -65,16 +65,19 @@ class RecurrenceClassifier:
         self.min_regularity = min_regularity
 
     def patterns(self, log: EventLog) -> Dict[int, RecurrencePattern]:
-        """Aggregate visit patterns per source."""
-        result: Dict[int, RecurrencePattern] = {}
-        for event in log:
-            pattern = result.get(event.source)
-            if pattern is None:
-                pattern = RecurrencePattern(source=event.source)
-                result[event.source] = pattern
-            pattern.active_days.add(event.day)
-            pattern.total_events += 1
-        return result
+        """Aggregate visit patterns per source.
+
+        Driven from the store's per-source index — one grouped pass
+        instead of a full scan with per-event dict lookups.
+        """
+        return {
+            source: RecurrencePattern(
+                source=source,
+                active_days={event.day for event in events},
+                total_events=len(events),
+            )
+            for source, events in log.group_by_source().items()
+        }
 
     def is_recurring(self, pattern: RecurrencePattern) -> bool:
         """The §4.3.1 heuristic."""
@@ -104,9 +107,6 @@ class RecurrenceClassifier:
             return {"precision": 0.0, "recall": 0.0}
         true_positives = len(recurring & truth_scanning)
         precision = true_positives / len(recurring)
-        recall = (
-            true_positives / len(truth_scanning & log.unique_sources())
-            if truth_scanning & log.unique_sources()
-            else 0.0
-        )
+        seen_truth = truth_scanning & log.unique_sources()
+        recall = true_positives / len(seen_truth) if seen_truth else 0.0
         return {"precision": precision, "recall": recall}

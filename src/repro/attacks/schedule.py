@@ -6,6 +6,27 @@ scanners), schedules their sessions over 30 days, drives every session as
 real protocol bytes against the honeypot engines, and lets the honeypots
 classify and log what they saw.
 
+The month runs as a **plan / execute / merge** pipeline (the attack-plane
+mirror of the scan plane's sharded campaign):
+
+1. *plan* (serial) — population building, budget scaling and every
+   source/intent pick, drawn from the scheduler's named child streams
+   exactly as before; the output is a per-(honeypot, day) session list;
+2. *execute* — every (honeypot, day) task drives its sessions against a
+   **private clone** of the honeypot's services (the paper's containers
+   restarted daily anyway), drawing payload bytes and timestamps from
+   ``stream.derive(honeypot, day)``, so each task's output is a pure
+   function of the task key and tasks can run on ``config.workers``
+   threads in any order;
+3. *merge* — events are sorted into canonical (timestamp, source,
+   honeypot) order, session/ICS counters are summed, and task-minted
+   malware variants are adopted in canonical task order — byte-identical
+   output for every worker count.
+
+:meth:`AttackScheduler.run_reference` keeps the original strictly-serial
+path (one interleaved stream, sessions through the shared fabric) as the
+differential oracle and benchmark baseline.
+
 Fitted inputs (all named constants below, every one traceable to the paper):
 
 * per-honeypot/protocol event budgets — Table 7;
@@ -19,25 +40,33 @@ Fitted inputs (all named constants below, every one traceable to the paper):
 
 from __future__ import annotations
 
+import copy
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.attacks.actors import ActorRegistry, SourceInfo
-from repro.attacks.malware import MalwareCorpus
+from repro.attacks.malware import MalwareCorpus, TaskCorpusView
 from repro.attacks.payloads import build_payloads
 from repro.attacks.scanning_services import SCANNING_SERVICES, ScanningService
 from repro.core.scaling import apportion, scale_count
+from repro.core.tasks import TaskTiming, run_tasks
 from repro.core.taxonomy import AttackType, TrafficClass
 from repro.net.compat import DATACLASS_KW_ONLY
-from repro.honeypots.base import HoneypotDeployment, LabHoneypot
+from repro.honeypots.base import (
+    HoneypotDeployment,
+    LabHoneypot,
+    SessionTranscript,
+)
+from repro.honeypots.classify import classify_session
 from repro.honeypots.events import EventLog
 from repro.internet.fabric import SimulatedInternet
 from repro.internet.population import Population
 from repro.net.errors import ConfigError
 from repro.net.ipv4 import AddressAllocator, CidrBlock
-from repro.net.prng import RandomStream
+from repro.net.prng import RandomStream, keyed_uniform
 from repro.net.rdns import ReverseDns
-from repro.protocols.base import ProtocolId
+from repro.protocols.base import ProtocolId, TransportKind, transport_of
 
 __all__ = [
     "PAPER_HONEYPOT_EVENTS",
@@ -45,6 +74,7 @@ __all__ = [
     "MALICIOUS_TYPE_MIX",
     "MULTISTAGE_SEQUENCES",
     "AttackScheduleConfig",
+    "PlannedSession",
     "ScheduleResult",
     "AttackScheduler",
 ]
@@ -146,6 +176,7 @@ MULTISTAGE_SEQUENCES: List[Tuple[Tuple[ProtocolId, ...], float]] = [
 DOS_SPIKE_DAYS = (23, 25)
 
 
+
 @dataclass(**DATACLASS_KW_ONLY)
 class AttackScheduleConfig:
     """Scheduler knobs."""
@@ -163,6 +194,11 @@ class AttackScheduleConfig:
     listing_boost: float = 1.22
     #: Fraction of U-Pot/HosTaGe flood budgets concentrated on spike days.
     dos_spike_fraction: float = 0.35
+    #: Concurrent (honeypot, day) execution workers.  Output is
+    #: byte-identical for every value, so the field is excluded from
+    #: equality/fingerprints — worker count is a deployment knob, not an
+    #: experiment parameter.
+    workers: int = field(default=1, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -175,6 +211,21 @@ class AttackScheduleConfig:
             raise ConfigError("scanning_share must be in (0, 1)")
         if self.days < 1:
             raise ConfigError("days must be >= 1")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass(frozen=True)
+class PlannedSession:
+    """One pre-drawn session: who attacks what with which intent.
+
+    Planning fixes everything *decision*-shaped; the executing task only
+    draws payload bytes and the in-day timestamp from its derived stream.
+    """
+
+    protocol: ProtocolId
+    source: SourceInfo
+    intent: AttackType
 
 
 @dataclass
@@ -188,6 +239,25 @@ class ScheduleResult:
     multistage_sources: Set[int] = field(default_factory=set)
     sessions_attempted: int = 0
     sessions_dropped: int = 0  # service down (crashed under DoS)
+
+
+@dataclass
+class _TaskOutcome:
+    """Private per-(honeypot, day) execution result, pre-merge."""
+
+    honeypot: str
+    events: List[tuple] = field(default_factory=list)
+    attempted: int = 0
+    dropped: int = 0
+    #: (source, malware family) observations, in session order.
+    families: List[Tuple[SourceInfo, str]] = field(default_factory=list)
+    #: Task-minted malware variants, in mint order.
+    minted: List = field(default_factory=list)
+    #: port → attr → integer-counter delta against the pristine services.
+    counters: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: (timestamp, transcript) pairs when pcap capture is enabled.
+    pcap: List[Tuple[float, SessionTranscript]] = field(default_factory=list)
+    timing: Optional[TaskTiming] = None
 
 
 class AttackScheduler:
@@ -215,11 +285,45 @@ class AttackScheduler:
             self._stream.child("allocator"),
         )
         self._used_population_hosts: Set[int] = set()
+        #: Per-(honeypot, day) wall times of the last :meth:`run`.
+        self.task_timings: List[TaskTiming] = []
 
     # -- public -----------------------------------------------------------
 
     def run(self) -> ScheduleResult:
-        """Simulate the month; returns the filled logs and ledgers."""
+        """Simulate the month; returns the filled logs and ledgers.
+
+        Plans serially, executes the per-(honeypot, day) tasks on
+        ``config.workers`` threads (1 = inline, the serial oracle), and
+        merges in canonical order — output is byte-identical for every
+        worker count.
+        """
+        result = ScheduleResult(
+            log=self.deployment.log,
+            registry=self.registry,
+            rdns=self.rdns,
+            corpus=self.corpus,
+        )
+        self._mark_listings()
+        infected_pools = self._build_infected_pools()
+        sources = self._build_sources(infected_pools)
+        budgets = self._scaled_budgets()
+        plan: Dict[Tuple[str, int], List[PlannedSession]] = {}
+        multistage_actors = self._plan_multistage(sources, budgets, plan)
+        for honeypot in self.deployment.honeypots:
+            self._plan_honeypot(honeypot, sources[honeypot.name], budgets, plan)
+        self._execute(plan, multistage_actors, result)
+        return result
+
+    def run_reference(self) -> ScheduleResult:
+        """The original strictly-serial month (the differential oracle).
+
+        One sequential stream interleaves planning and execution draws and
+        every session crosses the shared fabric — kept verbatim so the
+        sharded path has a fidelity baseline to be measured against.  Use
+        a fresh scheduler per run; ``run`` and ``run_reference`` consume
+        the same named streams.
+        """
         result = ScheduleResult(
             log=self.deployment.log,
             registry=self.registry,
@@ -482,6 +586,474 @@ class AttackScheduler:
         if not mix:
             return AttackType.SCANNING
         return stream.pick_weighted(mix)
+
+    def _plan_honeypot(
+        self,
+        honeypot: LabHoneypot,
+        pools: Dict[str, List[SourceInfo]],
+        budgets: Dict[Tuple[str, ProtocolId], int],
+        plan: Dict[Tuple[str, int], List[PlannedSession]],
+    ) -> None:
+        """Draw one honeypot's month of session picks (no execution).
+
+        Same pools, same weighting and same pick structure as the
+        reference path — only the payload/timestamp draws move to the
+        per-(honeypot, day) execution streams.
+        """
+        stream = self._stream.child(f"run.{honeypot.name}")
+        protocols = [
+            protocol for (name, protocol) in budgets if name == honeypot.name
+        ]
+        day_weights = self._day_weights(honeypot)
+        unknown_pool = list(pools["unknown"])
+        stream.shuffle(unknown_pool)
+        unknown_cursor = 0
+        scan_pool = pools["scanning"]
+
+        # Malicious sources stick to one protocol (real bots are
+        # single-purpose; the multistage actors are the deliberate
+        # exception) — partition the pool proportionally to budgets.
+        budget_sum = sum(budgets[(honeypot.name, p)] for p in protocols) or 1
+        mal_partition: Dict[ProtocolId, List[SourceInfo]] = {}
+        mal_pool = list(pools["malicious"])
+        stream.shuffle(mal_pool)
+        # Tor-exit scrapers are HTTP actors by construction (§5.1.6) —
+        # place them inside the pool slice that becomes the HTTP partition.
+        if _P.HTTP in protocols:
+            tor_sources = [info for info in mal_pool if info.tor_exit]
+            if tor_sources:
+                others = [info for info in mal_pool if not info.tor_exit]
+                http_index = protocols.index(_P.HTTP)
+                preceding_share = sum(
+                    budgets[(honeypot.name, p)]
+                    for p in protocols[:http_index]
+                ) / budget_sum
+                insert_at = min(
+                    len(others), int(round(preceding_share * len(mal_pool)))
+                )
+                mal_pool = (
+                    others[:insert_at] + tor_sources + others[insert_at:]
+                )
+        cursor = 0
+        for index, protocol in enumerate(protocols):
+            if index == len(protocols) - 1:
+                chunk = mal_pool[cursor:]
+            else:
+                share = budgets[(honeypot.name, protocol)] / budget_sum
+                size = int(round(share * len(mal_pool)))
+                chunk = mal_pool[cursor : cursor + size]
+                cursor += size
+            mal_partition[protocol] = chunk
+
+        name = honeypot.name
+        for protocol in protocols:
+            total = budgets[(name, protocol)]
+            if total <= 0:
+                continue
+            n_scan = int(round(total * self.config.scanning_share))
+            # Unknown sources hit once each; spread them across protocols
+            # proportionally to budget size.
+            n_unknown = min(
+                len(unknown_pool) - unknown_cursor,
+                int(round(len(unknown_pool) * total / budget_sum)),
+            )
+            n_mal = max(0, total - n_scan - n_unknown)
+
+            # The Figure 8 DoS spikes are carved out of the malicious
+            # budget, not added on top — totals stay Table 7-shaped.
+            spike_budget = 0
+            if protocol in (_P.UPNP, _P.COAP):
+                spike_budget = int(n_mal * self.config.dos_spike_fraction)
+                n_mal -= spike_budget
+            per_day_spike = [0] * self.config.days
+            for offset, spike_day in enumerate(DOS_SPIKE_DAYS):
+                if spike_day < self.config.days:
+                    per_day_spike[spike_day] = spike_budget // len(DOS_SPIKE_DAYS)
+                    if offset == 0:
+                        per_day_spike[spike_day] += spike_budget % len(
+                            DOS_SPIKE_DAYS
+                        )
+
+            per_day_mal = self._allocate_days(n_mal, day_weights)
+            per_day_scan = self._allocate_days(n_scan, [1.0] * self.config.days)
+            per_day_unknown = self._allocate_days(
+                n_unknown, [1.0] * self.config.days
+            )
+            spike_types = (AttackType.DOS_FLOOD, AttackType.REFLECTION)
+
+            partition = mal_partition.get(protocol, [])
+            mal_weights = [1.0 / (rank + 1) for rank in range(len(partition))]
+            fresh_cursor = 0  # every source attacks at least once if budget allows
+
+            def pick_malicious():
+                nonlocal fresh_cursor
+                if not partition:
+                    return None
+                if fresh_cursor < len(partition):
+                    source = partition[fresh_cursor]
+                    fresh_cursor += 1
+                    return source
+                return stream.choices(partition, mal_weights, k=1)[0]
+
+            # Risk-rating platforms concentrate on Telnet/AMQP/MQTT — the
+            # protocol focus behind Figure 5's GreyNoise gap.
+            service_focus = {
+                service.name: service.focus_protocols
+                for service in SCANNING_SERVICES
+            }
+            scan_weights = [
+                4.0 if str(protocol) in service_focus.get(source.service_name, ())
+                else 1.0
+                for source in scan_pool
+            ]
+
+            for day in range(self.config.days):
+                sessions = plan.setdefault((name, day), [])
+                # scanning services: recurring, uniform per-day rate
+                for _ in range(per_day_scan[day]):
+                    if not scan_pool:
+                        break
+                    source = stream.choices(scan_pool, scan_weights, k=1)[0]
+                    intent = (
+                        AttackType.DISCOVERY
+                        if stream.bernoulli(0.3)
+                        else AttackType.SCANNING
+                    )
+                    sessions.append(PlannedSession(protocol, source, intent))
+                # unknown one-shot scanners
+                for _ in range(per_day_unknown[day]):
+                    if unknown_cursor >= len(unknown_pool):
+                        break
+                    source = unknown_pool[unknown_cursor]
+                    unknown_cursor += 1
+                    sessions.append(
+                        PlannedSession(protocol, source, AttackType.SCANNING)
+                    )
+                # malicious traffic (trend-weighted) plus the DoS spikes
+                for _ in range(per_day_mal[day]):
+                    source = pick_malicious()
+                    if source is None:
+                        break
+                    if source.tor_exit and protocol == _P.HTTP:
+                        intent = AttackType.WEB_SCRAPING
+                    else:
+                        intent = self._pick_intent(protocol, stream)
+                    sessions.append(PlannedSession(protocol, source, intent))
+                for _ in range(per_day_spike[day]):
+                    source = pick_malicious()
+                    if source is None:
+                        break
+                    intent = stream.choice(list(spike_types))
+                    sessions.append(PlannedSession(protocol, source, intent))
+
+    def _plan_multistage(
+        self,
+        sources: Dict[str, Dict[str, List[SourceInfo]]],
+        budgets: Dict[Tuple[str, ProtocolId], int],
+        plan: Dict[Tuple[str, int], List[PlannedSession]],
+    ) -> List[SourceInfo]:
+        """Plan the multistage actors (one source, several protocols).
+
+        Whether a sequence actually *lands* on >= 2 protocols is decided
+        post-merge from the event log (a stage can miss when the target
+        service is down under DoS), so planning only returns the actors.
+        """
+        stream = self._stream.child("multistage")
+        n_actors = self._scaled(PAPER_MULTISTAGE_ATTACKS)
+        sequences, weights = zip(*MULTISTAGE_SEQUENCES)
+        stage_intents = {
+            0: (AttackType.BRUTE_FORCE, AttackType.SCANNING),
+            1: (AttackType.EXPLOIT, AttackType.MALWARE_DROP,
+                AttackType.DATA_POISONING),
+            2: (AttackType.DATA_POISONING, AttackType.DOS_FLOOD),
+        }
+        actors: List[SourceInfo] = []
+        for index in range(n_actors):
+            address = self._allocator.allocate()
+            info = self.registry.register(
+                SourceInfo(
+                    address=address,
+                    traffic_class=TrafficClass.MALICIOUS,
+                    actor=f"multistage-{index}",
+                    visits_honeypots=True,
+                    visits_telescope=stream.bernoulli(0.5),
+                )
+            )
+            actors.append(info)
+            sequence = stream.choices(list(sequences), list(weights), k=1)[0]
+            # Stages are days apart (the paper saw rescans "three days
+            # before the attack"), so observed order equals intent order.
+            day = stream.randint(
+                0, max(0, self.config.days - 3 * len(sequence) - 1)
+            )
+            for stage, protocol in enumerate(sequence):
+                candidates = self.deployment.emulating(protocol)
+                if not candidates:
+                    continue
+                honeypot = stream.choice(candidates)
+                intents = stage_intents.get(stage, stage_intents[2])
+                intent = stream.choice(list(intents))
+                if intent == AttackType.MALWARE_DROP and protocol not in (
+                    _P.TELNET, _P.SSH, _P.FTP, _P.SMB, _P.HTTP,
+                ):
+                    intent = AttackType.DATA_POISONING
+                plan.setdefault((honeypot.name, day), []).append(
+                    PlannedSession(protocol, info, intent)
+                )
+                key = (honeypot.name, protocol)
+                if key in budgets and budgets[key] > 0:
+                    budgets[key] -= 1
+                day += stream.randint(1, 3)
+        return actors
+
+    # -- execution ---------------------------------------------------------
+
+    @staticmethod
+    def _reset_services(services: Dict[int, object]) -> None:
+        """Clear crash/flood state — the daily container restart."""
+        for server in services.values():
+            if hasattr(server, "crashed"):
+                server.crashed = False
+                server.request_count = 0
+            if hasattr(server, "denial_of_service"):
+                server.denial_of_service = False
+                server.outstanding_jobs = 0
+            if hasattr(server, "flooded"):
+                server.flooded = False
+
+    @staticmethod
+    def _int_state(services: Dict[int, object]) -> Dict[int, Dict[str, int]]:
+        """Snapshot of every integer counter on a services table."""
+        return {
+            port: {
+                attr: value
+                for attr, value in vars(server).items()
+                if type(value) is int
+            }
+            for port, server in services.items()
+        }
+
+    def _run_task(
+        self, honeypot: LabHoneypot, day: int, sessions: List[PlannedSession]
+    ) -> _TaskOutcome:
+        """Execute one (honeypot, day) task against cloned services.
+
+        Everything the task draws comes from ``stream.derive(name, day)``
+        and everything it touches is task-private, so the outcome is a
+        pure function of (seed, honeypot, day, session plan) regardless
+        of which worker runs it when.
+        """
+        start = time.perf_counter()
+        stream = self._stream.derive(honeypot.name, day)
+        services = copy.deepcopy(honeypot.services)
+        base_state = self._int_state(services)
+        corpus_view = TaskCorpusView(self.corpus)
+        outcome = _TaskOutcome(honeypot=honeypot.name)
+        events = outcome.events
+        loss_model = self.internet.loss_model
+        lossy = self.internet.loss_rate > 0
+        attempts: Dict[Tuple[int, int, str], int] = {}
+        want_pcap = honeypot.pcap is not None
+        honeypot_name = honeypot.name
+        honeypot_address = honeypot.address
+        day_base = day * 86_400.0
+        uniform = stream.uniform
+
+        current_protocol: Optional[ProtocolId] = None
+        port: Optional[int] = None
+        server = None
+        is_udp = False
+        for planned in sessions:
+            protocol = planned.protocol
+            if protocol is not current_protocol:
+                # Protocol boundary == the reference path's daily restart
+                # point: each (protocol, day) batch starts on live services.
+                self._reset_services(services)
+                current_protocol = protocol
+                ports = [
+                    p for p, candidate in services.items()
+                    if candidate.protocol == protocol
+                ]
+                port = ports[0] if ports else None
+                server = services.get(port) if port is not None else None
+                is_udp = transport_of(protocol) == TransportKind.UDP
+            source = planned.source
+            payloads, malware_hash = build_payloads(
+                planned.intent, protocol, stream, corpus_view
+            )
+            outcome.attempted += 1
+            if server is None:
+                outcome.dropped += 1
+                continue
+            src = source.address
+            transcript = SessionTranscript(
+                protocol=protocol, port=port, source=src
+            )
+            exchanges = transcript.exchanges
+            handle = server.handle
+            if is_udp:
+                open_session = server.open_session
+                if lossy:
+                    for payload in payloads:
+                        if self._task_lost(
+                            loss_model, src, honeypot_address, port, "udp",
+                            day, attempts,
+                        ):
+                            exchanges.append((payload, b""))
+                            continue
+                        reply = handle(payload, open_session(peer=src))
+                        exchanges.append(
+                            (payload, reply.data if reply.data else b"")
+                        )
+                else:
+                    for payload in payloads:
+                        reply = handle(payload, open_session(peer=src))
+                        exchanges.append(
+                            (payload, reply.data if reply.data else b"")
+                        )
+            else:
+                if lossy and self._task_lost(
+                    loss_model, src, honeypot_address, port, "tcp",
+                    day, attempts,
+                ):
+                    outcome.dropped += 1
+                    continue
+                tcp_session = server.open_session(peer=src)
+                transcript.banner = server.accept(tcp_session)
+                for payload in payloads:
+                    reply = handle(payload, tcp_session)
+                    exchanges.append((payload, reply.data))
+                    if reply.close:
+                        break
+            timestamp = day_base + uniform(0, 86_399)
+            attack_type, summary = classify_session(transcript)
+            events.append((
+                honeypot_name, protocol, src, day, timestamp, attack_type,
+                source.actor, summary, malware_hash, transcript.request_bytes,
+            ))
+            if want_pcap:
+                outcome.pcap.append((timestamp, transcript))
+            if malware_hash:
+                outcome.families.append(
+                    (source, corpus_view.family_of(malware_hash))
+                )
+
+        # Integer-counter deltas (ICS request/poison tallies etc.) merge
+        # additively back onto the real deployment after the month.
+        for task_port, task_server in services.items():
+            base = base_state.get(task_port, {})
+            deltas = {
+                attr: value - base.get(attr, 0)
+                for attr, value in vars(task_server).items()
+                if type(value) is int and value != base.get(attr, 0)
+            }
+            if deltas:
+                outcome.counters[task_port] = deltas
+        outcome.minted = corpus_view.minted
+        outcome.timing = TaskTiming(
+            plane="attacks",
+            unit=honeypot_name,
+            day=day,
+            seconds=time.perf_counter() - start,
+            events=len(events),
+        )
+        return outcome
+
+    @staticmethod
+    def _task_lost(
+        loss_model,
+        src: int,
+        dst: int,
+        port: int,
+        kind: str,
+        day: int,
+        attempts: Dict[Tuple[int, int, str], int],
+    ) -> bool:
+        """Task-local probe-loss draw, keyed per (flow, day, attempt).
+
+        The fabric's shared attempt counters would couple tasks through
+        execution order; folding the day into the key keeps the draw a
+        pure function of the task instead.
+        """
+        flow = (src, port, kind)
+        attempt = attempts.get(flow, 0)
+        attempts[flow] = attempt + 1
+        return keyed_uniform(
+            loss_model.seed, loss_model.name, src, dst, port, kind, day,
+            attempt,
+        ) < loss_model.rate
+
+    def _execute(
+        self,
+        plan: Dict[Tuple[str, int], List[PlannedSession]],
+        multistage_actors: List[SourceInfo],
+        result: ScheduleResult,
+    ) -> None:
+        """Run every (honeypot, day) task and merge in canonical order."""
+        ordered: List[Tuple[LabHoneypot, int]] = []
+        for honeypot in self.deployment.honeypots:
+            days = sorted(
+                day for (name, day) in plan if name == honeypot.name
+            )
+            ordered.extend((honeypot, day) for day in days)
+        thunks = [
+            (lambda h=honeypot, d=day: self._run_task(h, d, plan[(h.name, d)]))
+            for honeypot, day in ordered
+        ]
+        outcomes = run_tasks(thunks, self.config.workers)
+        self.task_timings = [outcome.timing for outcome in outcomes]
+
+        # Canonical merge: concatenation order is the task order, then one
+        # stable sort on (timestamp, source, honeypot, protocol) — worker
+        # count and completion order are unobservable.
+        merged: List[tuple] = []
+        for outcome in outcomes:
+            merged.extend(outcome.events)
+            result.sessions_attempted += outcome.attempted
+            result.sessions_dropped += outcome.dropped
+            self.corpus.adopt(outcome.minted)
+            for source, family in outcome.families:
+                if family:
+                    source.malware_families.add(family)
+        merged.sort(key=lambda row: (row[4], row[2], row[0], str(row[1])))
+        log = result.log
+        append_event = log.append_event
+        for row in merged:
+            append_event(*row)
+
+        # Per-honeypot merges: ICS/session counters and pcap captures.
+        by_name = {honeypot.name: honeypot for honeypot in self.deployment.honeypots}
+        for outcome in outcomes:
+            honeypot = by_name[outcome.honeypot]
+            for port, deltas in outcome.counters.items():
+                server = honeypot.services.get(port)
+                if server is None:
+                    continue
+                for attr, delta in deltas.items():
+                    current = getattr(server, attr, 0)
+                    if type(current) is int:
+                        setattr(server, attr, current + delta)
+        for honeypot in self.deployment.honeypots:
+            if honeypot.pcap is None:
+                continue
+            captures = [
+                pair
+                for outcome in outcomes
+                if outcome.honeypot == honeypot.name
+                for pair in outcome.pcap
+            ]
+            captures.sort(key=lambda pair: (pair[0], pair[1].source))
+            for timestamp, transcript in captures:
+                honeypot.pcap.record(transcript, timestamp)
+
+        # Ground-truth multistage attacks: actors whose sequence landed on
+        # >= 2 distinct protocols (every landed stage logged one event).
+        for info in multistage_actors:
+            protocols = set(result.log.where(source=info.address).column("protocol"))
+            if len(protocols) >= 2:
+                result.multistage_sources.add(info.address)
+
+    # -- reference (strictly-serial oracle) --------------------------------
 
     def _drive(
         self,

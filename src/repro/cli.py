@@ -15,10 +15,12 @@ reproducible from the shell line alone, plus the engine knobs:
 ``--threads`` (parallel phase execution — same bytes out, less wall time),
 ``--shards K`` (concurrent scan shards per protocol sweep — also byte
 identical for every K, with per-shard timings in the metrics),
-``--cache-dir PATH`` (persistent on-disk phase cache shared across
-invocations), ``--no-cache``, and ``--metrics-json PATH`` (per-phase wall
-time, cache hits, shard timings and throughput as JSON, for scripted
-campaigns).
+``--attack-workers K`` (concurrent (honeypot, day) / (protocol, day)
+generation tasks for the attack and telescope months — byte identical for
+every K, with per-task timings in the metrics), ``--cache-dir PATH``
+(persistent on-disk phase cache shared across invocations), ``--no-cache``,
+and ``--metrics-json PATH`` (per-phase wall time, cache hits, shard/task
+timings and throughput as JSON, for scripted campaigns).
 
 Exit codes are stable for shell scripting: 0 on success, 2 for an invalid
 configuration (:class:`~repro.net.errors.ConfigError`; argparse usage
@@ -83,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "(byte-identical output, less wall time)")
         sub.add_argument("--shards", type=int, default=1, metavar="K",
                          help="concurrent address shards per protocol scan "
+                              "(byte-identical output for every K; "
+                              "default 1)")
+        sub.add_argument("--attack-workers", type=int, default=1,
+                         metavar="K",
+                         help="concurrent (honeypot, day) / (protocol, day) "
+                              "workers for the attack and telescope months "
                               "(byte-identical output for every K; "
                               "default 1)")
         sub.add_argument("--no-cache", action="store_true",
@@ -153,6 +161,11 @@ def _config(args) -> StudyConfig:
     if getattr(args, "shards", 1) != 1:
         config.scan.shards = args.shards
         config.scan.validate()  # ConfigError -> exit code 2
+    if getattr(args, "attack_workers", 1) != 1:
+        config.attacks.workers = args.attack_workers
+        config.telescope.workers = args.attack_workers
+        config.attacks.validate()  # ConfigError -> exit code 2
+        config.telescope.validate()
     return config
 
 

@@ -695,6 +695,7 @@ def _phase_attacks(engine: StudyEngine) -> Dict[str, object]:
             internet, deployment, population, engine.config.attacks
         )
         schedule = scheduler.run()
+        engine.metrics.record_tasks(scheduler.task_timings)
     finally:
         # Leave the cached world pristine for scan/fingerprint phases.
         deployment.detach(internet)
@@ -710,7 +711,9 @@ def _phase_telescope(engine: StudyEngine) -> Dict[str, object]:
         engine.artifact("asn"),
         engine.config.telescope,
     )
-    return {"telescope": telescope.capture_month()}
+    capture = telescope.capture_month()
+    engine.metrics.record_tasks(telescope.task_timings)
+    return {"telescope": capture}
 
 
 def _phase_greynoise(engine: StudyEngine) -> Dict[str, object]:

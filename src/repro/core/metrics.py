@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.tasks import TaskTiming
 from repro.scanner.shard import ShardTiming
 
 __all__ = ["PhaseMetric", "StudyMetrics"]
@@ -70,6 +71,9 @@ class StudyMetrics:
     phases: List[PhaseMetric] = field(default_factory=list)
     #: Per-(protocol, shard) scan timings from sharded campaigns.
     shards: List[ShardTiming] = field(default_factory=list)
+    #: Per-(honeypot, day) / per-(protocol, day) generation timings from
+    #: the sharded attack and telescope planes.
+    tasks: List[TaskTiming] = field(default_factory=list)
 
     # -- recording --------------------------------------------------------
 
@@ -79,6 +83,10 @@ class StudyMetrics:
     def record_shards(self, timings: Iterable[ShardTiming]) -> None:
         """Attach the scanner's per-shard wall-time rows."""
         self.shards.extend(timings)
+
+    def record_tasks(self, timings: Iterable[TaskTiming]) -> None:
+        """Attach attack/telescope per-(unit, day) wall-time rows."""
+        self.tasks.extend(timings)
 
     # -- aggregate views --------------------------------------------------
 
@@ -120,6 +128,7 @@ class StudyMetrics:
             },
             "phases": [metric.to_dict() for metric in self.phases],
             "shards": [timing.to_dict() for timing in self.shards],
+            "tasks": [timing.to_dict() for timing in self.tasks],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -153,5 +162,24 @@ class StudyMetrics:
                     f"{label:<18} {timing.seconds:>9.3f} "
                     f"{timing.records:>9,} {timing.probes:>9,} "
                     f"{timing.records_per_second:>12,.0f}"
+                )
+        if self.tasks:
+            # One row per generation unit (honeypot / telescope protocol /
+            # rsdos), summed over its days — the full per-day rows stay in
+            # the JSON export.
+            rollup: Dict[str, List[float]] = {}
+            for timing in self.tasks:
+                label = f"{timing.plane}:{timing.unit}"
+                seconds, events, days = rollup.setdefault(label, [0.0, 0, 0])
+                rollup[label] = [seconds + timing.seconds,
+                                 events + timing.events, days + 1]
+            lines.append("")
+            lines.append(f"{'generation unit':<22} {'seconds':>9} "
+                         f"{'events':>10} {'days':>5} {'ev/s':>12}")
+            for label, (seconds, events, days) in rollup.items():
+                rate = events / seconds if seconds > 0 else 0.0
+                lines.append(
+                    f"{label:<22} {seconds:>9.3f} {events:>10,} "
+                    f"{days:>5} {rate:>12,.0f}"
                 )
         return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Keyed-task execution for the attack/telescope measurement plane.
+
+The attack month shards into per-(honeypot, day) tasks and the telescope
+month into per-(protocol, day) tasks; every task draws from its own
+:meth:`~repro.net.prng.RandomStream.derive` child stream, so its output is
+a pure function of the task key and the tasks can run on a thread pool in
+any order.  :func:`run_tasks` is the tiny executor both planes share:
+results come back in submission order regardless of worker count, which is
+the first half of the byte-identical merge guarantee (the second half is
+the canonical sort each plane applies to the merged output).
+
+:class:`TaskTiming` is the per-task metrics row surfaced in
+``StudyMetrics`` (and ``--metrics-json``) so the scaling benchmark can
+show where the wall time went — the attack-plane sibling of
+:class:`~repro.scanner.shard.ShardTiming`.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, TypeVar
+
+__all__ = ["TaskTiming", "paused_gc", "run_tasks"]
+
+_T = TypeVar("_T")
+
+
+@dataclass
+class TaskTiming:
+    """Wall-time accounting for one (unit, day) generation task."""
+
+    plane: str    # "attacks" or "telescope"
+    unit: str     # honeypot name, protocol, or "rsdos"
+    day: int
+    seconds: float
+    events: int   # attack events or flowtuple records produced
+
+    @property
+    def events_per_second(self) -> float:
+        """Throughput of this task (0 when too fast to measure)."""
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the metrics payload."""
+        return {
+            "plane": self.plane,
+            "unit": self.unit,
+            "day": self.day,
+            "seconds": round(self.seconds, 6),
+            "events": self.events,
+            "events_per_second": round(self.events_per_second, 1),
+        }
+
+
+@contextmanager
+def paused_gc() -> Iterator[None]:
+    """Suspend cyclic garbage collection for the duration of a batch.
+
+    Generation tasks allocate hundreds of thousands of immutable records
+    that are all retained for the merge and form no reference cycles, so
+    every generational collection triggered mid-batch rescans an ever
+    larger live heap for nothing.  Pausing the collector while a batch
+    drains roughly halves telescope emission time at benchmark scales;
+    normal collection resumes (and catches up on its own schedule) on
+    exit, even on error.
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def run_tasks(thunks: Sequence[Callable[[], _T]], workers: int) -> List[_T]:
+    """Run independent task thunks, returning results in submission order.
+
+    ``workers <= 1`` executes inline (the serial oracle path); anything
+    larger fans out on a thread pool.  Either way the result list order is
+    the submission order, never the completion order, so callers can merge
+    without knowing how the work was scheduled.  Cyclic GC is paused while
+    the batch drains (see :func:`paused_gc`).
+    """
+    if workers <= 1 or len(thunks) <= 1:
+        with paused_gc():
+            return [thunk() for thunk in thunks]
+
+    # Submit contiguous chunks, not individual tasks: a month shards into
+    # hundreds of small (unit, day) tasks, and per-future queue traffic
+    # would swamp them.  ``workers * 4`` chunks keeps the pool load-balanced
+    # when task sizes are skewed (telnet days dwarf xmpp days) while the
+    # per-chunk overhead stays negligible.
+    def run_chunk(chunk: Sequence[Callable[[], _T]]) -> List[_T]:
+        return [thunk() for thunk in chunk]
+
+    n_chunks = min(len(thunks), workers * 4)
+    bounds = [len(thunks) * i // n_chunks for i in range(n_chunks + 1)]
+    chunks = [thunks[bounds[i]:bounds[i + 1]] for i in range(n_chunks)]
+
+    # The tasks are coarse, independent, pure-CPU units that share nothing
+    # but the pool: the interpreter's default 5 ms switch interval just
+    # thrashes caches between them.  Widen it while the pool drains so the
+    # threaded path costs about what the inline path does even when the
+    # box has fewer cores than workers.
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(0.05)
+    try:
+        with paused_gc(), ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+            return [result for future in futures for result in future.result()]
+    finally:
+        sys.setswitchinterval(previous)

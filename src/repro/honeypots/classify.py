@@ -34,29 +34,40 @@ __all__ = ["classify_session", "FLOOD_SESSION_THRESHOLD"]
 #: Requests within one session beyond which it reads as a flood.
 FLOOD_SESSION_THRESHOLD = 40
 
-_DROPPER_RE = re.compile(r"\b(wget|tftp|curl)\b.+\bhttp|\btftp\b\s+-g", re.IGNORECASE)
+#: The dropper scan runs on raw payload bytes (patterns are pure ASCII, so
+#: byte-level matching is equivalent to matching the lenient utf-8 decode);
+#: a match cannot span payloads because ``.`` does not cross newlines and
+#: payload boundaries decode as newlines anyway.
+_DROPPER_RE = re.compile(rb"\b(wget|tftp|curl)\b.+\bhttp|\btftp\b\s+-g", re.IGNORECASE)
 _BINARY_MARKER = b"\x7fELF"
+_GET_PATH_RE = re.compile(rb"GET (\S+)")
 
 
 def classify_session(transcript: SessionTranscript) -> Tuple[AttackType, str]:
-    """Classify one transcript; returns (attack type, short summary)."""
+    """Classify one transcript; returns (attack type, short summary).
+
+    This is the attack plane's hottest function (once per session), so it
+    works on the exchange bytes directly — no joined-text materialisation —
+    while keeping the decision tree and its outputs exactly as documented
+    above.
+    """
     protocol = transcript.protocol
-    n_requests = len(transcript.exchanges)
-    requests_text = transcript.requests_text()
-    replies_text = transcript.replies_text()
+    exchanges = transcript.exchanges
+    n_requests = len(exchanges)
 
     # -- malware delivery is protocol-independent -------------------------
-    if _DROPPER_RE.search(requests_text) or any(
-        _BINARY_MARKER in request for request, _ in transcript.exchanges
+    for request, _ in exchanges:
+        if _BINARY_MARKER in request or _DROPPER_RE.search(request):
+            return AttackType.MALWARE_DROP, "dropper command or binary payload"
+    if protocol == ProtocolId.FTP and any(
+        b"STOR " in request for request, _ in exchanges
     ):
-        return AttackType.MALWARE_DROP, "dropper command or binary payload"
-    if protocol == ProtocolId.FTP and "STOR " in requests_text:
         return AttackType.MALWARE_DROP, "file deposited via STOR"
 
     # -- flood detection ----------------------------------------------------
     if n_requests >= FLOOD_SESSION_THRESHOLD:
         if protocol in (ProtocolId.COAP, ProtocolId.UPNP):
-            reply_bytes = sum(len(reply) for _, reply in transcript.exchanges)
+            reply_bytes = sum(len(reply) for _, reply in exchanges)
             # Amplification: the honeypot sent back appreciably more than it
             # received (SSDP answers ~1.5-2x the query, CoAP listings 3x+).
             if reply_bytes > 1.5 * max(1, transcript.request_bytes):
@@ -71,10 +82,11 @@ def classify_session(transcript: SessionTranscript) -> Tuple[AttackType, str]:
         # Count authentication *attempts*, not failures: low-interaction
         # honeypots accept common credentials by design, so a dictionary
         # run may "succeed" on its first admin/admin try.
-        attempts = (
-            requests_text.count("userauth ")
-            + replies_text.count("Password:")
-            + replies_text.count("Password: ")
+        attempts = sum(
+            request.count(b"userauth ")
+            + reply.count(b"Password:")
+            + reply.count(b"Password: ")
+            for request, reply in exchanges
         )
         if attempts >= 5:
             return AttackType.DICTIONARY, f"{attempts} login attempts"
@@ -98,17 +110,19 @@ def classify_session(transcript: SessionTranscript) -> Tuple[AttackType, str]:
         return AttackType.SCANNING, "bare CONNECT"
 
     if protocol == ProtocolId.AMQP:
-        if "publish " in requests_text:
+        if any(b"publish " in request for request, _ in exchanges):
             return AttackType.DATA_POISONING, "queue publish"
-        if "get " in requests_text:
+        if any(b"get " in request for request, _ in exchanges):
             return AttackType.DISCOVERY, "queue read"
         return AttackType.SCANNING, "handshake only"
 
     if protocol == ProtocolId.XMPP:
-        if "<set " in requests_text:
+        if any(b"<set " in request for request, _ in exchanges):
             return AttackType.DATA_POISONING, "device state mutation"
-        attempts = requests_text.count("<auth ")
-        anonymous = requests_text.count("mechanism='ANONYMOUS'")
+        attempts = sum(request.count(b"<auth ") for request, _ in exchanges)
+        anonymous = sum(
+            request.count(b"mechanism='ANONYMOUS'") for request, _ in exchanges
+        )
         if attempts - anonymous >= 5:
             return AttackType.DICTIONARY, f"{attempts} SASL attempts"
         if attempts - anonymous >= 1:
@@ -129,8 +143,9 @@ def classify_session(transcript: SessionTranscript) -> Tuple[AttackType, str]:
         return AttackType.DISCOVERY, "ssdp discovery"
 
     if protocol == ProtocolId.SMB:
-        if "Eternal" in requests_text or any(
-            len(request) > 1024 for request, _ in transcript.exchanges
+        if any(
+            b"Eternal" in request or len(request) > 1024
+            for request, _ in exchanges
         ):
             return AttackType.EXPLOIT, "Trans2 exploitation attempt"
         return AttackType.SCANNING, "dialect negotiation"
@@ -142,12 +157,16 @@ def classify_session(transcript: SessionTranscript) -> Tuple[AttackType, str]:
         return AttackType.SCANNING, "device identification"
 
     if protocol == ProtocolId.HTTP:
-        attempts = requests_text.count("POST /login")
+        attempts = sum(request.count(b"POST /login") for request, _ in exchanges)
         if attempts >= 5:
             return AttackType.DICTIONARY, f"{attempts} web login attempts"
         if attempts >= 1:
             return AttackType.BRUTE_FORCE, f"{attempts} web login attempts"
-        paths = set(re.findall(r"GET (\S+)", requests_text))
+        paths = {
+            path
+            for request, _ in exchanges
+            for path in _GET_PATH_RE.findall(request)
+        }
         if len(paths) >= 5:
             return AttackType.WEB_SCRAPING, f"{len(paths)} distinct paths"
         return AttackType.SCANNING, "front page fetch"

@@ -2,21 +2,87 @@
 
 "All the attacks gathered on the honeypots are exported daily and imported
 into the database" (Section 3.3.2).  :class:`AttackEvent` is one row of that
-database; :class:`EventLog` is the store with the aggregation surface that
+database; :class:`EventStore` is the store with the aggregation surface that
 Tables 7/8 and Figures 3/4/7/8/9 query.
+
+Storage is *columnar*, mirroring :class:`~repro.scanner.records.ScanDatabase`
+on the scan plane: parallel ``array`` columns for the numeric fields, lists
+for the labels, and lightweight slotted :class:`EventRow` views that read
+and write straight through to the columns.  On top of the columns the store
+keeps per-honeypot / per-protocol / per-source **indexes** (position lists)
+that are built once on first use and invalidated on append, so the ~8
+analysis consumers stop paying a full O(n) scan per query.
+
+The query surface:
+
+* :meth:`EventStore.where` — typed column filters,
+  ``log.where(honeypot="Cowrie", attack_type=AttackType.DICTIONARY)``;
+* :meth:`EventStore.count_by` — grouped counts,
+  ``log.count_by("protocol", unique="source")``;
+* :meth:`EventStore.group_by_source` — the index itself as row lists, for
+  recurrence/origin analyses that used to nest O(sources x events) scans;
+* :meth:`EventStore.iter_rows` / :meth:`EventStore.column` — row views and
+  raw column access for tight loops.
+
+``EventLog`` survives as an alias and ``.events`` as a deprecated property
+so external one-liners keep working for one release cycle.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+import warnings
+from array import array
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
-from repro.core.taxonomy import AttackType, TrafficClass
+from repro.core.taxonomy import AttackType
 from repro.net.ipv4 import int_to_ip
 from repro.protocols.base import ProtocolId
 
-__all__ = ["AttackEvent", "EventLog"]
+__all__ = ["AttackEvent", "EventRow", "EventStore", "EventLog"]
+
+#: Fields every event-like object (AttackEvent, EventRow, duck-typed rows)
+#: carries, in canonical column order.
+_FIELDS = (
+    "honeypot",
+    "protocol",
+    "source",
+    "day",
+    "timestamp",
+    "attack_type",
+    "actor",
+    "summary",
+    "malware_hash",
+    "request_bytes",
+)
+
+
+def _event_json(event: Any) -> str:
+    """One JSONL row (the daily-export format of §3.3.2)."""
+    return json.dumps({
+        "honeypot": event.honeypot,
+        "protocol": str(event.protocol),
+        "source": int_to_ip(event.source),
+        "day": event.day,
+        "timestamp": event.timestamp,
+        "attack_type": str(event.attack_type),
+        "actor": event.actor,
+        "summary": event.summary,
+        "malware_hash": event.malware_hash,
+        "request_bytes": event.request_bytes,
+    })
 
 
 @dataclass
@@ -45,18 +111,7 @@ class AttackEvent:
 
     def to_json(self) -> str:
         """One JSONL row (the daily-export format of §3.3.2)."""
-        return json.dumps({
-            "honeypot": self.honeypot,
-            "protocol": str(self.protocol),
-            "source": self.source_text,
-            "day": self.day,
-            "timestamp": self.timestamp,
-            "attack_type": str(self.attack_type),
-            "actor": self.actor,
-            "summary": self.summary,
-            "malware_hash": self.malware_hash,
-            "request_bytes": self.request_bytes,
-        })
+        return _event_json(self)
 
     @classmethod
     def from_json(cls, line: str) -> "AttackEvent":
@@ -78,53 +133,430 @@ class AttackEvent:
         )
 
 
-class EventLog:
-    """Queryable store of attack events across the deployment."""
+class EventRow:
+    """A slotted view of one store row.
 
-    def __init__(self, events: Optional[Iterable[AttackEvent]] = None) -> None:
-        self._events: List[AttackEvent] = list(events or [])
+    Reads come straight from the columns; attribute writes go straight
+    back (and invalidate the store's indexes), so legacy code treating
+    events as objects keeps working against the columnar store.  Rows
+    compare equal to any event-like object with the same field values.
+    """
 
-    def add(self, event: AttackEvent) -> None:
-        """Record one event."""
-        self._events.append(event)
+    __slots__ = ("_store", "_i")
 
-    def extend(self, events: Iterable[AttackEvent]) -> None:
+    def __init__(self, store: "EventStore", index: int) -> None:
+        object.__setattr__(self, "_store", store)
+        object.__setattr__(self, "_i", index)
+
+    # -- column-backed attributes ---------------------------------------
+
+    @property
+    def honeypot(self) -> str:
+        return self._store._honeypots[self._i]
+
+    @honeypot.setter
+    def honeypot(self, value: str) -> None:
+        self._store._honeypots[self._i] = value
+        self._store._invalidate()
+
+    @property
+    def protocol(self) -> ProtocolId:
+        return self._store._protocols[self._i]
+
+    @protocol.setter
+    def protocol(self, value: ProtocolId) -> None:
+        self._store._protocols[self._i] = value
+        self._store._invalidate()
+
+    @property
+    def source(self) -> int:
+        return self._store._sources[self._i]
+
+    @source.setter
+    def source(self, value: int) -> None:
+        self._store._sources[self._i] = value
+        self._store._invalidate()
+
+    @property
+    def day(self) -> int:
+        return self._store._days[self._i]
+
+    @day.setter
+    def day(self, value: int) -> None:
+        self._store._days[self._i] = value
+
+    @property
+    def timestamp(self) -> float:
+        return self._store._timestamps[self._i]
+
+    @timestamp.setter
+    def timestamp(self, value: float) -> None:
+        self._store._timestamps[self._i] = value
+
+    @property
+    def attack_type(self) -> AttackType:
+        return self._store._attack_types[self._i]
+
+    @attack_type.setter
+    def attack_type(self, value: AttackType) -> None:
+        self._store._attack_types[self._i] = value
+
+    @property
+    def actor(self) -> str:
+        return self._store._actors[self._i]
+
+    @actor.setter
+    def actor(self, value: str) -> None:
+        self._store._actors[self._i] = value
+
+    @property
+    def summary(self) -> str:
+        return self._store._summaries[self._i]
+
+    @summary.setter
+    def summary(self, value: str) -> None:
+        self._store._summaries[self._i] = value
+
+    @property
+    def malware_hash(self) -> str:
+        return self._store._malware_hashes[self._i]
+
+    @malware_hash.setter
+    def malware_hash(self, value: str) -> None:
+        self._store._malware_hashes[self._i] = value
+
+    @property
+    def request_bytes(self) -> int:
+        return self._store._request_bytes[self._i]
+
+    @request_bytes.setter
+    def request_bytes(self, value: int) -> None:
+        self._store._request_bytes[self._i] = value
+
+    # -- derived views (shared with AttackEvent) -------------------------
+
+    @property
+    def source_text(self) -> str:
+        """Dotted-quad source."""
+        return int_to_ip(self.source)
+
+    def to_json(self) -> str:
+        """One JSONL row (the daily-export format of §3.3.2)."""
+        return _event_json(self)
+
+    def to_event(self) -> AttackEvent:
+        """Materialize this row as a standalone :class:`AttackEvent`."""
+        return AttackEvent(**{name: getattr(self, name) for name in _FIELDS})
+
+    def __eq__(self, other: Any) -> bool:
+        try:
+            return all(
+                getattr(self, name) == getattr(other, name) for name in _FIELDS
+            )
+        except AttributeError:
+            return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"EventRow(honeypot={self.honeypot!r}, protocol={self.protocol}, "
+            f"source={self.source_text!r}, day={self.day}, "
+            f"attack_type={self.attack_type})"
+        )
+
+
+#: Scalar-or-collection filter value accepted by :meth:`EventStore.where`.
+_FilterValue = Union[Any, Iterable[Any]]
+
+_COLLECTIONS = (set, frozenset, list, tuple, range)
+
+
+def _as_membership(value: _FilterValue) -> Callable[[Any], bool]:
+    """Normalize a scalar or collection filter to a membership predicate."""
+    if isinstance(value, _COLLECTIONS):
+        allowed = set(value)
+        return lambda item: item in allowed
+    return lambda item: item == value
+
+
+class EventStore:
+    """Queryable columnar store of attack events across the deployment.
+
+    Internally one compact column per field plus lazy position indexes;
+    externally both the legacy event-at-a-time API (``add`` / iteration /
+    ``by_honeypot``) and the typed query API (``where`` / ``count_by`` /
+    ``group_by_source`` / ``iter_rows``).
+    """
+
+    def __init__(self, events: Optional[Iterable[Any]] = None) -> None:
+        self._honeypots: List[str] = []
+        self._protocols: List[ProtocolId] = []
+        self._sources = array("Q")
+        self._days = array("q")
+        self._timestamps = array("d")
+        self._attack_types: List[AttackType] = []
+        self._actors: List[str] = []
+        self._summaries: List[str] = []
+        self._malware_hashes: List[str] = []
+        self._request_bytes = array("Q")
+        # position indexes, built once on demand and dropped on append
+        self._by_honeypot: Optional[Dict[str, List[int]]] = None
+        self._by_protocol: Optional[Dict[ProtocolId, List[int]]] = None
+        self._by_source: Optional[Dict[int, List[int]]] = None
+        self._multistage_cache: Optional[Dict[int, List[EventRow]]] = None
+        for event in events or []:
+            self.add(event)
+
+    # -- ingestion -------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        """Drop the lazy indexes (any append or key-column write)."""
+        self._by_honeypot = None
+        self._by_protocol = None
+        self._by_source = None
+        self._multistage_cache = None
+
+    def append_event(
+        self,
+        honeypot: str,
+        protocol: ProtocolId,
+        source: int,
+        day: int,
+        timestamp: float,
+        attack_type: AttackType,
+        actor: str = "",
+        summary: str = "",
+        malware_hash: str = "",
+        request_bytes: int = 0,
+    ) -> None:
+        """Append one row straight into the columns (the scheduler hot
+        path — no intermediate event object)."""
+        self._honeypots.append(honeypot)
+        self._protocols.append(protocol)
+        self._sources.append(source)
+        self._days.append(day)
+        self._timestamps.append(timestamp)
+        self._attack_types.append(attack_type)
+        self._actors.append(actor)
+        self._summaries.append(summary)
+        self._malware_hashes.append(malware_hash)
+        self._request_bytes.append(request_bytes)
+        if self._by_source is not None:
+            self._invalidate()
+
+    def add(self, event: Any) -> None:
+        """Record one event-like object (anything with the ten fields)."""
+        self.append_event(
+            event.honeypot,
+            event.protocol,
+            event.source,
+            event.day,
+            event.timestamp,
+            event.attack_type,
+            event.actor,
+            event.summary,
+            event.malware_hash,
+            event.request_bytes,
+        )
+
+    def extend(self, events: Iterable[Any]) -> None:
         """Record many events."""
-        self._events.extend(events)
+        for event in events:
+            self.add(event)
+
+    # -- row access ------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._sources)
 
-    def __iter__(self) -> Iterator[AttackEvent]:
-        return iter(self._events)
+    def row(self, index: int) -> EventRow:
+        """The view of one row by position."""
+        if not 0 <= index < len(self._sources):
+            raise IndexError(f"row index {index} out of range")
+        return EventRow(self, index)
+
+    def iter_rows(self) -> Iterator[EventRow]:
+        """Iterate lightweight row views in insertion order."""
+        for index in range(len(self._sources)):
+            yield EventRow(self, index)
+
+    def __iter__(self) -> Iterator[EventRow]:
+        return self.iter_rows()
+
+    def column(self, name: str) -> Any:
+        """Direct (read-only by convention) access to one column sequence.
+
+        ``name`` is a field name: ``"honeypot"``, ``"protocol"``,
+        ``"source"``, ``"day"``, ``"timestamp"``, ``"attack_type"``,
+        ``"actor"``, ``"summary"``, ``"malware_hash"`` or
+        ``"request_bytes"``.  Numeric columns come back as compact
+        ``array`` objects — ideal for set-building and vector passes.
+        """
+        if name not in _FIELDS:
+            raise KeyError(f"no such column: {name!r}")
+        if name == "request_bytes":
+            return self._request_bytes
+        return getattr(self, f"_{name}s")
+
+    @property
+    def events(self) -> List[EventRow]:
+        """Deprecated: materialized row-view list; use iteration,
+        :meth:`iter_rows` or :meth:`where` instead."""
+        warnings.warn(
+            "EventStore.events is deprecated; iterate the store or use "
+            "iter_rows()/where() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.iter_rows())
+
+    # -- indexes ---------------------------------------------------------
+
+    def _ensure_indexes(self) -> None:
+        """Build the three position indexes in one pass over the columns."""
+        if self._by_source is not None:
+            return
+        by_honeypot: Dict[str, List[int]] = {}
+        by_protocol: Dict[ProtocolId, List[int]] = {}
+        by_source: Dict[int, List[int]] = {}
+        honeypots, protocols, sources = (
+            self._honeypots, self._protocols, self._sources
+        )
+        for index in range(len(sources)):
+            by_honeypot.setdefault(honeypots[index], []).append(index)
+            by_protocol.setdefault(protocols[index], []).append(index)
+            by_source.setdefault(sources[index], []).append(index)
+        self._by_honeypot = by_honeypot
+        self._by_protocol = by_protocol
+        self._by_source = by_source
+
+    def _candidates(
+        self,
+        honeypot: Optional[_FilterValue],
+        protocol: Optional[_FilterValue],
+        source: Optional[_FilterValue],
+    ) -> Optional[List[int]]:
+        """Candidate positions from the most selective scalar index filter
+        (None → no indexed filter applies, scan everything)."""
+        self._ensure_indexes()
+        best: Optional[List[int]] = None
+        for value, index in (
+            (honeypot, self._by_honeypot),
+            (protocol, self._by_protocol),
+            (source, self._by_source),
+        ):
+            if value is None or isinstance(value, _COLLECTIONS):
+                continue
+            positions = index.get(value, [])  # type: ignore[union-attr]
+            if best is None or len(positions) < len(best):
+                best = positions
+        return best
+
+    # -- typed query API -------------------------------------------------
+
+    def where(
+        self,
+        *,
+        honeypot: Optional[_FilterValue] = None,
+        protocol: Optional[_FilterValue] = None,
+        source: Optional[_FilterValue] = None,
+        day: Optional[_FilterValue] = None,
+        attack_type: Optional[_FilterValue] = None,
+        actor: Optional[_FilterValue] = None,
+        predicate: Optional[Callable[[EventRow], bool]] = None,
+    ) -> "EventStore":
+        """New store with the rows matching every given filter.
+
+        Column filters accept a scalar or a collection (membership test);
+        scalar honeypot/protocol/source filters are served from the
+        position indexes.  ``predicate`` is an escape hatch receiving
+        each :class:`EventRow`.
+        """
+        tests: List[Callable[[EventRow], bool]] = []
+        for name, value in (
+            ("honeypot", honeypot),
+            ("protocol", protocol),
+            ("source", source),
+            ("day", day),
+            ("attack_type", attack_type),
+            ("actor", actor),
+        ):
+            if value is not None:
+                member = _as_membership(value)
+                tests.append(lambda row, n=name, m=member: m(getattr(row, n)))
+        if predicate is not None:
+            tests.append(predicate)
+        positions = self._candidates(honeypot, protocol, source)
+        if positions is None:
+            positions = range(len(self._sources))  # type: ignore[assignment]
+        selected = EventStore()
+        for index in positions:
+            row = EventRow(self, index)
+            if all(test(row) for test in tests):
+                selected.add(row)
+        return selected
+
+    def count_by(
+        self, column: str, *, unique: Optional[str] = None
+    ) -> Dict[Any, int]:
+        """Row (or distinct-value) counts grouped by one column.
+
+        ``log.count_by("protocol")`` counts events per protocol;
+        ``log.count_by("protocol", unique="source")`` counts *distinct
+        sources* per protocol — Table 7's second matrix unit.
+        """
+        keys = self.column(column)
+        if unique is None:
+            counts: Dict[Any, int] = {}
+            for key in keys:
+                counts[key] = counts.get(key, 0) + 1
+            return counts
+        values = self.column(unique)
+        groups: Dict[Any, Set[Any]] = {}
+        for key, value in zip(keys, values):
+            groups.setdefault(key, set()).add(value)
+        return {key: len(members) for key, members in groups.items()}
+
+    def group_by_source(self) -> Dict[int, List[EventRow]]:
+        """source → its events in insertion order, from the index.
+
+        The recurrence and origin analyses iterate this instead of
+        re-scanning the full log once per source.
+        """
+        self._ensure_indexes()
+        return {
+            source: [EventRow(self, index) for index in positions]
+            for source, positions in self._by_source.items()
+        }
 
     # -- aggregations used by the paper's tables/figures -------------------
 
-    def by_honeypot(self, honeypot: str) -> List[AttackEvent]:
-        """Events captured by one honeypot."""
-        return [event for event in self._events if event.honeypot == honeypot]
+    def by_honeypot(self, honeypot: str) -> List[EventRow]:
+        """Events captured by one honeypot (index-backed)."""
+        self._ensure_indexes()
+        positions = self._by_honeypot.get(honeypot, [])
+        return [EventRow(self, index) for index in positions]
 
     def count_by_honeypot_protocol(self) -> Dict[Tuple[str, str], int]:
         """(honeypot, protocol) → events — Table 7's first matrix."""
         counts: Dict[Tuple[str, str], int] = {}
-        for event in self._events:
-            key = (event.honeypot, str(event.protocol))
+        for honeypot, protocol in zip(self._honeypots, self._protocols):
+            key = (honeypot, str(protocol))
             counts[key] = counts.get(key, 0) + 1
         return counts
 
     def count_by_protocol(self) -> Dict[str, int]:
         """protocol → events."""
         counts: Dict[str, int] = {}
-        for event in self._events:
-            key = str(event.protocol)
+        for protocol in self._protocols:
+            key = str(protocol)
             counts[key] = counts.get(key, 0) + 1
         return counts
 
     def count_by_day(self) -> Dict[int, int]:
         """day → events — Figure 8's series."""
         counts: Dict[int, int] = {}
-        for event in self._events:
-            counts[event.day] = counts.get(event.day, 0) + 1
+        for day in self._days:
+            counts[day] = counts.get(day, 0) + 1
         return counts
 
     def count_by_type(
@@ -132,10 +564,15 @@ class EventLog:
     ) -> Dict[AttackType, int]:
         """attack type → events, optionally for one protocol — Figures 4/7."""
         counts: Dict[AttackType, int] = {}
-        for event in self._events:
-            if protocol is not None and event.protocol != protocol:
-                continue
-            counts[event.attack_type] = counts.get(event.attack_type, 0) + 1
+        if protocol is None:
+            for attack_type in self._attack_types:
+                counts[attack_type] = counts.get(attack_type, 0) + 1
+            return counts
+        self._ensure_indexes()
+        attack_types = self._attack_types
+        for index in self._by_protocol.get(protocol, []):
+            attack_type = attack_types[index]
+            counts[attack_type] = counts.get(attack_type, 0) + 1
         return counts
 
     def unique_sources(
@@ -143,49 +580,93 @@ class EventLog:
         honeypot: Optional[str] = None,
         protocol: Optional[ProtocolId] = None,
     ) -> Set[int]:
-        """Distinct source addresses, optionally filtered."""
+        """Distinct source addresses, optionally filtered (index-backed)."""
+        if honeypot is None and protocol is None:
+            return set(self._sources)
+        self._ensure_indexes()
+        sources = self._sources
+        if honeypot is None:
+            positions = self._by_protocol.get(protocol, [])
+            return {sources[index] for index in positions}
+        positions = self._by_honeypot.get(honeypot, [])
+        if protocol is None:
+            return {sources[index] for index in positions}
+        protocols = self._protocols
         return {
-            event.source
-            for event in self._events
-            if (honeypot is None or event.honeypot == honeypot)
-            and (protocol is None or event.protocol == protocol)
+            sources[index] for index in positions
+            if protocols[index] == protocol
         }
 
     def sources_by_actor_kind(self) -> Dict[str, Set[int]]:
         """actor label → source set (for traceability in tests)."""
         result: Dict[str, Set[int]] = {}
-        for event in self._events:
-            result.setdefault(event.actor, set()).add(event.source)
+        for actor, source in zip(self._actors, self._sources):
+            result.setdefault(actor, set()).add(source)
         return result
 
-    def multistage_candidates(self) -> Dict[int, List[AttackEvent]]:
+    def multistage_candidates(self) -> Dict[int, List[EventRow]]:
         """source → its events sorted by time, for sources touching
-        multiple protocols — the Figure 9 detection input."""
-        per_source: Dict[int, List[AttackEvent]] = {}
-        for event in self._events:
-            per_source.setdefault(event.source, []).append(event)
-        result: Dict[int, List[AttackEvent]] = {}
-        for source, events in per_source.items():
-            protocols = {event.protocol for event in events}
-            if len(protocols) >= 2:
-                result[source] = sorted(events, key=lambda e: e.timestamp)
+        multiple protocols — the Figure 9 detection input.
+
+        Memoized on the index layer: ``multistage_monitor`` and
+        ``analysis.multistage`` both call this, and it used to rebuild the
+        per-source dict from scratch on every call.  The cache drops with
+        the indexes on append.
+        """
+        if self._multistage_cache is not None:
+            return self._multistage_cache
+        self._ensure_indexes()
+        protocols, timestamps = self._protocols, self._timestamps
+        result: Dict[int, List[EventRow]] = {}
+        for source, positions in self._by_source.items():
+            distinct = {protocols[index] for index in positions}
+            if len(distinct) >= 2:
+                ordered = sorted(positions, key=timestamps.__getitem__)
+                result[source] = [EventRow(self, index) for index in ordered]
+        self._multistage_cache = result
         return result
 
     def malware_hashes(self) -> Set[str]:
         """Distinct captured malware hashes (Table 13's corpus)."""
-        return {event.malware_hash for event in self._events if event.malware_hash}
+        return {digest for digest in self._malware_hashes if digest}
+
+    def sorted_canonical(self) -> "EventStore":
+        """New store in canonical ``(timestamp, source, honeypot)`` order —
+        the order sharded attack months merge into, making worker count
+        (and task execution order generally) unobservable."""
+        timestamps, sources, honeypots = (
+            self._timestamps, self._sources, self._honeypots
+        )
+        protocols = self._protocols
+        order = sorted(
+            range(len(sources)),
+            key=lambda index: (
+                timestamps[index],
+                sources[index],
+                honeypots[index],
+                str(protocols[index]),
+            ),
+        )
+        result = EventStore()
+        for index in order:
+            result.add(EventRow(self, index))
+        return result
 
     # -- persistence (the daily export of §3.3.2) -------------------------
 
     def to_jsonl(self) -> str:
         """Serialize all events as JSONL."""
-        return "\n".join(event.to_json() for event in self._events)
+        return "\n".join(row.to_json() for row in self.iter_rows())
 
     @classmethod
-    def from_jsonl(cls, text: str) -> "EventLog":
+    def from_jsonl(cls, text: str) -> "EventStore":
         """Load a previously exported log."""
         return cls(
             AttackEvent.from_json(line)
             for line in text.splitlines()
             if line.strip()
         )
+
+
+#: Historical name for the store; new code should say :class:`EventStore`.
+EventLog = EventStore

@@ -80,8 +80,9 @@ class MultistageMonitor:
 
     def replay(self, log: EventLog) -> List[MultistageAlert]:
         """Stream an existing log through the monitor in time order."""
-        for event in sorted(log, key=lambda e: e.timestamp):
-            self.observe(event)
+        timestamps = log.column("timestamp")
+        for index in sorted(range(len(log)), key=timestamps.__getitem__):
+            self.observe(log.row(index))
         return self.alerts
 
     def chain_of(self, source: int) -> Tuple[ProtocolId, ...]:

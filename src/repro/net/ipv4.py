@@ -11,8 +11,10 @@ dicts are several times faster and leaner than ``IPv4Address`` instances.
 
 from __future__ import annotations
 
+from bisect import bisect
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from itertools import accumulate
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.net.errors import AddressError, AllocationError
 
@@ -166,8 +168,17 @@ RESERVED_BLOCKS: List[CidrBlock] = [
 ]
 
 
+# The reserved blocks are ascending and disjoint, so containment is one
+# bisection over the block starts — this runs once per allocation attempt.
+_RESERVED_RANGES: List[Tuple[int, int]] = [
+    (block.first, block.last) for block in RESERVED_BLOCKS
+]
+_RESERVED_FIRSTS: List[int] = [first for first, _ in _RESERVED_RANGES]
+
+
 def _is_reserved(address: int) -> bool:
-    return any(block.contains(address) for block in RESERVED_BLOCKS)
+    index = bisect(_RESERVED_FIRSTS, address) - 1
+    return index >= 0 and address <= _RESERVED_RANGES[index][1]
 
 
 class AddressAllocator:
@@ -186,6 +197,16 @@ class AddressAllocator:
         self._stream = stream
         self._allocated: set = set()
         self._weights = [pool.size for pool in self._pools]
+        self._cum_weights = list(accumulate(self._weights))
+        # Usable (low, high) per pool, skipping network/broadcast addresses
+        # for realism on small pools.
+        self._bounds = [
+            (
+                pool.first + (1 if pool.prefix < 31 else 0),
+                pool.last - (1 if pool.prefix < 31 else 0),
+            )
+            for pool in self._pools
+        ]
 
     @property
     def allocated_count(self) -> int:
@@ -199,23 +220,26 @@ class AddressAllocator:
         (after a bounded number of rejection-sampling attempts a linear scan
         is performed, so exhaustion is detected reliably).
         """
+        rng = getattr(self._stream, "rng", self._stream)
+        cum = self._cum_weights
+        total = cum[-1]
+        last = len(cum) - 1
+        allocated = self._allocated
         for _ in range(64):
-            pool = self._stream.pick_weighted(zip(self._pools, self._weights))
-            # Avoid network/broadcast addresses for realism on small pools.
-            low = pool.first + (1 if pool.prefix < 31 else 0)
-            high = pool.last - (1 if pool.prefix < 31 else 0)
+            # Draw-identical to ``pick_weighted`` over the pools: ``choices``
+            # with k=1 consumes exactly one uniform and bisects cumulative
+            # weights, which we precompute instead of rebuilding per call.
+            low, high = self._bounds[bisect(cum, rng.random() * total, 0, last)]
             if low > high:
                 continue
-            candidate = self._stream.randint(low, high)
-            if candidate in self._allocated or _is_reserved(candidate):
+            candidate = rng.randint(low, high)
+            if candidate in allocated or _is_reserved(candidate):
                 continue
-            self._allocated.add(candidate)
+            allocated.add(candidate)
             return candidate
         # Rejection sampling failed; fall back to an ordered sweep (still
         # skipping network/broadcast addresses like the sampling path).
-        for pool in self._pools:
-            low = pool.first + (1 if pool.prefix < 31 else 0)
-            high = pool.last - (1 if pool.prefix < 31 else 0)
+        for low, high in self._bounds:
             for candidate in range(low, high + 1):
                 if candidate not in self._allocated and not _is_reserved(candidate):
                     self._allocated.add(candidate)

@@ -156,6 +156,16 @@ class RandomStream:
         )
         return derived
 
+    @property
+    def rng(self) -> random.Random:
+        """The underlying :class:`random.Random`.
+
+        Hot loops bind its C-implemented methods directly
+        (``rnd = stream.rng.random``) to skip the wrapper call below;
+        the draws are identical either way.
+        """
+        return self._rng
+
     # -- thin, typed wrappers over random.Random -------------------------
 
     def random(self) -> float:

@@ -82,13 +82,24 @@ class BackscatterGenerator:
         self.packet_scale = packet_scale
         self._stream = RandomStream(seed, "telescope.backscatter")
 
-    def emit(self, attack: SpoofedDosAttack, writer: FlowTupleWriter) -> int:
+    def emit(
+        self,
+        attack: SpoofedDosAttack,
+        writer: FlowTupleWriter,
+        stream: Optional[RandomStream] = None,
+    ) -> int:
         """Write the attack's backscatter records; returns packets emitted.
 
         The victim answers spoofed sources uniformly at random; the dark /8
         receives ``telescope_fraction`` of them, spread over distinct dark
         addresses (which is the detection signature).
+
+        ``stream`` overrides the generator's internal sequential stream;
+        the sharded telescope passes a per-attack derived stream so the
+        emission is a pure function of the attack key instead of the
+        global emission order.
         """
+        stream = stream if stream is not None else self._stream
         landed = int(
             attack.total_packets * self.telescope_fraction / self.packet_scale
         )
@@ -99,17 +110,17 @@ class BackscatterGenerator:
         per_target = max(1, landed // n_targets)
         emitted = 0
         for _ in range(n_targets):
-            dark_destination = self._stream.randint(
+            dark_destination = stream.randint(
                 self.dark.first, self.dark.last
             )
             writer.add(FlowTupleRecord(
-                time=attack.day * 86_400 + self._stream.randint(0, 86_399),
+                time=attack.day * 86_400 + stream.randint(0, 86_399),
                 src_ip=attack.victim,
                 dst_ip=dark_destination,
                 src_port=attack.victim_port,
-                dst_port=self._stream.randint(1024, 65_535),
+                dst_port=stream.randint(1024, 65_535),
                 protocol=TransportProtocol.TCP,
-                ttl=self._stream.randint(48, 64),
+                ttl=stream.randint(48, 64),
                 tcp_flags=_BACKSCATTER_FLAGS,
                 ip_len=44,
                 packet_count=per_target,

@@ -20,11 +20,13 @@ volume ratios stay exact.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.attacks.actors import ActorRegistry, SourceInfo
 from repro.core.scaling import scale_count
+from repro.core.tasks import TaskTiming, run_tasks
 from repro.core.taxonomy import TrafficClass
 from repro.net.asn import AsnRegistry
 from repro.net.errors import ConfigError
@@ -76,6 +78,10 @@ class TelescopeConfig:
     #: Randomly-spoofed DoS attacks whose backscatter the telescope sees
     #: per day (the RSDoS metadata product).
     rsdos_attacks_per_day: int = 3
+    #: Concurrent (protocol, day) emission workers.  Output is
+    #: byte-identical for every value, so the field is excluded from
+    #: equality/fingerprints (a deployment knob, not an experiment one).
+    workers: int = field(default=1, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -84,6 +90,8 @@ class TelescopeConfig:
         """Raise :class:`~repro.net.errors.ConfigError` on invalid knobs."""
         if min(self.telnet_source_scale, self.source_scale, self.packet_scale) < 1:
             raise ConfigError("telescope scales must be >= 1")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
 
 
 @dataclass
@@ -144,96 +152,110 @@ class NetworkTelescope:
             [CidrBlock.parse("24.0.0.0/6"), CidrBlock.parse("150.0.0.0/6")],
             self._stream.child("background"),
         )
+        #: Per-(protocol, day) wall times of the last :meth:`capture_month`.
+        self.task_timings: List[TaskTiming] = []
+        self._scanners: Optional[List[SourceInfo]] = None
 
     # -- generation ------------------------------------------------------
 
     def capture_month(self) -> TelescopeCapture:
-        """Produce the full scaled April capture."""
+        """Produce the full scaled April capture.
+
+        Runs as plan / execute / merge: source population, activity plans
+        and RSDoS attack specs are drawn serially; record emission shards
+        into per-(protocol, day) tasks on ``config.workers`` threads, each
+        drawing from ``stream.derive(protocol, day)``; the merge files task
+        outputs in canonical (protocol order, day) order — byte-identical
+        for every worker count.
+        """
+        writer = FlowTupleWriter()
+        sources_by_protocol: Dict[ProtocolId, Set[int]] = {}
+        scanning_by_protocol: Dict[ProtocolId, Set[int]] = {}
+
+        malicious_by_protocol = self._partition_registry()
+        day_plans: Dict[Tuple[ProtocolId, int], List[_SourceDayPlan]] = {}
+        for protocol in PAPER_TELESCOPE:
+            stream = self._stream.child(f"proto.{protocol}")
+            all_sources, scanning_set = self._build_protocol_sources(
+                protocol, stream, malicious_by_protocol[protocol]
+            )
+            sources_by_protocol[protocol] = set(all_sources)
+            scanning_by_protocol[protocol] = scanning_set
+            self._plan_emission(protocol, all_sources, scanning_set, stream, day_plans)
+        rsdos_by_day = self._plan_rsdos()
+
+        tasks: List[Tuple[object, int]] = []
+        thunks = []
+        for protocol in PAPER_TELESCOPE:
+            for day in range(self.config.days):
+                plan = day_plans.get((protocol, day))
+                if not plan:
+                    continue
+                tasks.append((protocol, day))
+                thunks.append(
+                    lambda p=protocol, d=day, entries=plan: self._emit_day(
+                        p, d, entries
+                    )
+                )
+        for day in sorted(rsdos_by_day):
+            tasks.append(("rsdos", day))
+            thunks.append(
+                lambda d=day, attacks=rsdos_by_day[day]: self._emit_rsdos_day(
+                    d, attacks
+                )
+            )
+        outcomes = run_tasks(thunks, self.config.workers)
+
+        self.task_timings = [timing for _, _, timing in outcomes]
+        packets_by_protocol: Dict[ProtocolId, int] = {
+            protocol: 0 for protocol in PAPER_TELESCOPE
+        }
+        for (unit, day), (records, packets, _) in zip(tasks, outcomes):
+            writer.extend_day(day, records)
+            if unit != "rsdos":
+                packets_by_protocol[unit] += packets
+
+        rsdos_truth = [
+            attack
+            for day in sorted(rsdos_by_day)
+            for attack in rsdos_by_day[day]
+        ]
+        return TelescopeCapture(
+            writer=writer,
+            sources_by_protocol=sources_by_protocol,
+            scanning_sources_by_protocol=scanning_by_protocol,
+            packets_by_protocol=packets_by_protocol,
+            config=self.config,
+            rsdos_truth=rsdos_truth,
+        )
+
+    def capture_month_reference(self) -> TelescopeCapture:
+        """The original strictly-serial capture (the differential oracle).
+
+        One sequential stream per protocol interleaves activity planning
+        with record emission — kept verbatim as the fidelity baseline for
+        the sharded path.  Use a fresh telescope per call; both capture
+        methods consume the same named streams.
+        """
         writer = FlowTupleWriter()
         sources_by_protocol: Dict[ProtocolId, Set[int]] = {}
         scanning_by_protocol: Dict[ProtocolId, Set[int]] = {}
         packets_by_protocol: Dict[ProtocolId, int] = {}
 
-        registry_scanners = [
-            info for info in self.registry
-            if info.visits_telescope
-            and info.traffic_class == TrafficClass.SCANNING_SERVICE
-        ]
-        registry_malicious = [
-            info for info in self.registry
-            if info.visits_telescope
-            and info.traffic_class != TrafficClass.SCANNING_SERVICE
-        ]
-        # Every registry source flagged as telescope-visiting MUST appear in
-        # the capture (a bot scanning the Internet cannot miss a /8) —
-        # partition them across protocols proportionally to source counts,
-        # with Telnet absorbing the bulk (bots scan Telnet first).
-        partition_stream = self._stream.child("partition")
-        protocol_list = list(PAPER_TELESCOPE)
-        protocol_weights = [
-            PAPER_TELESCOPE[protocol][1] for protocol in protocol_list
-        ]
-        malicious_by_protocol: Dict[ProtocolId, List[SourceInfo]] = {
-            protocol: [] for protocol in protocol_list
-        }
-        for info in registry_malicious:
-            protocol = partition_stream.choices(
-                protocol_list, protocol_weights, k=1
-            )[0]
-            malicious_by_protocol[protocol].append(info)
-
+        malicious_by_protocol = self._partition_registry()
         for protocol, (daily_avg, unique_ips, scanning_ips) in PAPER_TELESCOPE.items():
             stream = self._stream.child(f"proto.{protocol}")
-            source_scale = (
-                self.config.telnet_source_scale
-                if protocol == ProtocolId.TELNET
-                else self.config.source_scale
+            all_sources, scanning_set = self._build_protocol_sources(
+                protocol, stream, malicious_by_protocol[protocol]
             )
-            n_sources = max(2, scale_count(unique_ips, source_scale))
-            # Scanning-service counts are small enough to share one scale.
-            n_scanning = min(
-                n_sources - 1,
-                max(1, scale_count(scanning_ips, self.config.source_scale)),
-            )
-
-            # Scanning-service sources come from the shared registry first.
-            scanning_sources: List[int] = []
-            pool = list(registry_scanners)
-            stream.shuffle(pool)
-            for info in pool[:n_scanning]:
-                scanning_sources.append(info.address)
-            while len(scanning_sources) < n_scanning:
-                scanning_sources.append(self._allocator.allocate())
-
-            # Suspicious sources: this protocol's registry attackers, all of
-            # them, then bulk background (the unattributed radiation that
-            # dominates the real telescope) up to the scaled unique count.
-            suspicious: List[int] = [
-                info.address for info in malicious_by_protocol[protocol]
-            ]
-            n_suspicious = max(len(suspicious), n_sources - n_scanning)
-            while len(suspicious) < n_suspicious:
-                background = self._allocator.allocate()
-                suspicious.append(background)
-                # Background radiation sources join the shared ledger as
-                # unknowns, so intel lookups (Figure 6's telescope side)
-                # see them with unknown-grade reputations.
-                self.registry.register(SourceInfo(
-                    address=background,
-                    traffic_class=TrafficClass.UNKNOWN,
-                    actor="darknet-background",
-                    visits_telescope=True,
-                ))
-
-            all_sources = scanning_sources + suspicious
             sources_by_protocol[protocol] = set(all_sources)
-            scanning_by_protocol[protocol] = set(scanning_sources)
+            scanning_by_protocol[protocol] = scanning_set
 
             total_packets = scale_count(
                 daily_avg * self.config.days, self.config.packet_scale
             )
             packets_by_protocol[protocol] = self._emit_records(
-                writer, protocol, all_sources, set(scanning_sources),
+                writer, protocol, all_sources, scanning_set,
                 total_packets, stream,
             )
 
@@ -247,6 +269,241 @@ class NetworkTelescope:
             config=self.config,
             rsdos_truth=rsdos_truth,
         )
+
+    # -- population (shared by both capture paths) -----------------------
+
+    def _partition_registry(self) -> Dict[ProtocolId, List[SourceInfo]]:
+        """Assign telescope-visiting registry attackers to protocols.
+
+        Every registry source flagged as telescope-visiting MUST appear in
+        the capture (a bot scanning the Internet cannot miss a /8) —
+        partition them across protocols proportionally to source counts,
+        with Telnet absorbing the bulk (bots scan Telnet first).
+        """
+        registry_malicious = [
+            info for info in self.registry
+            if info.visits_telescope
+            and info.traffic_class != TrafficClass.SCANNING_SERVICE
+        ]
+        partition_stream = self._stream.child("partition")
+        protocol_list = list(PAPER_TELESCOPE)
+        protocol_weights = [
+            PAPER_TELESCOPE[protocol][1] for protocol in protocol_list
+        ]
+        malicious_by_protocol: Dict[ProtocolId, List[SourceInfo]] = {
+            protocol: [] for protocol in protocol_list
+        }
+        for info in registry_malicious:
+            protocol = partition_stream.choices(
+                protocol_list, protocol_weights, k=1
+            )[0]
+            malicious_by_protocol[protocol].append(info)
+        return malicious_by_protocol
+
+    def _build_protocol_sources(
+        self,
+        protocol: ProtocolId,
+        stream: RandomStream,
+        malicious: List[SourceInfo],
+    ) -> Tuple[List[int], Set[int]]:
+        """One protocol's source population: (all sources, scanning set)."""
+        _, unique_ips, scanning_ips = PAPER_TELESCOPE[protocol]
+        # The scanning-service roster never changes during a capture (only
+        # UNKNOWN background sources get registered below), so scan the
+        # registry once instead of once per protocol; each protocol still
+        # shuffles its own fresh copy, in the original registry order.
+        if self._scanners is None:
+            self._scanners = [
+                info for info in self.registry
+                if info.visits_telescope
+                and info.traffic_class == TrafficClass.SCANNING_SERVICE
+            ]
+        registry_scanners = list(self._scanners)
+        source_scale = (
+            self.config.telnet_source_scale
+            if protocol == ProtocolId.TELNET
+            else self.config.source_scale
+        )
+        n_sources = max(2, scale_count(unique_ips, source_scale))
+        # Scanning-service counts are small enough to share one scale.
+        n_scanning = min(
+            n_sources - 1,
+            max(1, scale_count(scanning_ips, self.config.source_scale)),
+        )
+
+        # Scanning-service sources come from the shared registry first.
+        scanning_sources: List[int] = []
+        pool = registry_scanners
+        stream.shuffle(pool)
+        for info in pool[:n_scanning]:
+            scanning_sources.append(info.address)
+        while len(scanning_sources) < n_scanning:
+            scanning_sources.append(self._allocator.allocate())
+
+        # Suspicious sources: this protocol's registry attackers, all of
+        # them, then bulk background (the unattributed radiation that
+        # dominates the real telescope) up to the scaled unique count.
+        suspicious: List[int] = [info.address for info in malicious]
+        n_suspicious = max(len(suspicious), n_sources - n_scanning)
+        while len(suspicious) < n_suspicious:
+            background = self._allocator.allocate()
+            suspicious.append(background)
+            # Background radiation sources join the shared ledger as
+            # unknowns, so intel lookups (Figure 6's telescope side)
+            # see them with unknown-grade reputations.
+            self.registry.register(SourceInfo(
+                address=background,
+                traffic_class=TrafficClass.UNKNOWN,
+                actor="darknet-background",
+                visits_telescope=True,
+            ))
+
+        return scanning_sources + suspicious, set(scanning_sources)
+
+    # -- sharded emission -------------------------------------------------
+
+    def _plan_emission(
+        self,
+        protocol: ProtocolId,
+        sources: List[int],
+        scanning_set: Set[int],
+        stream: RandomStream,
+        day_plans: Dict[Tuple[ProtocolId, int], List[tuple]],
+    ) -> None:
+        """Draw one protocol's per-source activity plan (no emission).
+
+        Zipf-ish activity: a few heavy hitters, a long quiet tail.  The
+        per-source decisions (share of the packet budget, recurring or
+        bursty, which days) stay on the serial per-protocol stream; only
+        the per-record field draws move to the per-(protocol, day) task
+        streams.  Geo/ASN are looked up once per source here instead of
+        once per record.
+        """
+        daily_avg = PAPER_TELESCOPE[protocol][0]
+        total_packets = scale_count(
+            daily_avg * self.config.days, self.config.packet_scale
+        )
+        weight_sum = sum(1.0 / (rank + 1) for rank in range(len(sources)))
+        weight_sum = weight_sum or 1.0
+        days = self.config.days
+        rnd = stream.rng.random
+        country_of = self.geo.country_of
+        asn_of = self.asn.asn_of
+        # One list per day, filed under (protocol, day) at the end: tens of
+        # thousands of sources flow through here, so the activity draws are
+        # raw uniforms (like the emission loop's) and the per-day buckets
+        # are plain list indexing rather than keyed setdefaults.
+        day_lists: List[List[tuple]] = [[] for _ in range(days)]
+        for rank, source in enumerate(sources):
+            share = max(1, int(total_packets / ((rank + 1) * weight_sum)))
+            if source in scanning_set or rnd() < 0.3:
+                active_days = range(0, days, 1 + int(rnd() * 3))
+            else:
+                wanted = min(days, 1 + int(rnd() * 4))
+                chosen: Set[int] = set()
+                while len(chosen) < wanted:
+                    chosen.add(int(rnd() * days))
+                active_days = sorted(chosen)
+            per_day = max(1, share // max(1, len(active_days)))
+            entry = (source, per_day, country_of(source), asn_of(source))
+            for day in active_days:
+                day_lists[day].append(entry)
+        for day, entries in enumerate(day_lists):
+            if entries:
+                day_plans[(protocol, day)] = entries
+
+    def _emit_day(
+        self, protocol: ProtocolId, day: int, entries: List[tuple]
+    ) -> Tuple[List[FlowTupleRecord], int, TaskTiming]:
+        """Emit one (protocol, day) batch from its derived stream.
+
+        The per-record fields are uniform draws computed directly from
+        ``stream.random()`` — one raw draw each instead of the
+        ``randint`` slow path — which is where the sharded telescope's
+        single-thread throughput win comes from.
+        """
+        start = time.perf_counter()
+        stream = self._stream.derive("emit", str(protocol), day)
+        rnd = stream.rng.random
+        port = DEFAULT_PORTS[protocol][0]
+        is_tcp = transport_of(protocol) != TransportKind.UDP
+        transport = TransportProtocol.TCP if is_tcp else TransportProtocol.UDP
+        tcp_flags = 0x02 if is_tcp else 0
+        ip_len = 44 if is_tcp else 60
+        dark_first = self._dark.first
+        dark_span = self._dark.last - dark_first + 1
+        day_base = day * 86_400
+        spoofed_fraction = self.config.spoofed_fraction
+        masscan_fraction = self.config.masscan_fraction
+        records: List[FlowTupleRecord] = []
+        append = records.append
+        record = FlowTupleRecord
+        packets = 0
+        # Positional construction: this is the telescope's per-record hot
+        # loop, and the kwargs dict costs more than the field draws.
+        for source, per_day, country, asn in entries:
+            append(record(
+                day_base + int(rnd() * 86_400),           # time
+                source,                                    # src_ip
+                dark_first + int(rnd() * dark_span),       # dst_ip
+                1024 + int(rnd() * 64_512),                # src_port
+                port,                                      # dst_port
+                transport,
+                32 + int(rnd() * 224),                     # ttl
+                tcp_flags,
+                ip_len,
+                per_day,                                   # packet_count
+                rnd() < spoofed_fraction,                  # is_spoofed
+                rnd() < masscan_fraction,                  # is_masscan
+                country,
+                asn,
+            ))
+            packets += per_day
+        timing = TaskTiming(
+            plane="telescope", unit=str(protocol), day=day,
+            seconds=time.perf_counter() - start, events=len(records),
+        )
+        return records, packets, timing
+
+    def _plan_rsdos(self) -> Dict[int, List[SpoofedDosAttack]]:
+        """Draw the month's spoofed-DoS attack specs, grouped by day."""
+        stream = self._stream.child("rsdos")
+        by_day: Dict[int, List[SpoofedDosAttack]] = {}
+        for day in range(self.config.days):
+            for _ in range(self.config.rsdos_attacks_per_day):
+                attack = SpoofedDosAttack(
+                    victim=self._allocator.allocate(),
+                    victim_port=stream.choice([80, 443, 53, 22, 25565]),
+                    day=day,
+                    duration_seconds=stream.randint(120, 7_200),
+                    packets_per_second=stream.randint(20_000, 400_000),
+                )
+                by_day.setdefault(day, []).append(attack)
+        return by_day
+
+    def _emit_rsdos_day(
+        self, day: int, attacks: List[SpoofedDosAttack]
+    ) -> Tuple[List[FlowTupleRecord], int, TaskTiming]:
+        """Emit one day's backscatter from per-attack derived streams."""
+        start = time.perf_counter()
+        generator = BackscatterGenerator(
+            self.config.dark_prefix, self.config.seed,
+            packet_scale=self.config.packet_scale,
+        )
+        local = FlowTupleWriter()
+        packets = 0
+        for slot, attack in enumerate(attacks):
+            packets += generator.emit(
+                attack, local, stream=self._stream.derive("rsdos.emit", day, slot)
+            )
+        records = list(local.records())
+        timing = TaskTiming(
+            plane="telescope", unit="rsdos", day=day,
+            seconds=time.perf_counter() - start, events=len(records),
+        )
+        return records, packets, timing
+
+    # -- reference (strictly-serial oracle) -------------------------------
 
     def _emit_rsdos_backscatter(
         self, writer: FlowTupleWriter

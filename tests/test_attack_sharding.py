@@ -1,0 +1,222 @@
+"""Sharded attack-plane determinism: serial vs K-worker byte identity.
+
+The attack month shards into per-(honeypot, day) tasks and the telescope
+month into per-(protocol, day) tasks, each drawing from a
+``RandomStream.derive(unit, day)`` child stream; the merged output must be
+byte-identical for every worker count K.  These tests pin that down across
+two seeds, along with the columnar :class:`EventStore` query surface, the
+``.events`` deprecation shim, and the ``workers`` config/CLI plumbing —
+the attack-plane mirror of :mod:`tests.test_sharding`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.actors import ActorRegistry, SourceInfo
+from repro.attacks.schedule import AttackScheduleConfig, AttackScheduler
+from repro.cli import main
+from repro.core.taxonomy import AttackType, TrafficClass
+from repro.honeypots import build_deployment
+from repro.honeypots.events import AttackEvent, EventStore
+from repro.internet.population import PopulationBuilder, PopulationConfig
+from repro.net.asn import AsnRegistry
+from repro.net.errors import ConfigError
+from repro.net.geo import GeoRegistry
+from repro.protocols.base import ProtocolId
+from repro.telescope.flowtuple import encode_flowtuple
+from repro.telescope.telescope import NetworkTelescope, TelescopeConfig
+
+
+def _run_month(seed, workers=1, reference=False):
+    """A fresh world + scheduler per run: both paths consume the same
+    named streams and the fabric/servers carry per-run state."""
+    population = PopulationBuilder(
+        PopulationConfig(seed=seed, scale=8192, honeypot_scale=256)
+    ).build()
+    deployment = build_deployment()
+    deployment.attach(population.internet)
+    scheduler = AttackScheduler(
+        population.internet, deployment, population,
+        AttackScheduleConfig(seed=seed, attack_scale=128, workers=workers),
+    )
+    result = scheduler.run_reference() if reference else scheduler.run()
+    deployment.detach(population.internet)
+    return result, deployment, scheduler
+
+
+def _schedule_fingerprint(result, deployment):
+    """Everything a month produces, as comparable values: the event rows,
+    the session ledgers, the malware corpus and the server counters the
+    sharded merge reconstitutes from per-task deltas."""
+    counters = []
+    for honeypot in deployment.honeypots:
+        for port, server in sorted(honeypot.services.items()):
+            for attr in sorted(vars(server)):
+                value = getattr(server, attr)
+                if type(value) is int:
+                    counters.append((honeypot.name, port, attr, value))
+    return (
+        result.log.to_jsonl(),
+        result.sessions_attempted,
+        result.sessions_dropped,
+        sorted(result.multistage_sources),
+        [(sample.family, sample.sha256) for sample in result.corpus.samples],
+        counters,
+    )
+
+
+def _capture_month(seed, workers=1, reference=False):
+    registry = ActorRegistry()
+    for index in range(40):
+        registry.register(SourceInfo(
+            address=10_000 + index,
+            traffic_class=(TrafficClass.SCANNING_SERVICE if index < 10
+                           else TrafficClass.MALICIOUS),
+            visits_telescope=True,
+            infected_misconfigured=index >= 30,
+        ))
+    telescope = NetworkTelescope(
+        registry, GeoRegistry(seed), AsnRegistry(seed),
+        TelescopeConfig(seed=seed, telnet_source_scale=65_536,
+                        source_scale=512, packet_scale=131_072,
+                        workers=workers),
+    )
+    if reference:
+        return telescope.capture_month_reference(), telescope
+    return telescope.capture_month(), telescope
+
+
+def _capture_fingerprint(capture):
+    return (
+        [encode_flowtuple(record) for record in capture.writer.records()],
+        {str(protocol): sorted(sources) for protocol, sources
+         in capture.sources_by_protocol.items()},
+        {str(protocol): sorted(sources) for protocol, sources
+         in capture.scanning_sources_by_protocol.items()},
+        {str(protocol): packets for protocol, packets
+         in capture.packets_by_protocol.items()},
+        capture.rsdos_truth,
+    )
+
+
+class TestAttackMonthDeterminism:
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_serial_and_sharded_byte_identical(self, seed):
+        result, deployment, _ = _run_month(seed, workers=1)
+        baseline = _schedule_fingerprint(result, deployment)
+        assert len(result.log)  # the month actually produced events
+        for workers in (2, 5):
+            sharded, lab, _ = _run_month(seed, workers=workers)
+            assert _schedule_fingerprint(sharded, lab) == baseline, (
+                f"K={workers}"
+            )
+
+    def test_task_timings_cover_every_honeypot_day(self):
+        result, _, scheduler = _run_month(7, workers=4)
+        timings = scheduler.task_timings
+        assert timings and all(t.plane == "attacks" for t in timings)
+        assert sum(t.events for t in timings) == len(result.log)
+        honeypots = {h.name for h in scheduler.deployment.honeypots}
+        assert {t.unit for t in timings} <= honeypots
+        assert all(t.seconds >= 0.0 for t in timings)
+
+    def test_reference_oracle_statistical_parity(self):
+        """The strictly-serial legacy path and the plan/execute path draw
+        payload bytes in different orders, so they are compared on the
+        aggregate ledgers rather than bytes."""
+        sharded, _, _ = _run_month(7, workers=1)
+        reference, _, _ = _run_month(7, reference=True)
+        assert len(sharded.log) == len(reference.log)
+        assert sharded.sessions_attempted == reference.sessions_attempted
+        assert sharded.sessions_dropped == reference.sessions_dropped
+        assert (len(sharded.multistage_sources)
+                == len(reference.multistage_sources))
+
+
+class TestTelescopeDeterminism:
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_serial_and_sharded_byte_identical(self, seed):
+        capture, _ = _capture_month(seed, workers=1)
+        baseline = _capture_fingerprint(capture)
+        assert baseline[0]  # the capture actually produced FlowTuples
+        for workers in (2, 5):
+            sharded, _ = _capture_month(seed, workers=workers)
+            assert _capture_fingerprint(sharded) == baseline, f"K={workers}"
+
+    def test_reference_oracle_rsdos_truth_matches(self):
+        """RSDoS attack specs are planned before emission, so the sharded
+        path reproduces the reference ground truth exactly."""
+        capture, _ = _capture_month(7, workers=1)
+        reference, _ = _capture_month(7, reference=True)
+        assert capture.rsdos_truth == reference.rsdos_truth
+
+    def test_task_timings_cover_protocols_and_rsdos(self):
+        capture, telescope = _capture_month(7, workers=3)
+        timings = telescope.task_timings
+        assert timings and all(t.plane == "telescope" for t in timings)
+        # Every FlowTuple the month filed was emitted under some task.
+        assert (sum(t.events for t in timings)
+                == len(list(capture.writer.records())))
+        assert {t.unit for t in timings if t.unit != "rsdos"} <= {
+            str(protocol) for protocol in capture.packets_by_protocol
+        }
+
+
+def _store():
+    store = EventStore()
+    store.add(AttackEvent(honeypot="Cowrie", protocol=ProtocolId.TELNET,
+                          source=1, day=0, timestamp=10.0,
+                          attack_type=AttackType.DICTIONARY))
+    store.add(AttackEvent(honeypot="Conpot", protocol=ProtocolId.MODBUS,
+                          source=1, day=1, timestamp=86_500.0,
+                          attack_type=AttackType.DATA_POISONING))
+    store.add(AttackEvent(honeypot="Cowrie", protocol=ProtocolId.TELNET,
+                          source=2, day=0, timestamp=20.0,
+                          attack_type=AttackType.SCANNING))
+    return store
+
+
+class TestEventStoreShim:
+    def test_events_property_warns_deprecation(self):
+        store = _store()
+        with pytest.deprecated_call():
+            events = store.events
+        assert len(events) == 3
+        # Duck-compatible with the old list-of-AttackEvent shape.
+        assert events[0].protocol == ProtocolId.TELNET
+        assert events[0].source_text == "0.0.0.1"
+
+    def test_multistage_candidates_memoized_and_invalidated(self):
+        store = _store()
+        first = store.multistage_candidates()
+        assert set(first) == {1}  # source 1 touched telnet + modbus
+        assert store.multistage_candidates() is first  # cache hit
+        store.add(AttackEvent(honeypot="U-Pot", protocol=ProtocolId.UPNP,
+                              source=2, day=2, timestamp=2 * 86_400.0,
+                              attack_type=AttackType.SCANNING))
+        rebuilt = store.multistage_candidates()
+        assert rebuilt is not first
+        assert set(rebuilt) == {1, 2}
+
+
+class TestWorkersConfig:
+    def test_bad_workers_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            AttackScheduleConfig(workers=0)
+        with pytest.raises(ConfigError):
+            TelescopeConfig(workers=-1)
+
+    def test_workers_do_not_change_equality_or_fingerprint(self):
+        from repro.core.engine import config_fingerprint
+
+        serial = AttackScheduleConfig(seed=7)
+        sharded = AttackScheduleConfig(seed=7, workers=8)
+        assert serial == sharded
+        assert config_fingerprint(serial) == config_fingerprint(sharded)
+        assert (config_fingerprint(TelescopeConfig(seed=7))
+                == config_fingerprint(TelescopeConfig(seed=7, workers=6)))
+
+    def test_cli_rejects_bad_workers_with_exit_2(self, capsys):
+        assert main(["attacks", "--quick", "--attack-workers", "0"]) == 2
+        assert "configuration error" in capsys.readouterr().err
