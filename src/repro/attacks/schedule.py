@@ -50,7 +50,7 @@ from repro.attacks.malware import MalwareCorpus, TaskCorpusView
 from repro.attacks.payloads import build_payloads
 from repro.attacks.scanning_services import SCANNING_SERVICES, ScanningService
 from repro.core.scaling import apportion, scale_count
-from repro.core.tasks import TaskTiming, run_tasks
+from repro.core.tasks import TaskJournal, TaskRef, TaskTiming, run_tasks
 from repro.core.taxonomy import AttackType, TrafficClass
 from repro.net.compat import DATACLASS_KW_ONLY
 from repro.honeypots.base import (
@@ -199,6 +199,10 @@ class AttackScheduleConfig:
     #: equality/fingerprints — worker count is a deployment knob, not an
     #: experiment parameter.
     workers: int = field(default=1, compare=False)
+    #: Supervised re-executions per (honeypot, day) task on a transient
+    #: fault.  Robustness-only (tasks are pure, so a retry is
+    #: byte-identical) and excluded from equality like ``workers``.
+    retries: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -213,6 +217,8 @@ class AttackScheduleConfig:
             raise ConfigError("days must be >= 1")
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
 
 
 @dataclass(frozen=True)
@@ -249,8 +255,12 @@ class _TaskOutcome:
     events: List[tuple] = field(default_factory=list)
     attempted: int = 0
     dropped: int = 0
-    #: (source, malware family) observations, in session order.
-    families: List[Tuple[SourceInfo, str]] = field(default_factory=list)
+    #: (source address, malware family) observations, in session order.
+    #: Addresses, not SourceInfo objects: outcomes are journaled for
+    #: crash-safe resume, and a replayed copy of a SourceInfo would not
+    #: reach the registry's live ledger — the merge resolves the address
+    #: through the registry instead.
+    families: List[Tuple[int, str]] = field(default_factory=list)
     #: Task-minted malware variants, in mint order.
     minted: List = field(default_factory=list)
     #: port → attr → integer-counter delta against the pristine services.
@@ -290,13 +300,20 @@ class AttackScheduler:
 
     # -- public -----------------------------------------------------------
 
-    def run(self) -> ScheduleResult:
+    def run(self, journal: Optional[TaskJournal] = None) -> ScheduleResult:
         """Simulate the month; returns the filled logs and ledgers.
 
         Plans serially, executes the per-(honeypot, day) tasks on
         ``config.workers`` threads (1 = inline, the serial oracle), and
         merges in canonical order — output is byte-identical for every
         worker count.
+
+        Tasks run supervised: a failure surfaces as
+        :class:`~repro.net.errors.TaskFailure` naming the (honeypot, day)
+        task, transient faults retry ``config.retries`` times, and an
+        optional ``journal`` records completed tasks so an interrupted
+        month resumes with byte-identical output (planning is re-run —
+        it is cheap and rebuilds the registry the merge resolves into).
         """
         result = ScheduleResult(
             log=self.deployment.log,
@@ -312,7 +329,7 @@ class AttackScheduler:
         multistage_actors = self._plan_multistage(sources, budgets, plan)
         for honeypot in self.deployment.honeypots:
             self._plan_honeypot(honeypot, sources[honeypot.name], budgets, plan)
-        self._execute(plan, multistage_actors, result)
+        self._execute(plan, multistage_actors, result, journal=journal)
         return result
 
     def run_reference(self) -> ScheduleResult:
@@ -935,7 +952,7 @@ class AttackScheduler:
                 outcome.pcap.append((timestamp, transcript))
             if malware_hash:
                 outcome.families.append(
-                    (source, corpus_view.family_of(malware_hash))
+                    (src, corpus_view.family_of(malware_hash))
                 )
 
         # Integer-counter deltas (ICS request/poison tallies etc.) merge
@@ -988,6 +1005,7 @@ class AttackScheduler:
         plan: Dict[Tuple[str, int], List[PlannedSession]],
         multistage_actors: List[SourceInfo],
         result: ScheduleResult,
+        journal: Optional[TaskJournal] = None,
     ) -> None:
         """Run every (honeypot, day) task and merge in canonical order."""
         ordered: List[Tuple[LabHoneypot, int]] = []
@@ -1000,7 +1018,14 @@ class AttackScheduler:
             (lambda h=honeypot, d=day: self._run_task(h, d, plan[(h.name, d)]))
             for honeypot, day in ordered
         ]
-        outcomes = run_tasks(thunks, self.config.workers)
+        refs = [
+            TaskRef("attacks", honeypot.name, day)
+            for honeypot, day in ordered
+        ]
+        outcomes = run_tasks(
+            thunks, self.config.workers,
+            refs=refs, retries=self.config.retries, journal=journal,
+        )
         self.task_timings = [outcome.timing for outcome in outcomes]
 
         # Canonical merge: concatenation order is the task order, then one
@@ -1012,9 +1037,11 @@ class AttackScheduler:
             result.sessions_attempted += outcome.attempted
             result.sessions_dropped += outcome.dropped
             self.corpus.adopt(outcome.minted)
-            for source, family in outcome.families:
+            for address, family in outcome.families:
                 if family:
-                    source.malware_families.add(family)
+                    source = self.registry.get(address)
+                    if source is not None:
+                        source.malware_families.add(family)
         merged.sort(key=lambda row: (row[4], row[2], row[0], str(row[1])))
         log = result.log
         append_event = log.append_event

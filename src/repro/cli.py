@@ -22,22 +22,43 @@ every K, with per-task timings in the metrics), ``--cache-dir PATH``
 and ``--metrics-json PATH`` (per-phase wall time, cache hits, shard/task
 timings and throughput as JSON, for scripted campaigns).
 
+Robustness knobs (all byte-identity preserving):
+
+* ``--retries N`` — retry transiently-failed supervised tasks up to N
+  times (tasks are pure functions of derived PRNG keys, so a retry is
+  byte-identical to an undisturbed first run);
+* ``--fail-policy {abort,degrade}`` — whether a failing *optional* phase
+  (sonar/shodan vantage, intel enrichment) aborts the study or is
+  recorded as ``degraded`` in the metrics while the study completes;
+* ``--resume`` — replay the per-task completion journal a previous
+  interrupted invocation left under ``--cache-dir``, re-executing only
+  unfinished tasks (output byte-identical to an uninterrupted run);
+* ``--inject-faults SPEC`` — deterministic seeded fault injection for
+  testing the above: comma-separated ``site:rate[:transient|fatal]``
+  rules over the sites ``task``, ``cache.io``, ``fabric.connect`` and
+  ``dataset.load``.
+
 Exit codes are stable for shell scripting: 0 on success, 2 for an invalid
 configuration (:class:`~repro.net.errors.ConfigError`; argparse usage
 errors also exit 2), 3 for a phase-ordering violation
-(:class:`~repro.net.errors.PhaseOrderError`).
+(:class:`~repro.net.errors.PhaseOrderError`), 4 for a failed supervised
+task or unhandled injected fault (:class:`~repro.net.errors.TaskFailure`,
+:class:`~repro.net.errors.FaultError`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 from repro import Study, StudyConfig, __version__
 from repro.attacks.schedule import AttackScheduleConfig
+from repro.core import faults
 from repro.core.engine import PhaseCache
+from repro.core.faults import FaultPlan
 from repro.core.report import (
     render_case_studies,
     render_figure2,
@@ -53,7 +74,12 @@ from repro.core.report import (
     render_table10,
 )
 from repro.internet.population import PopulationConfig
-from repro.net.errors import ConfigError, PhaseOrderError
+from repro.net.errors import (
+    ConfigError,
+    FaultError,
+    PhaseOrderError,
+    TaskFailure,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +87,7 @@ __all__ = ["main", "build_parser"]
 EXIT_OK = 0
 EXIT_CONFIG = 2
 EXIT_PHASE_ORDER = 3
+EXIT_TASK_FAILURE = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--metrics-json", metavar="PATH", default="",
                          help="write per-phase wall time, cache hits and "
                               "rates as JSON to PATH ('-' for stdout)")
+        sub.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="retry transiently-failed supervised tasks "
+                              "up to N times (byte-identical output; "
+                              "default 0)")
+        sub.add_argument("--fail-policy", choices=("abort", "degrade"),
+                         default="abort",
+                         help="what a failing optional phase does: abort "
+                              "the study (default) or record the phase as "
+                              "degraded and continue")
+        sub.add_argument("--resume", action="store_true",
+                         help="replay the per-task completion journal of a "
+                              "previous interrupted run (requires "
+                              "--cache-dir; output is byte-identical to an "
+                              "uninterrupted run)")
+        sub.add_argument("--inject-faults", metavar="SPEC", default="",
+                         help="deterministic fault injection for testing: "
+                              "comma-separated site:rate[:transient|fatal] "
+                              "rules (sites: task, cache.io, "
+                              "fabric.connect, dataset.load)")
 
     run = subparsers.add_parser("run", help="full study, all tables")
     add_common(run)
@@ -166,6 +212,26 @@ def _config(args) -> StudyConfig:
         config.telescope.workers = args.attack_workers
         config.attacks.validate()  # ConfigError -> exit code 2
         config.telescope.validate()
+    if getattr(args, "retries", 0):
+        config.scan.retries = args.retries
+        config.attacks.retries = args.retries
+        config.telescope.retries = args.retries
+        config.scan.validate()  # ConfigError -> exit code 2
+        config.attacks.validate()
+        config.telescope.validate()
+    config.fail_policy = getattr(args, "fail_policy", "abort")
+    if getattr(args, "cache_dir", ""):
+        # Journals live beside the phase cache; written on every cached
+        # run (crash safety is free), replayed only under --resume.
+        config.journal_dir = os.path.join(args.cache_dir, "journal")
+    if getattr(args, "resume", False):
+        if not getattr(args, "cache_dir", ""):
+            raise ConfigError(
+                "--resume requires --cache-dir (the journal a resumed "
+                "run replays lives under it)"
+            )
+        config.resume = True
+    config.validate()  # ConfigError -> exit code 2
     return config
 
 
@@ -284,7 +350,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    installed = False
     try:
+        spec = getattr(args, "inject_faults", "")
+        if spec:
+            faults.install(FaultPlan.parse(spec, seed=args.seed))
+            installed = True
         return _COMMANDS[args.command](args, out)
     except ConfigError as error:
         print(f"repro: configuration error: {error}", file=sys.stderr)
@@ -292,6 +363,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     except PhaseOrderError as error:
         print(f"repro: phase-order error: {error}", file=sys.stderr)
         return EXIT_PHASE_ORDER
+    except (TaskFailure, FaultError) as error:
+        print(f"repro: task failure: {error}", file=sys.stderr)
+        return EXIT_TASK_FAILURE
+    finally:
+        if installed:
+            faults.uninstall()
 
 
 if __name__ == "__main__":  # pragma: no cover

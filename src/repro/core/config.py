@@ -52,6 +52,20 @@ class StudyConfig:
     #: Capture honeypot sessions as pcap bytes (the tcpdump stand-in of
     #: §5.1; costs memory proportional to attack volume).
     capture_pcap: bool = False
+    #: What a failing *optional* phase (sonar/shodan vantage, intel
+    #: enrichment) does to the study: ``"abort"`` propagates the error,
+    #: ``"degrade"`` records the phase as degraded (artifacts ``None``)
+    #: and carries on.  Robustness knob — excluded from the config
+    #: fingerprint, like ``workers``.
+    fail_policy: str = field(default="abort", compare=False)
+    #: Directory for per-task completion journals (crash-safe campaigns).
+    #: ``None`` disables journaling.  Excluded from the fingerprint.
+    journal_dir: Optional[str] = field(default=None, compare=False)
+    #: Replay journaled task results from a previous interrupted run of
+    #: this exact config (requires ``journal_dir``).  Excluded from the
+    #: fingerprint: a resumed run is byte-identical to an uninterrupted
+    #: one by construction.
+    resume: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -82,6 +96,16 @@ class StudyConfig:
         """
         if self.seed < 0:
             raise ConfigError("seed must be non-negative")
+        if self.fail_policy not in ("abort", "degrade"):
+            raise ConfigError(
+                f"fail_policy must be 'abort' or 'degrade', "
+                f"got {self.fail_policy!r}"
+            )
+        if self.resume and not self.journal_dir:
+            raise ConfigError(
+                "resume=True requires journal_dir (the per-task completion "
+                "journal a resumed run replays)"
+            )
         for sub in (self.population, self.scan, self.attacks, self.telescope):
             validate = getattr(sub, "validate", None)
             if validate is not None:

@@ -62,9 +62,11 @@ from typing import (
     Union,
 )
 
+from repro.core import faults
 from repro.core.config import StudyConfig
 from repro.core.metrics import PhaseMetric, StudyMetrics
-from repro.net.errors import EngineError, PhaseOrderError
+from repro.core.tasks import TaskJournal
+from repro.net.errors import EngineError, FaultError, PhaseOrderError
 
 __all__ = [
     "PhaseSpec",
@@ -152,6 +154,12 @@ class PhaseSpec:
     #: Optional item counter for rate metrics.
     count: Optional[Callable[[Dict[str, object]], Optional[int]]] = None
     cacheable: bool = True
+    #: Optional phases (extra vantage points, intel enrichment) may fail
+    #: under ``fail_policy="degrade"``: the study records them as
+    #: ``degraded``, materializes their artifacts as ``None`` and carries
+    #: on — the paper's multi-vantage design treats partial data as the
+    #: normal case, not the exception.
+    optional: bool = False
 
 
 class PhaseGraph:
@@ -284,7 +292,14 @@ class PhaseCache:
     every engine sharing the cache — by design, since studies never mutate
     results.  The optional disk layer (``directory=…``) pickles each entry
     atomically and is best-effort: unpicklable artifacts or I/O failures
-    degrade to a miss, never an error.
+    (including injected ``cache.io`` faults) degrade to a miss, never an
+    error.
+
+    Disk entries are wrapped in a ``{schema, fingerprint, artifacts}``
+    header: a pickle written by an engine with a different
+    :data:`ENGINE_SCHEMA_VERSION`, or for a different config fingerprint
+    (a pre-header legacy file included), reads as a miss instead of being
+    unpickled into wrong artifact shapes.
     """
 
     def __init__(
@@ -311,15 +326,21 @@ class PhaseCache:
 
     # -- lookup -----------------------------------------------------------
 
-    def get(self, key: str) -> Tuple[Optional[Dict[str, object]], bool]:
-        """Return ``(artifacts, came_from_disk)``; ``(None, False)`` on miss."""
+    def get(
+        self, key: str, fingerprint: str = ""
+    ) -> Tuple[Optional[Dict[str, object]], bool]:
+        """Return ``(artifacts, came_from_disk)``; ``(None, False)`` on miss.
+
+        ``fingerprint`` is matched against the disk entry's header; the
+        in-process layer needs no check because ``key`` already hashes it.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 return entry, False
-        entry = self._disk_load(key)
+        entry = self._disk_load(key, fingerprint)
         if entry is not None:
             with self._lock:
                 self._store(key, entry)
@@ -330,11 +351,13 @@ class PhaseCache:
             self.stats.misses += 1
         return None, False
 
-    def put(self, key: str, artifacts: Dict[str, object]) -> None:
+    def put(
+        self, key: str, artifacts: Dict[str, object], fingerprint: str = ""
+    ) -> None:
         with self._lock:
             self._store(key, artifacts)
             self.stats.stores += 1
-        self._disk_dump(key, artifacts)
+        self._disk_dump(key, artifacts, fingerprint)
 
     def clear(self) -> None:
         with self._lock:
@@ -359,29 +382,48 @@ class PhaseCache:
             return None
         return os.path.join(self.directory, f"{key}.pkl")
 
-    def _disk_load(self, key: str) -> Optional[Dict[str, object]]:
+    def _disk_load(
+        self, key: str, fingerprint: str = ""
+    ) -> Optional[Dict[str, object]]:
         path = self._disk_path(key)
         if path is None:
             return None
         try:
+            faults.maybe_fail("cache.io", "phase.load", key)
             with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+                entry = pickle.load(handle)
+        except (OSError, FaultError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError):
             return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != ENGINE_SCHEMA_VERSION
+            or entry.get("fingerprint") != fingerprint
+            or not isinstance(entry.get("artifacts"), dict)
+        ):
+            return None  # legacy, stale-schema or foreign-config entry
+        return entry["artifacts"]
 
-    def _disk_dump(self, key: str, artifacts: Dict[str, object]) -> None:
+    def _disk_dump(
+        self, key: str, artifacts: Dict[str, object], fingerprint: str = ""
+    ) -> None:
         path = self._disk_path(key)
         if path is None:
             return
+        entry = {
+            "schema": ENGINE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "artifacts": artifacts,
+        }
         try:
+            faults.maybe_fail("cache.io", "phase.dump", key)
             os.makedirs(self.directory, exist_ok=True)
             fd, temp = tempfile.mkstemp(
                 dir=self.directory, suffix=".pkl.tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(artifacts, handle, pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(entry, handle, pickle.HIGHEST_PROTOCOL)
                 os.replace(temp, path)
             except BaseException:
                 try:
@@ -389,8 +431,8 @@ class PhaseCache:
                 except OSError:
                     pass
                 raise
-        except (OSError, pickle.PicklingError, AttributeError, TypeError,
-                RecursionError):
+        except (OSError, FaultError, pickle.PicklingError, AttributeError,
+                TypeError, RecursionError):
             pass  # disk layer is best-effort
 
 
@@ -481,6 +523,8 @@ class StudyEngine:
         self.metrics = StudyMetrics(executor=self.executor.name)
         self._artifacts: Dict[str, object] = {}
         self._done: set = set()
+        self._degraded: set = set()
+        self._tainted: set = set()
         self._lock = threading.Lock()
 
     # -- artifact access ---------------------------------------------------
@@ -515,6 +559,26 @@ class StudyEngine:
         """Materialize every artifact the graph knows about."""
         self.ensure(*self.graph.artifacts())
 
+    def task_journal(self, plane: str) -> Optional[TaskJournal]:
+        """The per-task completion journal for one measurement plane.
+
+        ``None`` unless the config names a ``journal_dir``.  Entries are
+        partitioned by config fingerprint, so a resumed run can only ever
+        replay results an identically-configured run produced — a changed
+        seed or scale reads as an empty journal.
+        """
+        journal_dir = getattr(self.config, "journal_dir", None)
+        if not journal_dir:
+            return None
+        directory = os.path.join(
+            os.path.expanduser(os.fspath(journal_dir)),
+            self.fingerprint[:16],
+            plane,
+        )
+        return TaskJournal(
+            directory, resume=getattr(self.config, "resume", False)
+        )
+
     # -- internals ---------------------------------------------------------
 
     def _wave_tasks(self, wave: Sequence[PhaseSpec]):
@@ -544,24 +608,72 @@ class StudyEngine:
 
         return [task_for(bucket) for bucket in buckets]
 
+    def _upstream_degraded(self, spec: PhaseSpec) -> Tuple[bool, bool]:
+        """``(degraded_input, tainted_input)`` for a phase's requirements.
+
+        ``degraded_input``: some required artifact is ``None`` because its
+        provider *degraded* this run — an optional consumer degrades too.
+        ``tainted_input``: some requirement was produced downstream of a
+        degraded phase, so this phase's output reflects partial data and
+        must not be cached where a healthy run would find it.
+        """
+        with self._lock:
+            degraded = set(self._degraded)
+            tainted = set(self._tainted)
+        providers = [
+            self.graph.provider_of(requirement).name
+            for requirement in spec.requires
+        ]
+        return (
+            any(name in degraded for name in providers),
+            any(name in degraded or name in tainted for name in providers),
+        )
+
     def _run_phase(self, spec: PhaseSpec) -> None:
         started = time.perf_counter()
         artifacts: Optional[Dict[str, object]] = None
         hit = disk = False
+        status = "ok"
         key = ""
-        if self.cache is not None and spec.cacheable:
+        degradable = (
+            spec.optional
+            and getattr(self.config, "fail_policy", "abort") == "degrade"
+        )
+        degraded_input, tainted_input = self._upstream_degraded(spec)
+        if degradable and degraded_input:
+            artifacts = {name: None for name in spec.provides}
+            status = "degraded"
+        use_cache = (
+            self.cache is not None and spec.cacheable and not tainted_input
+        )
+        if artifacts is None and use_cache:
             key = PhaseCache.key_for(spec.name, self.fingerprint)
-            artifacts, disk = self.cache.get(key)
+            artifacts, disk = self.cache.get(key, self.fingerprint)
             hit = artifacts is not None
         if artifacts is None:
-            artifacts = spec.run(self)
-            if self.cache is not None and spec.cacheable:
-                self.cache.put(key, artifacts)
+            try:
+                artifacts = spec.run(self)
+            except (PhaseOrderError, EngineError):
+                raise  # pipeline bugs, not data failures — never degrade
+            except Exception:
+                if not degradable:
+                    raise
+                artifacts = {name: None for name in spec.provides}
+                status = "degraded"
+            if status == "ok" and use_cache:
+                # Degraded (all-None) artifacts and phases fed partial
+                # inputs are never cached: a later healthy run must not
+                # inherit this run's failures.
+                self.cache.put(key, artifacts, self.fingerprint)
         elapsed = time.perf_counter() - started
         items = spec.count(artifacts) if spec.count is not None else None
         with self._lock:
             self._artifacts.update(artifacts)
             self._done.add(spec.name)
+            if status == "degraded":
+                self._degraded.add(spec.name)
+            elif tainted_input:
+                self._tainted.add(spec.name)
             self.metrics.record(
                 PhaseMetric(
                     phase=spec.name,
@@ -570,6 +682,7 @@ class StudyEngine:
                     cache_hit=hit,
                     disk_hit=disk,
                     items=items,
+                    status=status,
                 )
             )
 
@@ -609,7 +722,7 @@ def _phase_zmap(engine: StudyEngine) -> Dict[str, object]:
     scanner = InternetScanner(
         population.internet, engine.config.scan, blocklist
     )
-    database = scanner.run_campaign()
+    database = scanner.run_campaign(journal=engine.task_journal("scan"))
     engine.metrics.record_shards(scanner.shard_timings)
     return {"zmap_db": database}
 
@@ -619,8 +732,10 @@ def _phase_sonar(engine: StudyEngine) -> Dict[str, object]:
 
     if not engine.config.use_open_datasets:
         return {"sonar_db": None}
+    faults.maybe_fail("dataset.load", "sonar")
     population = engine.artifact("population")
     provider = project_sonar(engine.config.seed)
+    provider.retries = engine.config.scan.retries
     return {"sonar_db": provider.snapshot(population.internet)}
 
 
@@ -629,8 +744,10 @@ def _phase_shodan(engine: StudyEngine) -> Dict[str, object]:
 
     if not engine.config.use_open_datasets:
         return {"shodan_db": None}
+    faults.maybe_fail("dataset.load", "shodan")
     population = engine.artifact("population")
     provider = shodan(engine.config.seed)
+    provider.retries = engine.config.scan.retries
     return {"shodan_db": provider.snapshot(population.internet)}
 
 
@@ -694,7 +811,7 @@ def _phase_attacks(engine: StudyEngine) -> Dict[str, object]:
         scheduler = AttackScheduler(
             internet, deployment, population, engine.config.attacks
         )
-        schedule = scheduler.run()
+        schedule = scheduler.run(journal=engine.task_journal("attacks"))
         engine.metrics.record_tasks(scheduler.task_timings)
     finally:
         # Leave the cached world pristine for scan/fingerprint phases.
@@ -711,7 +828,9 @@ def _phase_telescope(engine: StudyEngine) -> Dict[str, object]:
         engine.artifact("asn"),
         engine.config.telescope,
     )
-    capture = telescope.capture_month()
+    capture = telescope.capture_month(
+        journal=engine.task_journal("telescope")
+    )
     engine.metrics.record_tasks(telescope.task_timings)
     return {"telescope": capture}
 
@@ -719,6 +838,7 @@ def _phase_telescope(engine: StudyEngine) -> Dict[str, object]:
 def _phase_greynoise(engine: StudyEngine) -> Dict[str, object]:
     from repro.intel.greynoise import GreyNoiseDB
 
+    faults.maybe_fail("dataset.load", "greynoise")
     schedule = engine.artifact("schedule")
     return {
         "greynoise": GreyNoiseDB.build_from(
@@ -730,6 +850,7 @@ def _phase_greynoise(engine: StudyEngine) -> Dict[str, object]:
 def _phase_virustotal(engine: StudyEngine) -> Dict[str, object]:
     from repro.intel.virustotal import VirusTotalDB
 
+    faults.maybe_fail("dataset.load", "virustotal")
     schedule = engine.artifact("schedule")
     return {
         "virustotal": VirusTotalDB.build_from(
@@ -742,6 +863,7 @@ def _phase_virustotal(engine: StudyEngine) -> Dict[str, object]:
 def _phase_censys(engine: StudyEngine) -> Dict[str, object]:
     from repro.intel.censysiot import CensysIotDB
 
+    faults.maybe_fail("dataset.load", "censys_iot")
     engine.artifact("schedule")  # ordering: intel follows the attack month
     return {
         "censys_iot": CensysIotDB.build_from(
@@ -753,6 +875,7 @@ def _phase_censys(engine: StudyEngine) -> Dict[str, object]:
 def _phase_exonerator(engine: StudyEngine) -> Dict[str, object]:
     from repro.intel.exonerator import ExoneraTorDB
 
+    faults.maybe_fail("dataset.load", "exonerator")
     schedule = engine.artifact("schedule")
     return {"exonerator": ExoneraTorDB.build_from(schedule.registry)}
 
@@ -820,15 +943,22 @@ def build_study_graph(config: StudyConfig) -> PhaseGraph:
         requires=("population", "geo"),
         group="scan", run=_phase_zmap, count=_count_db("zmap_db"),
     ))
+    # The sonar/shodan vantage points and the intel stores are optional:
+    # under fail_policy="degrade" a failure marks them degraded (their
+    # artifacts stay None, as when disabled by config) instead of
+    # aborting the study.  merge already tolerates None snapshots; joins
+    # cascades to degraded when an intel store it needs degraded.
     graph.register(PhaseSpec(
         name="sonar", provides=("sonar_db",),
         requires=("population",),
         group="scan", run=_phase_sonar, count=_count_db("sonar_db"),
+        optional=True,
     ))
     graph.register(PhaseSpec(
         name="shodan", provides=("shodan_db",),
         requires=("population",),
         group="scan", run=_phase_shodan, count=_count_db("shodan_db"),
+        optional=True,
     ))
     graph.register(PhaseSpec(
         name="merge", provides=("merged_db",),
@@ -861,24 +991,29 @@ def build_study_graph(config: StudyConfig) -> PhaseGraph:
     graph.register(PhaseSpec(
         name="intel.greynoise", provides=("greynoise",),
         requires=("schedule",), group="intel", run=_phase_greynoise,
+        optional=True,
     ))
     graph.register(PhaseSpec(
         name="intel.virustotal", provides=("virustotal",),
         requires=("schedule",), group="intel", run=_phase_virustotal,
+        optional=True,
     ))
     graph.register(PhaseSpec(
         name="intel.censys", provides=("censys_iot",),
         requires=("population", "schedule"),
         group="intel", run=_phase_censys,
+        optional=True,
     ))
     graph.register(PhaseSpec(
         name="intel.exonerator", provides=("exonerator",),
         requires=("schedule",), group="intel", run=_phase_exonerator,
+        optional=True,
     ))
     graph.register(PhaseSpec(
         name="joins", provides=("multistage", "infected"),
         requires=("schedule", "telescope", "misconfig", "virustotal",
                   "censys_iot"),
         group="joins", run=_phase_joins,
+        optional=True,
     ))
     return graph

@@ -1,0 +1,232 @@
+"""Deterministic, seeded fault injection for the measurement pipeline.
+
+Real campaigns of the paper's kind survive packet loss, rate-limited
+peers, host churn and partial vantage failures; a pipeline that cannot
+*reproduce* those failures cannot test its own recovery paths.  This
+module is the failure mirror of :class:`~repro.internet.fabric.ProbeLossModel`:
+whether a named injection **site** raises is a pure function of
+``(seed, site, key, attempt)`` via :func:`~repro.net.prng.keyed_uniform` —
+no shared stream, no draw-order coupling — so an injected failure schedule
+is byte-reproducible under any worker count and any interleaving.
+
+Injection sites (the :data:`FAULT_SITES` registry):
+
+* ``task``           — supervised task execution (one check per attempt of
+  every ``(plane, unit, day/shard)`` task in
+  :func:`~repro.core.tasks.run_tasks`);
+* ``cache.io``       — phase-cache and task-journal disk I/O, which must
+  degrade to a miss / skipped write, never an error;
+* ``fabric.connect`` — the simulated Internet's connect/query primitives
+  (an infrastructure fault, distinct from modelled probe loss);
+* ``dataset.load``   — open-dataset snapshots and intel-store builds (the
+  optional vantage points a degraded study may drop).
+
+A fault is **transient** (cleared by a supervised retry: the attempt
+number advances the key, so the retry draws a fresh verdict) or **fatal**
+(raised every attempt; ends the task).  Nothing fires unless an injector
+is :func:`install`-ed — production runs pay one ``None`` check per site.
+
+Specs (the CLI's ``--inject-faults``) are comma-separated
+``site:rate[:transient|fatal]`` triples::
+
+    task:0.2,fabric.connect:0.05:transient,dataset.load:1.0:fatal
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.net.errors import (
+    ConfigError,
+    FatalFaultError,
+    FaultError,
+    TransientFaultError,
+)
+from repro.net.prng import keyed_uniform
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULT_KINDS",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "active",
+    "install",
+    "uninstall",
+    "injected",
+    "maybe_fail",
+    "task_attempt",
+]
+
+#: The named injection sites the codebase is instrumented with.
+FAULT_SITES: Tuple[str, ...] = (
+    "task", "cache.io", "fabric.connect", "dataset.load",
+)
+
+#: Recognized fault kinds.
+FAULT_KINDS: Tuple[str, ...] = ("transient", "fatal")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site's failure law: fire with ``rate`` probability per check."""
+
+    site: str
+    rate: float
+    kind: str = "transient"
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ConfigError(
+                f"unknown fault site {self.site!r}; "
+                f"expected one of {FAULT_SITES}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(
+                f"fault rate must be in [0, 1], got {self.rate}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule` entries, one per site at most."""
+
+    def __init__(self, rules: Iterable[FaultRule], seed: int = 0) -> None:
+        self.seed = seed
+        self.rules: Dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.site in self.rules:
+                raise ConfigError(
+                    f"fault site {rule.site!r} specified twice"
+                )
+            self.rules[rule.site] = rule
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``site:rate[:kind]`` comma list; raises ConfigError."""
+        rules = []
+        for chunk in filter(None, (c.strip() for c in spec.split(","))):
+            parts = chunk.split(":")
+            if len(parts) not in (2, 3):
+                raise ConfigError(
+                    f"bad fault spec {chunk!r}; "
+                    "expected site:rate[:transient|fatal]"
+                )
+            try:
+                rate = float(parts[1])
+            except ValueError:
+                raise ConfigError(
+                    f"bad fault rate {parts[1]!r} in {chunk!r}"
+                ) from None
+            rules.append(FaultRule(
+                site=parts[0],
+                rate=rate,
+                kind=parts[2] if len(parts) == 3 else "transient",
+            ))
+        if not rules:
+            raise ConfigError(f"empty fault spec {spec!r}")
+        return cls(rules, seed=seed)
+
+    def describe(self) -> str:
+        """One-line human description for logs."""
+        return ", ".join(
+            f"{rule.site}:{rule.rate:g}:{rule.kind}"
+            for rule in self.rules.values()
+        )
+
+
+# Thread-local supervised-attempt context: run_tasks sets the current
+# attempt number around each task attempt, so every keyed verdict drawn
+# inside the task (fabric.connect included) folds the attempt in and a
+# retry sees a fresh, independent failure schedule.
+_context = threading.local()
+
+
+@contextmanager
+def task_attempt(attempt: int) -> Iterator[None]:
+    """Scope the current supervised-task attempt number (thread-local)."""
+    previous = getattr(_context, "attempt", 0)
+    _context.attempt = attempt
+    try:
+        yield
+    finally:
+        _context.attempt = previous
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at injection sites, statelessly."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def would_fail(self, site: str, *key) -> Optional[FaultRule]:
+        """The rule that fires for this ``(site, key, attempt)``, if any."""
+        rule = self.plan.rules.get(site)
+        if rule is None or rule.rate <= 0.0:
+            return None
+        attempt = getattr(_context, "attempt", 0)
+        draw = keyed_uniform(
+            self.plan.seed, f"fault.{site}", *key, attempt
+        )
+        return rule if draw < rule.rate else None
+
+    def check(self, site: str, *key) -> None:
+        """Raise the site's typed fault when its seeded verdict fires."""
+        rule = self.would_fail(site, *key)
+        if rule is None:
+            return
+        error = (TransientFaultError if rule.kind == "transient"
+                 else FatalFaultError)
+        raise error(
+            f"injected {rule.kind} fault at {site} "
+            f"(key={key!r}, rate={rule.rate:g})",
+            site=site, key=key,
+        )
+
+
+_active: Optional[FaultInjector] = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The currently installed injector, if any."""
+    return _active
+
+
+def install(plan: Union[FaultPlan, FaultInjector]) -> FaultInjector:
+    """Install an injector process-wide; returns it (for uninstall)."""
+    global _active
+    injector = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+    _active = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Remove the installed injector (no-op when none is installed)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def injected(plan: Union[FaultPlan, FaultInjector]) -> Iterator[FaultInjector]:
+    """Scoped installation for tests: install on entry, restore on exit."""
+    global _active
+    previous = _active
+    injector = install(plan)
+    try:
+        yield injector
+    finally:
+        _active = previous
+
+
+def maybe_fail(site: str, *key) -> None:
+    """The one-line site hook: no-op unless an injector is installed."""
+    injector = _active
+    if injector is not None:
+        injector.check(site, *key)

@@ -41,6 +41,10 @@ class PhaseMetric:
     disk_hit: bool = False
     #: Domain items the phase produced (hosts, events, packets …).
     items: Optional[int] = None
+    #: ``"ok"``, or ``"degraded"`` when an optional phase failed (or lost
+    #: a degraded prerequisite) under ``fail_policy="degrade"`` and the
+    #: study carried on with its artifacts as ``None``.
+    status: str = "ok"
 
     @property
     def rate(self) -> Optional[float]:
@@ -60,6 +64,7 @@ class PhaseMetric:
             "items_per_second": (
                 round(self.rate, 3) if self.rate is not None else None
             ),
+            "status": self.status,
         }
 
 
@@ -103,6 +108,11 @@ class StudyMetrics:
         """Sum of per-phase times (an upper bound under a parallel executor)."""
         return sum(metric.seconds for metric in self.phases)
 
+    @property
+    def degraded(self) -> List[str]:
+        """Phases that failed but were degraded instead of aborting."""
+        return [m.phase for m in self.phases if m.status == "degraded"]
+
     def phase_order(self) -> List[str]:
         """Phase names in the order they completed."""
         return [metric.phase for metric in self.phases]
@@ -122,6 +132,7 @@ class StudyMetrics:
             "wall_seconds": round(self.wall_seconds, 6),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "degraded": self.degraded,
             "group_seconds": {
                 group: round(seconds, 6)
                 for group, seconds in self.group_seconds().items()
@@ -140,7 +151,8 @@ class StudyMetrics:
                   f"{'cache':>6} {'items':>12} {'items/s':>12}")
         lines = [header, "-" * len(header)]
         for metric in self.phases:
-            cache = ("disk" if metric.disk_hit
+            cache = ("DEGRADED" if metric.status == "degraded"
+                     else "disk" if metric.disk_hit
                      else "hit" if metric.cache_hit else "miss")
             items = f"{metric.items:,}" if metric.items is not None else "-"
             rate = f"{metric.rate:,.0f}" if metric.rate is not None else "-"
@@ -152,6 +164,11 @@ class StudyMetrics:
             f"total {self.wall_seconds:.3f}s over {len(self.phases)} phases "
             f"({self.cache_hits} cached) via {self.executor} executor"
         )
+        if self.degraded:
+            lines.append(
+                "degraded phases (study continued without them): "
+                + ", ".join(self.degraded)
+            )
         if self.shards:
             lines.append("")
             lines.append(f"{'scan shard':<18} {'seconds':>9} {'records':>9} "

@@ -1,13 +1,30 @@
-"""Keyed-task execution for the attack/telescope measurement plane.
+"""Supervised keyed-task execution for the sharded measurement planes.
 
-The attack month shards into per-(honeypot, day) tasks and the telescope
-month into per-(protocol, day) tasks; every task draws from its own
+The attack month shards into per-(honeypot, day) tasks, the telescope
+month into per-(protocol, day) tasks, and the scan campaign into
+per-(protocol, shard) tasks; every task draws from its own
 :meth:`~repro.net.prng.RandomStream.derive` child stream, so its output is
 a pure function of the task key and the tasks can run on a thread pool in
-any order.  :func:`run_tasks` is the tiny executor both planes share:
+any order.  :func:`run_tasks` is the executor all three planes share:
 results come back in submission order regardless of worker count, which is
 the first half of the byte-identical merge guarantee (the second half is
 the canonical sort each plane applies to the merged output).
+
+Beyond scheduling, ``run_tasks`` is a *supervisor*:
+
+* every task carries a :class:`TaskRef` ``(plane, unit, day/shard)``;
+  a raised exception is wrapped in :class:`~repro.net.errors.TaskFailure`
+  naming the task, and outstanding futures are cancelled instead of
+  running to completion behind the error;
+* transient failures (:class:`~repro.net.errors.TransientFaultError`, the
+  stand-in for packet loss and rate-limited peers) are retried up to
+  ``retries`` times.  Tasks are pure functions of derived PRNG keys, so a
+  retry is byte-identical to an undisturbed first attempt — the retried
+  campaign's output cannot differ;
+* a :class:`TaskJournal` (one atomic pickle per completed task, under the
+  cache directory) makes campaigns crash-safe: a resumed run loads the
+  journaled results of completed tasks and re-executes only the rest,
+  producing byte-identical output to an uninterrupted run.
 
 :class:`TaskTiming` is the per-task metrics row surfaced in
 ``StudyMetrics`` (and ``--metrics-json``) so the scaling benchmark can
@@ -18,22 +35,156 @@ show where the wall time went — the attack-plane sibling of
 from __future__ import annotations
 
 import gc
+import os
+import pickle
+import re
 import sys
+import tempfile
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Sequence, TypeVar
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["TaskTiming", "paused_gc", "run_tasks"]
+from repro.core import faults
+from repro.net.errors import (
+    FatalFaultError,
+    FaultError,
+    TaskFailure,
+    TransientFaultError,
+)
+
+__all__ = [
+    "TaskRef",
+    "TaskJournal",
+    "TaskTiming",
+    "paused_gc",
+    "run_tasks",
+]
 
 _T = TypeVar("_T")
+
+#: Journal entry layout version; bumped entries are treated as misses.
+JOURNAL_SCHEMA_VERSION = 1
+
+_UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """Identity of one supervised task: which plane, which unit, which slot.
+
+    ``day`` is the day index for the attack/telescope planes and the shard
+    index for the scan plane — the second half of the task's derived PRNG
+    key either way.
+    """
+
+    plane: str   # "attacks", "telescope" or "scan"
+    unit: str    # honeypot name, protocol, "rsdos" …
+    day: int     # day index, or shard index for the scan plane
+
+    def key(self) -> str:
+        """Canonical dotted identity, used in errors and journal files."""
+        return f"{self.plane}.{self.unit}.{self.day}"
+
+    def filename(self) -> str:
+        """Filesystem-safe journal entry name."""
+        return _UNSAFE_CHARS.sub("_", self.key()) + ".pkl"
+
+
+class TaskJournal:
+    """Crash-safe per-task completion journal (one pickle per task).
+
+    Writes are atomic (``mkstemp`` + ``os.replace``) and best-effort —
+    journal I/O faults degrade to a skipped write or a miss, never an
+    error, exactly like the phase cache's disk layer.  Entries carry a
+    schema version and the task key, so a journal written by older code
+    (or a colliding file) reads as a miss instead of a wrong result.
+
+    ``resume=False`` (the default) only *writes*: the journal fills so a
+    crash can be resumed later, but existing entries are ignored, keeping
+    ordinary re-runs oblivious to stale state.  ``resume=True`` also
+    *reads*: completed tasks load their journaled result instead of
+    executing, which is what makes an interrupted campaign re-enterable
+    with byte-identical output.
+    """
+
+    def __init__(
+        self, directory: os.PathLike, *, resume: bool = False
+    ) -> None:
+        self.directory = os.path.expanduser(os.fspath(directory))
+        self.resume = resume
+        #: Entries served on load / written on store (for tests and logs).
+        self.hits = 0
+        self.stores = 0
+
+    def _path(self, ref: TaskRef) -> str:
+        return os.path.join(self.directory, ref.filename())
+
+    def load(self, ref: TaskRef) -> Tuple[bool, object]:
+        """``(True, result)`` when a valid entry exists, else ``(False, None)``."""
+        if not self.resume:
+            return False, None
+        try:
+            faults.maybe_fail("cache.io", "journal.load", ref.key())
+            with open(self._path(ref), "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, FaultError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError):
+            return False, None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != JOURNAL_SCHEMA_VERSION
+            or entry.get("key") != ref.key()
+        ):
+            return False, None
+        self.hits += 1
+        return True, entry.get("result")
+
+    def store(self, ref: TaskRef, result: object) -> None:
+        """Persist one completed task's result atomically (best-effort)."""
+        entry = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "key": ref.key(),
+            "result": result,
+        }
+        try:
+            faults.maybe_fail("cache.io", "journal.store", ref.key())
+            os.makedirs(self.directory, exist_ok=True)
+            fd, temp = tempfile.mkstemp(
+                dir=self.directory, suffix=".pkl.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(entry, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(temp, self._path(ref))
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, FaultError, pickle.PicklingError, AttributeError,
+                TypeError, RecursionError):
+            pass  # journal writes are best-effort
+        else:
+            self.stores += 1
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for name in os.listdir(self.directory)
+                if name.endswith(".pkl")
+            )
+        except OSError:
+            return 0
 
 
 @dataclass
 class TaskTiming:
     """Wall-time accounting for one (unit, day) generation task."""
 
-    plane: str    # "attacks" or "telescope"
+    plane: str    # "attacks", "telescope" or "scan"
     unit: str     # honeypot name, protocol, or "rsdos"
     day: int
     seconds: float
@@ -78,30 +229,95 @@ def paused_gc() -> Iterator[None]:
             gc.enable()
 
 
-def run_tasks(thunks: Sequence[Callable[[], _T]], workers: int) -> List[_T]:
-    """Run independent task thunks, returning results in submission order.
+def _run_supervised(
+    thunk: Callable[[], _T],
+    ref: TaskRef,
+    retries: int,
+    journal: Optional[TaskJournal],
+) -> _T:
+    """One task under supervision: journal replay, retries, typed failure.
+
+    The ``task`` injection site is checked once per attempt, keyed by the
+    task's ref; the attempt number scopes every keyed fault verdict drawn
+    *inside* the task too (see :func:`repro.core.faults.task_attempt`), so
+    a retry re-runs the task under a fresh, independent failure schedule
+    while the task's own PRNG draws stay byte-identical.
+    """
+    if journal is not None:
+        found, result = journal.load(ref)
+        if found:
+            return result  # type: ignore[return-value]
+    attempt = 0
+    while True:
+        try:
+            with faults.task_attempt(attempt):
+                faults.maybe_fail("task", ref.plane, ref.unit, ref.day)
+                result = thunk()
+            break
+        except TaskFailure:
+            raise  # already named (nested run_tasks); don't double-wrap
+        except FatalFaultError as error:
+            raise TaskFailure(ref, error, attempts=attempt + 1) from error
+        except TransientFaultError as error:
+            if attempt < retries:
+                attempt += 1
+                continue
+            raise TaskFailure(ref, error, attempts=attempt + 1) from error
+        except Exception as error:
+            raise TaskFailure(ref, error, attempts=attempt + 1) from error
+    if journal is not None:
+        journal.store(ref, result)
+    return result
+
+
+def run_tasks(
+    thunks: Sequence[Callable[[], _T]],
+    workers: int,
+    *,
+    refs: Optional[Sequence[TaskRef]] = None,
+    retries: int = 0,
+    journal: Optional[TaskJournal] = None,
+) -> List[_T]:
+    """Run independent task thunks supervised, in submission order.
 
     ``workers <= 1`` executes inline (the serial oracle path); anything
     larger fans out on a thread pool.  Either way the result list order is
     the submission order, never the completion order, so callers can merge
     without knowing how the work was scheduled.  Cyclic GC is paused while
     the batch drains (see :func:`paused_gc`).
+
+    ``refs`` names each task (defaults to anonymous per-index refs);
+    ``retries`` bounds transient-failure re-execution; ``journal`` makes
+    completed tasks crash-safe and, with ``journal.resume``, replayable.
+    A failure surfaces as :class:`~repro.net.errors.TaskFailure` carrying
+    the task's ref, after cancelling every not-yet-started future.
     """
+    if refs is None:
+        refs = [TaskRef("tasks", "task", index) for index in range(len(thunks))]
+    elif len(refs) != len(thunks):
+        raise ValueError(
+            f"got {len(thunks)} thunks but {len(refs)} refs"
+        )
+    retries = max(0, retries)
+
+    def run_one(index: int) -> _T:
+        return _run_supervised(thunks[index], refs[index], retries, journal)
+
     if workers <= 1 or len(thunks) <= 1:
         with paused_gc():
-            return [thunk() for thunk in thunks]
+            return [run_one(index) for index in range(len(thunks))]
 
     # Submit contiguous chunks, not individual tasks: a month shards into
     # hundreds of small (unit, day) tasks, and per-future queue traffic
     # would swamp them.  ``workers * 4`` chunks keeps the pool load-balanced
     # when task sizes are skewed (telnet days dwarf xmpp days) while the
     # per-chunk overhead stays negligible.
-    def run_chunk(chunk: Sequence[Callable[[], _T]]) -> List[_T]:
-        return [thunk() for thunk in chunk]
+    def run_chunk(indexes: Sequence[int]) -> List[_T]:
+        return [run_one(index) for index in indexes]
 
     n_chunks = min(len(thunks), workers * 4)
     bounds = [len(thunks) * i // n_chunks for i in range(n_chunks + 1)]
-    chunks = [thunks[bounds[i]:bounds[i + 1]] for i in range(n_chunks)]
+    chunks = [range(bounds[i], bounds[i + 1]) for i in range(n_chunks)]
 
     # The tasks are coarse, independent, pure-CPU units that share nothing
     # but the pool: the interpreter's default 5 ms switch interval just
@@ -113,6 +329,17 @@ def run_tasks(thunks: Sequence[Callable[[], _T]], workers: int) -> List[_T]:
     try:
         with paused_gc(), ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
-            return [result for future in futures for result in future.result()]
+            try:
+                return [
+                    result for future in futures for result in future.result()
+                ]
+            except BaseException:
+                # Don't let the remaining month run to completion behind
+                # the error: unstarted chunks are cancelled; chunks already
+                # on a worker finish their current task and stop at the
+                # pool's shutdown.
+                for future in futures:
+                    future.cancel()
+                raise
     finally:
         sys.setswitchinterval(previous)

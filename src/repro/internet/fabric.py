@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.core.faults import maybe_fail as _maybe_fail
 from repro.internet.host import SimulatedHost
 from repro.net.errors import ConnectionRefused, HostUnreachable
 from repro.net.prng import RandomStream, keyed_uniform
@@ -180,7 +181,13 @@ class SimulatedInternet:
         Raises :class:`HostUnreachable` when no host owns the address (the
         SYN vanishes into dark space — which the telescope may be watching),
         and :class:`ConnectionRefused` when the host has no listener (RST).
+
+        The ``fabric.connect`` injection site fires *before* any side
+        effect (observer notification, loss draw): an injected fault
+        models the connect infrastructure failing, distinct from the
+        modelled in-band probe loss, and leaves no trace behind.
         """
+        _maybe_fail("fabric.connect", src, dst, port, "tcp")
         self._notify(src, dst, port, "tcp")
         if self._lost(src, dst, port, "tcp"):
             raise HostUnreachable(f"probe to {dst}:{port} lost")
@@ -207,8 +214,11 @@ class SimulatedInternet:
         Semantically identical to :meth:`tcp_connect` (same observer
         notification, same loss draw) but returns ``None`` instead of
         raising — the scanner's hot sweep loop uses it, since to a prober
-        "lost", "dark" and "refused" are all just silence.
+        "lost", "dark" and "refused" are all just silence.  An injected
+        ``fabric.connect`` fault still *raises* (it is an infrastructure
+        failure the supervised executor must see, not modelled silence).
         """
+        _maybe_fail("fabric.connect", src, dst, port, "tcp")
         self._notify(src, dst, port, "tcp")
         if self._lost(src, dst, port, "tcp"):
             return None
@@ -250,8 +260,10 @@ class SimulatedInternet:
         Returns the response bytes, or None when the datagram is lost, the
         host does not exist, the port is closed, or the service elects not
         to answer — all indistinguishable to the prober, exactly as in real
-        UDP scanning.
+        UDP scanning.  An injected ``fabric.connect`` fault raises rather
+        than returning ``None`` — see :meth:`try_tcp_connect`.
         """
+        _maybe_fail("fabric.connect", src, dst, port, "udp")
         self._notify(src, dst, port, "udp")
         if self._lost(src, dst, port, "udp"):
             return None

@@ -56,3 +56,58 @@ class PhaseOrderError(ReproError, RuntimeError):
 
 class EngineError(ReproError):
     """The phase graph itself is malformed (cycle, duplicate provider)."""
+
+
+class FaultError(ReproError):
+    """An injected fault fired at a named injection site.
+
+    Raised only when a :class:`~repro.core.faults.FaultInjector` is
+    installed; production runs without ``--inject-faults`` never see one.
+    ``site`` names the injection site and ``key`` identifies the exact
+    decision, so a failure report pinpoints the seeded draw that fired.
+    """
+
+    #: Whether a supervised retry may clear this fault.
+    transient = False
+
+    def __init__(self, message: str, *, site: str = "", key=()) -> None:
+        super().__init__(message)
+        self.site = site
+        self.key = tuple(key)
+
+
+class TransientFaultError(FaultError):
+    """A retryable injected fault (packet loss, rate-limited peer, EINTR).
+
+    The supervised task executor retries these up to ``retries`` times;
+    the verdict is keyed on the attempt number, so a retry draws a fresh,
+    independent fate — exactly like the fabric's keyed probe loss.
+    """
+
+    transient = True
+
+
+class FatalFaultError(FaultError):
+    """A non-retryable injected fault (corrupt input, dead vantage)."""
+
+
+class TaskFailure(ReproError):
+    """A supervised task failed; names the task and preserves the cause.
+
+    Replaces the bare exception the old ``run_tasks`` let escape: callers
+    now learn *which* ``(plane, unit, day/shard)`` task died and after how
+    many attempts, and outstanding sibling tasks are cancelled instead of
+    running to completion behind the error.
+    """
+
+    def __init__(self, ref, cause: BaseException, *, attempts: int = 1) -> None:
+        super().__init__(
+            f"task {ref.key()} failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        #: The failing task's :class:`~repro.core.tasks.TaskRef`.
+        self.ref = ref
+        #: The underlying exception (also chained as ``__cause__``).
+        self.cause = cause
+        #: Execution attempts made before giving up.
+        self.attempts = attempts

@@ -77,6 +77,10 @@ class DatasetProvider:
     scanner_address: str
     #: Ports the provider scans per protocol; None = library defaults.
     port_restrictions: Optional[Dict[ProtocolId, Tuple[int, ...]]] = None
+    #: Transient-failure retry budget for the provider's own sweep —
+    #: the study propagates its ``--retries`` here so injected faults
+    #: are ridden out in every vantage point, not just our own scan.
+    retries: int = 0
 
     def snapshot(self, internet: SimulatedInternet) -> ScanDatabase:
         """Scan the world with this provider's coverage and publish."""
@@ -94,6 +98,7 @@ class DatasetProvider:
                     scanner_address=self.scanner_address,
                     protocols=(protocol,),
                     seed=self.seed,
+                    retries=self.retries,
                 ),
                 host_filter=included.__contains__,
             )

@@ -107,6 +107,30 @@ class ShardPlanner:
             buckets[shard_of(address)].append(address)
         return buckets
 
+    def refs(self, unit: str) -> list:
+        """Supervised-task identities for one protocol sweep's shards.
+
+        One :class:`~repro.core.tasks.TaskRef` per shard, on the ``scan``
+        plane — the names :func:`~repro.core.tasks.run_tasks` reports in
+        :class:`~repro.net.errors.TaskFailure` and keys journal entries
+        and injected ``task`` faults by.
+
+        The shard count is folded into the unit: unlike the attack and
+        telescope planes, whose (unit, day) task grid is independent of
+        the worker count, a scan task's slice of the address space *is*
+        ``(shard, K)`` — a journal entry written at one ``--shards`` must
+        read as a miss (and the task re-run) at any other, or shard 0-of-1
+        results would replay as shard 0-of-3.
+        """
+        # Imported here, not at module top: core.tasks pulls in the
+        # repro.core package, whose init imports the scanner back.
+        from repro.core.tasks import TaskRef
+
+        return [
+            TaskRef("scan", f"{unit}@{self.shards}", shard)
+            for shard in range(self.shards)
+        ]
+
     def describe(self) -> str:
         """One-line human description for logs."""
         return f"{self.shards} shard(s), {self.strategy} partitioning"

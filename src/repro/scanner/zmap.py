@@ -33,10 +33,10 @@ realistic times.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.tasks import TaskJournal, run_tasks
 from repro.internet.fabric import SimulatedInternet
 from repro.net.compat import DATACLASS_KW_ONLY
 from repro.net.errors import ConfigError, ConnectionRefused, HostUnreachable
@@ -119,6 +119,10 @@ class ScanConfig:
     shards: int = field(default=1, compare=False)
     #: ``"hash"`` or ``"block"`` — see :class:`~repro.scanner.shard.ShardPlanner`.
     shard_strategy: str = field(default="hash", compare=False)
+    #: Supervised re-executions per shard task on a transient fault.
+    #: Robustness-only (shard tasks are pure, so a retry is byte-identical)
+    #: and therefore excluded from comparison like ``shards``.
+    retries: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -129,6 +133,8 @@ class ScanConfig:
             raise ConfigError(
                 f"udp_retries must be >= 0, got {self.udp_retries}"
             )
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
         if self.seed is not None and self.seed < 0:
             raise ConfigError(f"seed must be >= 0, got {self.seed}")
         if not self.protocols:
@@ -162,7 +168,9 @@ class InternetScanner:
 
     # -- campaign entry point ------------------------------------------------
 
-    def run_campaign(self) -> ScanDatabase:
+    def run_campaign(
+        self, journal: Optional[TaskJournal] = None
+    ) -> ScanDatabase:
         """Sweep + grab for every configured protocol; returns the database.
 
         This is the sharded pipeline: the blocklist/host-filter admission
@@ -171,6 +179,12 @@ class InternetScanner:
         scanned concurrently, and the shard outputs are merged in
         canonical ``(address, port, protocol)`` order.  Output is byte-identical
         for every shard count and strategy.
+
+        Each (protocol, shard) unit runs as a supervised task: a failure
+        surfaces as :class:`~repro.net.errors.TaskFailure` naming the
+        shard, transient faults retry up to ``config.retries`` times, and
+        an optional ``journal`` records completed shards so an interrupted
+        campaign can be resumed with byte-identical output.
         """
         planner = ShardPlanner(self.config.shards, self.config.shard_strategy)
         allowed = self._allowed_addresses()
@@ -178,7 +192,10 @@ class InternetScanner:
         self.shard_timings = []
         rows: List[tuple] = []
         for protocol in self.config.protocols:
-            rows.extend(self._scan_protocol_sharded(protocol, shards))
+            rows.extend(self._scan_protocol_sharded(
+                protocol, shards, refs=planner.refs(str(protocol)),
+                journal=journal,
+            ))
         # Canonical merge order across the whole campaign — the same key
         # ScanDatabase.sorted_canonical uses, so the reference serial path
         # and any shard count produce byte-identical databases.
@@ -224,26 +241,38 @@ class InternetScanner:
         )
 
     def _scan_protocol_sharded(
-        self, protocol: ProtocolId, shards: Sequence[Sequence[int]]
+        self,
+        protocol: ProtocolId,
+        shards: Sequence[Sequence[int]],
+        refs=None,
+        journal: Optional[TaskJournal] = None,
     ) -> List[tuple]:
         """Scan one protocol across address shards; unordered row tuples
-        (the campaign applies the canonical sort once, over all protocols)."""
+        (the campaign applies the canonical sort once, over all protocols).
+
+        Shards run under the supervised executor even when serial, so
+        fault injection, retries and journaling behave identically for
+        every worker count."""
         worker = (
             self._scan_tcp_shard
             if transport_of(protocol) == TransportKind.TCP
             else self._scan_udp_shard
         )
 
-        def run_shard(index: int) -> Tuple[List[tuple], int, float]:
-            started = time.perf_counter()
-            rows, probes = worker(protocol, index, shards[index])
-            return rows, probes, time.perf_counter() - started
+        def make_thunk(index: int):
+            def run_shard() -> Tuple[List[tuple], int, float]:
+                started = time.perf_counter()
+                rows, probes = worker(protocol, index, shards[index])
+                return rows, probes, time.perf_counter() - started
+            return run_shard
 
-        if len(shards) == 1:
-            outcomes = [run_shard(0)]
-        else:
-            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
-                outcomes = list(pool.map(run_shard, range(len(shards))))
+        outcomes = run_tasks(
+            [make_thunk(index) for index in range(len(shards))],
+            len(shards),
+            refs=refs,
+            retries=self.config.retries,
+            journal=journal,
+        )
 
         merged: List[tuple] = []
         for index, (rows, probes, seconds) in enumerate(outcomes):

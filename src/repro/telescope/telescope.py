@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.attacks.actors import ActorRegistry, SourceInfo
 from repro.core.scaling import scale_count
-from repro.core.tasks import TaskTiming, run_tasks
+from repro.core.tasks import TaskJournal, TaskRef, TaskTiming, run_tasks
 from repro.core.taxonomy import TrafficClass
 from repro.net.asn import AsnRegistry
 from repro.net.errors import ConfigError
@@ -82,6 +82,10 @@ class TelescopeConfig:
     #: byte-identical for every value, so the field is excluded from
     #: equality/fingerprints (a deployment knob, not an experiment one).
     workers: int = field(default=1, compare=False)
+    #: Supervised re-executions per (protocol, day) task on a transient
+    #: fault.  Robustness-only (tasks are pure, so a retry is
+    #: byte-identical) and excluded from equality like ``workers``.
+    retries: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -92,6 +96,8 @@ class TelescopeConfig:
             raise ConfigError("telescope scales must be >= 1")
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
 
 
 @dataclass
@@ -158,7 +164,9 @@ class NetworkTelescope:
 
     # -- generation ------------------------------------------------------
 
-    def capture_month(self) -> TelescopeCapture:
+    def capture_month(
+        self, journal: Optional[TaskJournal] = None
+    ) -> TelescopeCapture:
         """Produce the full scaled April capture.
 
         Runs as plan / execute / merge: source population, activity plans
@@ -167,6 +175,12 @@ class NetworkTelescope:
         drawing from ``stream.derive(protocol, day)``; the merge files task
         outputs in canonical (protocol order, day) order — byte-identical
         for every worker count.
+
+        Tasks run supervised: failures surface as
+        :class:`~repro.net.errors.TaskFailure` naming the (protocol, day)
+        task, transient faults retry ``config.retries`` times, and an
+        optional ``journal`` lets an interrupted capture resume with
+        byte-identical output.
         """
         writer = FlowTupleWriter()
         sources_by_protocol: Dict[ProtocolId, Set[int]] = {}
@@ -204,7 +218,13 @@ class NetworkTelescope:
                     d, attacks
                 )
             )
-        outcomes = run_tasks(thunks, self.config.workers)
+        refs = [
+            TaskRef("telescope", str(unit), day) for unit, day in tasks
+        ]
+        outcomes = run_tasks(
+            thunks, self.config.workers,
+            refs=refs, retries=self.config.retries, journal=journal,
+        )
 
         self.task_timings = [timing for _, _, timing in outcomes]
         packets_by_protocol: Dict[ProtocolId, int] = {
