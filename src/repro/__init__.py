@@ -19,12 +19,21 @@ from repro.core.config import StudyConfig
 from repro.core.engine import PhaseCache, StudyEngine
 from repro.core.metrics import StudyMetrics
 from repro.core.study import Study, StudyResults
-from repro.net.errors import ConfigError, PhaseOrderError, ReproError
+from repro.core.validate import Violation, default_registry, run_validation
+from repro.net.errors import (
+    ConfigError,
+    EnvelopeError,
+    PhaseOrderError,
+    ReproError,
+    TaskDeadlineError,
+    ValidationError,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ConfigError",
+    "EnvelopeError",
     "PhaseCache",
     "PhaseOrderError",
     "ReproError",
@@ -33,5 +42,10 @@ __all__ = [
     "StudyEngine",
     "StudyMetrics",
     "StudyResults",
+    "TaskDeadlineError",
+    "ValidationError",
+    "Violation",
+    "default_registry",
+    "run_validation",
     "__version__",
 ]

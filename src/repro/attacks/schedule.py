@@ -50,7 +50,13 @@ from repro.attacks.malware import MalwareCorpus, TaskCorpusView
 from repro.attacks.payloads import build_payloads
 from repro.attacks.scanning_services import SCANNING_SERVICES, ScanningService
 from repro.core.scaling import apportion, scale_count
-from repro.core.tasks import TaskJournal, TaskRef, TaskTiming, run_tasks
+from repro.core.tasks import (
+    TaskDeadline,
+    TaskJournal,
+    TaskRef,
+    TaskTiming,
+    run_tasks,
+)
 from repro.core.taxonomy import AttackType, TrafficClass
 from repro.net.compat import DATACLASS_KW_ONLY
 from repro.honeypots.base import (
@@ -300,7 +306,11 @@ class AttackScheduler:
 
     # -- public -----------------------------------------------------------
 
-    def run(self, journal: Optional[TaskJournal] = None) -> ScheduleResult:
+    def run(
+        self,
+        journal: Optional[TaskJournal] = None,
+        deadline: Optional[TaskDeadline] = None,
+    ) -> ScheduleResult:
         """Simulate the month; returns the filled logs and ledgers.
 
         Plans serially, executes the per-(honeypot, day) tasks on
@@ -314,6 +324,7 @@ class AttackScheduler:
         optional ``journal`` records completed tasks so an interrupted
         month resumes with byte-identical output (planning is re-run —
         it is cheap and rebuilds the registry the merge resolves into).
+        An optional ``deadline`` arms per-task wall-time supervision.
         """
         result = ScheduleResult(
             log=self.deployment.log,
@@ -329,7 +340,10 @@ class AttackScheduler:
         multistage_actors = self._plan_multistage(sources, budgets, plan)
         for honeypot in self.deployment.honeypots:
             self._plan_honeypot(honeypot, sources[honeypot.name], budgets, plan)
-        self._execute(plan, multistage_actors, result, journal=journal)
+        self._execute(
+            plan, multistage_actors, result,
+            journal=journal, deadline=deadline,
+        )
         return result
 
     def run_reference(self) -> ScheduleResult:
@@ -1006,6 +1020,7 @@ class AttackScheduler:
         multistage_actors: List[SourceInfo],
         result: ScheduleResult,
         journal: Optional[TaskJournal] = None,
+        deadline: Optional[TaskDeadline] = None,
     ) -> None:
         """Run every (honeypot, day) task and merge in canonical order."""
         ordered: List[Tuple[LabHoneypot, int]] = []
@@ -1025,6 +1040,7 @@ class AttackScheduler:
         outcomes = run_tasks(
             thunks, self.config.workers,
             refs=refs, retries=self.config.retries, journal=journal,
+            deadline=deadline,
         )
         self.task_timings = [outcome.timing for outcome in outcomes]
 

@@ -8,7 +8,10 @@ experiment without writing Python:
 * ``attacks``    — the honeypot month (Table 7, Figures 7/8/9);
 * ``telescope``  — the darknet capture (Table 8) with optional FlowTuple
   export;
-* ``intersect``  — the §5.3 infected-host join.
+* ``intersect``  — the §5.3 infected-host join;
+* ``validate``   — run the cross-plane structural invariants
+  (:mod:`repro.core.validate`) over the study artifacts, reporting any
+  violation and exiting 5.
 
 All commands accept ``--seed`` and the scale knobs, so campaigns are
 reproducible from the shell line alone, plus the engine knobs:
@@ -33,17 +36,25 @@ Robustness knobs (all byte-identity preserving):
 * ``--resume`` — replay the per-task completion journal a previous
   interrupted invocation left under ``--cache-dir``, re-executing only
   unfinished tasks (output byte-identical to an uninterrupted run);
+* ``--task-deadline SOFT[:HARD]`` — per-task wall-time supervision in
+  seconds: overrunning SOFT records a stall warning in the metrics;
+  overrunning HARD retries the task as a transient fault (byte-identical
+  on the attack/telescope planes — tasks are pure functions of derived
+  PRNG keys);
 * ``--inject-faults SPEC`` — deterministic seeded fault injection for
-  testing the above: comma-separated ``site:rate[:transient|fatal]``
-  rules over the sites ``task``, ``cache.io``, ``fabric.connect`` and
-  ``dataset.load``.
+  testing the above: comma-separated ``site:rate[:kind][:delay]``
+  rules over the sites ``task``, ``cache.io``, ``store.corrupt``
+  (bit-flips journal/cache blobs, proving envelope quarantine),
+  ``deadline`` (injects task delays of ``delay`` seconds),
+  ``fabric.connect`` and ``dataset.load``.
 
 Exit codes are stable for shell scripting: 0 on success, 2 for an invalid
 configuration (:class:`~repro.net.errors.ConfigError`; argparse usage
 errors also exit 2), 3 for a phase-ordering violation
 (:class:`~repro.net.errors.PhaseOrderError`), 4 for a failed supervised
 task or unhandled injected fault (:class:`~repro.net.errors.TaskFailure`,
-:class:`~repro.net.errors.FaultError`).
+:class:`~repro.net.errors.FaultError`), 5 when ``validate`` finds a
+structural invariant violated.
 """
 
 from __future__ import annotations
@@ -79,6 +90,7 @@ from repro.net.errors import (
     FaultError,
     PhaseOrderError,
     TaskFailure,
+    ValidationError,
 )
 
 __all__ = ["main", "build_parser"]
@@ -88,6 +100,7 @@ EXIT_OK = 0
 EXIT_CONFIG = 2
 EXIT_PHASE_ORDER = 3
 EXIT_TASK_FAILURE = 4
+EXIT_VALIDATION = 5
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,11 +155,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "previous interrupted run (requires "
                               "--cache-dir; output is byte-identical to an "
                               "uninterrupted run)")
+        sub.add_argument("--task-deadline", metavar="SOFT[:HARD]",
+                         default="",
+                         help="per-task wall-time supervision in seconds: "
+                              "overrunning SOFT records a stall warning "
+                              "in the metrics, overrunning HARD retries "
+                              "the task as a transient fault")
         sub.add_argument("--inject-faults", metavar="SPEC", default="",
                          help="deterministic fault injection for testing: "
-                              "comma-separated site:rate[:transient|fatal] "
+                              "comma-separated site:rate[:kind][:delay] "
                               "rules (sites: task, cache.io, "
-                              "fabric.connect, dataset.load)")
+                              "store.corrupt, deadline, fabric.connect, "
+                              "dataset.load)")
 
     run = subparsers.add_parser("run", help="full study, all tables")
     add_common(run)
@@ -183,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
         "intersect", help="the §5.3 infected-host join"
     )
     add_common(intersect)
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="run the cross-plane structural invariants over the study "
+             "artifacts (exit 5 on violation)",
+    )
+    add_common(validate)
 
     return parser
 
@@ -231,6 +258,8 @@ def _config(args) -> StudyConfig:
                 "run replays lives under it)"
             )
         config.resume = True
+    if getattr(args, "task_deadline", ""):
+        config.task_deadline = args.task_deadline
     config.validate()  # ConfigError -> exit code 2
     return config
 
@@ -253,6 +282,10 @@ def _study(args) -> Study:
 def _write_metrics(study: Study, args, out) -> None:
     if not args.metrics_json:
         return
+    # Fold the disk cache's quarantine trail in beside the journals'.
+    cache = study.engine.cache
+    if cache is not None and getattr(cache, "quarantined", None):
+        study.metrics.record_quarantines(cache.quarantined)
     text = study.metrics.to_json()
     if args.metrics_json == "-":
         out.write(text + "\n")
@@ -337,12 +370,36 @@ def _cmd_intersect(args, out) -> int:
     return EXIT_OK
 
 
+def _cmd_validate(args, out) -> int:
+    from repro.core.validate import default_registry
+
+    study = _study(args)
+    registry = default_registry()
+    violations = study.validate(registry)
+    failed = {violation.invariant for violation in violations}
+    for invariant in registry.invariants():
+        status = "FAIL" if invariant.name in failed else "ok"
+        out.write(f"{invariant.name:<32} {status}\n")
+    for violation in violations:
+        out.write(f"  {violation.invariant}: {violation.message}\n")
+    _write_metrics(study, args, out)
+    if violations:
+        out.write(
+            f"{len(violations)} invariant violation(s) across "
+            f"{len(failed)} invariant(s)\n"
+        )
+        return EXIT_VALIDATION
+    out.write(f"all {len(registry)} invariants hold\n")
+    return EXIT_OK
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "scan": _cmd_scan,
     "attacks": _cmd_attacks,
     "telescope": _cmd_telescope,
     "intersect": _cmd_intersect,
+    "validate": _cmd_validate,
 }
 
 
@@ -366,6 +423,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     except (TaskFailure, FaultError) as error:
         print(f"repro: task failure: {error}", file=sys.stderr)
         return EXIT_TASK_FAILURE
+    except ValidationError as error:
+        print(f"repro: validation error: {error}", file=sys.stderr)
+        return EXIT_VALIDATION
     finally:
         if installed:
             faults.uninstall()

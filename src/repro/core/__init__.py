@@ -13,7 +13,13 @@ from repro.core.engine import (
     default_cache,
 )
 from repro.core.fidelity import FidelityReport, FidelityRow, score_study
-from repro.core.metrics import PhaseMetric, StudyMetrics
+from repro.core.integrity import (
+    QuarantineRecord,
+    quarantine_file,
+    unwrap_envelope,
+    wrap_envelope,
+)
+from repro.core.metrics import JournalMetric, PhaseMetric, StudyMetrics
 from repro.core.report import (
     format_table,
     render_case_studies,
@@ -31,6 +37,14 @@ from repro.core.report import (
 )
 from repro.core.scaling import apportion, scale_count
 from repro.core.study import Study, StudyResults
+from repro.core.tasks import TaskDeadline, TaskJournal, TaskStall
+from repro.core.validate import (
+    Invariant,
+    InvariantRegistry,
+    Violation,
+    default_registry,
+    run_validation,
+)
 from repro.core.taxonomy import (
     MISCONFIG_LABELS,
     MISCONFIG_PROTOCOL,
@@ -44,6 +58,9 @@ __all__ = [
     "FidelityReport",
     "FidelityRow",
     "score_study",
+    "Invariant",
+    "InvariantRegistry",
+    "JournalMetric",
     "MISCONFIG_LABELS",
     "MISCONFIG_PROTOCOL",
     "Misconfig",
@@ -51,18 +68,28 @@ __all__ = [
     "PhaseGraph",
     "PhaseMetric",
     "PhaseSpec",
+    "QuarantineRecord",
     "SerialExecutor",
     "Study",
     "StudyConfig",
     "StudyEngine",
     "StudyMetrics",
     "StudyResults",
+    "TaskDeadline",
+    "TaskJournal",
+    "TaskStall",
     "ThreadedExecutor",
     "TrafficClass",
+    "Violation",
     "apportion",
     "build_study_graph",
     "config_fingerprint",
     "default_cache",
+    "default_registry",
+    "quarantine_file",
+    "run_validation",
+    "unwrap_envelope",
+    "wrap_envelope",
     "format_table",
     "render_case_studies",
     "render_figure2",

@@ -66,6 +66,13 @@ class StudyConfig:
     #: fingerprint: a resumed run is byte-identical to an uninterrupted
     #: one by construction.
     resume: bool = field(default=False, compare=False)
+    #: Per-task wall-time supervision, as ``"SOFT"`` or ``"SOFT:HARD"``
+    #: seconds (see :class:`~repro.core.tasks.TaskDeadline`): overrunning
+    #: the soft deadline records a stall warning in ``StudyMetrics``,
+    #: overrunning the hard deadline retries the task as a transient
+    #: fault.  ``None`` disables supervision.  Excluded from the
+    #: fingerprint: deadlines change scheduling, never output bytes.
+    task_deadline: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -106,6 +113,12 @@ class StudyConfig:
                 "resume=True requires journal_dir (the per-task completion "
                 "journal a resumed run replays)"
             )
+        if self.task_deadline is not None:
+            # Parse for validation only; the engine builds fresh
+            # supervisors per plane from the spec string.
+            from repro.core.tasks import TaskDeadline
+
+            TaskDeadline.parse(self.task_deadline)
         for sub in (self.population, self.scan, self.attacks, self.telescope):
             validate = getattr(sub, "validate", None)
             if validate is not None:

@@ -64,9 +64,20 @@ from typing import (
 
 from repro.core import faults
 from repro.core.config import StudyConfig
+from repro.core.integrity import (
+    QuarantineRecord,
+    quarantine_file,
+    unwrap_envelope,
+    wrap_envelope,
+)
 from repro.core.metrics import PhaseMetric, StudyMetrics
-from repro.core.tasks import TaskJournal
-from repro.net.errors import EngineError, FaultError, PhaseOrderError
+from repro.core.tasks import TaskDeadline, TaskJournal
+from repro.net.errors import (
+    EngineError,
+    EnvelopeError,
+    FaultError,
+    PhaseOrderError,
+)
 
 __all__ = [
     "PhaseSpec",
@@ -82,7 +93,9 @@ __all__ = [
 ]
 
 #: Bumped whenever phase semantics change, so stale disk caches self-expire.
-ENGINE_SCHEMA_VERSION = 1
+#: Version 2: disk entries are checksummed :mod:`repro.core.integrity`
+#: envelopes instead of bare header dicts.
+ENGINE_SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -279,6 +292,8 @@ class CacheStats:
     disk_hits: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Disk entries that failed envelope verification and were quarantined.
+    corrupt: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -295,11 +310,15 @@ class PhaseCache:
     (including injected ``cache.io`` faults) degrade to a miss, never an
     error.
 
-    Disk entries are wrapped in a ``{schema, fingerprint, artifacts}``
-    header: a pickle written by an engine with a different
-    :data:`ENGINE_SCHEMA_VERSION`, or for a different config fingerprint
-    (a pre-header legacy file included), reads as a miss instead of being
-    unpickled into wrong artifact shapes.
+    Disk entries are sealed in a checksummed
+    :mod:`repro.core.integrity` envelope carrying
+    :data:`ENGINE_SCHEMA_VERSION`, the cache key and the config
+    fingerprint: a pickle written by older code, for a different config,
+    or damaged in storage (bit flip, truncation — any single-bit change
+    fails the SHA-256) is *detected* on read, moved to ``quarantine/``
+    with a reasoned :class:`~repro.core.integrity.QuarantineRecord`
+    (collected in :attr:`quarantined`, counted in ``stats.corrupt``), and
+    served as a miss so the phase transparently recomputes.
     """
 
     def __init__(
@@ -314,6 +333,8 @@ class PhaseCache:
             os.path.expanduser(os.fspath(directory)) if directory else None
         )
         self.stats = CacheStats()
+        #: Disk entries moved aside by :meth:`get`, in detection order.
+        self.quarantined: List[QuarantineRecord] = []
         self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -382,6 +403,15 @@ class PhaseCache:
             return None
         return os.path.join(self.directory, f"{key}.pkl")
 
+    def _quarantine(self, path: str, key: str, reason: str) -> None:
+        record = quarantine_file(
+            path, key=key, reason=reason, stage="phase.load"
+        )
+        with self._lock:
+            self.stats.corrupt += 1
+            if record is not None:
+                self.quarantined.append(record)
+
     def _disk_load(
         self, key: str, fingerprint: str = ""
     ) -> Optional[Dict[str, object]]:
@@ -391,18 +421,31 @@ class PhaseCache:
         try:
             faults.maybe_fail("cache.io", "phase.load", key)
             with open(path, "rb") as handle:
-                entry = pickle.load(handle)
-        except (OSError, FaultError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError, IndexError):
+                blob = handle.read()
+        except (OSError, FaultError):
+            return None  # absent entry or degraded I/O: plain miss
+        blob = faults.maybe_corrupt(blob, "phase.load", key)
+        try:
+            payload = unwrap_envelope(
+                blob,
+                schema=ENGINE_SCHEMA_VERSION,
+                kind="phase",
+                key=key,
+                fingerprint=fingerprint,
+            )
+        except EnvelopeError as error:
+            self._quarantine(path, key, error.reason)
             return None
-        if (
-            not isinstance(entry, dict)
-            or entry.get("schema") != ENGINE_SCHEMA_VERSION
-            or entry.get("fingerprint") != fingerprint
-            or not isinstance(entry.get("artifacts"), dict)
-        ):
-            return None  # legacy, stale-schema or foreign-config entry
-        return entry["artifacts"]
+        try:
+            artifacts = pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
+            self._quarantine(path, key, "unpicklable")
+            return None
+        if not isinstance(artifacts, dict):
+            self._quarantine(path, key, "malformed-payload")
+            return None
+        return artifacts
 
     def _disk_dump(
         self, key: str, artifacts: Dict[str, object], fingerprint: str = ""
@@ -410,20 +453,23 @@ class PhaseCache:
         path = self._disk_path(key)
         if path is None:
             return
-        entry = {
-            "schema": ENGINE_SCHEMA_VERSION,
-            "fingerprint": fingerprint,
-            "artifacts": artifacts,
-        }
         try:
             faults.maybe_fail("cache.io", "phase.dump", key)
+            blob = wrap_envelope(
+                pickle.dumps(artifacts, pickle.HIGHEST_PROTOCOL),
+                schema=ENGINE_SCHEMA_VERSION,
+                kind="phase",
+                key=key,
+                fingerprint=fingerprint,
+            )
+            blob = faults.maybe_corrupt(blob, "phase.dump", key)
             os.makedirs(self.directory, exist_ok=True)
             fd, temp = tempfile.mkstemp(
                 dir=self.directory, suffix=".pkl.tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(entry, handle, pickle.HIGHEST_PROTOCOL)
+                    handle.write(blob)
                 os.replace(temp, path)
             except BaseException:
                 try:
@@ -576,8 +622,22 @@ class StudyEngine:
             plane,
         )
         return TaskJournal(
-            directory, resume=getattr(self.config, "resume", False)
+            directory,
+            resume=getattr(self.config, "resume", False),
+            fingerprint=self.fingerprint,
         )
+
+    def task_deadline(self) -> Optional[TaskDeadline]:
+        """A fresh per-plane deadline supervisor, or ``None`` when unarmed.
+
+        Fresh per call so each plane's stall rows accumulate on its own
+        supervisor; the phase records them into :attr:`metrics` when the
+        plane finishes.
+        """
+        spec = getattr(self.config, "task_deadline", None)
+        if not spec:
+            return None
+        return TaskDeadline.parse(spec)
 
     # -- internals ---------------------------------------------------------
 
@@ -722,8 +782,13 @@ def _phase_zmap(engine: StudyEngine) -> Dict[str, object]:
     scanner = InternetScanner(
         population.internet, engine.config.scan, blocklist
     )
-    database = scanner.run_campaign(journal=engine.task_journal("scan"))
+    journal = engine.task_journal("scan")
+    deadline = engine.task_deadline()
+    database = scanner.run_campaign(journal=journal, deadline=deadline)
     engine.metrics.record_shards(scanner.shard_timings)
+    engine.metrics.record_supervision(
+        "scan", journal=journal, deadline=deadline
+    )
     return {"zmap_db": database}
 
 
@@ -811,8 +876,13 @@ def _phase_attacks(engine: StudyEngine) -> Dict[str, object]:
         scheduler = AttackScheduler(
             internet, deployment, population, engine.config.attacks
         )
-        schedule = scheduler.run(journal=engine.task_journal("attacks"))
+        journal = engine.task_journal("attacks")
+        deadline = engine.task_deadline()
+        schedule = scheduler.run(journal=journal, deadline=deadline)
         engine.metrics.record_tasks(scheduler.task_timings)
+        engine.metrics.record_supervision(
+            "attacks", journal=journal, deadline=deadline
+        )
     finally:
         # Leave the cached world pristine for scan/fingerprint phases.
         deployment.detach(internet)
@@ -828,10 +898,13 @@ def _phase_telescope(engine: StudyEngine) -> Dict[str, object]:
         engine.artifact("asn"),
         engine.config.telescope,
     )
-    capture = telescope.capture_month(
-        journal=engine.task_journal("telescope")
-    )
+    journal = engine.task_journal("telescope")
+    deadline = engine.task_deadline()
+    capture = telescope.capture_month(journal=journal, deadline=deadline)
     engine.metrics.record_tasks(telescope.task_timings)
+    engine.metrics.record_supervision(
+        "telescope", journal=journal, deadline=deadline
+    )
     return {"telescope": capture}
 
 

@@ -16,6 +16,13 @@ Injection sites (the :data:`FAULT_SITES` registry):
   :func:`~repro.core.tasks.run_tasks`);
 * ``cache.io``       — phase-cache and task-journal disk I/O, which must
   degrade to a miss / skipped write, never an error;
+* ``store.corrupt``  — *mutates* rather than raises: deterministically
+  bit-flips one byte of a journal/cache blob on write or read (via
+  :func:`maybe_corrupt`), proving the integrity envelopes detect and
+  quarantine storage damage;
+* ``deadline``       — *delays* rather than raises: injects a configurable
+  ``time.sleep`` into supervised tasks (via :func:`maybe_delay`), driving
+  the soft/hard deadline supervision in :func:`~repro.core.tasks.run_tasks`;
 * ``fabric.connect`` — the simulated Internet's connect/query primitives
   (an infrastructure fault, distinct from modelled probe loss);
 * ``dataset.load``   — open-dataset snapshots and intel-store builds (the
@@ -27,14 +34,17 @@ number advances the key, so the retry draws a fresh verdict) or **fatal**
 is :func:`install`-ed — production runs pay one ``None`` check per site.
 
 Specs (the CLI's ``--inject-faults``) are comma-separated
-``site:rate[:transient|fatal]`` triples::
+``site:rate[:kind][:delay]`` entries — ``kind`` is ``transient`` or
+``fatal``, and ``delay`` (seconds, only meaningful for ``deadline``) may
+also stand alone in the third slot since a bare number is unambiguous::
 
-    task:0.2,fabric.connect:0.05:transient,dataset.load:1.0:fatal
+    task:0.2,fabric.connect:0.05:transient,store.corrupt:0.3,deadline:0.5:0.25
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
@@ -50,6 +60,7 @@ from repro.net.prng import keyed_uniform
 __all__ = [
     "FAULT_SITES",
     "FAULT_KINDS",
+    "DEFAULT_DEADLINE_DELAY",
     "FaultRule",
     "FaultPlan",
     "FaultInjector",
@@ -58,16 +69,22 @@ __all__ = [
     "uninstall",
     "injected",
     "maybe_fail",
+    "maybe_corrupt",
+    "maybe_delay",
     "task_attempt",
 ]
 
 #: The named injection sites the codebase is instrumented with.
 FAULT_SITES: Tuple[str, ...] = (
-    "task", "cache.io", "fabric.connect", "dataset.load",
+    "task", "cache.io", "store.corrupt", "deadline",
+    "fabric.connect", "dataset.load",
 )
 
 #: Recognized fault kinds.
 FAULT_KINDS: Tuple[str, ...] = ("transient", "fatal")
+
+#: Injected task delay (seconds) when a ``deadline`` rule omits one.
+DEFAULT_DEADLINE_DELAY = 0.05
 
 
 @dataclass(frozen=True)
@@ -77,6 +94,9 @@ class FaultRule:
     site: str
     rate: float
     kind: str = "transient"
+    #: Injected sleep in seconds when this rule fires at a delaying site
+    #: (``deadline``); ignored by raising and corrupting sites.
+    delay: float = 0.0
 
     def __post_init__(self) -> None:
         if self.site not in FAULT_SITES:
@@ -93,6 +113,12 @@ class FaultRule:
                 f"unknown fault kind {self.kind!r}; "
                 f"expected one of {FAULT_KINDS}"
             )
+        if self.delay < 0.0:
+            raise ConfigError(
+                f"fault delay must be >= 0 seconds, got {self.delay}"
+            )
+        if self.site == "deadline" and self.delay == 0.0:
+            object.__setattr__(self, "delay", DEFAULT_DEADLINE_DELAY)
 
 
 class FaultPlan:
@@ -110,34 +136,83 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
-        """Parse a ``site:rate[:kind]`` comma list; raises ConfigError."""
+        """Parse a ``site:rate[:kind][:delay]`` comma list.
+
+        The third token is a kind (``transient``/``fatal``) or, since a
+        bare number is unambiguous, a delay in seconds; with four tokens
+        the order is fixed as ``site:rate:kind:delay``.  Every rejection
+        is a :class:`~repro.net.errors.ConfigError` naming the offending
+        token, the entry it sits in, and — for site typos — the full list
+        of valid sites.
+        """
         rules = []
         for chunk in filter(None, (c.strip() for c in spec.split(","))):
             parts = chunk.split(":")
-            if len(parts) not in (2, 3):
+            if not 2 <= len(parts) <= 4:
                 raise ConfigError(
-                    f"bad fault spec {chunk!r}; "
-                    "expected site:rate[:transient|fatal]"
+                    f"bad fault entry {chunk!r}: expected "
+                    "site:rate[:transient|fatal][:delay-seconds], got "
+                    f"{len(parts)} token(s); valid sites: "
+                    f"{', '.join(FAULT_SITES)}"
+                )
+            site = parts[0]
+            if site not in FAULT_SITES:
+                raise ConfigError(
+                    f"unknown fault site {site!r} in entry {chunk!r}; "
+                    f"valid sites: {', '.join(FAULT_SITES)}"
                 )
             try:
                 rate = float(parts[1])
             except ValueError:
                 raise ConfigError(
-                    f"bad fault rate {parts[1]!r} in {chunk!r}"
+                    f"fault rate {parts[1]!r} in entry {chunk!r} is not "
+                    "a number; expected a probability in [0, 1]"
                 ) from None
+            kind = "transient"
+            delay = 0.0
+            if len(parts) == 4:
+                if parts[2] not in FAULT_KINDS:
+                    raise ConfigError(
+                        f"fault kind {parts[2]!r} in entry {chunk!r} is "
+                        f"not one of {', '.join(FAULT_KINDS)}"
+                    )
+                kind = parts[2]
+                try:
+                    delay = float(parts[3])
+                except ValueError:
+                    raise ConfigError(
+                        f"fault delay {parts[3]!r} in entry {chunk!r} is "
+                        "not a number; expected seconds"
+                    ) from None
+            elif len(parts) == 3:
+                if parts[2] in FAULT_KINDS:
+                    kind = parts[2]
+                else:
+                    try:
+                        delay = float(parts[2])
+                    except ValueError:
+                        raise ConfigError(
+                            f"token {parts[2]!r} in entry {chunk!r} is "
+                            "neither a fault kind "
+                            f"({', '.join(FAULT_KINDS)}) nor a "
+                            "delay in seconds"
+                        ) from None
             rules.append(FaultRule(
-                site=parts[0],
-                rate=rate,
-                kind=parts[2] if len(parts) == 3 else "transient",
+                site=site, rate=rate, kind=kind, delay=delay,
             ))
         if not rules:
-            raise ConfigError(f"empty fault spec {spec!r}")
+            raise ConfigError(
+                f"empty fault spec {spec!r}; expected comma-separated "
+                "site:rate[:kind][:delay] entries; valid sites: "
+                f"{', '.join(FAULT_SITES)}"
+            )
         return cls(rules, seed=seed)
 
     def describe(self) -> str:
         """One-line human description for logs."""
         return ", ".join(
             f"{rule.site}:{rule.rate:g}:{rule.kind}"
+            + (f":{rule.delay:g}s" if rule.delay > 0.0 else "")
             for rule in self.rules.values()
         )
 
@@ -190,6 +265,36 @@ class FaultInjector:
             site=site, key=key,
         )
 
+    def corrupt_bytes(self, data: bytes, *key) -> bytes:
+        """Bit-flip one byte of ``data`` when ``store.corrupt`` fires.
+
+        Both the fire/no-fire verdict and the flipped position are pure
+        functions of ``(seed, key, attempt)``, so a corruption schedule is
+        byte-reproducible under any worker count — the same discipline as
+        every other injected fault.  Empty blobs pass through untouched.
+        """
+        if not data or self.would_fail("store.corrupt", *key) is None:
+            return data
+        attempt = getattr(_context, "attempt", 0)
+        position = int(
+            keyed_uniform(
+                self.plan.seed, "fault.store.corrupt.position", *key, attempt
+            ) * len(data)
+        ) % len(data)
+        bit = int(
+            keyed_uniform(
+                self.plan.seed, "fault.store.corrupt.bit", *key, attempt
+            ) * 8
+        ) % 8
+        damaged = bytearray(data)
+        damaged[position] ^= 1 << bit
+        return bytes(damaged)
+
+    def delay_seconds(self, site: str, *key) -> float:
+        """The injected sleep for this ``(site, key, attempt)``, or 0."""
+        rule = self.would_fail(site, *key)
+        return rule.delay if rule is not None else 0.0
+
 
 _active: Optional[FaultInjector] = None
 
@@ -230,3 +335,20 @@ def maybe_fail(site: str, *key) -> None:
     injector = _active
     if injector is not None:
         injector.check(site, *key)
+
+
+def maybe_corrupt(data: bytes, *key) -> bytes:
+    """The ``store.corrupt`` hook: identity unless an injector fires."""
+    injector = _active
+    if injector is not None:
+        return injector.corrupt_bytes(data, *key)
+    return data
+
+
+def maybe_delay(site: str, *key) -> None:
+    """The delaying-site hook: sleeps when the seeded verdict fires."""
+    injector = _active
+    if injector is not None:
+        seconds = injector.delay_seconds(site, *key)
+        if seconds > 0.0:
+            time.sleep(seconds)

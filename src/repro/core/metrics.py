@@ -22,10 +22,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.core.tasks import TaskTiming
+from repro.core.integrity import QuarantineRecord
+from repro.core.tasks import TaskDeadline, TaskJournal, TaskStall, TaskTiming
 from repro.scanner.shard import ShardTiming
 
-__all__ = ["PhaseMetric", "StudyMetrics"]
+__all__ = ["PhaseMetric", "JournalMetric", "StudyMetrics"]
 
 
 @dataclass
@@ -69,6 +70,29 @@ class PhaseMetric:
 
 
 @dataclass
+class JournalMetric:
+    """One measurement plane's task-journal accounting for a run."""
+
+    plane: str
+    hits: int = 0
+    stores: int = 0
+    #: Best-effort journal writes that were skipped (I/O failure or an
+    #: injected ``cache.io`` fault) — previously dropped on the floor.
+    write_errors: int = 0
+    #: Damaged/stale entries moved to ``quarantine/`` during this run.
+    quarantined: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plane": self.plane,
+            "hits": self.hits,
+            "stores": self.stores,
+            "write_errors": self.write_errors,
+            "quarantined": self.quarantined,
+        }
+
+
+@dataclass
 class StudyMetrics:
     """Everything one engine run measured, in execution order."""
 
@@ -79,6 +103,14 @@ class StudyMetrics:
     #: Per-(honeypot, day) / per-(protocol, day) generation timings from
     #: the sharded attack and telescope planes.
     tasks: List[TaskTiming] = field(default_factory=list)
+    #: Per-plane journal accounting (hits, stores, skipped writes,
+    #: quarantined entries), one row per supervised plane.
+    journals: List[JournalMetric] = field(default_factory=list)
+    #: Quarantine records from journals and the phase cache, in detection
+    #: order — the full reasoned trail behind the counts above.
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    #: Soft-deadline overruns observed by task supervision.
+    stalls: List[TaskStall] = field(default_factory=list)
 
     # -- recording --------------------------------------------------------
 
@@ -92,6 +124,32 @@ class StudyMetrics:
     def record_tasks(self, timings: Iterable[TaskTiming]) -> None:
         """Attach attack/telescope per-(unit, day) wall-time rows."""
         self.tasks.extend(timings)
+
+    def record_supervision(
+        self,
+        plane: str,
+        *,
+        journal: Optional[TaskJournal] = None,
+        deadline: Optional[TaskDeadline] = None,
+    ) -> None:
+        """Fold one plane's journal and deadline accounting into the run."""
+        if journal is not None:
+            self.journals.append(JournalMetric(
+                plane=plane,
+                hits=journal.hits,
+                stores=journal.stores,
+                write_errors=journal.write_errors,
+                quarantined=len(journal.quarantined),
+            ))
+            self.quarantined.extend(journal.quarantined)
+        if deadline is not None:
+            self.stalls.extend(deadline.stalls)
+
+    def record_quarantines(
+        self, records: Iterable[QuarantineRecord]
+    ) -> None:
+        """Attach phase-cache quarantine records (no per-plane journal)."""
+        self.quarantined.extend(records)
 
     # -- aggregate views --------------------------------------------------
 
@@ -112,6 +170,11 @@ class StudyMetrics:
     def degraded(self) -> List[str]:
         """Phases that failed but were degraded instead of aborting."""
         return [m.phase for m in self.phases if m.status == "degraded"]
+
+    @property
+    def journal_write_errors(self) -> int:
+        """Total best-effort journal writes skipped across all planes."""
+        return sum(journal.write_errors for journal in self.journals)
 
     def phase_order(self) -> List[str]:
         """Phase names in the order they completed."""
@@ -137,9 +200,15 @@ class StudyMetrics:
                 group: round(seconds, 6)
                 for group, seconds in self.group_seconds().items()
             },
+            "journal_write_errors": self.journal_write_errors,
             "phases": [metric.to_dict() for metric in self.phases],
             "shards": [timing.to_dict() for timing in self.shards],
             "tasks": [timing.to_dict() for timing in self.tasks],
+            "journals": [journal.to_dict() for journal in self.journals],
+            "quarantined": [
+                record.to_dict() for record in self.quarantined
+            ],
+            "stalls": [stall.to_dict() for stall in self.stalls],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -168,6 +237,34 @@ class StudyMetrics:
             lines.append(
                 "degraded phases (study continued without them): "
                 + ", ".join(self.degraded)
+            )
+        if any(j.hits or j.stores or j.write_errors or j.quarantined
+               for j in self.journals):
+            lines.append(
+                "journal: "
+                + "; ".join(
+                    f"{j.plane} {j.hits} replayed, {j.stores} stored, "
+                    f"{j.write_errors} write errors, "
+                    f"{j.quarantined} quarantined"
+                    for j in self.journals
+                )
+            )
+        if self.quarantined:
+            lines.append(
+                "quarantined entries: "
+                + ", ".join(
+                    f"{record.key} ({record.reason})"
+                    for record in self.quarantined
+                )
+            )
+        if self.stalls:
+            lines.append(
+                "stalled tasks (soft deadline overrun): "
+                + ", ".join(
+                    f"{stall.plane}.{stall.unit}.{stall.day} "
+                    f"{stall.seconds:.3f}s > {stall.limit:g}s"
+                    for stall in self.stalls
+                )
             )
         if self.shards:
             lines.append("")

@@ -278,3 +278,18 @@ class Study:
         and return the results."""
         self._ensure("run", *self.engine.graph.artifacts())
         return self.results
+
+    def validate(self, registry=None):
+        """Run the cross-plane structural invariants over the artifacts.
+
+        Materializes (or reuses) exactly the artifacts each invariant
+        needs, plane by plane, and returns the list of
+        :class:`~repro.core.validate.Violation` found — empty when the
+        study's artifacts are structurally sound.  The CLI's ``validate``
+        subcommand maps a non-empty result to exit code 5.
+        """
+        from repro.core.validate import run_validation
+
+        violations = run_validation(self.engine, registry)
+        self._sync()
+        return violations

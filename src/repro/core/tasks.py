@@ -21,10 +21,20 @@ Beyond scheduling, ``run_tasks`` is a *supervisor*:
   ``retries`` times.  Tasks are pure functions of derived PRNG keys, so a
   retry is byte-identical to an undisturbed first attempt — the retried
   campaign's output cannot differ;
-* a :class:`TaskJournal` (one atomic pickle per completed task, under the
-  cache directory) makes campaigns crash-safe: a resumed run loads the
-  journaled results of completed tasks and re-executes only the rest,
-  producing byte-identical output to an uninterrupted run.
+* a :class:`TaskJournal` (one atomic, envelope-sealed pickle per completed
+  task, under the cache directory) makes campaigns crash-safe: a resumed
+  run loads the journaled results of completed tasks and re-executes only
+  the rest, producing byte-identical output to an uninterrupted run.
+  Every entry is a checksummed :mod:`repro.core.integrity` envelope, so a
+  damaged or stale entry is *detected* on read, quarantined (never
+  deleted, never re-read), and transparently recomputed — self-healing
+  resume;
+* a :class:`TaskDeadline` supervises task wall time: overrunning the soft
+  deadline records a :class:`TaskStall` warning row (surfaced in
+  ``StudyMetrics``), overrunning the hard deadline raises
+  :class:`~repro.net.errors.TaskDeadlineError` — a transient fault, so it
+  flows through the same ``retries`` path and a retried task is still
+  byte-identical (tasks are pure functions of their derived PRNG keys).
 
 :class:`TaskTiming` is the per-task metrics row surfaced in
 ``StudyMetrics`` (and ``--metrics-json``) so the scaling benchmark can
@@ -40,6 +50,7 @@ import pickle
 import re
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -47,9 +58,18 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core import faults
+from repro.core.integrity import (
+    QuarantineRecord,
+    quarantine_file,
+    unwrap_envelope,
+    wrap_envelope,
+)
 from repro.net.errors import (
+    ConfigError,
+    EnvelopeError,
     FatalFaultError,
     FaultError,
+    TaskDeadlineError,
     TaskFailure,
     TransientFaultError,
 )
@@ -58,6 +78,8 @@ __all__ = [
     "TaskRef",
     "TaskJournal",
     "TaskTiming",
+    "TaskStall",
+    "TaskDeadline",
     "paused_gc",
     "run_tasks",
 ]
@@ -65,7 +87,9 @@ __all__ = [
 _T = TypeVar("_T")
 
 #: Journal entry layout version; bumped entries are treated as misses.
-JOURNAL_SCHEMA_VERSION = 1
+#: Version 2: raw pickle payload sealed in a checksummed
+#: :mod:`repro.core.integrity` envelope (schema/kind/key/fingerprint).
+JOURNAL_SCHEMA_VERSION = 2
 
 _UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -97,9 +121,16 @@ class TaskJournal:
 
     Writes are atomic (``mkstemp`` + ``os.replace``) and best-effort —
     journal I/O faults degrade to a skipped write or a miss, never an
-    error, exactly like the phase cache's disk layer.  Entries carry a
-    schema version and the task key, so a journal written by older code
-    (or a colliding file) reads as a miss instead of a wrong result.
+    error, exactly like the phase cache's disk layer; every skipped write
+    is counted in :attr:`write_errors` and surfaced via ``StudyMetrics``.
+    Entries are sealed in a checksummed :mod:`repro.core.integrity`
+    envelope carrying the schema version, the task key and the writing
+    config's ``fingerprint``, so *any* damaged or stale file — bit flip,
+    truncation, older code, foreign config, colliding name — is detected
+    on read, moved to ``quarantine/`` with a reasoned
+    :class:`~repro.core.integrity.QuarantineRecord` (collected in
+    :attr:`quarantined`), and treated as a miss: the task transparently
+    recomputes and re-stores.
 
     ``resume=False`` (the default) only *writes*: the journal fills so a
     crash can be resumed later, but existing entries are ignored, keeping
@@ -110,53 +141,85 @@ class TaskJournal:
     """
 
     def __init__(
-        self, directory: os.PathLike, *, resume: bool = False
+        self, directory: os.PathLike, *, resume: bool = False,
+        fingerprint: str = "",
     ) -> None:
         self.directory = os.path.expanduser(os.fspath(directory))
         self.resume = resume
+        self.fingerprint = fingerprint
         #: Entries served on load / written on store (for tests and logs).
         self.hits = 0
         self.stores = 0
+        #: Best-effort writes that were skipped (satellite of the silent
+        #: ``pass`` this counter replaced).
+        self.write_errors = 0
+        #: Entries moved aside by :meth:`load`, in detection order.
+        self.quarantined: List[QuarantineRecord] = []
+        self._lock = threading.Lock()
 
     def _path(self, ref: TaskRef) -> str:
         return os.path.join(self.directory, ref.filename())
+
+    def _quarantine(self, path: str, ref: TaskRef, reason: str) -> None:
+        record = quarantine_file(
+            path, key=ref.key(), reason=reason, stage="journal.load"
+        )
+        if record is not None:
+            with self._lock:
+                self.quarantined.append(record)
 
     def load(self, ref: TaskRef) -> Tuple[bool, object]:
         """``(True, result)`` when a valid entry exists, else ``(False, None)``."""
         if not self.resume:
             return False, None
+        path = self._path(ref)
         try:
             faults.maybe_fail("cache.io", "journal.load", ref.key())
-            with open(self._path(ref), "rb") as handle:
-                entry = pickle.load(handle)
-        except (OSError, FaultError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError, IndexError):
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except (OSError, FaultError):
+            return False, None  # absent entry or degraded I/O: plain miss
+        blob = faults.maybe_corrupt(blob, "journal.load", ref.key())
+        try:
+            payload = unwrap_envelope(
+                blob,
+                schema=JOURNAL_SCHEMA_VERSION,
+                kind="journal",
+                key=ref.key(),
+                fingerprint=self.fingerprint,
+            )
+        except EnvelopeError as error:
+            self._quarantine(path, ref, error.reason)
             return False, None
-        if (
-            not isinstance(entry, dict)
-            or entry.get("schema") != JOURNAL_SCHEMA_VERSION
-            or entry.get("key") != ref.key()
-        ):
+        try:
+            result = pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
+            self._quarantine(path, ref, "unpicklable")
             return False, None
-        self.hits += 1
-        return True, entry.get("result")
+        with self._lock:
+            self.hits += 1
+        return True, result
 
     def store(self, ref: TaskRef, result: object) -> None:
         """Persist one completed task's result atomically (best-effort)."""
-        entry = {
-            "schema": JOURNAL_SCHEMA_VERSION,
-            "key": ref.key(),
-            "result": result,
-        }
         try:
             faults.maybe_fail("cache.io", "journal.store", ref.key())
+            blob = wrap_envelope(
+                pickle.dumps(result, pickle.HIGHEST_PROTOCOL),
+                schema=JOURNAL_SCHEMA_VERSION,
+                kind="journal",
+                key=ref.key(),
+                fingerprint=self.fingerprint,
+            )
+            blob = faults.maybe_corrupt(blob, "journal.store", ref.key())
             os.makedirs(self.directory, exist_ok=True)
             fd, temp = tempfile.mkstemp(
                 dir=self.directory, suffix=".pkl.tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(entry, handle, pickle.HIGHEST_PROTOCOL)
+                    handle.write(blob)
                 os.replace(temp, self._path(ref))
             except BaseException:
                 try:
@@ -166,9 +229,11 @@ class TaskJournal:
                 raise
         except (OSError, FaultError, pickle.PicklingError, AttributeError,
                 TypeError, RecursionError):
-            pass  # journal writes are best-effort
+            with self._lock:
+                self.write_errors += 1
         else:
-            self.stores += 1
+            with self._lock:
+                self.stores += 1
 
     def __len__(self) -> int:
         try:
@@ -207,6 +272,103 @@ class TaskTiming:
         }
 
 
+@dataclass
+class TaskStall:
+    """One soft-deadline overrun: a warning row, not a failure."""
+
+    plane: str
+    unit: str
+    day: int
+    seconds: float   # observed task wall time
+    limit: float     # the soft deadline it overran
+    attempt: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the metrics payload."""
+        return {
+            "plane": self.plane,
+            "unit": self.unit,
+            "day": self.day,
+            "seconds": round(self.seconds, 6),
+            "limit": self.limit,
+            "attempt": self.attempt,
+        }
+
+
+class TaskDeadline:
+    """Per-task wall-time supervision: soft stall warnings, hard failures.
+
+    The state machine per attempt: finish under the soft deadline →
+    nothing; overrun the soft deadline → a :class:`TaskStall` row is
+    recorded (surfaced in ``StudyMetrics`` / ``--metrics-json``) and the
+    result is kept; overrun the hard deadline → the attempt's result is
+    discarded and :class:`~repro.net.errors.TaskDeadlineError` (transient)
+    is raised, flowing through the ordinary ``retries`` path — a stalled
+    task usually completes normally when re-run, and supervised tasks are
+    pure functions of their derived PRNG keys, so the retry is
+    byte-identical to an undisturbed first attempt.
+
+    Armed by the CLI's ``--task-deadline SOFT[:HARD]`` (seconds); the
+    ``deadline`` fault site injects configurable delays to test it.
+    """
+
+    def __init__(
+        self, soft: Optional[float] = None, hard: Optional[float] = None
+    ) -> None:
+        for name, value in (("soft", soft), ("hard", hard)):
+            if value is not None and value <= 0.0:
+                raise ConfigError(
+                    f"{name} task deadline must be > 0 seconds, got {value}"
+                )
+        if soft is not None and hard is not None and hard < soft:
+            raise ConfigError(
+                f"hard task deadline ({hard}s) must be >= the soft "
+                f"deadline ({soft}s)"
+            )
+        self.soft = soft
+        self.hard = hard
+        #: Soft-deadline overruns observed, in detection order.
+        self.stalls: List[TaskStall] = []
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, spec: str) -> "TaskDeadline":
+        """Parse ``SOFT`` or ``SOFT:HARD`` (seconds); raises ConfigError."""
+        parts = spec.split(":")
+        if len(parts) not in (1, 2) or not any(p.strip() for p in parts):
+            raise ConfigError(
+                f"bad task deadline {spec!r}; expected SOFT[:HARD] seconds"
+            )
+        try:
+            values = [float(part) for part in parts]
+        except ValueError:
+            raise ConfigError(
+                f"bad task deadline {spec!r}; expected SOFT[:HARD] seconds"
+            ) from None
+        return cls(values[0], values[1] if len(values) == 2 else None)
+
+    def observe(self, ref: TaskRef, seconds: float, attempt: int) -> None:
+        """Judge one finished attempt's wall time against the deadlines."""
+        if self.hard is not None and seconds > self.hard:
+            raise TaskDeadlineError(
+                f"task {ref.key()} overran its hard deadline: "
+                f"{seconds:.3f}s > {self.hard:g}s (attempt {attempt})",
+                key=(ref.plane, ref.unit, ref.day),
+                seconds=seconds,
+                limit=self.hard,
+            )
+        if self.soft is not None and seconds > self.soft:
+            with self._lock:
+                self.stalls.append(TaskStall(
+                    plane=ref.plane,
+                    unit=ref.unit,
+                    day=ref.day,
+                    seconds=seconds,
+                    limit=self.soft,
+                    attempt=attempt,
+                ))
+
+
 @contextmanager
 def paused_gc() -> Iterator[None]:
     """Suspend cyclic garbage collection for the duration of a batch.
@@ -234,6 +396,7 @@ def _run_supervised(
     ref: TaskRef,
     retries: int,
     journal: Optional[TaskJournal],
+    deadline: Optional[TaskDeadline] = None,
 ) -> _T:
     """One task under supervision: journal replay, retries, typed failure.
 
@@ -241,7 +404,10 @@ def _run_supervised(
     task's ref; the attempt number scopes every keyed fault verdict drawn
     *inside* the task too (see :func:`repro.core.faults.task_attempt`), so
     a retry re-runs the task under a fresh, independent failure schedule
-    while the task's own PRNG draws stay byte-identical.
+    while the task's own PRNG draws stay byte-identical.  A ``deadline``
+    judges each attempt's wall time after it completes; a hard overrun
+    raises :class:`~repro.net.errors.TaskDeadlineError`, which is
+    transient and lands in the same retry arm as injected faults.
     """
     if journal is not None:
         found, result = journal.load(ref)
@@ -249,10 +415,16 @@ def _run_supervised(
             return result  # type: ignore[return-value]
     attempt = 0
     while True:
+        started = time.perf_counter()
         try:
             with faults.task_attempt(attempt):
                 faults.maybe_fail("task", ref.plane, ref.unit, ref.day)
+                faults.maybe_delay("deadline", ref.plane, ref.unit, ref.day)
                 result = thunk()
+                if deadline is not None:
+                    deadline.observe(
+                        ref, time.perf_counter() - started, attempt
+                    )
             break
         except TaskFailure:
             raise  # already named (nested run_tasks); don't double-wrap
@@ -277,6 +449,7 @@ def run_tasks(
     refs: Optional[Sequence[TaskRef]] = None,
     retries: int = 0,
     journal: Optional[TaskJournal] = None,
+    deadline: Optional[TaskDeadline] = None,
 ) -> List[_T]:
     """Run independent task thunks supervised, in submission order.
 
@@ -288,7 +461,9 @@ def run_tasks(
 
     ``refs`` names each task (defaults to anonymous per-index refs);
     ``retries`` bounds transient-failure re-execution; ``journal`` makes
-    completed tasks crash-safe and, with ``journal.resume``, replayable.
+    completed tasks crash-safe and, with ``journal.resume``, replayable;
+    ``deadline`` arms per-task wall-time supervision (soft stalls recorded
+    on the deadline object, hard overruns retried as transient faults).
     A failure surfaces as :class:`~repro.net.errors.TaskFailure` carrying
     the task's ref, after cancelling every not-yet-started future.
     """
@@ -301,7 +476,9 @@ def run_tasks(
     retries = max(0, retries)
 
     def run_one(index: int) -> _T:
-        return _run_supervised(thunks[index], refs[index], retries, journal)
+        return _run_supervised(
+            thunks[index], refs[index], retries, journal, deadline
+        )
 
     if workers <= 1 or len(thunks) <= 1:
         with paused_gc():

@@ -91,6 +91,54 @@ class FatalFaultError(FaultError):
     """A non-retryable injected fault (corrupt input, dead vantage)."""
 
 
+class EnvelopeError(ReproError):
+    """A stored artifact envelope failed verification on read.
+
+    Raised by :func:`repro.core.integrity.unwrap_envelope` when a
+    journal/cache blob is damaged (checksum or structural corruption) or
+    stale (schema, key or config-fingerprint mismatch).  ``reason`` is a
+    stable machine-readable token (``"checksum-mismatch"``,
+    ``"bad-magic"``, ``"stale-fingerprint"``, …) recorded verbatim in the
+    :class:`~repro.core.integrity.QuarantineRecord` of the entry that is
+    moved aside.
+    """
+
+    def __init__(self, message: str, *, reason: str = "malformed") -> None:
+        super().__init__(message)
+        #: Stable token naming what failed verification.
+        self.reason = reason
+
+
+class TaskDeadlineError(TransientFaultError):
+    """A supervised task overran its hard deadline.
+
+    Transient by design: a stalled task (lock convoy, cold page cache, a
+    peer that finally timed out) usually completes normally when re-run,
+    and every supervised task is a pure function of its derived PRNG key,
+    so the retry is byte-identical to an undisturbed first attempt.  Flows
+    through the ordinary ``--retries`` path; with retries exhausted it
+    surfaces as a :class:`TaskFailure` naming the task (CLI exit code 4).
+    """
+
+    def __init__(
+        self, message: str, *, site: str = "deadline", key=(),
+        seconds: float = 0.0, limit: float = 0.0,
+    ) -> None:
+        super().__init__(message, site=site, key=key)
+        #: Observed task wall time.
+        self.seconds = seconds
+        #: The hard deadline that was overrun.
+        self.limit = limit
+
+
+class ValidationError(ReproError):
+    """A cross-plane structural invariant over finished artifacts failed.
+
+    Raised (or collected, in the CLI's report mode) by
+    :mod:`repro.core.validate`; the CLI maps it to exit code 5.
+    """
+
+
 class TaskFailure(ReproError):
     """A supervised task failed; names the task and preserves the cause.
 

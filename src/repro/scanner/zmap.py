@@ -36,7 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.tasks import TaskJournal, run_tasks
+from repro.core.tasks import TaskDeadline, TaskJournal, run_tasks
 from repro.internet.fabric import SimulatedInternet
 from repro.net.compat import DATACLASS_KW_ONLY
 from repro.net.errors import ConfigError, ConnectionRefused, HostUnreachable
@@ -169,7 +169,9 @@ class InternetScanner:
     # -- campaign entry point ------------------------------------------------
 
     def run_campaign(
-        self, journal: Optional[TaskJournal] = None
+        self,
+        journal: Optional[TaskJournal] = None,
+        deadline: Optional[TaskDeadline] = None,
     ) -> ScanDatabase:
         """Sweep + grab for every configured protocol; returns the database.
 
@@ -184,7 +186,8 @@ class InternetScanner:
         surfaces as :class:`~repro.net.errors.TaskFailure` naming the
         shard, transient faults retry up to ``config.retries`` times, and
         an optional ``journal`` records completed shards so an interrupted
-        campaign can be resumed with byte-identical output.
+        campaign can be resumed with byte-identical output.  An optional
+        ``deadline`` arms per-shard wall-time supervision.
         """
         planner = ShardPlanner(self.config.shards, self.config.shard_strategy)
         allowed = self._allowed_addresses()
@@ -194,7 +197,7 @@ class InternetScanner:
         for protocol in self.config.protocols:
             rows.extend(self._scan_protocol_sharded(
                 protocol, shards, refs=planner.refs(str(protocol)),
-                journal=journal,
+                journal=journal, deadline=deadline,
             ))
         # Canonical merge order across the whole campaign — the same key
         # ScanDatabase.sorted_canonical uses, so the reference serial path
@@ -246,6 +249,7 @@ class InternetScanner:
         shards: Sequence[Sequence[int]],
         refs=None,
         journal: Optional[TaskJournal] = None,
+        deadline: Optional[TaskDeadline] = None,
     ) -> List[tuple]:
         """Scan one protocol across address shards; unordered row tuples
         (the campaign applies the canonical sort once, over all protocols).
@@ -272,6 +276,7 @@ class InternetScanner:
             refs=refs,
             retries=self.config.retries,
             journal=journal,
+            deadline=deadline,
         )
 
         merged: List[tuple] = []

@@ -26,7 +26,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.attacks.actors import ActorRegistry, SourceInfo
 from repro.core.scaling import scale_count
-from repro.core.tasks import TaskJournal, TaskRef, TaskTiming, run_tasks
+from repro.core.tasks import (
+    TaskDeadline,
+    TaskJournal,
+    TaskRef,
+    TaskTiming,
+    run_tasks,
+)
 from repro.core.taxonomy import TrafficClass
 from repro.net.asn import AsnRegistry
 from repro.net.errors import ConfigError
@@ -165,7 +171,9 @@ class NetworkTelescope:
     # -- generation ------------------------------------------------------
 
     def capture_month(
-        self, journal: Optional[TaskJournal] = None
+        self,
+        journal: Optional[TaskJournal] = None,
+        deadline: Optional[TaskDeadline] = None,
     ) -> TelescopeCapture:
         """Produce the full scaled April capture.
 
@@ -180,7 +188,8 @@ class NetworkTelescope:
         :class:`~repro.net.errors.TaskFailure` naming the (protocol, day)
         task, transient faults retry ``config.retries`` times, and an
         optional ``journal`` lets an interrupted capture resume with
-        byte-identical output.
+        byte-identical output.  An optional ``deadline`` arms per-task
+        wall-time supervision.
         """
         writer = FlowTupleWriter()
         sources_by_protocol: Dict[ProtocolId, Set[int]] = {}
@@ -224,6 +233,7 @@ class NetworkTelescope:
         outcomes = run_tasks(
             thunks, self.config.workers,
             refs=refs, retries=self.config.retries, journal=journal,
+            deadline=deadline,
         )
 
         self.task_timings = [timing for _, _, timing in outcomes]
