@@ -1,0 +1,154 @@
+"""Telescope vectorization benchmark: numpy columns vs the python oracle.
+
+Rebuilds the exact telescope workload of ``test_attack_scaling.py`` — the
+1:1024 world, the 1:64 attack month feeding the actor registry, then the
+90-day sustained capture at Telnet 1:2048 / others 1:16 — and times the
+pipeline capture once per column backend.  Three claims are checked:
+
+* byte identity — the numpy-backed capture's log and flow digests equal
+  the pure-python backend's (the vectorized emitters replay the very same
+  keyed draws, just in batches);
+* the acceptance bar — the numpy capture is >= 5x faster than the serial
+  reference telescope wall time pinned in ``BENCH_attack_plane.json``
+  (7.2202 s on the same world and seed);
+* for context, the numpy capture is also no slower than the python
+  pipeline path it shadows.
+
+Wall times are best-of-2 because CI boxes are noisy; digests are checked
+on every run.  Results land in ``BENCH_telescope_vector.json`` so the
+non-gating ``vector-bench`` CI job leaves a comparable trail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+import pytest
+
+from conftest import compare
+
+from repro.attacks.schedule import AttackScheduleConfig, AttackScheduler
+from repro.core.columns import HAVE_NUMPY
+from repro.honeypots import build_deployment
+from repro.internet.population import PopulationBuilder, PopulationConfig
+from repro.net.asn import AsnRegistry
+from repro.net.geo import GeoRegistry
+from repro.telescope.flowtuple import encode_flowtuple
+from repro.telescope.telescope import NetworkTelescope, TelescopeConfig
+
+#: Same workload as BENCH_attack_plane.json so the wall times compare.
+_WORLD = dict(seed=7, scale=1024, honeypot_scale=64)
+_ATTACK_SCALE = 64
+_TELESCOPE = dict(seed=7, days=90, telnet_source_scale=2048, source_scale=16)
+_REPEATS = 2
+
+#: Serial reference telescope wall time from BENCH_attack_plane.json
+#: (``capture_month_reference`` on this world/seed); the ISSUE's bar is
+#: the numpy capture at >= 5x this.
+_REFERENCE_TELESCOPE_SECONDS = 7.2202
+_REQUIRED_SPEEDUP = 5.0
+
+
+def _capture_once(backend):
+    """One timed capture on a fresh world (the telescope fills registry
+    state as it runs, so captures never share a registry)."""
+    population = PopulationBuilder(PopulationConfig(**_WORLD)).build()
+    deployment = build_deployment(backend=backend)
+    deployment.attach(population.internet)
+    scheduler = AttackScheduler(
+        population.internet, deployment, population,
+        AttackScheduleConfig(seed=7, attack_scale=_ATTACK_SCALE,
+                             backend=backend),
+    )
+    result = scheduler.run()
+    deployment.detach(population.internet)
+
+    telescope = NetworkTelescope(
+        result.registry, GeoRegistry(7), AsnRegistry(7),
+        TelescopeConfig(backend=backend, **_TELESCOPE),
+    )
+    started = time.perf_counter()
+    capture = telescope.capture_month()
+    telescope_seconds = time.perf_counter() - started
+
+    flow_digest = hashlib.sha256()
+    records = 0
+    for record in capture.writer.records():
+        flow_digest.update(encode_flowtuple(record).encode())
+        records += 1
+    return {
+        "telescope_seconds": telescope_seconds,
+        "telescope_records": records,
+        "batch_appends": capture.writer.batch_appends,
+        "log_digest": hashlib.sha256(
+            result.log.to_jsonl().encode()).hexdigest(),
+        "flow_digest": flow_digest.hexdigest(),
+    }
+
+
+def _capture_best(backend):
+    """Best-of-N wall time (the output bytes are identical every run)."""
+    best = None
+    for _ in range(_REPEATS):
+        run = _capture_once(backend)
+        if best is None or run["telescope_seconds"] < best["telescope_seconds"]:
+            best = run
+    best["telescope_seconds"] = round(best["telescope_seconds"], 4)
+    best["backend"] = backend
+    return best
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy backend not installed")
+def test_numpy_telescope_beats_reference_5x():
+    runs = {
+        "python": _capture_best("python"),
+        "numpy": _capture_best("numpy"),
+    }
+
+    # Byte identity before any throughput claim: the numpy columns are a
+    # drop-in for the python oracle on both planes.
+    assert runs["python"]["log_digest"] == runs["numpy"]["log_digest"]
+    assert runs["python"]["flow_digest"] == runs["numpy"]["flow_digest"]
+    assert (runs["python"]["telescope_records"]
+            == runs["numpy"]["telescope_records"])
+    assert runs["numpy"]["batch_appends"] >= 1
+
+    numpy_seconds = runs["numpy"]["telescope_seconds"]
+    speedup = (_REFERENCE_TELESCOPE_SECONDS / numpy_seconds
+               if numpy_seconds else float("inf"))
+
+    compare("telescope vectorization (90 days, Telnet 1:2048)", [
+        ("serial reference wall", "baseline (pinned)",
+         f"{_REFERENCE_TELESCOPE_SECONDS:.2f}s"),
+        ("python backend wall", "oracle",
+         f"{runs['python']['telescope_seconds']:.2f}s"),
+        ("numpy backend wall", ">= 5x baseline",
+         f"{numpy_seconds:.2f}s"),
+        ("telescope records", runs["python"]["telescope_records"],
+         runs["numpy"]["telescope_records"]),
+        ("numpy batch appends", "-", runs["numpy"]["batch_appends"]),
+    ])
+
+    payload = {
+        "benchmark": "telescope_vectorization",
+        "world": _WORLD,
+        "attack_scale": _ATTACK_SCALE,
+        "telescope": _TELESCOPE,
+        "reference_telescope_seconds": _REFERENCE_TELESCOPE_SECONDS,
+        "runs": runs,
+        "speedup_numpy_vs_reference": round(speedup, 2),
+    }
+    with open("BENCH_telescope_vector.json", "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote BENCH_telescope_vector.json "
+          f"(numpy speedup {speedup:.2f}x vs serial reference)")
+
+    # The ISSUE's acceptance bar: >= 5x the pinned serial reference.
+    assert numpy_seconds <= _REFERENCE_TELESCOPE_SECONDS / _REQUIRED_SPEEDUP, (
+        f"numpy telescope {numpy_seconds:.2f}s is only "
+        f"{speedup:.2f}x the {_REFERENCE_TELESCOPE_SECONDS:.2f}s reference; "
+        f"need >= {_REQUIRED_SPEEDUP:.0f}x"
+    )

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.taxonomy import AttackType
-from repro.honeypots.events import EventLog
+from repro.core.columns import ColumnStore
 from repro.intel.exonerator import ExoneraTorDB
 from repro.net.geo import GeoRegistry
 from repro.net.rdns import ReverseDns
@@ -37,7 +37,7 @@ _DOS_TYPES = (AttackType.DOS_FLOOD, AttackType.REFLECTION)
 
 
 def dos_origin_countries(
-    log: EventLog,
+    log: ColumnStore,
     geo: GeoRegistry,
     protocol: Optional[ProtocolId] = None,
     top_k: int = 5,
@@ -59,7 +59,7 @@ def dos_origin_countries(
 
 
 def duplicate_dns_sources(
-    log: EventLog,
+    log: ColumnStore,
     rdns: ReverseDns,
     protocol: Optional[ProtocolId] = None,
 ) -> List[Set[int]]:
@@ -106,7 +106,7 @@ class TorAnalysis:
 
 
 def analyze_tor_sources(
-    log: EventLog,
+    log: ColumnStore,
     exonerator: ExoneraTorDB,
     *,
     protocol: ProtocolId = ProtocolId.HTTP,

@@ -9,8 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
+from repro.core.columns import ColumnStore
 from repro.net.geo import GeoRegistry
-from repro.scanner.records import ScanDatabase
 
 __all__ = ["CountryReport", "country_distribution", "country_distribution_of"]
 
@@ -47,7 +47,7 @@ def country_distribution(addresses: Iterable[int], geo: GeoRegistry) -> CountryR
 
 
 def country_distribution_of(
-    database: ScanDatabase, geo: GeoRegistry, *, misconfigured: bool = True
+    database: ColumnStore, geo: GeoRegistry, *, misconfigured: bool = True
 ) -> CountryReport:
     """Table 10 straight from a scan database.
 

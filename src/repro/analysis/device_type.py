@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.internet.devices import DEVICE_PROFILES, DeviceProfile
 from repro.protocols.base import ProtocolId
-from repro.scanner.records import ScanDatabase, ScanRecord
+from repro.core.columns import ColumnStore
+from repro.scanner.records import ScanRecord
 from repro.scanner.ztag import TagEngine, TagSignature
 
 __all__ = ["build_device_signatures", "DeviceTypeReport", "identify_device_types"]
@@ -96,7 +97,7 @@ class DeviceTypeReport:
 
 
 def identify_device_types(
-    database: ScanDatabase,
+    database: ColumnStore,
     *,
     engine: Optional[TagEngine] = None,
 ) -> DeviceTypeReport:

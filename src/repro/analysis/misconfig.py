@@ -33,7 +33,8 @@ from repro.protocols.base import ProtocolId
 from repro.protocols.mqtt import ConnectReturnCode, decode_connack
 from repro.protocols.telnet import strip_iac
 from repro.protocols.xmpp import offers_starttls, parse_mechanisms
-from repro.scanner.records import ScanDatabase, ScanRecord
+from repro.core.columns import ColumnStore
+from repro.scanner.records import ScanRecord
 
 __all__ = [
     "VULNERABLE_AMQP_VERSIONS",
@@ -201,7 +202,7 @@ class MisconfigReport:
 
 
 def classify_database(
-    database: ScanDatabase,
+    database: ColumnStore,
     *,
     exclude_addresses: Optional[Set[int]] = None,
 ) -> MisconfigReport:

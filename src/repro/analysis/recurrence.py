@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.honeypots.events import EventLog
+from repro.core.columns import ColumnStore
 
 __all__ = ["RecurrencePattern", "RecurrenceClassifier"]
 
@@ -64,7 +64,7 @@ class RecurrenceClassifier:
         self.min_span_days = min_span_days
         self.min_regularity = min_regularity
 
-    def patterns(self, log: EventLog) -> Dict[int, RecurrencePattern]:
+    def patterns(self, log: ColumnStore) -> Dict[int, RecurrencePattern]:
         """Aggregate visit patterns per source.
 
         Driven from the store's per-source index — one grouped pass
@@ -87,7 +87,7 @@ class RecurrenceClassifier:
             and pattern.regularity >= self.min_regularity
         )
 
-    def classify(self, log: EventLog) -> Tuple[Set[int], Set[int]]:
+    def classify(self, log: ColumnStore) -> Tuple[Set[int], Set[int]]:
         """Split the log's sources into (recurring, one-time)."""
         recurring: Set[int] = set()
         one_time: Set[int] = set()
@@ -99,7 +99,7 @@ class RecurrenceClassifier:
         return recurring, one_time
 
     def score_against(
-        self, log: EventLog, truth_scanning: Set[int]
+        self, log: ColumnStore, truth_scanning: Set[int]
     ) -> Dict[str, float]:
         """Precision/recall of 'recurring' as a scanning-service detector."""
         recurring, _ = self.classify(log)

@@ -49,6 +49,7 @@ from repro.attacks.actors import ActorRegistry, SourceInfo
 from repro.attacks.malware import MalwareCorpus, TaskCorpusView
 from repro.attacks.payloads import build_payloads
 from repro.attacks.scanning_services import SCANNING_SERVICES, ScanningService
+from repro.core.columns import BACKENDS
 from repro.core.scaling import apportion, scale_count
 from repro.core.tasks import (
     TaskDeadline,
@@ -209,6 +210,10 @@ class AttackScheduleConfig:
     #: fault.  Robustness-only (tasks are pure, so a retry is
     #: byte-identical) and excluded from equality like ``workers``.
     retries: int = field(default=0, compare=False)
+    #: Column backend for the event log (``None`` inherits the study-level
+    #: choice).  Both backends are byte-identical, so the knob is excluded
+    #: from equality/fingerprints like ``workers``.
+    backend: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -225,6 +230,11 @@ class AttackScheduleConfig:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.retries < 0:
             raise ConfigError(f"retries must be >= 0, got {self.retries}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {', '.join(BACKENDS)}; "
+                f"got {self.backend!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -1059,10 +1069,7 @@ class AttackScheduler:
                     if source is not None:
                         source.malware_families.add(family)
         merged.sort(key=lambda row: (row[4], row[2], row[0], str(row[1])))
-        log = result.log
-        append_event = log.append_event
-        for row in merged:
-            append_event(*row)
+        result.log.append_batch(merged)
 
         # Per-honeypot merges: ICS/session counters and pcap captures.
         by_name = {honeypot.name: honeypot for honeypot in self.deployment.honeypots}

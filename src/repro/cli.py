@@ -20,10 +20,14 @@ reproducible from the shell line alone, plus the engine knobs:
 identical for every K, with per-shard timings in the metrics),
 ``--attack-workers K`` (concurrent (honeypot, day) / (protocol, day)
 generation tasks for the attack and telescope months — byte identical for
-every K, with per-task timings in the metrics), ``--cache-dir PATH``
-(persistent on-disk phase cache shared across invocations), ``--no-cache``,
-and ``--metrics-json PATH`` (per-phase wall time, cache hits, shard/task
-timings and throughput as JSON, for scripted campaigns).
+every K, with per-task timings in the metrics), ``--backend
+{python,numpy,auto}`` (column backend for the three plane stores —
+``numpy`` batch-draws and vectorizes the hot loops, byte-identical to
+``python``; ``auto``, the default, picks numpy when the optional
+dependency is importable), ``--cache-dir PATH`` (persistent on-disk phase
+cache shared across invocations), ``--no-cache``, and ``--metrics-json
+PATH`` (per-phase wall time, cache hits, shard/task timings, store
+backends and throughput as JSON, for scripted campaigns).
 
 Robustness knobs (all byte-identity preserving):
 
@@ -68,6 +72,7 @@ from typing import List, Optional
 from repro import Study, StudyConfig, __version__
 from repro.attacks.schedule import AttackScheduleConfig
 from repro.core import faults
+from repro.core.columns import resolve_backend
 from repro.core.engine import PhaseCache
 from repro.core.faults import FaultPlan
 from repro.core.report import (
@@ -133,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "workers for the attack and telescope months "
                               "(byte-identical output for every K; "
                               "default 1)")
+        sub.add_argument("--backend", default="auto",
+                         metavar="{python,numpy,auto}",
+                         help="column backend for the plane stores: "
+                              "'numpy' vectorizes the hot loops "
+                              "(byte-identical output), 'python' forces "
+                              "the pure-Python oracle, 'auto' (default) "
+                              "picks numpy when importable")
         sub.add_argument("--no-cache", action="store_true",
                          help="disable phase-artifact memoization")
         sub.add_argument("--cache-dir", metavar="PATH", default="",
@@ -260,6 +272,15 @@ def _config(args) -> StudyConfig:
         config.resume = True
     if getattr(args, "task_deadline", ""):
         config.task_deadline = args.task_deadline
+    backend = getattr(args, "backend", "auto")
+    if backend != "auto":
+        # Not an argparse `choices` list on purpose: an unknown value (or
+        # an explicit numpy without the dependency) surfaces as the typed
+        # ConfigError -> exit code 2, like every other config mistake.
+        resolve_backend(backend)
+        config.backend = backend
+        for sub in (config.scan, config.attacks, config.telescope):
+            sub.backend = backend
     config.validate()  # ConfigError -> exit code 2
     return config
 

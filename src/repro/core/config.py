@@ -8,11 +8,11 @@ from equal configs produce identical tables.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.attacks.schedule import AttackScheduleConfig
+from repro.core.columns import BACKENDS, _warn_deprecated
 from repro.internet.population import PopulationConfig
 from repro.net.compat import DATACLASS_KW_ONLY
 from repro.net.errors import ConfigError
@@ -73,6 +73,12 @@ class StudyConfig:
     #: fault.  ``None`` disables supervision.  Excluded from the
     #: fingerprint: deadlines change scheduling, never output bytes.
     task_deadline: Optional[str] = field(default=None, compare=False)
+    #: Column backend for the three plane stores: ``"python"``,
+    #: ``"numpy"``, or ``"auto"`` (NumPy when importable).  Stamped over
+    #: every sub-config left at the ``None`` inherit-sentinel.  Both
+    #: backends produce byte-identical artifacts, so the knob is excluded
+    #: from equality/fingerprints like the other deployment knobs.
+    backend: str = field(default="auto", compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -85,14 +91,18 @@ class StudyConfig:
             if getattr(sub, "seed", 0) is None:
                 sub.seed = self.seed
             elif sub.seed == DEFAULT_SEED and self.seed != DEFAULT_SEED:
-                warnings.warn(
-                    f"{type(sub).__name__}(seed={DEFAULT_SEED}) is now kept "
-                    f"as-is even though the master seed is {self.seed}; "
-                    "earlier releases overwrote it with the master seed. "
-                    "Pass seed=None (the default) to inherit.",
-                    DeprecationWarning,
-                    stacklevel=3,
+                _warn_deprecated(
+                    f"explicit {type(sub).__name__}(seed={DEFAULT_SEED}) "
+                    f"under master seed {self.seed} (earlier releases "
+                    "overwrote it with the master seed; it is now kept "
+                    "as-is)",
+                    use="pass seed=None (the default) to inherit",
+                    stacklevel=4,
                 )
+        # Same inherit rule for the column backend.
+        for sub in (self.scan, self.attacks, self.telescope):
+            if getattr(sub, "backend", "") is None:
+                sub.backend = self.backend
 
     def validate(self) -> None:
         """Raise :class:`~repro.net.errors.ConfigError` on invalid knobs.
@@ -112,6 +122,11 @@ class StudyConfig:
             raise ConfigError(
                 "resume=True requires journal_dir (the per-task completion "
                 "journal a resumed run replays)"
+            )
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {', '.join(BACKENDS)}; "
+                f"got {self.backend!r}"
             )
         if self.task_deadline is not None:
             # Parse for validation only; the engine builds fresh

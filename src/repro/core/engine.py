@@ -70,6 +70,7 @@ from repro.core.integrity import (
     unwrap_envelope,
     wrap_envelope,
 )
+from repro.core.columns import resolve_backend
 from repro.core.metrics import PhaseMetric, StudyMetrics
 from repro.core.tasks import TaskDeadline, TaskJournal
 from repro.net.errors import (
@@ -566,7 +567,10 @@ class StudyEngine:
             self.cache = cache
         self.graph = graph or build_study_graph(self.config)
         self.fingerprint = config_fingerprint(self.config)
-        self.metrics = StudyMetrics(executor=self.executor.name)
+        self.metrics = StudyMetrics(
+            executor=self.executor.name,
+            backend=resolve_backend(getattr(self.config, "backend", None)),
+        )
         self._artifacts: Dict[str, object] = {}
         self._done: set = set()
         self._degraded: set = set()
@@ -789,6 +793,7 @@ def _phase_zmap(engine: StudyEngine) -> Dict[str, object]:
     engine.metrics.record_supervision(
         "scan", journal=journal, deadline=deadline
     )
+    engine.metrics.record_store("scan", database)
     return {"zmap_db": database}
 
 
@@ -864,7 +869,9 @@ def _phase_attacks(engine: StudyEngine) -> Dict[str, object]:
     from repro.honeypots.deployment import build_deployment
 
     population = engine.artifact("population")
-    deployment = build_deployment()
+    deployment = build_deployment(
+        backend=resolve_backend(engine.config.attacks.backend)
+    )
     if engine.config.capture_pcap:
         for honeypot in deployment.honeypots:
             honeypot.enable_pcap()
@@ -883,6 +890,7 @@ def _phase_attacks(engine: StudyEngine) -> Dict[str, object]:
         engine.metrics.record_supervision(
             "attacks", journal=journal, deadline=deadline
         )
+        engine.metrics.record_store("attacks", schedule.log)
     finally:
         # Leave the cached world pristine for scan/fingerprint phases.
         deployment.detach(internet)
@@ -905,6 +913,7 @@ def _phase_telescope(engine: StudyEngine) -> Dict[str, object]:
     engine.metrics.record_supervision(
         "telescope", journal=journal, deadline=deadline
     )
+    engine.metrics.record_store("telescope", capture.writer)
     return {"telescope": capture}
 
 

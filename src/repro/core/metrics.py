@@ -26,7 +26,7 @@ from repro.core.integrity import QuarantineRecord
 from repro.core.tasks import TaskDeadline, TaskJournal, TaskStall, TaskTiming
 from repro.scanner.shard import ShardTiming
 
-__all__ = ["PhaseMetric", "JournalMetric", "StudyMetrics"]
+__all__ = ["PhaseMetric", "JournalMetric", "StoreMetric", "StudyMetrics"]
 
 
 @dataclass
@@ -93,10 +93,35 @@ class JournalMetric:
 
 
 @dataclass
+class StoreMetric:
+    """One plane store's column-backend accounting for a run.
+
+    Distinguishes python from numpy runs in ``--metrics-json``: which
+    backend the store resolved to, how many columnar batch ingests it
+    served (``append_batch`` / block filings) and how many rows it holds.
+    """
+
+    plane: str
+    backend: str
+    batch_appends: int = 0
+    rows: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plane": self.plane,
+            "backend": self.backend,
+            "batch_appends": self.batch_appends,
+            "rows": self.rows,
+        }
+
+
+@dataclass
 class StudyMetrics:
     """Everything one engine run measured, in execution order."""
 
     executor: str = "serial"
+    #: The study-level resolved column backend ("python" or "numpy").
+    backend: str = "python"
     phases: List[PhaseMetric] = field(default_factory=list)
     #: Per-(protocol, shard) scan timings from sharded campaigns.
     shards: List[ShardTiming] = field(default_factory=list)
@@ -111,6 +136,8 @@ class StudyMetrics:
     quarantined: List[QuarantineRecord] = field(default_factory=list)
     #: Soft-deadline overruns observed by task supervision.
     stalls: List[TaskStall] = field(default_factory=list)
+    #: Per-plane store backend/batch accounting, one row per plane store.
+    stores: List[StoreMetric] = field(default_factory=list)
 
     # -- recording --------------------------------------------------------
 
@@ -150,6 +177,20 @@ class StudyMetrics:
     ) -> None:
         """Attach phase-cache quarantine records (no per-plane journal)."""
         self.quarantined.extend(records)
+
+    def record_store(self, plane: str, store: object) -> None:
+        """Fold one plane store's backend/batch accounting into the run.
+
+        Works on anything shaped like a
+        :class:`~repro.core.columns.ColumnStore` with the ``backend`` /
+        ``batch_appends`` attributes the three plane stores carry.
+        """
+        self.stores.append(StoreMetric(
+            plane=plane,
+            backend=getattr(store, "backend", "python"),
+            batch_appends=getattr(store, "batch_appends", 0),
+            rows=len(store),  # type: ignore[arg-type]
+        ))
 
     # -- aggregate views --------------------------------------------------
 
@@ -192,6 +233,7 @@ class StudyMetrics:
     def to_dict(self) -> Dict[str, object]:
         return {
             "executor": self.executor,
+            "backend": self.backend,
             "wall_seconds": round(self.wall_seconds, 6),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -209,6 +251,7 @@ class StudyMetrics:
                 record.to_dict() for record in self.quarantined
             ],
             "stalls": [stall.to_dict() for stall in self.stalls],
+            "stores": [store.to_dict() for store in self.stores],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -231,8 +274,18 @@ class StudyMetrics:
             )
         lines.append(
             f"total {self.wall_seconds:.3f}s over {len(self.phases)} phases "
-            f"({self.cache_hits} cached) via {self.executor} executor"
+            f"({self.cache_hits} cached) via {self.executor} executor, "
+            f"{self.backend} columns"
         )
+        if self.stores:
+            lines.append(
+                "stores: "
+                + "; ".join(
+                    f"{store.plane} {store.backend} "
+                    f"({store.rows:,} rows, {store.batch_appends} batches)"
+                    for store in self.stores
+                )
+            )
         if self.degraded:
             lines.append(
                 "degraded phases (study continued without them): "

@@ -190,9 +190,15 @@ def _dionaea(log: EventLog) -> LabHoneypot:
     )
 
 
-def build_deployment(log: Optional[EventLog] = None) -> HoneypotDeployment:
-    """Construct the full six-honeypot lab sharing one event log."""
-    log = log if log is not None else EventLog()
+def build_deployment(
+    log: Optional[EventLog] = None, *, backend: Optional[str] = None
+) -> HoneypotDeployment:
+    """Construct the full six-honeypot lab sharing one event log.
+
+    ``backend`` picks the shared log's column backend when no explicit
+    ``log`` is passed (``None`` keeps the pure-Python default)."""
+    if log is None:
+        log = EventLog(backend=backend if backend is not None else "python")
     honeypots: List[LabHoneypot] = [
         _hostage(log), _upot(log), _conpot(log),
         _thingpot(log), _cowrie(log), _dionaea(log),

@@ -24,6 +24,12 @@ The query surface:
 * :meth:`EventStore.iter_rows` / :meth:`EventStore.column` — row views and
   raw column access for tight loops.
 
+Columns come from :mod:`repro.core.columns` and are backend-pluggable:
+``EventStore(backend="numpy")`` stores the numeric fields in growable
+NumPy buffers and serves ``where``/``count_by``/``sorted_canonical`` from
+masks, ``np.unique`` groups and a stable ``lexsort`` — byte-identical to
+the pure-Python paths, which stay live as the differential oracle.
+
 ``EventLog`` survives as an alias and ``.events`` as a deprecated property
 so external one-liners keep working for one release cycle.
 """
@@ -31,8 +37,6 @@ so external one-liners keep working for one release cycle.
 from __future__ import annotations
 
 import json
-import warnings
-from array import array
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -47,6 +51,15 @@ from typing import (
     Union,
 )
 
+from repro.core.columns import (
+    NumpyColumn,
+    _warn_deprecated,
+    first_occurrence_counts,
+    make_numeric_column,
+    make_object_column,
+    np as _np,
+    resolve_backend,
+)
 from repro.core.taxonomy import AttackType
 from repro.net.ipv4 import int_to_ip
 from repro.protocols.base import ProtocolId
@@ -287,17 +300,27 @@ class EventStore:
     ``group_by_source`` / ``iter_rows``).
     """
 
-    def __init__(self, events: Optional[Iterable[Any]] = None) -> None:
-        self._honeypots: List[str] = []
-        self._protocols: List[ProtocolId] = []
-        self._sources = array("Q")
-        self._days = array("q")
-        self._timestamps = array("d")
-        self._attack_types: List[AttackType] = []
-        self._actors: List[str] = []
-        self._summaries: List[str] = []
-        self._malware_hashes: List[str] = []
-        self._request_bytes = array("Q")
+    def __init__(
+        self,
+        events: Optional[Iterable[Any]] = None,
+        *,
+        backend: str = "python",
+    ) -> None:
+        #: Resolved column backend: ``"python"`` or ``"numpy"``.
+        self.backend = resolve_backend(backend)
+        #: Batched ingestions performed (one per :meth:`append_batch`);
+        #: surfaced through ``StudyMetrics`` for ``--metrics-json``.
+        self.batch_appends = 0
+        self._honeypots: List[str] = make_object_column()
+        self._protocols: List[ProtocolId] = make_object_column()
+        self._sources = make_numeric_column("u64", self.backend)
+        self._days = make_numeric_column("i64", self.backend)
+        self._timestamps = make_numeric_column("f64", self.backend)
+        self._attack_types: List[AttackType] = make_object_column()
+        self._actors: List[str] = make_object_column()
+        self._summaries: List[str] = make_object_column()
+        self._malware_hashes: List[str] = make_object_column()
+        self._request_bytes = make_numeric_column("u64", self.backend)
         # position indexes, built once on demand and dropped on append
         self._by_honeypot: Optional[Dict[str, List[int]]] = None
         self._by_protocol: Optional[Dict[ProtocolId, List[int]]] = None
@@ -363,6 +386,34 @@ class EventStore:
         for event in events:
             self.add(event)
 
+    def append_batch(self, rows: Iterable[tuple]) -> int:
+        """Append many ``(honeypot, protocol, source, day, timestamp,
+        attack_type, actor, summary, malware_hash, request_bytes)`` tuples
+        in one columnar pass.
+
+        The attack scheduler's canonical merge feeds its sorted rows
+        through here — one ``extend`` per column (a single buffer copy on
+        the NumPy backend) instead of one ``append_event`` per row.
+        Returns the row count.
+        """
+        if not isinstance(rows, list):
+            rows = list(rows)
+        if rows:
+            columns = tuple(zip(*rows))
+            self._honeypots.extend(columns[0])
+            self._protocols.extend(columns[1])
+            self._sources.extend(columns[2])
+            self._days.extend(columns[3])
+            self._timestamps.extend(columns[4])
+            self._attack_types.extend(columns[5])
+            self._actors.extend(columns[6])
+            self._summaries.extend(columns[7])
+            self._malware_hashes.extend(columns[8])
+            self._request_bytes.extend(columns[9])
+            self._invalidate()
+        self.batch_appends += 1
+        return len(rows)
+
     # -- row access ------------------------------------------------------
 
     def __len__(self) -> int:
@@ -401,11 +452,9 @@ class EventStore:
     def events(self) -> List[EventRow]:
         """Deprecated: materialized row-view list; use iteration,
         :meth:`iter_rows` or :meth:`where` instead."""
-        warnings.warn(
-            "EventStore.events is deprecated; iterate the store or use "
-            "iter_rows()/where() instead",
-            DeprecationWarning,
-            stacklevel=2,
+        _warn_deprecated(
+            "EventStore.events",
+            use="iterate the store or use iter_rows()/where() instead",
         )
         return list(self.iter_rows())
 
@@ -470,7 +519,29 @@ class EventStore:
         scalar honeypot/protocol/source filters are served from the
         position indexes.  ``predicate`` is an escape hatch receiving
         each :class:`EventRow`.
+
+        On the NumPy backend, when no position index applies, the numeric
+        filters (``source``, ``day``) collapse to one boolean mask over
+        the columns before any row view is built; surviving positions run
+        the object filters row-wise, preserving selection and order.
         """
+        positions = self._candidates(honeypot, protocol, source)
+        if (
+            positions is None
+            and self.backend == "numpy"
+            and (source is not None or day is not None)
+        ):
+            mask = _np.ones(len(self._sources), dtype=bool)
+            for column, value in ((self._sources, source), (self._days, day)):
+                if value is None:
+                    continue
+                view = column.view()
+                if isinstance(value, _COLLECTIONS):
+                    mask &= _np.isin(view, list(value))
+                else:
+                    mask &= view == value
+            positions = _np.nonzero(mask)[0].tolist()
+            source = day = None  # already applied vectorized
         tests: List[Callable[[EventRow], bool]] = []
         for name, value in (
             ("honeypot", honeypot),
@@ -485,10 +556,9 @@ class EventStore:
                 tests.append(lambda row, n=name, m=member: m(getattr(row, n)))
         if predicate is not None:
             tests.append(predicate)
-        positions = self._candidates(honeypot, protocol, source)
         if positions is None:
             positions = range(len(self._sources))  # type: ignore[assignment]
-        selected = EventStore()
+        selected = EventStore(backend=self.backend)
         for index in positions:
             row = EventRow(self, index)
             if all(test(row) for test in tests):
@@ -503,9 +573,15 @@ class EventStore:
         ``log.count_by("protocol")`` counts events per protocol;
         ``log.count_by("protocol", unique="source")`` counts *distinct
         sources* per protocol — Table 7's second matrix unit.
+
+        Numeric key columns on the NumPy backend group via ``np.unique``
+        in first-occurrence order (matching the pure-Python dict order);
+        object columns keep the Python loop.
         """
         keys = self.column(column)
         if unique is None:
+            if isinstance(keys, NumpyColumn):
+                return first_occurrence_counts(keys.view())
             counts: Dict[Any, int] = {}
             for key in keys:
                 counts[key] = counts.get(key, 0) + 1
@@ -582,6 +658,8 @@ class EventStore:
     ) -> Set[int]:
         """Distinct source addresses, optionally filtered (index-backed)."""
         if honeypot is None and protocol is None:
+            if isinstance(self._sources, NumpyColumn):
+                return set(_np.unique(self._sources.view()).tolist())
             return set(self._sources)
         self._ensure_indexes()
         sources = self._sources
@@ -630,10 +708,52 @@ class EventStore:
         """Distinct captured malware hashes (Table 13's corpus)."""
         return {digest for digest in self._malware_hashes if digest}
 
+    def _take(self, order: Iterable[int]) -> "EventStore":
+        """New store with rows re-ordered by ``order`` positions
+        (NumPy fancy-indexing on numeric columns, list picks on objects)."""
+        result = EventStore(backend=self.backend)
+        if isinstance(self._sources, NumpyColumn):
+            result._sources = self._sources.take(order)
+            result._days = self._days.take(order)
+            result._timestamps = self._timestamps.take(order)
+            result._request_bytes = self._request_bytes.take(order)
+            picks = order.tolist() if hasattr(order, "tolist") else list(order)
+        else:
+            picks = list(order)
+            result._sources.extend(self._sources[i] for i in picks)
+            result._days.extend(self._days[i] for i in picks)
+            result._timestamps.extend(self._timestamps[i] for i in picks)
+            result._request_bytes.extend(
+                self._request_bytes[i] for i in picks
+            )
+        result._honeypots = [self._honeypots[i] for i in picks]
+        result._protocols = [self._protocols[i] for i in picks]
+        result._attack_types = [self._attack_types[i] for i in picks]
+        result._actors = [self._actors[i] for i in picks]
+        result._summaries = [self._summaries[i] for i in picks]
+        result._malware_hashes = [self._malware_hashes[i] for i in picks]
+        return result
+
     def sorted_canonical(self) -> "EventStore":
         """New store in canonical ``(timestamp, source, honeypot)`` order —
         the order sharded attack months merge into, making worker count
-        (and task execution order generally) unobservable."""
+        (and task execution order generally) unobservable.
+
+        The NumPy backend sorts with a stable ``lexsort`` over the columns
+        (honeypot and protocol compare as strings, exactly as the tuple
+        key compares them), producing the same permutation as the
+        pure-Python sort.
+        """
+        if isinstance(self._sources, NumpyColumn) and len(self._sources):
+            honeypots = _np.array(self._honeypots)
+            protocols = _np.array([str(p) for p in self._protocols])
+            order = _np.lexsort((
+                protocols,
+                honeypots,
+                self._sources.view(),
+                self._timestamps.view(),
+            ))
+            return self._take(order)
         timestamps, sources, honeypots = (
             self._timestamps, self._sources, self._honeypots
         )
@@ -647,10 +767,7 @@ class EventStore:
                 str(protocols[index]),
             ),
         )
-        result = EventStore()
-        for index in order:
-            result.add(EventRow(self, index))
-        return result
+        return self._take(order)
 
     # -- persistence (the daily export of §3.3.2) -------------------------
 

@@ -11,6 +11,12 @@ slotted :class:`ScanRow` views that read and write straight through to the
 columns, so the object-per-row API survives while memory stays flat and
 bulk queries scan contiguous arrays.
 
+Columns come from :mod:`repro.core.columns` and are backend-pluggable:
+``ScanDatabase(backend="numpy")`` stores the numeric fields in growable
+NumPy buffers and serves ``where``/``count_by``/``sorted_canonical`` from
+masks, ``np.unique`` groups and a stable ``lexsort`` — byte-identical to
+the pure-Python paths, which stay live as the differential oracle.
+
 The query surface the analysis stages use:
 
 * :meth:`ScanDatabase.where` — typed column filters,
@@ -27,8 +33,6 @@ working for one release cycle.
 from __future__ import annotations
 
 import json
-import warnings
-from array import array
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -42,6 +46,15 @@ from typing import (
     Union,
 )
 
+from repro.core.columns import (
+    NumpyColumn,
+    _warn_deprecated,
+    first_occurrence_counts,
+    make_numeric_column,
+    make_object_column,
+    np as _np,
+    resolve_backend,
+)
 from repro.net.ipv4 import int_to_ip
 from repro.protocols.base import ProtocolId, TransportKind
 
@@ -253,15 +266,26 @@ class ScanDatabase:
     query API (``where`` / ``count_by`` / ``iter_rows``).
     """
 
-    def __init__(self, records: Optional[Iterable[Any]] = None) -> None:
-        self._addresses = array("Q")
-        self._ports = array("L")
-        self._protocols: List[ProtocolId] = []
-        self._transports: List[TransportKind] = []
-        self._banners: List[bytes] = []
-        self._responses: List[bytes] = []
-        self._timestamps = array("d")
-        self._sources: List[str] = []
+    def __init__(
+        self,
+        records: Optional[Iterable[Any]] = None,
+        *,
+        backend: str = "python",
+    ) -> None:
+        #: Resolved column backend: ``"python"`` or ``"numpy"``.
+        self.backend = resolve_backend(backend)
+        #: Batched ingestions performed (one per :meth:`append_batch` call);
+        #: surfaced through ``StudyMetrics`` so ``--metrics-json`` shows
+        #: whether the vectorized merge path ran.
+        self.batch_appends = 0
+        self._addresses = make_numeric_column("u64", self.backend)
+        self._ports = make_numeric_column("u32", self.backend)
+        self._protocols: List[ProtocolId] = make_object_column()
+        self._transports: List[TransportKind] = make_object_column()
+        self._banners: List[bytes] = make_object_column()
+        self._responses: List[bytes] = make_object_column()
+        self._timestamps = make_numeric_column("f64", self.backend)
+        self._sources: List[str] = make_object_column()
         for record in records or []:
             self.add(record)
 
@@ -307,6 +331,30 @@ class ScanDatabase:
         for record in records:
             self.add(record)
 
+    def append_batch(self, rows: Iterable[tuple]) -> int:
+        """Append many ``(address, port, protocol, transport, banner,
+        response, timestamp, source)`` tuples in one columnar pass.
+
+        The sharded campaign merge feeds its sorted row tuples through
+        here: one ``extend`` per column (a single buffer copy on the NumPy
+        backend) instead of one ``append_row`` per row.  Returns the row
+        count.
+        """
+        if not isinstance(rows, list):
+            rows = list(rows)
+        if rows:
+            columns = tuple(zip(*rows))
+            self._addresses.extend(columns[0])
+            self._ports.extend(columns[1])
+            self._protocols.extend(columns[2])
+            self._transports.extend(columns[3])
+            self._banners.extend(columns[4])
+            self._responses.extend(columns[5])
+            self._timestamps.extend(columns[6])
+            self._sources.extend(columns[7])
+        self.batch_appends += 1
+        return len(rows)
+
     # -- row access ------------------------------------------------------
 
     def __len__(self) -> int:
@@ -344,11 +392,9 @@ class ScanDatabase:
     def records(self) -> List[ScanRow]:
         """Deprecated: materialized row-view list; use iteration,
         :meth:`iter_rows` or :meth:`where` instead."""
-        warnings.warn(
-            "ScanDatabase.records is deprecated; iterate the database or "
-            "use iter_rows()/where() instead",
-            DeprecationWarning,
-            stacklevel=2,
+        _warn_deprecated(
+            "ScanDatabase.records",
+            use="iterate the database or use iter_rows()/where() instead",
         )
         return list(self.iter_rows())
 
@@ -371,7 +417,28 @@ class ScanDatabase:
         ``misconfigured`` filters on the observable-behaviour classifier
         (``True`` keeps flagged rows, ``False`` keeps healthy ones);
         ``predicate`` is an escape hatch receiving each :class:`ScanRow`.
+
+        On the NumPy backend the numeric filters (``port``, ``address``)
+        collapse to one boolean mask over the columns before any row view
+        is built; the surviving positions then run the object filters
+        row-wise, so the selected rows (and their order) are identical to
+        the pure-Python scan.
         """
+        positions: Iterable[int] = range(len(self._addresses))
+        if self.backend == "numpy" and (port is not None or address is not None):
+            mask = _np.ones(len(self._addresses), dtype=bool)
+            for column, value in (
+                (self._ports, port), (self._addresses, address)
+            ):
+                if value is None:
+                    continue
+                view = column.view()
+                if isinstance(value, (set, frozenset, list, tuple, range)):
+                    mask &= _np.isin(view, list(value))
+                else:
+                    mask &= view == value
+            positions = _np.nonzero(mask)[0].tolist()
+            port = address = None  # already applied vectorized
         tests: List[Callable[[ScanRow], bool]] = []
         for name, value in (
             ("protocol", protocol),
@@ -396,8 +463,9 @@ class ScanDatabase:
             )
         if predicate is not None:
             tests.append(predicate)
-        selected = ScanDatabase()
-        for row in self.iter_rows():
+        selected = ScanDatabase(backend=self.backend)
+        for index in positions:
+            row = ScanRow(self, index)
             if all(test(row) for test in tests):
                 selected.add(row)
         return selected
@@ -410,9 +478,15 @@ class ScanDatabase:
         ``db.count_by("protocol")`` counts rows per protocol;
         ``db.count_by("protocol", unique="address")`` counts *distinct
         addresses* per protocol — Table 4's unit.
+
+        Numeric key columns on the NumPy backend group via ``np.unique``
+        (reordered to first occurrence, matching the dict-insertion order
+        of the pure-Python loop); object columns keep the Python loop.
         """
         keys = self.column(column)
         if unique is None:
+            if isinstance(keys, NumpyColumn):
+                return first_occurrence_counts(keys.view())
             counts: Dict[Any, int] = {}
             for key in keys:
                 counts[key] = counts.get(key, 0) + 1
@@ -436,6 +510,8 @@ class ScanDatabase:
     def unique_hosts(self, protocol: Optional[ProtocolId] = None) -> Set[int]:
         """Distinct responding addresses (optionally per protocol)."""
         if protocol is None:
+            if isinstance(self._addresses, NumpyColumn):
+                return set(_np.unique(self._addresses.view()).tolist())
             return set(self._addresses)
         return {
             self._addresses[index]
@@ -464,10 +540,43 @@ class ScanDatabase:
         attribution)."""
         self._sources = [source] * len(self._sources)
 
+    def _take(self, order: Iterable[int]) -> "ScanDatabase":
+        """New database with rows re-ordered by ``order`` positions
+        (NumPy fancy-indexing on numeric columns, list picks on objects)."""
+        result = ScanDatabase(backend=self.backend)
+        if isinstance(self._addresses, NumpyColumn):
+            result._addresses = self._addresses.take(order)
+            result._ports = self._ports.take(order)
+            result._timestamps = self._timestamps.take(order)
+            picks = order.tolist() if hasattr(order, "tolist") else list(order)
+        else:
+            picks = list(order)
+            result._addresses.extend(self._addresses[i] for i in picks)
+            result._ports.extend(self._ports[i] for i in picks)
+            result._timestamps.extend(self._timestamps[i] for i in picks)
+        result._protocols = [self._protocols[i] for i in picks]
+        result._transports = [self._transports[i] for i in picks]
+        result._banners = [self._banners[i] for i in picks]
+        result._responses = [self._responses[i] for i in picks]
+        result._sources = [self._sources[i] for i in picks]
+        return result
+
     def sorted_canonical(self) -> "ScanDatabase":
         """New database in canonical ``(address, port, protocol)`` order —
         the order sharded campaigns merge into, making shard count (and
-        probe order generally) unobservable."""
+        probe order generally) unobservable.
+
+        The NumPy backend sorts with a stable ``lexsort`` over the columns
+        (protocols compare as their string values, exactly how the
+        ``str``-based :class:`~repro.protocols.base.ProtocolId` enum
+        compares), producing the same permutation as the tuple-key sort.
+        """
+        if isinstance(self._addresses, NumpyColumn) and len(self._addresses):
+            protocols = _np.array([str(p) for p in self._protocols])
+            order = _np.lexsort(
+                (protocols, self._ports.view(), self._addresses.view())
+            )
+            return self._take(order)
         order = sorted(
             range(len(self._addresses)),
             key=lambda index: (
@@ -476,10 +585,7 @@ class ScanDatabase:
                 self._protocols[index],
             ),
         )
-        result = ScanDatabase()
-        for index in order:
-            result.add(ScanRow(self, index))
-        return result
+        return self._take(order)
 
     def merge(self, other: "ScanDatabase") -> "ScanDatabase":
         """Union of two databases, deduplicated on (address, port, protocol).
@@ -489,7 +595,7 @@ class ScanDatabase:
         our own scan's richer banners are preferred over dataset rows.
         """
         seen = set()
-        merged = ScanDatabase()
+        merged = ScanDatabase(backend=self.backend)
         for db in (self, other):
             for row in db.iter_rows():
                 key = (row.address, row.port, row.protocol)

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.columns import BACKENDS, resolve_backend
 from repro.core.tasks import TaskDeadline, TaskJournal, run_tasks
 from repro.internet.fabric import SimulatedInternet
 from repro.net.compat import DATACLASS_KW_ONLY
@@ -123,6 +124,11 @@ class ScanConfig:
     #: Robustness-only (shard tasks are pure, so a retry is byte-identical)
     #: and therefore excluded from comparison like ``shards``.
     retries: int = field(default=0, compare=False)
+    #: Column backend for the campaign database (``None`` inherits the
+    #: study-level choice, resolving to ``"auto"`` standalone).  Both
+    #: backends are byte-identical, so the knob is excluded from
+    #: equality/fingerprints like the other deployment knobs.
+    backend: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -139,6 +145,11 @@ class ScanConfig:
             raise ConfigError(f"seed must be >= 0, got {self.seed}")
         if not self.protocols:
             raise ConfigError("protocols must name at least one protocol")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {', '.join(BACKENDS)}; "
+                f"got {self.backend!r}"
+            )
         # Delegates shard knob validation so CLI and planner agree.
         ShardPlanner(self.shards, self.shard_strategy)
 
@@ -203,9 +214,8 @@ class InternetScanner:
         # ScanDatabase.sorted_canonical uses, so the reference serial path
         # and any shard count produce byte-identical databases.
         rows.sort(key=lambda row: (row[0], row[1], row[2]))
-        database = ScanDatabase()
-        for row in rows:
-            database.append_row(*row)
+        database = ScanDatabase(backend=resolve_backend(self.config.backend))
+        database.append_batch(rows)
         return database
 
     def scan_protocol(self, protocol: ProtocolId) -> List[ScanRecord]:

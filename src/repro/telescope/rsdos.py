@@ -21,10 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.columns import ColumnStore
 from repro.net.ipv4 import CidrBlock, int_to_ip
 from repro.net.packet import TcpFlags, TransportProtocol
 from repro.net.prng import RandomStream
-from repro.telescope.flowtuple import FlowTupleRecord, FlowTupleWriter
+from repro.telescope.flowtuple import FlowTupleRecord
 
 __all__ = ["SpoofedDosAttack", "RsdosAttack", "BackscatterGenerator", "detect_rsdos"]
 
@@ -85,7 +86,7 @@ class BackscatterGenerator:
     def emit(
         self,
         attack: SpoofedDosAttack,
-        writer: FlowTupleWriter,
+        writer,
         stream: Optional[RandomStream] = None,
     ) -> int:
         """Write the attack's backscatter records; returns packets emitted.
@@ -143,8 +144,12 @@ def detect_rsdos(
 
     A source sending SYN-ACKs to at least ``min_dark_targets`` distinct
     dark addresses on one day is inferred to be a DoS *victim*; the attack
-    volume is estimated by rescaling the observed backscatter.
+    volume is estimated by rescaling the observed backscatter.  Accepts
+    any record iterable, including a
+    :class:`~repro.core.columns.ColumnStore` (the telescope's flow store).
     """
+    if isinstance(records, ColumnStore):
+        records = records.iter_rows()
     buckets: Dict[Tuple[int, int, int], List[FlowTupleRecord]] = {}
     for record in records:
         if record.tcp_flags != _BACKSCATTER_FLAGS:

@@ -1,0 +1,456 @@
+"""The backend-pluggable column layer (`repro.core.columns`).
+
+Pins the four contracts the vectorized backends rest on:
+
+* **backend resolution** — ``python``/``numpy``/``auto`` knob semantics,
+  the ``None`` inherit-sentinel, and the typed ConfigError (exit code 2)
+  on unknown values or an explicit ``numpy`` without the dependency;
+* **batch PRNG equivalence** — ``RandomStream.uniform_array(n)`` is
+  bit-identical to ``n`` sequential draws (including the stream state
+  afterwards), and ``keyed_uniform_array`` to its scalar loop — the
+  hypothesis property tests;
+* **python-vs-numpy byte identity** on both seeds for all three
+  measurement planes (scan database, attack event log, telescope flow
+  store), the differential-oracle property every digest-pinned test
+  relies on;
+* **one protocol, one deprecation story** — the three stores satisfy the
+  :class:`~repro.core.columns.ColumnStore` protocol, and each shim warns
+  exactly once per call site with a removal release.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.actors import ActorRegistry, SourceInfo
+from repro.attacks.schedule import AttackScheduleConfig, AttackScheduler
+from repro.cli import main
+from repro.core import columns
+from repro.core.columns import (
+    BACKENDS,
+    ColumnStore,
+    HAVE_NUMPY,
+    make_numeric_column,
+    resolve_backend,
+)
+from repro.core.config import StudyConfig
+from repro.core.taxonomy import TrafficClass
+from repro.honeypots import build_deployment
+from repro.honeypots.events import EventStore
+from repro.internet.population import PopulationBuilder, PopulationConfig
+from repro.net.asn import AsnRegistry
+from repro.net.errors import ConfigError
+from repro.net.geo import GeoRegistry
+from repro.net.prng import RandomStream, keyed_uniform, keyed_uniform_array
+from repro.net.packet import TransportProtocol
+from repro.scanner.records import ScanDatabase
+from repro.scanner.zmap import InternetScanner, ScanConfig
+from repro.telescope.flowtuple import (
+    FlowBlock,
+    FlowTupleRecord,
+    FlowTupleWriter,
+    encode_flowtuple,
+)
+from repro.telescope.telescope import NetworkTelescope, TelescopeConfig
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="optional numpy dependency not installed"
+)
+
+BOTH_SEEDS = pytest.mark.parametrize("seed", [7, 1234])
+
+
+# ---------------------------------------------------------------------------
+# Backend resolution
+# ---------------------------------------------------------------------------
+
+class TestResolveBackend:
+    def test_python_is_always_available(self):
+        assert resolve_backend("python") == "python"
+
+    def test_none_means_auto(self):
+        assert resolve_backend(None) == resolve_backend("auto")
+
+    def test_auto_follows_numpy_availability(self):
+        assert resolve_backend("auto") == (
+            "numpy" if HAVE_NUMPY else "python"
+        )
+
+    def test_unknown_value_raises_config_error(self):
+        with pytest.raises(ConfigError, match="backend must be one of"):
+            resolve_backend("bogus")
+
+    def test_numpy_without_dependency_raises(self, monkeypatch):
+        monkeypatch.setattr(columns, "HAVE_NUMPY", False)
+        with pytest.raises(ConfigError, match="optional numpy dependency"):
+            resolve_backend("numpy")
+
+    def test_auto_degrades_without_dependency(self, monkeypatch):
+        monkeypatch.setattr(columns, "HAVE_NUMPY", False)
+        assert resolve_backend("auto") == "python"
+
+    def test_subconfigs_validate_backend(self):
+        for config_cls in (ScanConfig, AttackScheduleConfig, TelescopeConfig):
+            with pytest.raises(ConfigError, match="backend must be one of"):
+                config_cls(backend="bogus")
+
+    def test_study_config_validates_backend(self):
+        with pytest.raises(ConfigError, match="backend must be one of"):
+            StudyConfig(backend="bogus")
+
+    def test_study_config_stamps_inherit_sentinel(self):
+        config = StudyConfig(backend="python")
+        assert config.scan.backend == "python"
+        assert config.attacks.backend == "python"
+        assert config.telescope.backend == "python"
+
+    def test_explicit_subconfig_backend_wins(self):
+        config = StudyConfig(
+            backend="python", telescope=TelescopeConfig(backend="auto")
+        )
+        assert config.telescope.backend == "auto"
+        assert config.scan.backend == "python"
+
+    def test_backend_excluded_from_equality(self):
+        assert StudyConfig(backend="python") == StudyConfig(backend="auto")
+        assert (TelescopeConfig(backend="python")
+                == TelescopeConfig(backend="auto"))
+
+
+# ---------------------------------------------------------------------------
+# Batch PRNG equivalence (the determinism contract, property-tested)
+# ---------------------------------------------------------------------------
+
+class TestUniformArrayEquivalence:
+    @given(
+        n=st.integers(min_value=0, max_value=700),
+        prefix=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_batch_equals_sequential_draws(self, n, prefix, seed):
+        batched = RandomStream(seed, "prop")
+        serial = RandomStream(seed, "prop")
+        for _ in range(prefix):  # desynchronise from a fresh state
+            assert batched.random() == serial.random()
+        assert list(batched.uniform_array(n)) == [
+            serial.random() for _ in range(n)
+        ]
+        # The stream continues exactly as if the draws had been scalar.
+        assert batched.random() == serial.random()
+
+    @given(
+        n=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        key=st.lists(
+            st.one_of(st.integers(-5, 5_000_000), st.text(max_size=6),
+                      st.booleans()),
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_keyed_batch_equals_scalar_loop(self, n, seed, key):
+        assert list(keyed_uniform_array(seed, "prop", n, *key)) == [
+            keyed_uniform(seed, "prop", *key, i) for i in range(n)
+        ]
+
+    def test_batch_crosses_twister_refill_boundary(self):
+        # 624-word MT19937 state refills mid-batch; the transplant must
+        # survive several refills in one call.
+        batched = RandomStream(7, "refill")
+        serial = RandomStream(7, "refill")
+        assert list(batched.uniform_array(5_000)) == [
+            serial.random() for _ in range(5_000)
+        ]
+        assert batched.random() == serial.random()
+
+
+# ---------------------------------------------------------------------------
+# The unified store protocol
+# ---------------------------------------------------------------------------
+
+def _flow(i, day=0):
+    return FlowTupleRecord(
+        time=day * 86_400 + (i * 37) % 86_400,
+        src_ip=10_000 + (i * 7) % 53,
+        dst_ip=738_197_504 + i,
+        src_port=1024 + i,
+        dst_port=23,
+        protocol=TransportProtocol.TCP,
+        country="DK",
+        asn=31,
+    )
+
+
+class TestColumnStoreProtocol:
+    def test_all_three_stores_satisfy_protocol(self):
+        assert isinstance(ScanDatabase(), ColumnStore)
+        assert isinstance(EventStore(), ColumnStore)
+        assert isinstance(FlowTupleWriter(), ColumnStore)
+
+    @requires_numpy
+    def test_numpy_backed_stores_satisfy_protocol(self):
+        assert isinstance(ScanDatabase(backend="numpy"), ColumnStore)
+        assert isinstance(EventStore(backend="numpy"), ColumnStore)
+        assert isinstance(FlowTupleWriter(backend="numpy"), ColumnStore)
+
+    def test_plain_iterables_do_not(self):
+        assert not isinstance([], ColumnStore)
+
+    def test_writer_append_batch_groups_by_day(self):
+        writer = FlowTupleWriter()
+        rows = [_flow(i, day=i % 3) for i in range(30)]
+        assert writer.append_batch(rows) == 30
+        assert writer.days() == [0, 1, 2]
+        assert len(writer) == 30
+        assert writer.batch_appends == 1
+
+    def test_writer_where_and_count_by(self):
+        writer = FlowTupleWriter()
+        writer.append_batch([_flow(i, day=i % 3) for i in range(30)])
+        assert len(writer.where(day=1)) == 10
+        assert len(writer.where(day=(0, 2))) == 20
+        counts = writer.count_by("day")
+        assert sum(counts.values()) == 30
+        distinct = writer.count_by("day", unique="src_ip")
+        assert set(distinct) == {0, 1, 2}
+
+    @requires_numpy
+    def test_writer_sorted_canonical_backends_agree(self):
+        rows = [_flow(i, day=i % 3) for i in range(64)]
+        ordered = []
+        for backend in ("python", "numpy"):
+            writer = FlowTupleWriter(backend=backend)
+            writer.append_batch(rows)
+            ordered.append([
+                encode_flowtuple(record)
+                for record in writer.sorted_canonical().records()
+            ])
+        assert ordered[0] == ordered[1]
+        times = [int(line.split(",")[0]) for line in ordered[0]]
+        assert times == sorted(times)  # canonical order leads with time
+
+    @requires_numpy
+    def test_flowblock_records_match_scalar_tuples(self):
+        import numpy as np
+
+        block = FlowBlock(
+            3,
+            time=np.array([30, 10, 20]),
+            src_ip=np.array([1, 2, 3]),
+            dst_ip=np.array([4, 5, 6]),
+            src_port=np.array([1024, 1025, 1026]),
+            dst_port=23,
+            protocol=TransportProtocol.TCP,
+            ttl=np.array([60, 61, 62]),
+            tcp_flags=0x02,
+            ip_len=44,
+            packet_count=np.array([1, 2, 3]),
+            is_spoofed=np.array([True, False, True]),
+            is_masscan=np.array([False, True, False]),
+            country=["DK", "SE", "NO"],
+            asn=7,
+        )
+        records = list(block.records())
+        assert len(records) == len(block) == 3
+        first = records[0]
+        assert isinstance(first, FlowTupleRecord)
+        # Values unbox to native Python scalars (the byte-identity half).
+        assert type(first.time) is int and type(first.is_spoofed) is bool
+        assert first == FlowTupleRecord(
+            time=30, src_ip=1, dst_ip=4, src_port=1024, dst_port=23,
+            protocol=TransportProtocol.TCP, ttl=60, tcp_flags=0x02,
+            ip_len=44, packet_count=1, is_spoofed=True, is_masscan=False,
+            country="DK", asn=7,
+        )
+
+    @requires_numpy
+    def test_numpy_column_negative_indexing(self):
+        column = make_numeric_column("u64", "numpy", [5, 6, 7])
+        assert column[-1] == 7
+        column[-1] = 9
+        assert list(column) == [5, 6, 9]
+        with pytest.raises(IndexError):
+            column[3]
+
+
+# ---------------------------------------------------------------------------
+# Differential parity: python vs numpy, both seeds, all three planes
+# ---------------------------------------------------------------------------
+
+def _scan_campaign(seed, backend):
+    world = PopulationBuilder(
+        PopulationConfig(seed=seed, scale=16_384, honeypot_scale=512)
+    ).build()
+    scanner = InternetScanner(
+        world.internet, ScanConfig(seed=seed, backend=backend)
+    )
+    return scanner.run_campaign()
+
+
+def _attack_month(seed, backend):
+    population = PopulationBuilder(
+        PopulationConfig(seed=seed, scale=8192, honeypot_scale=256)
+    ).build()
+    deployment = build_deployment(backend=backend)
+    deployment.attach(population.internet)
+    scheduler = AttackScheduler(
+        population.internet, deployment, population,
+        AttackScheduleConfig(seed=seed, attack_scale=128, backend=backend),
+    )
+    result = scheduler.run()
+    deployment.detach(population.internet)
+    return result
+
+
+def _telescope_capture(seed, backend):
+    registry = ActorRegistry()
+    for index in range(40):
+        registry.register(SourceInfo(
+            address=10_000 + index,
+            traffic_class=(TrafficClass.SCANNING_SERVICE if index < 10
+                           else TrafficClass.MALICIOUS),
+            visits_telescope=True,
+        ))
+    telescope = NetworkTelescope(
+        registry, GeoRegistry(seed), AsnRegistry(seed),
+        TelescopeConfig(seed=seed, telnet_source_scale=65_536,
+                        source_scale=512, packet_scale=131_072,
+                        backend=backend),
+    )
+    return telescope.capture_month()
+
+
+@requires_numpy
+class TestBackendParity:
+    @BOTH_SEEDS
+    def test_scan_plane_byte_identical(self, seed):
+        python = _scan_campaign(seed, "python")
+        vector = _scan_campaign(seed, "numpy")
+        assert python.backend == "python" and vector.backend == "numpy"
+        assert python.to_jsonl() == vector.to_jsonl()
+        assert vector.batch_appends >= 1
+
+    @BOTH_SEEDS
+    def test_attack_plane_byte_identical(self, seed):
+        python = _attack_month(seed, "python")
+        vector = _attack_month(seed, "numpy")
+        assert python.log.backend == "python"
+        assert vector.log.backend == "numpy"
+        assert python.log.to_jsonl() == vector.log.to_jsonl()
+        assert vector.log.batch_appends >= 1
+
+    @BOTH_SEEDS
+    def test_telescope_plane_byte_identical(self, seed):
+        python = _telescope_capture(seed, "python")
+        vector = _telescope_capture(seed, "numpy")
+        assert python.writer.backend == "python"
+        assert vector.writer.backend == "numpy"
+        for day in python.writer.days():
+            assert (list(python.writer.lines_for_day(day))
+                    == list(vector.writer.lines_for_day(day)))
+        assert python.writer.days() == vector.writer.days()
+        assert python.packets_by_protocol == vector.packets_by_protocol
+        assert vector.writer.batch_appends >= 1
+
+    def test_scan_query_surface_agrees(self):
+        python = _scan_campaign(7, "python")
+        vector = _scan_campaign(7, "numpy")
+        assert (python.count_by("protocol")
+                == vector.count_by("protocol"))
+        assert (python.count_by("protocol", unique="address")
+                == vector.count_by("protocol", unique="address"))
+        assert python.unique_hosts() == vector.unique_hosts()
+        ports = sorted({record.port for record in python.iter_rows()})[:2]
+        assert (python.where(port=set(ports)).to_jsonl()
+                == vector.where(port=set(ports)).to_jsonl())
+        assert (python.sorted_canonical().to_jsonl()
+                == vector.sorted_canonical().to_jsonl())
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims: exactly one warning each, with a removal release
+# ---------------------------------------------------------------------------
+
+class TestDeprecationShims:
+    def _single_warning(self, trigger, match):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            trigger()
+        deprecations = [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert match in message
+        assert "removed in repro 2.0" in message
+        return message
+
+    def test_scan_records_shim_warns_once(self):
+        database = ScanDatabase()
+        message = self._single_warning(
+            lambda: database.records, "ScanDatabase.records"
+        )
+        assert "iter_rows" in message
+
+    def test_event_store_shim_warns_once(self):
+        store = EventStore()
+        message = self._single_warning(
+            lambda: store.events, "EventStore.events"
+        )
+        assert "iter_rows" in message
+
+    def test_seed_shim_warns_once(self):
+        message = self._single_warning(
+            lambda: StudyConfig(seed=13, telescope=TelescopeConfig(seed=7)),
+            "TelescopeConfig(seed=7)",
+        )
+        assert "seed=None" in message
+
+
+# ---------------------------------------------------------------------------
+# CLI flag and metrics surface
+# ---------------------------------------------------------------------------
+
+class TestCliBackend:
+    def test_invalid_backend_exits_2(self, capsys):
+        assert main(["run", "--quick", "--backend", "bogus"]) == 2
+        assert "backend must be one of" in capsys.readouterr().err
+
+    @requires_numpy
+    def test_metrics_json_records_backend_and_batches(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        out = io.StringIO()
+        assert main(
+            ["scan", "--quick", "--no-cache", "--backend", "numpy",
+             "--metrics-json", str(path)],
+            out=out,
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["backend"] == "numpy"
+        scan_store = next(
+            store for store in payload["stores"] if store["plane"] == "scan"
+        )
+        assert scan_store["backend"] == "numpy"
+        assert scan_store["batch_appends"] >= 1
+        assert scan_store["rows"] > 0
+
+    def test_python_backend_forces_oracle(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        out = io.StringIO()
+        assert main(
+            ["scan", "--quick", "--no-cache", "--backend", "python",
+             "--metrics-json", str(path)],
+            out=out,
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["backend"] == "python"
+        assert all(
+            store["backend"] == "python" for store in payload["stores"]
+        )
