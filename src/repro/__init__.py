@@ -17,6 +17,7 @@ Quickstart::
 
 from repro.core.config import StudyConfig
 from repro.core.engine import PhaseCache, StudyEngine
+from repro.core.errors import ExitCode
 from repro.core.metrics import StudyMetrics
 from repro.core.study import Study, StudyResults
 from repro.core.validate import Violation, default_registry, run_validation
@@ -25,18 +26,21 @@ from repro.net.errors import (
     EnvelopeError,
     PhaseOrderError,
     ReproError,
+    ServeError,
     TaskDeadlineError,
     ValidationError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ConfigError",
     "EnvelopeError",
+    "ExitCode",
     "PhaseCache",
     "PhaseOrderError",
     "ReproError",
+    "ServeError",
     "Study",
     "StudyConfig",
     "StudyEngine",

@@ -11,7 +11,10 @@ experiment without writing Python:
 * ``intersect``  — the §5.3 infected-host join;
 * ``validate``   — run the cross-plane structural invariants
   (:mod:`repro.core.validate`) over the study artifacts, reporting any
-  violation and exiting 5.
+  violation and exiting 5;
+* ``serve``      — the streaming campaign service
+  (:mod:`repro.stream`): an HTTP control surface to start paced
+  campaigns, poll status, and tail live events/alerts as SSE.
 
 All commands accept ``--seed`` and the scale knobs, so campaigns are
 reproducible from the shell line alone, plus the engine knobs:
@@ -52,13 +55,15 @@ Robustness knobs (all byte-identity preserving):
   ``deadline`` (injects task delays of ``delay`` seconds),
   ``fabric.connect`` and ``dataset.load``.
 
-Exit codes are stable for shell scripting: 0 on success, 2 for an invalid
+Exit codes are stable for shell scripting and defined once as
+:class:`repro.core.errors.ExitCode`: 0 on success, 2 for an invalid
 configuration (:class:`~repro.net.errors.ConfigError`; argparse usage
 errors also exit 2), 3 for a phase-ordering violation
 (:class:`~repro.net.errors.PhaseOrderError`), 4 for a failed supervised
 task or unhandled injected fault (:class:`~repro.net.errors.TaskFailure`,
 :class:`~repro.net.errors.FaultError`), 5 when ``validate`` finds a
-structural invariant violated.
+structural invariant violated, 6 when ``serve`` cannot start or the
+streaming service fails (:class:`~repro.net.errors.ServeError`).
 """
 
 from __future__ import annotations
@@ -89,23 +94,28 @@ from repro.core.report import (
     render_table8,
     render_table10,
 )
+from repro.core.errors import ExitCode
 from repro.internet.population import PopulationConfig
 from repro.net.errors import (
     ConfigError,
     FaultError,
     PhaseOrderError,
+    ServeError,
     TaskFailure,
     ValidationError,
 )
 
 __all__ = ["main", "build_parser"]
 
-#: Exit codes, stable across releases (documented in the module docstring).
-EXIT_OK = 0
-EXIT_CONFIG = 2
-EXIT_PHASE_ORDER = 3
-EXIT_TASK_FAILURE = 4
-EXIT_VALIDATION = 5
+#: Exit codes, stable across releases.  The canonical definition is
+#: :class:`repro.core.errors.ExitCode`; these module-level aliases keep
+#: the pre-1.3 spelling (``from repro.cli import EXIT_CONFIG``) working.
+EXIT_OK = ExitCode.OK
+EXIT_CONFIG = ExitCode.CONFIG
+EXIT_PHASE_ORDER = ExitCode.PHASE_ORDER
+EXIT_TASK_FAILURE = ExitCode.TASK_FAILURE
+EXIT_VALIDATION = ExitCode.VALIDATION
+EXIT_SERVE = ExitCode.SERVE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,6 +232,27 @@ def build_parser() -> argparse.ArgumentParser:
              "artifacts (exit 5 on violation)",
     )
     add_common(validate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the streaming campaign control API "
+             "(POST /sim/start, GET /campaigns/<id>/status|tail)",
+    )
+    add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8765)")
+    serve.add_argument("--events-per-second", type=float, default=0.0,
+                       metavar="EPS",
+                       help="default replay pacing for started campaigns "
+                            "(0 = unpaced; per-request override via the "
+                            "/sim/start body)")
+    serve.add_argument("--batch-size", type=int, default=256, metavar="N",
+                       help="default rows per operator batch (any value "
+                            "yields identical final snapshots; default "
+                            "256)")
 
     return parser
 
@@ -414,6 +445,43 @@ def _cmd_validate(args, out) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.stream.server import ControlServer
+    from repro.stream.service import StreamConfig
+
+    def config_factory(request):
+        # Per-request bodies override the CLI's seed/scale; the quick
+        # profile keeps interactively started campaigns snappy.
+        merged = {"seed": args.seed}
+        merged.update(request)
+        from repro.stream.server import default_config_factory
+
+        return default_config_factory(merged)
+
+    defaults = StreamConfig(
+        events_per_second=args.events_per_second,
+        batch_size=args.batch_size,
+    )
+    defaults.validate()  # ConfigError -> exit code 2
+    server = ControlServer(
+        args.host, args.port,
+        config_factory=config_factory, stream_defaults=defaults,
+    )
+    out.write(
+        f"repro control API on http://{server.host}:{server.port} "
+        "(POST /sim/start to launch a campaign; Ctrl-C to stop)\n"
+    )
+    try:
+        if hasattr(out, "flush"):
+            out.flush()
+        server.serve_forever()
+    except KeyboardInterrupt:
+        out.write("\nshutting down\n")
+    finally:
+        server.shutdown()
+    return ExitCode.OK
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "scan": _cmd_scan,
@@ -421,6 +489,7 @@ _COMMANDS = {
     "telescope": _cmd_telescope,
     "intersect": _cmd_intersect,
     "validate": _cmd_validate,
+    "serve": _cmd_serve,
 }
 
 
@@ -447,6 +516,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     except ValidationError as error:
         print(f"repro: validation error: {error}", file=sys.stderr)
         return EXIT_VALIDATION
+    except ServeError as error:
+        print(f"repro: serve error: {error}", file=sys.stderr)
+        return EXIT_SERVE
     finally:
         if installed:
             faults.uninstall()

@@ -97,6 +97,7 @@ class StudyConfig:
                     "overwrote it with the master seed; it is now kept "
                     "as-is)",
                     use="pass seed=None (the default) to inherit",
+                    removal="2.0",
                     stacklevel=4,
                 )
         # Same inherit rule for the column backend.

@@ -576,6 +576,11 @@ class StudyEngine:
         self._degraded: set = set()
         self._tainted: set = set()
         self._lock = threading.Lock()
+        #: Optional observer called with each :class:`PhaseMetric` as its
+        #: phase completes (cache hits included).  The streaming campaign
+        #: service uses it to surface generation progress live; it must
+        #: not mutate engine state and runs outside the engine lock.
+        self.on_phase: Optional[Callable[[PhaseMetric], None]] = None
 
     # -- artifact access ---------------------------------------------------
 
@@ -731,6 +736,15 @@ class StudyEngine:
                 self.cache.put(key, artifacts, self.fingerprint)
         elapsed = time.perf_counter() - started
         items = spec.count(artifacts) if spec.count is not None else None
+        metric = PhaseMetric(
+            phase=spec.name,
+            group=spec.group or spec.name,
+            seconds=elapsed,
+            cache_hit=hit,
+            disk_hit=disk,
+            items=items,
+            status=status,
+        )
         with self._lock:
             self._artifacts.update(artifacts)
             self._done.add(spec.name)
@@ -738,17 +752,9 @@ class StudyEngine:
                 self._degraded.add(spec.name)
             elif tainted_input:
                 self._tainted.add(spec.name)
-            self.metrics.record(
-                PhaseMetric(
-                    phase=spec.name,
-                    group=spec.group or spec.name,
-                    seconds=elapsed,
-                    cache_hit=hit,
-                    disk_hit=disk,
-                    items=items,
-                    status=status,
-                )
-            )
+            self.metrics.record(metric)
+        if self.on_phase is not None:
+            self.on_phase(metric)
 
 
 # ---------------------------------------------------------------------------

@@ -26,7 +26,13 @@ from repro.core.integrity import QuarantineRecord
 from repro.core.tasks import TaskDeadline, TaskJournal, TaskStall, TaskTiming
 from repro.scanner.shard import ShardTiming
 
-__all__ = ["PhaseMetric", "JournalMetric", "StoreMetric", "StudyMetrics"]
+__all__ = [
+    "PhaseMetric",
+    "JournalMetric",
+    "StoreMetric",
+    "OperatorMetric",
+    "StudyMetrics",
+]
 
 
 @dataclass
@@ -116,6 +122,41 @@ class StoreMetric:
 
 
 @dataclass
+class OperatorMetric:
+    """One streaming operator's feed accounting for a campaign.
+
+    Recorded by the campaign service when a stream finishes: how many
+    rows/batches the operator folded and how long the folds took, which
+    is the ``--metrics-json`` view of incremental-pipeline throughput.
+    """
+
+    operator: str
+    plane: str
+    batches: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Rows folded per second of operator time."""
+        if self.seconds <= 0:
+            return None
+        return self.rows / self.seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "operator": self.operator,
+            "plane": self.plane,
+            "batches": self.batches,
+            "rows": self.rows,
+            "seconds": round(self.seconds, 6),
+            "rows_per_second": (
+                round(self.rate, 3) if self.rate is not None else None
+            ),
+        }
+
+
+@dataclass
 class StudyMetrics:
     """Everything one engine run measured, in execution order."""
 
@@ -138,6 +179,9 @@ class StudyMetrics:
     stalls: List[TaskStall] = field(default_factory=list)
     #: Per-plane store backend/batch accounting, one row per plane store.
     stores: List[StoreMetric] = field(default_factory=list)
+    #: Streaming-operator feed accounting, one row per registered
+    #: operator of a campaign-service run.
+    operators: List[OperatorMetric] = field(default_factory=list)
 
     # -- recording --------------------------------------------------------
 
@@ -190,6 +234,22 @@ class StudyMetrics:
             backend=getattr(store, "backend", "python"),
             batch_appends=getattr(store, "batch_appends", 0),
             rows=len(store),  # type: ignore[arg-type]
+        ))
+
+    def record_operator(self, operator: object) -> None:
+        """Fold one streaming operator's feed accounting into the run.
+
+        Works on anything shaped like an
+        :class:`~repro.stream.operators.OperatorBase` — the ``name`` /
+        ``plane`` identity plus the ``rows_fed`` / ``batches_fed`` /
+        ``seconds`` counters it maintains per feed.
+        """
+        self.operators.append(OperatorMetric(
+            operator=getattr(operator, "name", type(operator).__name__),
+            plane=getattr(operator, "plane", "analysis"),
+            batches=getattr(operator, "batches_fed", 0),
+            rows=getattr(operator, "rows_fed", 0),
+            seconds=getattr(operator, "seconds", 0.0),
         ))
 
     # -- aggregate views --------------------------------------------------
@@ -252,6 +312,9 @@ class StudyMetrics:
             ],
             "stalls": [stall.to_dict() for stall in self.stalls],
             "stores": [store.to_dict() for store in self.stores],
+            "operators": [
+                operator.to_dict() for operator in self.operators
+            ],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -284,6 +347,17 @@ class StudyMetrics:
                     f"{store.plane} {store.backend} "
                     f"({store.rows:,} rows, {store.batch_appends} batches)"
                     for store in self.stores
+                )
+            )
+        if self.operators:
+            lines.append(
+                "operators: "
+                + "; ".join(
+                    f"{metric.plane}.{metric.operator} "
+                    f"({metric.rows:,} rows, {metric.batches} batches"
+                    + (f", {metric.rate:,.0f} rows/s)"
+                       if metric.rate is not None else ")")
+                    for metric in self.operators
                 )
             )
         if self.degraded:

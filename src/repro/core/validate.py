@@ -26,7 +26,11 @@ The default registry checks:
 * ``telescope.flow-days`` — every flowtuple lands within the campaign
   window, and the writer's day files agree with its records;
 * ``analysis.misconfig-consistent`` — misconfigured devices exclude
-  fingerprinted honeypots and are drawn from scanned hosts.
+  fingerprinted honeypots and are drawn from scanned hosts;
+* ``stream.snapshots_match_batch`` — fresh online operators
+  (:mod:`repro.stream.operators`) fed the plane stores in uneven chunks
+  produce snapshots identical to the batch analyses (the streaming
+  service's batch-equivalence contract).
 
 The CLI's ``repro validate`` subcommand runs the registry and maps any
 violation to exit code 5.
@@ -229,6 +233,50 @@ def _check_misconfig(engine) -> List[str]:
     return problems
 
 
+def _check_stream_parity(engine) -> List[str]:
+    """The streaming contract: chunked operators == batch analyses.
+
+    Replays the finished plane stores through a fresh stock operator set
+    in deliberately uneven chunks (a prime size, so chunk boundaries
+    land everywhere), then compares every snapshot digest against its
+    batch oracle — exactly what a live ``repro serve`` campaign
+    guarantees about its final snapshots.
+    """
+    from repro.stream.operators import Operator  # noqa: F401 (contract)
+    from repro.stream.service import default_operators, snapshots_match_batch
+
+    results = _StreamArtifacts(engine)
+    by_plane: Dict[str, List] = {}
+    for operator in default_operators(results):
+        by_plane.setdefault(operator.plane, []).append(operator)
+
+    def feed(plane: str, rows: List) -> None:
+        for start in range(0, len(rows), 97):
+            chunk = rows[start:start + 97]
+            for operator in by_plane.get(plane, []):
+                operator.feed(chunk)
+
+    feed("scan", list(results.merged_db.iter_rows()))
+    feed("attacks", list(results.schedule.log.iter_rows()))
+    feed("telescope", list(results.telescope.writer.records()))
+    named = {
+        operator.name: operator
+        for operators in by_plane.values() for operator in operators
+    }
+    return snapshots_match_batch(results, named)
+
+
+class _StreamArtifacts:
+    """Adapter giving :func:`snapshots_match_batch` its results view."""
+
+    _FIELDS = ("merged_db", "fingerprints", "countries", "schedule",
+               "telescope", "exonerator", "geo")
+
+    def __init__(self, engine) -> None:
+        for name in self._FIELDS:
+            setattr(self, name, engine.artifact(name))
+
+
 def default_registry() -> InvariantRegistry:
     """The stock invariants, registered plane-by-plane in pipeline order."""
     registry = InvariantRegistry()
@@ -256,6 +304,12 @@ def default_registry() -> InvariantRegistry:
         name="analysis.misconfig-consistent", plane="analysis",
         requires=("misconfig", "fingerprints", "merged_db"),
         check=_check_misconfig,
+    ))
+    registry.register(Invariant(
+        name="stream.snapshots_match_batch", plane="stream",
+        requires=("merged_db", "fingerprints", "countries", "schedule",
+                  "telescope", "exonerator", "geo"),
+        check=_check_stream_parity,
     ))
     return registry
 

@@ -326,10 +326,38 @@ class EventStore:
         self._by_protocol: Optional[Dict[ProtocolId, List[int]]] = None
         self._by_source: Optional[Dict[int, List[int]]] = None
         self._multistage_cache: Optional[Dict[int, List[EventRow]]] = None
+        #: Batch-emission observers (see :meth:`subscribe`).
+        self._observers: List[Callable[[List["EventRow"]], None]] = []
         for event in events or []:
             self.add(event)
 
     # -- ingestion -------------------------------------------------------
+
+    def subscribe(
+        self, callback: Callable[[List["EventRow"]], None]
+    ) -> Callable[[List["EventRow"]], None]:
+        """Register a batch-emission observer.
+
+        ``callback`` receives the row views of every chunk ingested
+        through :meth:`append_batch` — how the streaming layer taps the
+        attack month as the scheduler's canonical merge lands
+        (:meth:`~repro.stream.bus.EventBus.tap`).  The per-event hot
+        path (``append_event``) never notifies.  Returns the callback
+        for symmetric :meth:`unsubscribe`.
+        """
+        self._observers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable) -> None:
+        """Remove a previously subscribed observer."""
+        self._observers.remove(callback)
+
+    def _notify(self, start: int, count: int) -> None:
+        if not self._observers or not count:
+            return
+        rows = [EventRow(self, index) for index in range(start, start + count)]
+        for callback in self._observers:
+            callback(rows)
 
     def _invalidate(self) -> None:
         """Drop the lazy indexes (any append or key-column write)."""
@@ -412,6 +440,7 @@ class EventStore:
             self._request_bytes.extend(columns[9])
             self._invalidate()
         self.batch_appends += 1
+        self._notify(len(self._sources) - len(rows), len(rows))
         return len(rows)
 
     # -- row access ------------------------------------------------------
@@ -455,6 +484,7 @@ class EventStore:
         _warn_deprecated(
             "EventStore.events",
             use="iterate the store or use iter_rows()/where() instead",
+            removal="2.0",
         )
         return list(self.iter_rows())
 

@@ -159,3 +159,12 @@ class TaskFailure(ReproError):
         self.cause = cause
         #: Execution attempts made before giving up.
         self.attempts = attempts
+
+
+class ServeError(ReproError):
+    """The streaming campaign service or its control surface failed.
+
+    Raised by :mod:`repro.stream` for lifecycle misuse (feeding a
+    finalized operator, starting a campaign twice) and by ``repro serve``
+    for bind/startup failures; the CLI maps it to exit code 6.
+    """

@@ -286,10 +286,38 @@ class ScanDatabase:
         self._responses: List[bytes] = make_object_column()
         self._timestamps = make_numeric_column("f64", self.backend)
         self._sources: List[str] = make_object_column()
+        #: Batch-emission observers (see :meth:`subscribe`).
+        self._observers: List[Callable[[List[ScanRow]], None]] = []
         for record in records or []:
             self.add(record)
 
     # -- ingestion -------------------------------------------------------
+
+    def subscribe(
+        self, callback: Callable[[List["ScanRow"]], None]
+    ) -> Callable[[List["ScanRow"]], None]:
+        """Register a batch-emission observer.
+
+        ``callback`` receives the row views of every chunk ingested
+        through :meth:`append_batch` — the streaming layer's live tap
+        (:meth:`~repro.stream.bus.EventBus.tap`).  The per-record hot
+        paths (``add``/``append_row``) never notify, so the scanner inner
+        loop stays observer-free.  Returns the callback for symmetric
+        :meth:`unsubscribe`.
+        """
+        self._observers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable) -> None:
+        """Remove a previously subscribed observer."""
+        self._observers.remove(callback)
+
+    def _notify(self, start: int, count: int) -> None:
+        if not self._observers or not count:
+            return
+        rows = [ScanRow(self, index) for index in range(start, start + count)]
+        for callback in self._observers:
+            callback(rows)
 
     def append_row(
         self,
@@ -342,6 +370,7 @@ class ScanDatabase:
         """
         if not isinstance(rows, list):
             rows = list(rows)
+        start = len(self._addresses)
         if rows:
             columns = tuple(zip(*rows))
             self._addresses.extend(columns[0])
@@ -353,6 +382,7 @@ class ScanDatabase:
             self._timestamps.extend(columns[6])
             self._sources.extend(columns[7])
         self.batch_appends += 1
+        self._notify(start, len(rows))
         return len(rows)
 
     # -- row access ------------------------------------------------------
@@ -395,6 +425,7 @@ class ScanDatabase:
         _warn_deprecated(
             "ScanDatabase.records",
             use="iterate the database or use iter_rows()/where() instead",
+            removal="2.0",
         )
         return list(self.iter_rows())
 

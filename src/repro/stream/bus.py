@@ -1,0 +1,204 @@
+"""The live event bus: ring buffers, alerts, and operator fan-out.
+
+:class:`EventBus` is the spine of the streaming campaign service: plane
+stores (or the :class:`~repro.stream.service.CampaignService` replay
+loop) publish row batches onto it, the bus feeds every operator
+registered for that plane, and bounded :class:`RingBuffer`\\ s keep the
+recent events and alerts the ``/campaigns/<id>/tail`` SSE endpoint
+serves.  Buffers are cursor-addressed: every appended item gets a
+monotonically increasing sequence number, so a tailing client can resume
+from where it left off and detect drops (the buffer is bounded — a slow
+reader skips, it never blocks the campaign).
+
+``EventBus.tap(store, plane)`` subscribes the bus to a live plane store's
+batch-emission hook (``EventStore.subscribe`` /
+``ScanDatabase.subscribe`` / ``FlowTupleWriter.subscribe``), so rows
+merged through ``append_batch``/``extend_day`` stream straight onto the
+bus as they land.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.stream.operators import Operator
+
+__all__ = ["Alert", "RingBuffer", "EventBus"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One incident row in the campaign's alert stream."""
+
+    sim_time: float
+    day: int
+    plane: str
+    kind: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sim_time": round(self.sim_time, 3),
+            "day": self.day,
+            "plane": self.plane,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+
+class RingBuffer:
+    """Bounded, cursor-addressed buffer of recent items (thread-safe).
+
+    ``append`` assigns each item the next sequence number; ``tail(cursor)``
+    returns every retained item with sequence >= cursor plus the cursor to
+    pass next time.  Items older than ``capacity`` are dropped — ``total``
+    minus the returned count tells a reader how much it skipped.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._start = 0  # sequence number of self._items[0]
+        self._lock = threading.Lock()
+
+    @property
+    def total(self) -> int:
+        """Items ever appended (the next sequence number)."""
+        with self._lock:
+            return self._start + len(self._items)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def append(self, item: Any) -> int:
+        """Add one item; returns its sequence number."""
+        with self._lock:
+            self._items.append(item)
+            if len(self._items) > self.capacity:
+                drop = len(self._items) - self.capacity
+                del self._items[:drop]
+                self._start += drop
+            return self._start + len(self._items) - 1
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.append(item)
+
+    def tail(self, cursor: int = 0) -> Tuple[int, List[Any]]:
+        """(next_cursor, retained items with sequence >= cursor)."""
+        with self._lock:
+            first = max(cursor, self._start)
+            items = list(self._items[first - self._start:])
+            return self._start + len(self._items), items
+
+
+class EventBus:
+    """Fans published row batches into per-plane operators and buffers."""
+
+    def __init__(
+        self, *, event_capacity: int = 1024, alert_capacity: int = 256
+    ) -> None:
+        self._operators: Dict[str, List[Operator]] = {}
+        self.events = RingBuffer(event_capacity)
+        self.alerts = RingBuffer(alert_capacity)
+        #: Rows published per plane (full counts; the ring only retains
+        #: the recent window).
+        self.published: Dict[str, int] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def register(self, operator: Operator) -> Operator:
+        """Attach an operator to its plane's feed; returns it for chaining."""
+        self._operators.setdefault(operator.plane, []).append(operator)
+        return operator
+
+    def operators(self, plane: Optional[str] = None) -> List[Operator]:
+        if plane is not None:
+            return list(self._operators.get(plane, []))
+        return [
+            operator
+            for plane_operators in self._operators.values()
+            for operator in plane_operators
+        ]
+
+    def tap(self, store: Any, plane: str) -> Callable[[Any], None]:
+        """Subscribe this bus to a live store's batch-emission hook.
+
+        Returns the subscribed callback (handy for unsubscribing in
+        tests).  Requires the store to expose ``subscribe`` — all three
+        plane stores do.
+        """
+        def on_batch(rows: Any) -> None:
+            self.publish(plane, rows)
+
+        store.subscribe(on_batch)
+        return on_batch
+
+    # -- publishing -------------------------------------------------------
+
+    def publish(
+        self,
+        plane: str,
+        rows: Any,
+        *,
+        sim_time: float = 0.0,
+        describe: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    ) -> int:
+        """Feed one batch to the plane's operators and the event ring.
+
+        ``rows`` may be any iterable of row-like objects (it is
+        materialized once).  Only the slice that can fit the ring is
+        converted to tail payloads — a huge batch costs O(capacity) ring
+        work, not O(batch).  Returns the row count.
+        """
+        if not isinstance(rows, list):
+            rows = list(rows)
+        for operator in self._operators.get(plane, []):
+            operator.feed(rows)
+        self.published[plane] = self.published.get(plane, 0) + len(rows)
+        describe = describe or _describe_row
+        for row in rows[-self.events.capacity:]:
+            payload = describe(row)
+            payload["plane"] = plane
+            payload["sim_time"] = round(sim_time, 3)
+            self.events.append(payload)
+        return len(rows)
+
+    def alert(
+        self, plane: str, kind: str, message: str,
+        *, sim_time: float = 0.0, day: int = 0,
+    ) -> Alert:
+        """Append one alert to the incident ring and return it."""
+        entry = Alert(
+            sim_time=sim_time, day=day, plane=plane, kind=kind,
+            message=message,
+        )
+        self.alerts.append(entry)
+        return entry
+
+
+def _describe_row(row: Any) -> Dict[str, Any]:
+    """A compact JSON-able view of any plane row for the tail stream."""
+    for fields in (_EVENT_FIELDS, _SCAN_FIELDS, _FLOW_FIELDS):
+        if all(hasattr(row, name) for name in fields[:2]):
+            return {
+                name: _scalar(getattr(row, name)) for name in fields
+                if hasattr(row, name)
+            }
+    return {"repr": repr(row)}
+
+
+_EVENT_FIELDS = ("honeypot", "attack_type", "source", "day", "protocol")
+_SCAN_FIELDS = ("address", "port", "protocol", "source")
+_FLOW_FIELDS = ("src_ip", "dst_ip", "tcp_flags", "packet_count", "day")
+
+
+def _scalar(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

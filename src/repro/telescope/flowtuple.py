@@ -22,7 +22,16 @@ plane stores.
 from __future__ import annotations
 
 from itertools import repeat
-from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+)
 
 from repro.core.columns import resolve_backend, np as _np
 from repro.net.errors import ProtocolError
@@ -230,6 +239,39 @@ class FlowTupleWriter:
         #: surfaced per-plane by the study metrics.
         self.batch_appends = 0
         self._by_day: Dict[int, list] = {}
+        #: Batch-emission observers (see :meth:`subscribe`).
+        self._observers: List[Callable[[List[FlowTupleRecord]], None]] = []
+
+    def subscribe(
+        self, callback: Callable[[List[FlowTupleRecord]], None]
+    ) -> Callable[[List[FlowTupleRecord]], None]:
+        """Register a batch-emission observer.
+
+        ``callback`` receives the record list of every chunk filed
+        through :meth:`extend_day` or :meth:`append_batch` (blocks are
+        materialized to records only when observers exist) — the
+        streaming layer's live tap on the telescope plane.  ``add``
+        never notifies.  Returns the callback for symmetric
+        :meth:`unsubscribe`.
+        """
+        self._observers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable) -> None:
+        """Remove a previously subscribed observer."""
+        self._observers.remove(callback)
+
+    def _notify(self, records: Any) -> None:
+        if not self._observers:
+            return
+        if isinstance(records, FlowBlock):
+            records = list(records.records())
+        elif not isinstance(records, list):
+            records = list(records)
+        if not records:
+            return
+        for callback in self._observers:
+            callback(records)
 
     def _tail(self, day: int) -> list:
         """The day's open row-list chunk (opening one if the last chunk is
@@ -253,9 +295,13 @@ class FlowTupleWriter:
             if len(records):
                 self._by_day.setdefault(day, []).append(records)
             self.batch_appends += 1
+            self._notify(records)
             return
         if records:
+            if not isinstance(records, list):
+                records = list(records)
             self._tail(day).extend(records)
+            self._notify(records)
 
     def days(self) -> List[int]:
         """Days with data, ascending."""
@@ -301,6 +347,8 @@ class FlowTupleWriter:
         for day in sorted(by_day):
             self._tail(day).extend(by_day[day])
         self.batch_appends += 1
+        for day in sorted(by_day):
+            self._notify(by_day[day])
         return count
 
     def where(self, **filters: Any) -> "FlowTupleWriter":

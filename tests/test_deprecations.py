@@ -1,0 +1,127 @@
+"""The deprecation lifecycle: every live shim, its warning, its removal.
+
+Policy: a deprecated API warns through
+:func:`repro.core.columns._warn_deprecated` with a pinned removal
+release, keeps working until that release, and is enumerated here.  The
+completeness test walks the source tree so a new shim cannot ship
+without joining this inventory (and a removed one cannot linger in it).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro import StudyConfig
+from repro.core.columns import _warn_deprecated
+from repro.honeypots.events import EventLog, EventStore
+from repro.internet.population import PopulationConfig
+from repro.scanner.records import ScanDatabase
+
+#: Every live warning shim: (id, source file, regex the message matches).
+LIVE_SHIMS = [
+    ("EventStore.events", "honeypots/events.py",
+     r"EventStore\.events.*repro 2\.0"),
+    ("ScanDatabase.records", "scanner/records.py",
+     r"ScanDatabase\.records.*repro 2\.0"),
+    ("explicit seed=7 sub-config", "core/config.py",
+     r"seed=7.*repro 2\.0"),
+]
+
+
+class TestWarningShims:
+    def test_event_store_events(self, quick_study):
+        store = quick_study.schedule.log
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro 2\.0") as captured:
+            rows = store.events
+        assert len(rows) == len(store)
+        assert "EventStore.events" in str(captured[0].message)
+        assert "iter_rows" in str(captured[0].message)
+
+    def test_scan_database_records(self, quick_study):
+        database = quick_study.merged_db
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro 2\.0") as captured:
+            rows = database.records
+        assert len(rows) == len(database)
+        assert "ScanDatabase.records" in str(captured[0].message)
+
+    def test_explicit_legacy_sub_seed(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro 2\.0") as captured:
+            config = StudyConfig(
+                seed=99, population=PopulationConfig(seed=7)
+            )
+        # The new rule keeps the explicit value instead of overwriting.
+        assert config.population.seed == 7
+        assert "seed=7" in str(captured[0].message)
+
+    def test_inherit_sentinel_does_not_warn(self, recwarn):
+        config = StudyConfig(seed=99)
+        assert config.population.seed == 99
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestAliasShims:
+    def test_event_log_alias(self):
+        """Alias-only shim: importable, same class, no warning (a bare
+        name binding cannot warn; it is scheduled with the others)."""
+        assert EventLog is EventStore
+
+
+class TestLifecyclePolicy:
+    def test_warning_spells_out_replacement_and_release(self):
+        with pytest.warns(DeprecationWarning) as captured:
+            _warn_deprecated("X", use="use Y instead", removal="2.0",
+                             stacklevel=1)
+        message = str(captured[0].message)
+        assert "X is deprecated" in message
+        assert "will be removed in repro 2.0" in message
+        assert "use Y instead" in message
+
+    def test_every_shim_is_enumerated(self):
+        """Walk src/ for _warn_deprecated call sites; each must be a
+        shim this file enumerates, and each enumerated shim must still
+        exist (delete the entry when the shim is removed)."""
+        src = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+        call_sites = []
+        for root, _, files in os.walk(src):
+            for name in files:
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                with open(path) as handle:
+                    text = handle.read()
+                count = len(re.findall(r"_warn_deprecated\(", text))
+                relative = os.path.relpath(path, src).replace(os.sep, "/")
+                if relative == "core/columns.py":
+                    count -= 1  # the definition itself
+                if count:
+                    call_sites.append((relative, count))
+        expected = {}
+        for _, source, _ in LIVE_SHIMS:
+            expected[source] = expected.get(source, 0) + 1
+        assert dict(call_sites) == expected
+
+    @pytest.mark.parametrize(
+        "shim_id,source,pattern", LIVE_SHIMS,
+        ids=[shim[0] for shim in LIVE_SHIMS])
+    def test_enumerated_shims_pin_their_removal(self, shim_id, source,
+                                                pattern, quick_study):
+        """Trigger each enumerated shim and match its full message."""
+        if shim_id == "EventStore.events":
+            trigger = lambda: quick_study.schedule.log.events
+        elif shim_id == "ScanDatabase.records":
+            trigger = lambda: quick_study.merged_db.records
+        else:
+            trigger = lambda: StudyConfig(
+                seed=31, scan=__import__(
+                    "repro.scanner.zmap", fromlist=["ScanConfig"]
+                ).ScanConfig(seed=7),
+            )
+        with pytest.warns(DeprecationWarning, match=pattern):
+            trigger()

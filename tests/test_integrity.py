@@ -672,7 +672,8 @@ class TestValidator:
 
     def test_default_registry_covers_every_plane(self):
         planes = {inv.plane for inv in default_registry().invariants()}
-        assert planes == {"scan", "attacks", "telescope", "analysis"}
+        assert planes == {"scan", "attacks", "telescope", "analysis",
+                          "stream"}
 
 
 class TestCliValidate:
@@ -707,7 +708,7 @@ class TestCliValidate:
         code = main(["validate", "--quick",
                      "--cache-dir", str(tmp_path)], out=out)
         assert code == 0
-        assert "all 6 invariants hold" in out.getvalue()
+        assert "all 7 invariants hold" in out.getvalue()
 
     def test_mutilated_artifacts_exit_5(self, tmp_path):
         import io

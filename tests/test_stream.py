@@ -1,0 +1,261 @@
+"""Online operators: batch equivalence under arbitrary chunking.
+
+The streaming contract (DESIGN.md §9) is that feeding a plane store
+through an operator in chunks of *any* size — including one row at a
+time and the whole log at once — produces a snapshot equal to the batch
+analysis function run over the full store.  These tests pin that
+equivalence on both canonical seeds, with fixed chunk sizes and with
+hypothesis-drawn irregular chunk boundaries.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Study, StudyConfig
+from repro.analysis.attack_origins import (
+    analyze_tor_sources,
+    dos_origin_countries,
+)
+from repro.analysis.country import country_distribution_of
+from repro.analysis.device_type import identify_device_types
+from repro.analysis.misconfig import classify_database
+from repro.analysis.recurrence import RecurrenceClassifier
+from repro.net.errors import ServeError
+from repro.stream import (
+    AttackOriginsOperator,
+    CountryOperator,
+    DeviceTypeOperator,
+    MisconfigOperator,
+    Operator,
+    RecurrenceOperator,
+    RsdosOperator,
+    snapshot_digest,
+)
+from repro.telescope.rsdos import detect_rsdos
+
+BOTH_SEEDS = pytest.mark.parametrize("seed", [7, 1234])
+
+#: Fixed chunk sizes every operator is checked at: degenerate single-row
+#: feeding, a prime that never divides the row count, and one chunk that
+#: swallows the whole log.
+CHUNK_SIZES = (1, 97, 10**9)
+
+
+@functools.lru_cache(maxsize=None)
+def study_results(seed: int):
+    """Quick-scale finished study per seed (phase cache makes this cheap)."""
+    study = Study(StudyConfig.quick(seed=seed))
+    study.run_classification()
+    study.run_attacks()
+    study.run_telescope()
+    study.build_intel()
+    return study.results
+
+
+def feed_chunked(operator: Operator, rows, size: int) -> None:
+    for start in range(0, len(rows), size):
+        operator.feed(rows[start:start + size])
+
+
+def scan_rows(results):
+    return list(results.merged_db.iter_rows())
+
+
+def attack_rows(results):
+    return list(results.schedule.log.iter_rows())
+
+
+def flow_rows(results):
+    return list(results.telescope.writer.records())
+
+
+# ---------------------------------------------------------------------------
+# Per-operator equivalence at fixed chunk sizes
+# ---------------------------------------------------------------------------
+
+
+@BOTH_SEEDS
+@pytest.mark.parametrize("size", CHUNK_SIZES)
+class TestChunkedEqualsBatch:
+    def test_misconfig(self, seed, size):
+        results = study_results(seed)
+        exclude = results.fingerprints.addresses()
+        operator = MisconfigOperator(exclude_addresses=exclude)
+        feed_chunked(operator, scan_rows(results), size)
+        batch = classify_database(
+            results.merged_db, exclude_addresses=exclude
+        )
+        assert operator.snapshot() == batch
+        assert operator.digest() == snapshot_digest(batch)
+
+    def test_device_type(self, seed, size):
+        results = study_results(seed)
+        operator = DeviceTypeOperator()
+        feed_chunked(operator, scan_rows(results), size)
+        batch = identify_device_types(results.merged_db)
+        assert operator.snapshot() == batch
+        assert operator.digest() == snapshot_digest(batch)
+
+    def test_country_unfiltered(self, seed, size):
+        results = study_results(seed)
+        operator = CountryOperator(results.geo)
+        feed_chunked(operator, scan_rows(results), size)
+        batch = country_distribution_of(results.merged_db, results.geo)
+        assert operator.snapshot() == batch
+
+    def test_country_matches_study_artifact(self, seed, size):
+        results = study_results(seed)
+        operator = CountryOperator(
+            results.geo, exclude_addresses=results.fingerprints.addresses()
+        )
+        feed_chunked(operator, scan_rows(results), size)
+        assert operator.snapshot() == results.countries
+
+    def test_attack_origins(self, seed, size):
+        results = study_results(seed)
+        operator = AttackOriginsOperator(results.geo, results.exonerator)
+        feed_chunked(operator, attack_rows(results), size)
+        snapshot = operator.snapshot()
+        assert snapshot["dos_origins"] == dos_origin_countries(
+            results.schedule.log, results.geo
+        )
+        assert snapshot["tor"] == analyze_tor_sources(
+            results.schedule.log, results.exonerator
+        )
+
+    def test_recurrence(self, seed, size):
+        results = study_results(seed)
+        operator = RecurrenceOperator()
+        feed_chunked(operator, attack_rows(results), size)
+        classifier = RecurrenceClassifier()
+        log = results.schedule.log
+        recurring, one_time = classifier.classify(log)
+        snapshot = operator.snapshot()
+        assert snapshot["patterns"] == classifier.patterns(log)
+        assert snapshot["recurring"] == recurring
+        assert snapshot["one_time"] == one_time
+
+    def test_rsdos(self, seed, size):
+        results = study_results(seed)
+        operator = RsdosOperator()
+        feed_chunked(operator, flow_rows(results), size)
+        batch = detect_rsdos(results.telescope.writer.records())
+        assert operator.snapshot() == batch
+        assert operator.digest() == snapshot_digest(batch)
+
+
+# ---------------------------------------------------------------------------
+# Irregular chunk boundaries (hypothesis)
+# ---------------------------------------------------------------------------
+
+
+def feed_boundaries(operator: Operator, rows, cuts) -> None:
+    """Feed ``rows`` split at the (sorted, deduped) cut positions."""
+    boundaries = sorted({cut % (len(rows) + 1) for cut in cuts})
+    previous = 0
+    for boundary in boundaries:
+        operator.feed(rows[previous:boundary])
+        previous = boundary
+    operator.feed(rows[previous:])
+
+
+@BOTH_SEEDS
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(cuts=st.lists(st.integers(min_value=0, max_value=10**6), max_size=12))
+def test_misconfig_any_boundaries(seed, cuts):
+    results = study_results(seed)
+    exclude = results.fingerprints.addresses()
+    operator = MisconfigOperator(exclude_addresses=exclude)
+    feed_boundaries(operator, scan_rows(results), cuts)
+    assert operator.snapshot() == classify_database(
+        results.merged_db, exclude_addresses=exclude
+    )
+
+
+@BOTH_SEEDS
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(cuts=st.lists(st.integers(min_value=0, max_value=10**6), max_size=12))
+def test_attack_origins_any_boundaries(seed, cuts):
+    results = study_results(seed)
+    operator = AttackOriginsOperator(results.geo, results.exonerator)
+    feed_boundaries(operator, attack_rows(results), cuts)
+    assert operator.digest() == snapshot_digest({
+        "dos_origins": dos_origin_countries(results.schedule.log, results.geo),
+        "tor": analyze_tor_sources(results.schedule.log, results.exonerator),
+    })
+
+
+@BOTH_SEEDS
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(cuts=st.lists(st.integers(min_value=0, max_value=10**6), max_size=8))
+def test_rsdos_any_boundaries(seed, cuts):
+    results = study_results(seed)
+    operator = RsdosOperator()
+    feed_boundaries(operator, flow_rows(results), cuts)
+    assert operator.snapshot() == detect_rsdos(
+        results.telescope.writer.records()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle, protocol, digests
+# ---------------------------------------------------------------------------
+
+
+class TestOperatorLifecycle:
+    def test_protocol_conformance(self):
+        results = study_results(7)
+        for operator in (
+            MisconfigOperator(), DeviceTypeOperator(),
+            CountryOperator(results.geo),
+            AttackOriginsOperator(results.geo), RecurrenceOperator(),
+            RsdosOperator(),
+        ):
+            assert isinstance(operator, Operator)
+
+    def test_feed_counts(self):
+        results = study_results(7)
+        rows = scan_rows(results)
+        operator = MisconfigOperator()
+        feed_chunked(operator, rows, 100)
+        assert operator.rows_fed == len(rows)
+        assert operator.batches_fed == (len(rows) + 99) // 100
+        assert operator.seconds >= 0.0
+
+    def test_finalize_freezes(self):
+        operator = RecurrenceOperator()
+        final = operator.finalize()
+        assert final["patterns"] == {}
+        assert operator.finalized
+        with pytest.raises(ServeError):
+            operator.feed([])
+
+    def test_empty_feed_matches_empty_batch(self):
+        operator = RsdosOperator()
+        operator.feed([])
+        assert operator.snapshot() == []
+
+
+class TestSnapshotDigest:
+    def test_set_order_is_canonicalized(self):
+        left = {"sources": {3, 1, 2}}
+        right = {"sources": set([2, 3, 1])}
+        assert snapshot_digest(left) == snapshot_digest(right)
+
+    def test_different_values_differ(self):
+        assert snapshot_digest({"n": 1}) != snapshot_digest({"n": 2})
+
+    def test_dataclasses_and_enums_are_stable(self):
+        results = study_results(7)
+        report = classify_database(results.merged_db)
+        assert snapshot_digest(report) == snapshot_digest(
+            classify_database(results.merged_db)
+        )

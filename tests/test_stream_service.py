@@ -1,0 +1,260 @@
+"""The event bus, the store emission hooks, and the campaign service."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Study, StudyConfig
+from repro.honeypots.events import EventStore
+from repro.net.errors import ConfigError, ServeError
+from repro.scanner.records import ScanDatabase
+from repro.stream import (
+    Alert,
+    CampaignService,
+    EventBus,
+    MisconfigOperator,
+    RecurrenceOperator,
+    RingBuffer,
+    StreamConfig,
+)
+from repro.telescope.flowtuple import FlowTupleWriter
+
+
+class TestRingBuffer:
+    def test_append_and_tail(self):
+        ring = RingBuffer(capacity=10)
+        for value in range(5):
+            ring.append(value)
+        cursor, items = ring.tail(0)
+        assert items == [0, 1, 2, 3, 4]
+        assert cursor == 5
+        assert ring.total == 5
+
+    def test_cursor_resumes(self):
+        ring = RingBuffer(capacity=10)
+        ring.extend("abc")
+        cursor, _ = ring.tail(0)
+        ring.extend("de")
+        cursor, items = ring.tail(cursor)
+        assert items == ["d", "e"]
+        _, nothing = ring.tail(cursor)
+        assert nothing == []
+
+    def test_bounded_drops_oldest(self):
+        ring = RingBuffer(capacity=3)
+        for value in range(10):
+            ring.append(value)
+        cursor, items = ring.tail(0)
+        assert items == [7, 8, 9]  # the retained window
+        assert cursor == ring.total == 10
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=0)
+
+
+class TestEventBus:
+    def test_publish_feeds_registered_plane_only(self):
+        bus = EventBus()
+        scan_op = bus.register(MisconfigOperator())
+        attack_op = bus.register(RecurrenceOperator())
+        bus.publish("attacks", [], sim_time=1.0)
+        assert attack_op.batches_fed == 1
+        assert scan_op.batches_fed == 0
+        assert bus.published == {"attacks": 0}
+
+    def test_events_ring_payloads(self, quick_study):
+        bus = EventBus(event_capacity=4)
+        rows = list(quick_study.schedule.log.iter_rows())[:6]
+        bus.publish("attacks", rows, sim_time=2.5)
+        _, items = bus.events.tail(0)
+        assert len(items) == 4  # ring keeps the recent window
+        assert bus.published["attacks"] == 6
+        sample = items[-1]
+        assert sample["plane"] == "attacks"
+        assert sample["sim_time"] == 2.5
+        assert {"honeypot", "source", "day"} <= set(sample)
+
+    def test_alerts(self):
+        bus = EventBus()
+        alert = bus.alert("attacks", "test", "hello", sim_time=1.0, day=3)
+        assert isinstance(alert, Alert)
+        _, items = bus.alerts.tail(0)
+        assert items == [alert]
+        assert alert.to_dict()["kind"] == "test"
+
+
+class TestStoreTaps:
+    """append_batch on each plane store streams onto a tapped bus."""
+
+    def test_scan_database_tap(self, quick_study):
+        source_rows = list(quick_study.merged_db.iter_rows())[:5]
+        db = ScanDatabase()
+        bus = EventBus()
+        operator = bus.register(MisconfigOperator())
+        bus.tap(db, "scan")
+        db.append_batch(
+            (r.address, r.port, r.protocol, r.transport, r.banner,
+             r.response, r.timestamp, r.source)
+            for r in source_rows
+        )
+        assert bus.published["scan"] == 5
+        assert operator.rows_fed == 5
+        _, items = bus.events.tail(0)
+        assert items[0]["address"] == source_rows[0].address
+
+    def test_event_store_tap(self, quick_study):
+        source_rows = list(quick_study.schedule.log.iter_rows())[:4]
+        store = EventStore()
+        bus = EventBus()
+        bus.tap(store, "attacks")
+        store.append_batch(
+            (r.honeypot, r.protocol, r.source, r.day, r.timestamp,
+             r.attack_type, r.actor, r.summary, r.malware_hash,
+             r.request_bytes)
+            for r in source_rows
+        )
+        assert bus.published["attacks"] == 4
+
+    def test_flowtuple_writer_tap(self, quick_study):
+        records = list(quick_study.telescope.writer.records())[:8]
+        writer = FlowTupleWriter()
+        bus = EventBus()
+        bus.tap(writer, "telescope")
+        writer.append_batch(records)
+        assert bus.published["telescope"] == 8
+
+    def test_unsubscribe_stops_the_stream(self, quick_study):
+        records = list(quick_study.telescope.writer.records())[:3]
+        writer = FlowTupleWriter()
+        bus = EventBus()
+        callback = bus.tap(writer, "telescope")
+        writer.extend_day(records[0].day, [records[0]])
+        writer.unsubscribe(callback)
+        writer.append_batch(records)
+        assert bus.published["telescope"] == 1
+
+    def test_per_record_paths_never_notify(self, quick_study):
+        """add()/append_row stay hot paths — no observer overhead."""
+        row = list(quick_study.merged_db.iter_rows())[0]
+        db = ScanDatabase()
+        bus = EventBus()
+        bus.tap(db, "scan")
+        db.add(row)
+        assert bus.published == {}
+
+
+class TestStreamConfig:
+    def test_defaults_validate(self):
+        StreamConfig().validate()
+
+    def test_rejects_negative_pacing(self):
+        with pytest.raises(ConfigError):
+            StreamConfig(events_per_second=-1).validate()
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ConfigError):
+            StreamConfig(batch_size=0).validate()
+
+
+class TestCampaignService:
+    @pytest.fixture(scope="class")
+    def done_service(self):
+        service = CampaignService(StudyConfig.quick(seed=7))
+        service.run()
+        return service
+
+    def test_runs_to_done(self, done_service):
+        assert done_service.state == "done"
+        assert done_service.error is None
+
+    def test_snapshots_match_batch(self, done_service):
+        assert done_service.verify_against_batch() == []
+
+    def test_final_digests_cover_all_operators(self, done_service):
+        digests = done_service.final_digests()
+        assert set(digests) == {
+            "misconfig", "device_type", "country", "attack_origins",
+            "recurrence", "rsdos",
+        }
+        assert all(len(d) == 64 for d in digests.values())
+
+    def test_status_document(self, done_service):
+        status = done_service.status()
+        assert status["state"] == "done"
+        assert status["seed"] == 7
+        planes = status["planes"]
+        assert set(planes) == {"scan", "attacks", "telescope"}
+        for progress in planes.values():
+            assert progress["rows_fed"] == progress["rows_total"] > 0
+        assert status["events_streamed"] == sum(
+            p["rows_fed"] for p in planes.values()
+        )
+        assert status["final_digests"]
+
+    def test_phase_hook_saw_phases(self, done_service):
+        assert "world" in " ".join(done_service.phases_done).lower() or (
+            len(done_service.phases_done) > 0
+        )
+
+    def test_operator_metrics_recorded(self, done_service):
+        metrics = done_service.study.metrics
+        names = {metric.operator for metric in metrics.operators}
+        assert {"misconfig", "rsdos"} <= names
+        rendered = metrics.render()
+        assert "operators:" in rendered
+        assert metrics.to_dict()["operators"]
+
+    def test_day_boundary_alerts(self, done_service):
+        _, alerts = done_service.bus.alerts.tail(0)
+        kinds = {alert.kind for alert in alerts}
+        assert "day-close" in kinds
+        assert "campaign-done" in kinds
+
+    def test_finalized_operators_refuse_feeding(self, done_service):
+        with pytest.raises(ServeError):
+            done_service.operator("misconfig").feed([])
+        with pytest.raises(ServeError):
+            done_service.operator("nope")
+
+    def test_digest_determinism_across_services(self, done_service):
+        other = CampaignService(
+            StudyConfig.quick(seed=7),
+            StreamConfig(batch_size=37),  # different chunking, same bytes
+        )
+        other.run()
+        assert other.final_digests() == done_service.final_digests()
+
+    def test_double_start_raises(self):
+        service = CampaignService(StudyConfig.quick(seed=7))
+        service.start()
+        with pytest.raises(ServeError):
+            service.start()
+        service.join(timeout=120)
+        assert service.finished
+
+    def test_stop_interrupts_paced_stream(self):
+        service = CampaignService(
+            StudyConfig.quick(seed=7),
+            # Slow enough that the stream can't finish before stop():
+            # the quick campaign replays thousands of rows.
+            StreamConfig(events_per_second=50.0, batch_size=16),
+        )
+        service.start()
+        deadline = time.monotonic() + 120
+        while service.state in ("pending", "generating"):
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        service.stop()
+        service.join(timeout=30)
+        assert service.state == "stopped"
+        with pytest.raises(ServeError):
+            service.final_digests()
+
+    def test_rejects_invalid_stream_config(self):
+        with pytest.raises(ConfigError):
+            CampaignService(
+                StudyConfig.quick(), StreamConfig(batch_size=-4)
+            )
