@@ -1,0 +1,183 @@
+"""Batch-drawn attack sessions benchmark: block draws vs the serial path.
+
+Times the attack month under the paper's worst-case traffic shape — the
+Section 5.1.3 DoS case study, where CoAP/UPnP floods replay one spoofed
+probe tens of times per session — against the UDP-facing lab honeypots
+(U-Pot's Belkin UPnP endpoint and HosTaGe's multi-protocol board) on the
+1:1024 world.  The batch path draws each day's timestamps as one
+``uniform_array`` block, collapses identical-payload runs into
+``handle_repeat`` / ``handle_repeat_datagrams`` fast paths and memoizes
+per-transcript classification; the serial reference drives every datagram
+through the fabric one call at a time.  Three claims are checked:
+
+* oracle identity — every (honeypot, day) task of this workload produces
+  identical events under the batch path and the scalar differential
+  oracle (per-event draws, per-payload ``handle`` calls);
+* statistical parity — the planned month matches the strictly-serial
+  reference on the aggregate ledgers (the two paths draw in different
+  orders, so bytes are pinned against the oracle, ledgers against the
+  reference);
+* the acceptance bar — the batch-drawn attack plane runs the month
+  >= 3x faster than the serial reference.
+
+Wall times are best-of-2 because CI boxes are noisy; identity is checked
+on every run.  Thread and process executors at K=4 are timed for the
+record (this box may have a single core, in which case neither is
+expected to beat serial — the numbers are reported, not asserted).
+Results land in ``BENCH_attack_sessions.json`` so the non-gating
+``attack-bench`` CI job leaves a comparable trail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+from conftest import compare
+
+from repro.attacks.schedule import AttackScheduleConfig, AttackScheduler
+from repro.honeypots import build_deployment
+from repro.honeypots.base import HoneypotDeployment
+from repro.internet.population import PopulationBuilder, PopulationConfig
+
+#: The same 1:1024 world BENCH_attack_plane.json and the telescope
+#: vectorization benchmark run on.
+_WORLD = dict(seed=7, scale=1024, honeypot_scale=64)
+#: DoS-spike month (Section 5.1.3 shape): most malicious traffic lands as
+#: CoAP/UPnP flood sessions, scanning-service chatter turned down.
+_KNOBS = dict(attack_scale=8, dos_spike_fraction=0.85, scanning_share=0.08)
+#: The UDP-facing lab slice the flood case study targets.
+_HONEYPOTS = ("U-Pot", "HosTaGe")
+_REPEATS = 2
+_REQUIRED_SPEEDUP = 3.0
+
+
+def _build(workers=1, executor=None):
+    """A fresh world + scheduler per run (fabric/servers carry state)."""
+    population = PopulationBuilder(PopulationConfig(**_WORLD)).build()
+    full = build_deployment()
+    deployment = HoneypotDeployment(
+        [h for h in full.honeypots if h.name in _HONEYPOTS], full.log
+    )
+    deployment.attach(population.internet)
+    scheduler = AttackScheduler(
+        population.internet, deployment, population,
+        AttackScheduleConfig(seed=7, workers=workers, executor=executor,
+                             **_KNOBS),
+    )
+    return population, deployment, scheduler
+
+
+def _month_once(reference=False, workers=1, executor=None):
+    population, deployment, scheduler = _build(workers, executor)
+    started = time.perf_counter()
+    result = scheduler.run_reference() if reference else scheduler.run()
+    seconds = time.perf_counter() - started
+    deployment.detach(population.internet)
+    return {
+        "attack_seconds": seconds,
+        "events": len(result.log),
+        "attempted": result.sessions_attempted,
+        "dropped": result.sessions_dropped,
+        "multistage_sources": len(result.multistage_sources),
+        "log_digest": hashlib.sha256(
+            result.log.to_jsonl().encode()).hexdigest(),
+    }
+
+
+def _month_best(**kwargs):
+    best = None
+    for _ in range(_REPEATS):
+        run = _month_once(**kwargs)
+        if best is None or run["attack_seconds"] < best["attack_seconds"]:
+            assert best is None or run["log_digest"] == best["log_digest"]
+            best = run
+    best["attack_seconds"] = round(best["attack_seconds"], 4)
+    return best
+
+
+def _assert_oracle_identity():
+    """Every task of this workload: batch path == scalar oracle."""
+    population, deployment, scheduler = _build()
+    scheduler._mark_listings()
+    pools = scheduler._build_infected_pools()
+    sources = scheduler._build_sources(pools)
+    budgets = scheduler._scaled_budgets()
+    plan = {}
+    scheduler._plan_multistage(sources, budgets, plan)
+    for honeypot in deployment.honeypots:
+        scheduler._plan_honeypot(
+            honeypot, sources[honeypot.name], budgets, plan
+        )
+    lab = {h.name: h for h in deployment.honeypots}
+    compared = 0
+    for (name, day), sessions in sorted(plan.items()):
+        if not sessions:
+            continue
+        batch = scheduler._run_task(lab[name], day, sessions)
+        scalar = scheduler._run_task(lab[name], day, sessions, batch=False)
+        assert batch.events == scalar.events, (name, day)
+        assert batch.counters == scalar.counters, (name, day)
+        compared += 1
+    deployment.detach(population.internet)
+    return compared
+
+
+def test_batch_drawn_attack_month_beats_reference_3x():
+    tasks_checked = _assert_oracle_identity()
+    assert tasks_checked > 30  # the scenario genuinely filled the month
+
+    runs = {
+        "reference": _month_best(reference=True),
+        "batch": _month_best(),
+        "thread_k4": _month_once(workers=4, executor="thread"),
+        "process_k4": _month_once(workers=4, executor="process"),
+    }
+
+    # Statistical parity before any throughput claim: the planned month
+    # and the strictly-serial reference fill the same ledgers.
+    for field in ("events", "attempted", "dropped", "multistage_sources"):
+        assert runs["batch"][field] == runs["reference"][field], field
+    # Worker fan-out is byte-identical to the serial batch path.
+    for key in ("thread_k4", "process_k4"):
+        assert runs[key]["log_digest"] == runs["batch"]["log_digest"], key
+
+    reference_seconds = runs["reference"]["attack_seconds"]
+    batch_seconds = runs["batch"]["attack_seconds"]
+    speedup = (reference_seconds / batch_seconds if batch_seconds
+               else float("inf"))
+
+    compare("attack sessions, DoS-spike month (UDP-facing lab, 1:1024)", [
+        ("serial reference wall", "baseline", f"{reference_seconds:.2f}s"),
+        ("batch-drawn wall", ">= 3x baseline", f"{batch_seconds:.2f}s"),
+        ("thread K=4 wall", "recorded",
+         f"{runs['thread_k4']['attack_seconds']:.2f}s"),
+        ("process K=4 wall", "recorded",
+         f"{runs['process_k4']['attack_seconds']:.2f}s"),
+        ("events", runs["reference"]["events"], runs["batch"]["events"]),
+        ("oracle tasks checked", "-", tasks_checked),
+    ])
+
+    payload = {
+        "benchmark": "attack_sessions_batch",
+        "world": _WORLD,
+        "schedule": _KNOBS,
+        "honeypots": list(_HONEYPOTS),
+        "cpu_count": os.cpu_count(),
+        "oracle_tasks_checked": tasks_checked,
+        "runs": runs,
+        "speedup_batch_vs_reference": round(speedup, 2),
+    }
+    with open("BENCH_attack_sessions.json", "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote BENCH_attack_sessions.json "
+          f"(batch speedup {speedup:.2f}x vs serial reference)")
+
+    assert batch_seconds <= reference_seconds / _REQUIRED_SPEEDUP, (
+        f"batch-drawn month {batch_seconds:.2f}s is only "
+        f"{speedup:.2f}x the {reference_seconds:.2f}s reference; "
+        f"need >= {_REQUIRED_SPEEDUP:.0f}x"
+    )

@@ -10,10 +10,17 @@ from that journal with the faults cleared — produce a byte-identical
 :class:`~repro.scanner.records.ScanDatabase` to an uninterrupted
 fault-free run.  The wall-time split between the three runs is printed
 for the bench trail.
+
+``REPRO_SMOKE_EXECUTOR`` selects the task executor (the ``process-smoke``
+CI job sets it to ``process``): fault verdicts are pure functions of
+(plan seed, site, key, attempt) and the worker initializer installs the
+parent's plan, so the interruption, the journal contents and the resumed
+bytes are identical whichever pool runs the shards.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from conftest import compare
@@ -35,6 +42,9 @@ _FAULT_SEED = 8
 
 _SHARDS = 4
 
+#: Task executor under test ("thread"/"process"/"auto"; empty = default).
+_EXECUTOR = os.environ.get("REPRO_SMOKE_EXECUTOR") or None
+
 
 def _scanner():
     """A scanner over a freshly built 1:4096 world.
@@ -47,7 +57,9 @@ def _scanner():
         PopulationConfig(seed=7, scale=4096, honeypot_scale=256,
                          loss_rate=0.12)
     ).build()
-    return InternetScanner(world.internet, ScanConfig(shards=_SHARDS))
+    return InternetScanner(
+        world.internet, ScanConfig(shards=_SHARDS, executor=_EXECUTOR)
+    )
 
 
 def test_interrupted_campaign_resumes_byte_identical(tmp_path):
@@ -79,7 +91,10 @@ def test_interrupted_campaign_resumes_byte_identical(tmp_path):
     assert resumed.to_jsonl() == baseline.to_jsonl()
     assert journal.hits == completed
 
-    compare("fault-injection smoke (scan plane, 1:4096 world)", [
+    compare(
+        "fault-injection smoke (scan plane, 1:4096 world, "
+        f"executor={_EXECUTOR or 'default'})",
+        [
         ("total (protocol, shard) tasks", total_tasks, total_tasks),
         ("tasks journaled before failure", "n/a", completed,
          f"died at {interrupted.ref.key()}"),

@@ -57,33 +57,50 @@ def build_payloads(
 # -- per-intent builders ----------------------------------------------------
 
 
+def _modbus_scan_probe(stream):
+    # §5.1.4: "Only 10% of the Modbus traffic used valid function codes"
+    # — scan probes mostly poke undefined functions.
+    return encode_request(
+        stream.randint(1, 0xFFFF), 1,
+        (stream.choice(sorted(VALID_FUNCTION_CODES))
+         if stream.bernoulli(0.10)
+         else stream.choice([0x63, 0x55, 0x99, 0x7A, 0x21, 0x40])),
+    )
+
+
+#: Per-protocol scan probe builders.  Lazy on purpose: only the probed
+#: protocol's builder runs, so a scan session consumes exactly its own
+#: stream draws instead of every protocol's (the eager dict this replaces
+#: drew MQTT/CoAP/Modbus randomness on every call, dominating the
+#: build-payloads profile for the scanning-heavy attack mix).
+_SCAN_PROBES = {
+    ProtocolId.TELNET: lambda stream: [],
+    ProtocolId.SSH: lambda stream: [b"SSH-2.0-scanner\r\n"],
+    ProtocolId.MQTT: lambda stream: [
+        encode_connect(f"scan-{stream.hex_token(3)}")
+    ],
+    ProtocolId.AMQP: lambda stream: [b"AMQP\x00\x00\x09\x01"],
+    ProtocolId.XMPP: lambda stream: [
+        b"<stream:stream to='x' xmlns='jabber:client' "
+        b"xmlns:stream='http://etherx.jabber.org/streams'>"
+    ],
+    ProtocolId.COAP: lambda stream: [
+        well_known_core_request(stream.randint(1, 65535))
+    ],
+    ProtocolId.UPNP: lambda stream: [msearch_request()],
+    ProtocolId.HTTP: lambda stream: [b"GET / HTTP/1.1\r\nHost: target\r\n\r\n"],
+    ProtocolId.SMB: lambda stream: [negotiate_request()],
+    ProtocolId.FTP: lambda stream: [b"SYST"],
+    ProtocolId.MODBUS: lambda stream: [_modbus_scan_probe(stream)],
+    ProtocolId.S7: lambda stream: [
+        cotp_connect_request(), s7_job_request(S7_FUNC_READ_VAR)
+    ],
+}
+
+
 def _scanning(protocol, stream, corpus):
-    probes = {
-        ProtocolId.TELNET: [],
-        ProtocolId.SSH: [b"SSH-2.0-scanner\r\n"],
-        ProtocolId.MQTT: [encode_connect(f"scan-{stream.hex_token(3)}")],
-        ProtocolId.AMQP: [b"AMQP\x00\x00\x09\x01"],
-        ProtocolId.XMPP: [b"<stream:stream to='x' xmlns='jabber:client' "
-                          b"xmlns:stream='http://etherx.jabber.org/streams'>"],
-        ProtocolId.COAP: [well_known_core_request(stream.randint(1, 65535))],
-        ProtocolId.UPNP: [msearch_request()],
-        ProtocolId.HTTP: [b"GET / HTTP/1.1\r\nHost: target\r\n\r\n"],
-        ProtocolId.SMB: [negotiate_request()],
-        ProtocolId.FTP: [b"SYST"],
-        # §5.1.4: "Only 10% of the Modbus traffic used valid function
-        # codes" — scan probes mostly poke undefined functions.
-        ProtocolId.MODBUS: [
-            encode_request(
-                stream.randint(1, 0xFFFF), 1,
-                (stream.choice(sorted(VALID_FUNCTION_CODES))
-                 if stream.bernoulli(0.10)
-                 else stream.choice([0x63, 0x55, 0x99, 0x7A, 0x21, 0x40])),
-            )
-        ],
-        ProtocolId.S7: [cotp_connect_request(),
-                        s7_job_request(S7_FUNC_READ_VAR)],
-    }
-    return probes.get(protocol, []), ""
+    builder = _SCAN_PROBES.get(protocol)
+    return (builder(stream) if builder is not None else []), ""
 
 
 def _discovery(protocol, stream, corpus):
@@ -250,11 +267,16 @@ def _dos_flood(protocol, stream, corpus):
 
 
 def _reflection(protocol, stream, corpus):
+    # A reflector sees the same spoofed probe replayed for the whole
+    # flood — the attacker forges one query with the victim's source
+    # address and loops it, so every datagram in the session is
+    # byte-identical (one message id drawn per session for CoAP).
     n = stream.randint(40, 80)
     if protocol == ProtocolId.COAP:
-        return [well_known_core_request(i + 1) for i in range(n)], ""
+        probe = well_known_core_request(stream.randint(1, 65535))
+        return [probe] * n, ""
     if protocol == ProtocolId.UPNP:
-        return [msearch_request("ssdp:all") for _ in range(n)], ""
+        return [msearch_request("ssdp:all")] * n, ""
     return _dos_flood(protocol, stream, corpus)
 
 

@@ -52,6 +52,9 @@ from repro.attacks.scanning_services import SCANNING_SERVICES, ScanningService
 from repro.core.columns import BACKENDS
 from repro.core.scaling import apportion, scale_count
 from repro.core.tasks import (
+    EXECUTORS,
+    ExecutorStats,
+    ProcessPlan,
     TaskDeadline,
     TaskJournal,
     TaskRef,
@@ -71,7 +74,7 @@ from repro.internet.fabric import SimulatedInternet
 from repro.internet.population import Population
 from repro.net.errors import ConfigError
 from repro.net.ipv4 import AddressAllocator, CidrBlock
-from repro.net.prng import RandomStream, keyed_uniform
+from repro.net.prng import RandomStream, keyed_uniform, keyed_uniform_array
 from repro.net.rdns import ReverseDns
 from repro.protocols.base import ProtocolId, TransportKind, transport_of
 
@@ -210,6 +213,11 @@ class AttackScheduleConfig:
     #: fault.  Robustness-only (tasks are pure, so a retry is
     #: byte-identical) and excluded from equality like ``workers``.
     retries: int = field(default=0, compare=False)
+    #: Task executor for the per-(honeypot, day) batch (``None`` inherits
+    #: the study-level choice; see
+    #: :func:`~repro.core.tasks.resolve_executor`).  All executors are
+    #: byte-identical, so the knob is excluded from equality/fingerprints.
+    executor: Optional[str] = field(default=None, compare=False)
     #: Column backend for the event log (``None`` inherits the study-level
     #: choice).  Both backends are byte-identical, so the knob is excluded
     #: from equality/fingerprints like ``workers``.
@@ -234,6 +242,11 @@ class AttackScheduleConfig:
             raise ConfigError(
                 f"backend must be one of {', '.join(BACKENDS)}; "
                 f"got {self.backend!r}"
+            )
+        if self.executor is not None and self.executor not in EXECUTORS:
+            raise ConfigError(
+                f"executor must be one of {', '.join(EXECUTORS)}; "
+                f"got {self.executor!r}"
             )
 
 
@@ -313,6 +326,8 @@ class AttackScheduler:
         self._used_population_hosts: Set[int] = set()
         #: Per-(honeypot, day) wall times of the last :meth:`run`.
         self.task_timings: List[TaskTiming] = []
+        #: Executor kind / worker / chunk accounting of the last :meth:`run`.
+        self.executor_stats = ExecutorStats()
 
     # -- public -----------------------------------------------------------
 
@@ -724,17 +739,24 @@ class AttackScheduler:
 
             partition = mal_partition.get(protocol, [])
             mal_weights = [1.0 / (rank + 1) for rank in range(len(partition))]
+            # Static weight tables feed one pick per planned session, so
+            # the cumulative tables are hoisted out of the day loop; each
+            # ``pick()`` replays ``choices(..., k=1)[0]`` bit-for-bit.
+            mal_picker = (
+                stream.weighted_picker(partition, mal_weights)
+                if partition else None
+            )
             fresh_cursor = 0  # every source attacks at least once if budget allows
 
             def pick_malicious():
                 nonlocal fresh_cursor
-                if not partition:
+                if mal_picker is None:
                     return None
                 if fresh_cursor < len(partition):
                     source = partition[fresh_cursor]
                     fresh_cursor += 1
                     return source
-                return stream.choices(partition, mal_weights, k=1)[0]
+                return mal_picker.pick()
 
             # Risk-rating platforms concentrate on Telnet/AMQP/MQTT — the
             # protocol focus behind Figure 5's GreyNoise gap.
@@ -747,14 +769,22 @@ class AttackScheduler:
                 else 1.0
                 for source in scan_pool
             ]
+            scan_picker = (
+                stream.weighted_picker(scan_pool, scan_weights)
+                if scan_pool else None
+            )
+            mix = MALICIOUS_TYPE_MIX.get(protocol)
+            intent_picker = (
+                stream.weighted_picker(*zip(*mix)) if mix else None
+            )
 
             for day in range(self.config.days):
                 sessions = plan.setdefault((name, day), [])
                 # scanning services: recurring, uniform per-day rate
                 for _ in range(per_day_scan[day]):
-                    if not scan_pool:
+                    if scan_picker is None:
                         break
-                    source = stream.choices(scan_pool, scan_weights, k=1)[0]
+                    source = scan_picker.pick()
                     intent = (
                         AttackType.DISCOVERY
                         if stream.bernoulli(0.3)
@@ -777,8 +807,10 @@ class AttackScheduler:
                         break
                     if source.tor_exit and protocol == _P.HTTP:
                         intent = AttackType.WEB_SCRAPING
+                    elif intent_picker is not None:
+                        intent = intent_picker.pick()
                     else:
-                        intent = self._pick_intent(protocol, stream)
+                        intent = AttackType.SCANNING
                     sessions.append(PlannedSession(protocol, source, intent))
                 for _ in range(per_day_spike[day]):
                     source = pick_malicious()
@@ -874,131 +906,50 @@ class AttackScheduler:
             for port, server in services.items()
         }
 
+    def _worker_state(self) -> "_AttackWorkerState":
+        """The execution-state view every worker runs tasks against.
+
+        Thread workers share the live objects; the process plan pickles
+        the same state once per worker.  Both are equivalent: tasks only
+        *read* it (services are deep-copied per task, variants are minted
+        through per-task views) and every field is a pure function of
+        the config, not of execution order.
+        """
+        return _AttackWorkerState(
+            stream=self._stream,
+            corpus=self.corpus,
+            loss_model=self.internet.loss_model,
+            loss_rate=self.internet.loss_rate,
+            honeypots={
+                honeypot.name: (
+                    honeypot.address,
+                    honeypot.services,
+                    honeypot.pcap is not None,
+                )
+                for honeypot in self.deployment.honeypots
+            },
+        )
+
     def _run_task(
-        self, honeypot: LabHoneypot, day: int, sessions: List[PlannedSession]
+        self,
+        honeypot: LabHoneypot,
+        day: int,
+        sessions: List[PlannedSession],
+        batch: bool = True,
     ) -> _TaskOutcome:
         """Execute one (honeypot, day) task against cloned services.
 
         Everything the task draws comes from ``stream.derive(name, day)``
+        (payloads) and ``stream.derive(name, day, "ts")`` (timestamps)
         and everything it touches is task-private, so the outcome is a
         pure function of (seed, honeypot, day, session plan) regardless
-        of which worker runs it when.
+        of which worker runs it when.  ``batch=False`` runs the scalar
+        differential oracle (per-event draws and per-payload ``handle``
+        calls) that the default block-drawn path is pinned against.
         """
-        start = time.perf_counter()
-        stream = self._stream.derive(honeypot.name, day)
-        services = copy.deepcopy(honeypot.services)
-        base_state = self._int_state(services)
-        corpus_view = TaskCorpusView(self.corpus)
-        outcome = _TaskOutcome(honeypot=honeypot.name)
-        events = outcome.events
-        loss_model = self.internet.loss_model
-        lossy = self.internet.loss_rate > 0
-        attempts: Dict[Tuple[int, int, str], int] = {}
-        want_pcap = honeypot.pcap is not None
-        honeypot_name = honeypot.name
-        honeypot_address = honeypot.address
-        day_base = day * 86_400.0
-        uniform = stream.uniform
-
-        current_protocol: Optional[ProtocolId] = None
-        port: Optional[int] = None
-        server = None
-        is_udp = False
-        for planned in sessions:
-            protocol = planned.protocol
-            if protocol is not current_protocol:
-                # Protocol boundary == the reference path's daily restart
-                # point: each (protocol, day) batch starts on live services.
-                self._reset_services(services)
-                current_protocol = protocol
-                ports = [
-                    p for p, candidate in services.items()
-                    if candidate.protocol == protocol
-                ]
-                port = ports[0] if ports else None
-                server = services.get(port) if port is not None else None
-                is_udp = transport_of(protocol) == TransportKind.UDP
-            source = planned.source
-            payloads, malware_hash = build_payloads(
-                planned.intent, protocol, stream, corpus_view
-            )
-            outcome.attempted += 1
-            if server is None:
-                outcome.dropped += 1
-                continue
-            src = source.address
-            transcript = SessionTranscript(
-                protocol=protocol, port=port, source=src
-            )
-            exchanges = transcript.exchanges
-            handle = server.handle
-            if is_udp:
-                open_session = server.open_session
-                if lossy:
-                    for payload in payloads:
-                        if self._task_lost(
-                            loss_model, src, honeypot_address, port, "udp",
-                            day, attempts,
-                        ):
-                            exchanges.append((payload, b""))
-                            continue
-                        reply = handle(payload, open_session(peer=src))
-                        exchanges.append(
-                            (payload, reply.data if reply.data else b"")
-                        )
-                else:
-                    for payload in payloads:
-                        reply = handle(payload, open_session(peer=src))
-                        exchanges.append(
-                            (payload, reply.data if reply.data else b"")
-                        )
-            else:
-                if lossy and self._task_lost(
-                    loss_model, src, honeypot_address, port, "tcp",
-                    day, attempts,
-                ):
-                    outcome.dropped += 1
-                    continue
-                tcp_session = server.open_session(peer=src)
-                transcript.banner = server.accept(tcp_session)
-                for payload in payloads:
-                    reply = handle(payload, tcp_session)
-                    exchanges.append((payload, reply.data))
-                    if reply.close:
-                        break
-            timestamp = day_base + uniform(0, 86_399)
-            attack_type, summary = classify_session(transcript)
-            events.append((
-                honeypot_name, protocol, src, day, timestamp, attack_type,
-                source.actor, summary, malware_hash, transcript.request_bytes,
-            ))
-            if want_pcap:
-                outcome.pcap.append((timestamp, transcript))
-            if malware_hash:
-                outcome.families.append(
-                    (src, corpus_view.family_of(malware_hash))
-                )
-
-        # Integer-counter deltas (ICS request/poison tallies etc.) merge
-        # additively back onto the real deployment after the month.
-        for task_port, task_server in services.items():
-            base = base_state.get(task_port, {})
-            deltas = {
-                attr: value - base.get(attr, 0)
-                for attr, value in vars(task_server).items()
-                if type(value) is int and value != base.get(attr, 0)
-            }
-            if deltas:
-                outcome.counters[task_port] = deltas
-        outcome.minted = corpus_view.minted
-        outcome.timing = TaskTiming(
-            plane="attacks",
-            unit=honeypot_name,
-            day=day,
-            seconds=time.perf_counter() - start,
-            events=len(events),
+        return _execute_attack_task(
+            self._worker_state(), (honeypot.name, day, sessions), batch=batch
         )
-        return outcome
 
     @staticmethod
     def _task_lost(
@@ -1039,9 +990,14 @@ class AttackScheduler:
                 day for (name, day) in plan if name == honeypot.name
             )
             ordered.extend((honeypot, day) for day in days)
-        thunks = [
-            (lambda h=honeypot, d=day: self._run_task(h, d, plan[(h.name, d)]))
+        state = self._worker_state()
+        payloads = [
+            (honeypot.name, day, plan[(honeypot.name, day)])
             for honeypot, day in ordered
+        ]
+        thunks = [
+            (lambda p=payload: _execute_attack_task(state, p))
+            for payload in payloads
         ]
         refs = [
             TaskRef("attacks", honeypot.name, day)
@@ -1051,6 +1007,11 @@ class AttackScheduler:
             thunks, self.config.workers,
             refs=refs, retries=self.config.retries, journal=journal,
             deadline=deadline,
+            executor=self.config.executor,
+            process_plan=ProcessPlan(
+                run=_attack_worker_run, context=state, payloads=payloads,
+            ),
+            stats=self.executor_stats,
         )
         self.task_timings = [outcome.timing for outcome in outcomes]
 
@@ -1366,3 +1327,334 @@ class AttackScheduler:
             # target service is down under DoS).
             if len(landed_protocols) >= 2:
                 result.multistage_sources.add(address)
+
+
+# -- worker-side execution (shared by thread and process paths) -----------
+
+
+@dataclass
+class _AttackWorkerState:
+    """Picklable execution state shared by every attack worker.
+
+    Thread workers receive the scheduler's live objects; the process
+    plan pickles the same state once per worker.  Tasks only read it:
+    services are deep-copied per task, "new variant" malware is minted
+    through per-task :class:`TaskCorpusView`\\ s, and the loss draws are
+    keyed functions of the loss model's identity — so a pickled copy is
+    observationally identical to the shared original.
+    """
+
+    stream: RandomStream
+    corpus: MalwareCorpus
+    loss_model: object
+    loss_rate: float
+    #: honeypot name -> (address, pristine services table, want_pcap).
+    honeypots: Dict[str, Tuple[int, Dict[int, object], bool]]
+
+
+def _attack_worker_run(state: _AttackWorkerState, payload) -> _TaskOutcome:
+    """Process-pool entry point: one ``(honeypot, day, sessions)`` task."""
+    return _execute_attack_task(state, payload)
+
+
+def _payload_runs(payloads: List[bytes]):
+    """Run-length group a payload list into ``(payload, count)`` pairs.
+
+    Flood and reflection builders emit literal repeats — usually the
+    *same* bytes object tens of times — so the identity check
+    short-circuits the common case and equality catches
+    distinct-but-equal packets (the S7 job flood).  The drivers below
+    inline this grouping (the generator frame showed up in profiles);
+    the function stays as the canonical, testable definition.
+    """
+    index, total = 0, len(payloads)
+    while index < total:
+        item = payloads[index]
+        end = index + 1
+        while end < total and (payloads[end] is item or payloads[end] == item):
+            end += 1
+        yield item, end - index
+        index = end
+
+
+def _drive_tcp_batch(server, payloads, exchanges, session) -> int:
+    """One TCP session via run-length grouped ``handle_repeat`` calls.
+
+    Byte-identical to the scalar per-payload loop: a closing reply stops
+    the session (``handle_repeat`` truncates its run on close, so a
+    short run means the server hung up mid-run).  Returns the total
+    attacker bytes recorded — the run arithmetic makes it free here,
+    where :attr:`SessionTranscript.request_bytes` would re-walk the
+    exchange list per event.
+    """
+    handle = server.handle
+    append = exchanges.append
+    nbytes = 0
+    index, total = 0, len(payloads)
+    while index < total:
+        item = payloads[index]
+        end = index + 1
+        while end < total and (payloads[end] is item or payloads[end] == item):
+            end += 1
+        count = end - index
+        index = end
+        if count == 1:
+            reply = handle(item, session)
+            append((item, reply.data))
+            nbytes += len(item)
+            if reply.close:
+                return nbytes
+            continue
+        replies = server.handle_repeat(item, count, session)
+        for reply in replies:
+            append((item, reply.data))
+        nbytes += len(item) * len(replies)
+        if len(replies) < count or (replies and replies[-1].close):
+            return nbytes
+    return nbytes
+
+
+def _drive_udp_batch(
+    server, payloads, exchanges, src, dst, port, day, loss_model, lossy,
+    attempts,
+) -> int:
+    """One UDP session via run-length grouped datagram batches.
+
+    Loss verdicts for a run come from one vectorized
+    :func:`keyed_uniform_array` block (element ``k`` is exactly the
+    scalar draw for the flow's ``first + k``-th attempt); the surviving
+    datagrams are then handled in order as one
+    ``handle_repeat_datagrams`` batch and interleaved back between the
+    losses — server state only ever advances on handled datagrams, so
+    the transcript matches the scalar loop byte for byte.  Returns the
+    total attacker bytes recorded (lost datagrams still count: the
+    attacker sent them).
+    """
+    handle = server.handle
+    open_session = server.open_session
+    append = exchanges.append
+    nbytes = 0
+    if not lossy:
+        index, total = 0, len(payloads)
+        while index < total:
+            item = payloads[index]
+            end = index + 1
+            while end < total and (
+                payloads[end] is item or payloads[end] == item
+            ):
+                end += 1
+            count = end - index
+            index = end
+            if count == 1:
+                reply = handle(item, open_session(peer=src))
+                append((item, reply.data if reply.data else b""))
+                nbytes += len(item)
+            else:
+                replies = server.handle_repeat_datagrams(
+                    item, count, peer=src
+                )
+                for reply in replies:
+                    append((item, reply.data if reply.data else b""))
+                nbytes += len(item) * len(replies)
+        return nbytes
+    flow = (src, port, "udp")
+    rate = loss_model.rate
+    seed, name = loss_model.seed, loss_model.name
+    for item, count in _payload_runs(payloads):
+        first = attempts.get(flow, 0)
+        attempts[flow] = first + count
+        nbytes += len(item) * count
+        if count == 1:
+            lost = keyed_uniform(
+                seed, name, src, dst, port, "udp", day, first
+            ) < rate
+            if lost:
+                exchanges.append((item, b""))
+            else:
+                reply = handle(item, open_session(peer=src))
+                exchanges.append((item, reply.data if reply.data else b""))
+            continue
+        verdicts = [
+            draw < rate
+            for draw in keyed_uniform_array(
+                seed, name, count, src, dst, port, "udp", day, start=first
+            )
+        ]
+        survivors = count - int(sum(verdicts))
+        replies = iter(
+            server.handle_repeat_datagrams(item, survivors, peer=src)
+            if survivors
+            else ()
+        )
+        for lost in verdicts:
+            if lost:
+                exchanges.append((item, b""))
+            else:
+                reply = next(replies)
+                exchanges.append((item, reply.data if reply.data else b""))
+    return nbytes
+
+
+def _execute_attack_task(
+    state: _AttackWorkerState, payload, batch: bool = True
+) -> _TaskOutcome:
+    """Execute one ``(honeypot, day, sessions)`` task against cloned services.
+
+    The worker-agnostic core behind :meth:`AttackScheduler._run_task`:
+    payload draws come from ``stream.derive(name, day)``, the day's
+    timestamps from one vectorized block on ``stream.derive(name, day,
+    "ts")``, and identical-payload runs collapse to ``handle_repeat``
+    fast paths with repeated transcripts classified once per distinct
+    exchange sequence.  ``batch=False`` is the scalar differential
+    oracle: per-event draws, per-payload ``handle`` calls, per-event
+    classification — pinned byte-identical to the batch path by tests.
+    """
+    honeypot_name, day, sessions = payload
+    honeypot_address, pristine, want_pcap = state.honeypots[honeypot_name]
+    start = time.perf_counter()
+    stream = state.stream.derive(honeypot_name, day)
+    ts_stream = state.stream.derive(honeypot_name, day, "ts")
+    day_base = day * 86_400.0
+    if batch:
+        timestamps = [
+            day_base + 86_399 * float(unit)
+            for unit in ts_stream.uniform_array(len(sessions))
+        ]
+    else:
+        ts_uniform = ts_stream.uniform
+        timestamps = [
+            day_base + ts_uniform(0, 86_399) for _ in range(len(sessions))
+        ]
+    services = copy.deepcopy(pristine)
+    base_state = AttackScheduler._int_state(services)
+    corpus_view = TaskCorpusView(state.corpus)
+    outcome = _TaskOutcome(honeypot=honeypot_name)
+    events = outcome.events
+    loss_model = state.loss_model
+    lossy = state.loss_rate > 0
+    attempts: Dict[Tuple[int, int, str], int] = {}
+    classified: Optional[dict] = {} if batch else None
+
+    current_protocol: Optional[ProtocolId] = None
+    port: Optional[int] = None
+    server = None
+    is_udp = False
+    for index, planned in enumerate(sessions):
+        protocol = planned.protocol
+        if protocol is not current_protocol:
+            # Protocol boundary == the reference path's daily restart
+            # point: each (protocol, day) batch starts on live services.
+            AttackScheduler._reset_services(services)
+            current_protocol = protocol
+            ports = [
+                p for p, candidate in services.items()
+                if candidate.protocol == protocol
+            ]
+            port = ports[0] if ports else None
+            server = services.get(port) if port is not None else None
+            is_udp = transport_of(protocol) == TransportKind.UDP
+        source = planned.source
+        payloads, malware_hash = build_payloads(
+            planned.intent, protocol, stream, corpus_view
+        )
+        outcome.attempted += 1
+        if server is None:
+            outcome.dropped += 1
+            continue
+        src = source.address
+        transcript = SessionTranscript(
+            protocol=protocol, port=port, source=src
+        )
+        exchanges = transcript.exchanges
+        request_total: Optional[int] = None
+        if is_udp:
+            if batch:
+                request_total = _drive_udp_batch(
+                    server, payloads, exchanges, src, honeypot_address,
+                    port, day, loss_model, lossy, attempts,
+                )
+            else:
+                handle = server.handle
+                open_session = server.open_session
+                if lossy:
+                    for item in payloads:
+                        if AttackScheduler._task_lost(
+                            loss_model, src, honeypot_address, port, "udp",
+                            day, attempts,
+                        ):
+                            exchanges.append((item, b""))
+                            continue
+                        reply = handle(item, open_session(peer=src))
+                        exchanges.append(
+                            (item, reply.data if reply.data else b"")
+                        )
+                else:
+                    for item in payloads:
+                        reply = handle(item, open_session(peer=src))
+                        exchanges.append(
+                            (item, reply.data if reply.data else b"")
+                        )
+        else:
+            if lossy and AttackScheduler._task_lost(
+                loss_model, src, honeypot_address, port, "tcp",
+                day, attempts,
+            ):
+                outcome.dropped += 1
+                continue
+            tcp_session = server.open_session(peer=src)
+            transcript.banner = server.accept(tcp_session)
+            if batch:
+                request_total = _drive_tcp_batch(
+                    server, payloads, exchanges, tcp_session
+                )
+            else:
+                handle = server.handle
+                for item in payloads:
+                    reply = handle(item, tcp_session)
+                    exchanges.append((item, reply.data))
+                    if reply.close:
+                        break
+        timestamp = timestamps[index]
+        if classified is None:
+            attack_type, summary = classify_session(transcript)
+        else:
+            # Flood sessions repeat the exact same transcript; classify
+            # is a pure function of it, so memoize per task.
+            memo_key = (protocol, transcript.banner, tuple(exchanges))
+            cached = classified.get(memo_key)
+            if cached is None:
+                cached = classified[memo_key] = classify_session(transcript)
+            attack_type, summary = cached
+        if request_total is None:
+            request_total = transcript.request_bytes
+        events.append((
+            honeypot_name, protocol, src, day, timestamp, attack_type,
+            source.actor, summary, malware_hash, request_total,
+        ))
+        if want_pcap:
+            outcome.pcap.append((timestamp, transcript))
+        if malware_hash:
+            outcome.families.append(
+                (src, corpus_view.family_of(malware_hash))
+            )
+
+    # Integer-counter deltas (ICS request/poison tallies etc.) merge
+    # additively back onto the real deployment after the month.
+    for task_port, task_server in services.items():
+        base = base_state.get(task_port, {})
+        deltas = {
+            attr: value - base.get(attr, 0)
+            for attr, value in vars(task_server).items()
+            if type(value) is int and value != base.get(attr, 0)
+        }
+        if deltas:
+            outcome.counters[task_port] = deltas
+    outcome.minted = corpus_view.minted
+    outcome.timing = TaskTiming(
+        plane="attacks",
+        unit=honeypot_name,
+        day=day,
+        seconds=time.perf_counter() - start,
+        events=len(events),
+    )
+    return outcome

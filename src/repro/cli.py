@@ -23,7 +23,11 @@ reproducible from the shell line alone, plus the engine knobs:
 identical for every K, with per-shard timings in the metrics),
 ``--attack-workers K`` (concurrent (honeypot, day) / (protocol, day)
 generation tasks for the attack and telescope months — byte identical for
-every K, with per-task timings in the metrics), ``--backend
+every K, with per-task timings in the metrics), ``--executor
+{thread,process,auto}`` (what runs those task batches — ``process`` fans
+striped chunks out to worker processes for the months and scan shards,
+byte-identical to ``thread``; ``auto``, the default, picks per machine),
+``--backend
 {python,numpy,auto}`` (column backend for the three plane stores —
 ``numpy`` batch-draws and vectorizes the hot loops, byte-identical to
 ``python``; ``auto``, the default, picks numpy when the optional
@@ -148,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "workers for the attack and telescope months "
                               "(byte-identical output for every K; "
                               "default 1)")
+        sub.add_argument("--executor", default="auto",
+                         metavar="{thread,process,auto}",
+                         help="task executor for the sharded planes: "
+                              "'process' fans (honeypot, day) / "
+                              "(protocol, day) / scan-shard chunks out to "
+                              "worker processes (byte-identical output), "
+                              "'thread' keeps them on the in-process pool, "
+                              "'auto' (default) picks per machine")
         sub.add_argument("--backend", default="auto",
                          metavar="{python,numpy,auto}",
                          help="column backend for the plane stores: "
@@ -303,6 +315,15 @@ def _config(args) -> StudyConfig:
         config.resume = True
     if getattr(args, "task_deadline", ""):
         config.task_deadline = args.task_deadline
+    executor = getattr(args, "executor", "auto")
+    if executor != "auto":
+        # Like --backend below: no argparse `choices`, so an unknown
+        # value surfaces as the typed ConfigError -> exit code 2 from
+        # the final validate().  Sub-configs inherited the study default
+        # at construction, so stamp them directly.
+        config.executor = executor
+        for sub in (config.scan, config.attacks, config.telescope):
+            sub.executor = executor
     backend = getattr(args, "backend", "auto")
     if backend != "auto":
         # Not an argparse `choices` list on purpose: an unknown value (or

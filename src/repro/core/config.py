@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 from repro.attacks.schedule import AttackScheduleConfig
 from repro.core.columns import BACKENDS, _warn_deprecated
+from repro.core.tasks import EXECUTORS
 from repro.internet.population import PopulationConfig
 from repro.net.compat import DATACLASS_KW_ONLY
 from repro.net.errors import ConfigError
@@ -79,6 +80,13 @@ class StudyConfig:
     #: backends produce byte-identical artifacts, so the knob is excluded
     #: from equality/fingerprints like the other deployment knobs.
     backend: str = field(default="auto", compare=False)
+    #: Task executor for the three sharded planes: ``"thread"``,
+    #: ``"process"`` (true multi-core; sidesteps the GIL), or ``"auto"``
+    #: (process when more than one worker AND more than one core are
+    #: available).  Stamped over every sub-config left at the ``None``
+    #: inherit-sentinel.  All executors produce byte-identical artifacts,
+    #: so the knob is excluded from equality/fingerprints.
+    executor: str = field(default="auto", compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -100,10 +108,12 @@ class StudyConfig:
                     removal="2.0",
                     stacklevel=4,
                 )
-        # Same inherit rule for the column backend.
+        # Same inherit rule for the column backend and the task executor.
         for sub in (self.scan, self.attacks, self.telescope):
             if getattr(sub, "backend", "") is None:
                 sub.backend = self.backend
+            if getattr(sub, "executor", "") is None:
+                sub.executor = self.executor
 
     def validate(self) -> None:
         """Raise :class:`~repro.net.errors.ConfigError` on invalid knobs.
@@ -128,6 +138,11 @@ class StudyConfig:
             raise ConfigError(
                 f"backend must be one of {', '.join(BACKENDS)}; "
                 f"got {self.backend!r}"
+            )
+        if self.executor not in EXECUTORS:
+            raise ConfigError(
+                f"executor must be one of {', '.join(EXECUTORS)}; "
+                f"got {self.executor!r}"
             )
         if self.task_deadline is not None:
             # Parse for validation only; the engine builds fresh

@@ -796,6 +796,7 @@ def _phase_zmap(engine: StudyEngine) -> Dict[str, object]:
     deadline = engine.task_deadline()
     database = scanner.run_campaign(journal=journal, deadline=deadline)
     engine.metrics.record_shards(scanner.shard_timings)
+    engine.metrics.record_executor("scan", scanner.executor_stats)
     engine.metrics.record_supervision(
         "scan", journal=journal, deadline=deadline
     )
@@ -893,6 +894,7 @@ def _phase_attacks(engine: StudyEngine) -> Dict[str, object]:
         deadline = engine.task_deadline()
         schedule = scheduler.run(journal=journal, deadline=deadline)
         engine.metrics.record_tasks(scheduler.task_timings)
+        engine.metrics.record_executor("attacks", scheduler.executor_stats)
         engine.metrics.record_supervision(
             "attacks", journal=journal, deadline=deadline
         )
@@ -916,6 +918,7 @@ def _phase_telescope(engine: StudyEngine) -> Dict[str, object]:
     deadline = engine.task_deadline()
     capture = telescope.capture_month(journal=journal, deadline=deadline)
     engine.metrics.record_tasks(telescope.task_timings)
+    engine.metrics.record_executor("telescope", telescope.executor_stats)
     engine.metrics.record_supervision(
         "telescope", journal=journal, deadline=deadline
     )

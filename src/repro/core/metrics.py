@@ -23,7 +23,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.integrity import QuarantineRecord
-from repro.core.tasks import TaskDeadline, TaskJournal, TaskStall, TaskTiming
+from repro.core.tasks import (
+    ChunkTiming,
+    ExecutorStats,
+    TaskDeadline,
+    TaskJournal,
+    TaskStall,
+    TaskTiming,
+)
 from repro.scanner.shard import ShardTiming
 
 __all__ = [
@@ -31,6 +38,7 @@ __all__ = [
     "JournalMetric",
     "StoreMetric",
     "OperatorMetric",
+    "ExecutorMetric",
     "StudyMetrics",
 ]
 
@@ -157,6 +165,45 @@ class OperatorMetric:
 
 
 @dataclass
+class ExecutorMetric:
+    """One measurement plane's resolved task executor, with chunk walls.
+
+    A frozen copy of the plane's :class:`~repro.core.tasks.ExecutorStats`
+    taken when the phase finishes: which executor actually ran the batch
+    (``serial``/``thread``/``process`` — ``auto`` resolves before this is
+    recorded), how wide it was, and the per-worker chunk timings the
+    striped scheduler produced.
+    """
+
+    plane: str
+    kind: str
+    workers: int
+    tasks: int
+    seconds: float
+    chunks: List[ChunkTiming] = field(default_factory=list)
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Tasks completed per second of batch wall time."""
+        if self.seconds <= 0:
+            return None
+        return self.tasks / self.seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plane": self.plane,
+            "kind": self.kind,
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "seconds": round(self.seconds, 6),
+            "tasks_per_second": (
+                round(self.rate, 3) if self.rate is not None else None
+            ),
+            "chunks": [chunk.to_dict() for chunk in self.chunks],
+        }
+
+
+@dataclass
 class StudyMetrics:
     """Everything one engine run measured, in execution order."""
 
@@ -182,6 +229,9 @@ class StudyMetrics:
     #: Streaming-operator feed accounting, one row per registered
     #: operator of a campaign-service run.
     operators: List[OperatorMetric] = field(default_factory=list)
+    #: Per-plane resolved task executors (kind, width, chunk walls), one
+    #: row per plane that ran a sharded task batch this run.
+    task_executors: List[ExecutorMetric] = field(default_factory=list)
 
     # -- recording --------------------------------------------------------
 
@@ -234,6 +284,24 @@ class StudyMetrics:
             backend=getattr(store, "backend", "python"),
             batch_appends=getattr(store, "batch_appends", 0),
             rows=len(store),  # type: ignore[arg-type]
+        ))
+
+    def record_executor(self, plane: str, stats: ExecutorStats) -> None:
+        """Fold one plane's :class:`ExecutorStats` into the run.
+
+        Skips planes that never ran a batch (``tasks == 0``) — a cached
+        phase leaves its component's stats empty, and an all-"serial"
+        row for it would misreport what this run executed.
+        """
+        if stats.tasks == 0:
+            return
+        self.task_executors.append(ExecutorMetric(
+            plane=plane,
+            kind=stats.kind,
+            workers=stats.workers,
+            tasks=stats.tasks,
+            seconds=stats.seconds,
+            chunks=list(stats.chunks),
         ))
 
     def record_operator(self, operator: object) -> None:
@@ -315,6 +383,9 @@ class StudyMetrics:
             "operators": [
                 operator.to_dict() for operator in self.operators
             ],
+            "task_executors": [
+                executor.to_dict() for executor in self.task_executors
+            ],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -347,6 +418,19 @@ class StudyMetrics:
                     f"{store.plane} {store.backend} "
                     f"({store.rows:,} rows, {store.batch_appends} batches)"
                     for store in self.stores
+                )
+            )
+        if self.task_executors:
+            lines.append(
+                "executors: "
+                + "; ".join(
+                    f"{metric.plane} {metric.kind}×{metric.workers} "
+                    f"({metric.tasks} tasks"
+                    + (f", {metric.rate:,.0f} tasks/s"
+                       if metric.rate is not None else "")
+                    + (f", {len(metric.chunks)} chunks)"
+                       if metric.chunks else ")")
+                    for metric in self.task_executors
                 )
             )
         if self.operators:

@@ -44,6 +44,7 @@ show where the wall time went — the attack-plane sibling of
 
 from __future__ import annotations
 
+import functools
 import gc
 import os
 import pickle
@@ -52,10 +53,20 @@ import sys
 import tempfile
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.core import faults
 from repro.core.integrity import (
@@ -80,6 +91,11 @@ __all__ = [
     "TaskTiming",
     "TaskStall",
     "TaskDeadline",
+    "ChunkTiming",
+    "ExecutorStats",
+    "ProcessPlan",
+    "EXECUTORS",
+    "resolve_executor",
     "paused_gc",
     "run_tasks",
 ]
@@ -368,6 +384,13 @@ class TaskDeadline:
                     attempt=attempt,
                 ))
 
+    def absorb(self, stalls: Sequence[TaskStall]) -> None:
+        """Fold stall rows observed elsewhere (a worker process) in."""
+        if not stalls:
+            return
+        with self._lock:
+            self.stalls.extend(stalls)
+
 
 @contextmanager
 def paused_gc() -> Iterator[None]:
@@ -442,6 +465,167 @@ def _run_supervised(
     return result
 
 
+@dataclass
+class ChunkTiming:
+    """Wall time of one executor chunk (a striped slice of a task batch)."""
+
+    chunk: int
+    tasks: int
+    seconds: float
+    #: Worker identity: a pid under the process executor, 0 otherwise.
+    worker: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "chunk": self.chunk,
+            "tasks": self.tasks,
+            "seconds": round(self.seconds, 6),
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class ExecutorStats:
+    """What actually ran a plane's task batches, and how fast.
+
+    One instance accumulates across every :func:`run_tasks` call a plane
+    makes (the scan campaign runs one batch per protocol); ``kind`` keeps
+    the last resolved executor, which is uniform within a plane.
+    """
+
+    kind: str = "serial"
+    workers: int = 1
+    tasks: int = 0
+    seconds: float = 0.0
+    chunks: List[ChunkTiming] = field(default_factory=list)
+
+    @property
+    def tasks_per_second(self) -> float:
+        return self.tasks / self.seconds if self.seconds > 0 else 0.0
+
+    def record(self, kind: str, workers: int, tasks: int,
+               seconds: float) -> None:
+        self.kind = kind
+        self.workers = max(self.workers, workers)
+        self.tasks += tasks
+        self.seconds += seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "seconds": round(self.seconds, 6),
+            "tasks_per_second": round(self.tasks_per_second, 1),
+            "chunks": [chunk.to_dict() for chunk in self.chunks],
+        }
+
+
+@dataclass(frozen=True)
+class ProcessPlan:
+    """Picklable recipe for running a task batch in worker processes.
+
+    Thread-pool thunks close over live planes and cannot cross a process
+    boundary; a process plan replaces them with data.  ``context`` is
+    pickled ONCE per worker and handed to ``setup`` in the worker's
+    initializer (world/config built once per worker, not per task);
+    ``run(state, payload)`` then executes one task against the state
+    ``setup`` returned.  ``run`` and ``setup`` must be module-level
+    callables (pickled by reference); ``payloads`` line up with the
+    batch's refs/thunks index for index.
+    """
+
+    run: Callable[[Any, Any], Any]
+    payloads: Sequence[Any]
+    context: Any = None
+    setup: Optional[Callable[[Any], Any]] = None
+
+
+#: Recognised ``--executor`` spellings.
+EXECUTORS = ("thread", "process", "auto")
+
+
+def resolve_executor(
+    executor: Optional[str],
+    *,
+    process_plan: Optional[ProcessPlan] = None,
+    workers: int = 1,
+) -> str:
+    """Resolve an executor request to a concrete kind.
+
+    ``auto`` picks the process pool when the batch ships a process plan,
+    more than one worker is requested, and the box actually has more than
+    one core to use — otherwise the thread pool.  Output bytes are
+    identical either way; only the wall clock differs.
+    """
+    if executor is None or executor == "auto":
+        if (process_plan is not None and workers > 1
+                and (os.cpu_count() or 1) > 1):
+            return "process"
+        return "thread"
+    if executor not in EXECUTORS:
+        raise ConfigError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    return executor
+
+
+#: Per-worker state built by a :class:`ProcessPlan`'s setup callable.
+_worker_state: Any = None
+
+
+def _process_initializer(setup, context, fault_plan) -> None:
+    """Worker bootstrap: install the parent's fault plan, build state.
+
+    Fault verdicts are pure functions of (plan seed, site, key, attempt)
+    — see :mod:`repro.core.faults` — so installing the same plan here
+    reproduces the parent's failure schedule exactly, whatever process
+    the task lands on.
+    """
+    global _worker_state
+    if fault_plan is not None:
+        faults.install(fault_plan)
+    _worker_state = setup(context) if setup is not None else context
+
+
+def _process_chunk(run, items, retries, deadline_spec):
+    """Run one striped chunk inside a worker process.
+
+    ``items`` is ``[(index, ref, payload), ...]``.  Supervision (task/
+    deadline fault sites, retries) happens worker-side through the same
+    :func:`_run_supervised` the thread path uses; journalling stays in
+    the parent (the journal holds a lock and a directory handle).  Soft
+    stalls are collected on a local deadline and returned for the parent
+    to absorb.
+    """
+    deadline = (
+        TaskDeadline(deadline_spec[0], deadline_spec[1])
+        if deadline_spec is not None else None
+    )
+    started = time.perf_counter()
+    results = []
+    with paused_gc():
+        for index, ref, payload in items:
+            thunk = functools.partial(run, _worker_state, payload)
+            results.append(
+                (index, _run_supervised(thunk, ref, retries, None, deadline))
+            )
+    seconds = time.perf_counter() - started
+    stalls = list(deadline.stalls) if deadline is not None else []
+    return results, stalls, seconds, os.getpid()
+
+
+def _striped_chunks(indexes: Sequence[int], n_chunks: int) -> List[List[int]]:
+    """Interleaved chunk assignment: chunk *i* takes every n_chunks-th task.
+
+    Contiguous chunks serialize behind cost skew — a honeypot's whole
+    expensive telnet month can land in one chunk.  Striping deals every
+    chunk a cross-section of the batch instead; results are re-merged by
+    task index, so the assignment is invisible in the output bytes.
+    """
+    return [list(indexes[i::n_chunks]) for i in range(n_chunks)]
+
+
 def run_tasks(
     thunks: Sequence[Callable[[], _T]],
     workers: int,
@@ -450,22 +634,29 @@ def run_tasks(
     retries: int = 0,
     journal: Optional[TaskJournal] = None,
     deadline: Optional[TaskDeadline] = None,
+    executor: Optional[str] = None,
+    process_plan: Optional[ProcessPlan] = None,
+    stats: Optional[ExecutorStats] = None,
 ) -> List[_T]:
     """Run independent task thunks supervised, in submission order.
 
     ``workers <= 1`` executes inline (the serial oracle path); anything
-    larger fans out on a thread pool.  Either way the result list order is
-    the submission order, never the completion order, so callers can merge
-    without knowing how the work was scheduled.  Cyclic GC is paused while
-    the batch drains (see :func:`paused_gc`).
+    larger fans out on a thread pool, or — when ``executor`` resolves to
+    ``"process"`` and the caller supplied a :class:`ProcessPlan` — on a
+    process pool that sidesteps the GIL entirely.  Either way the result
+    list order is the submission order, never the completion order, so
+    callers can merge without knowing how the work was scheduled.  Cyclic
+    GC is paused while the batch drains (see :func:`paused_gc`).
 
     ``refs`` names each task (defaults to anonymous per-index refs);
     ``retries`` bounds transient-failure re-execution; ``journal`` makes
     completed tasks crash-safe and, with ``journal.resume``, replayable;
     ``deadline`` arms per-task wall-time supervision (soft stalls recorded
-    on the deadline object, hard overruns retried as transient faults).
-    A failure surfaces as :class:`~repro.net.errors.TaskFailure` carrying
-    the task's ref, after cancelling every not-yet-started future.
+    on the deadline object, hard overruns retried as transient faults);
+    ``stats`` accumulates executor kind and per-chunk timings for the
+    metrics surface.  A failure surfaces as
+    :class:`~repro.net.errors.TaskFailure` carrying the task's ref, after
+    cancelling every not-yet-started future.
     """
     if refs is None:
         refs = [TaskRef("tasks", "task", index) for index in range(len(thunks))]
@@ -473,7 +664,15 @@ def run_tasks(
         raise ValueError(
             f"got {len(thunks)} thunks but {len(refs)} refs"
         )
+    if (process_plan is not None
+            and len(process_plan.payloads) != len(thunks)):
+        raise ValueError(
+            f"got {len(thunks)} thunks but "
+            f"{len(process_plan.payloads)} process payloads"
+        )
     retries = max(0, retries)
+    kind = resolve_executor(executor, process_plan=process_plan,
+                            workers=workers)
 
     def run_one(index: int) -> _T:
         return _run_supervised(
@@ -481,20 +680,34 @@ def run_tasks(
         )
 
     if workers <= 1 or len(thunks) <= 1:
+        started = time.perf_counter()
         with paused_gc():
-            return [run_one(index) for index in range(len(thunks))]
+            results = [run_one(index) for index in range(len(thunks))]
+        if stats is not None:
+            stats.record("serial", 1, len(thunks),
+                         time.perf_counter() - started)
+        return results
 
-    # Submit contiguous chunks, not individual tasks: a month shards into
+    if kind == "process" and process_plan is not None:
+        return _run_process_pool(
+            process_plan, refs, workers, retries, journal, deadline, stats
+        )
+
+    # Submit striped chunks, not individual tasks: a month shards into
     # hundreds of small (unit, day) tasks, and per-future queue traffic
     # would swamp them.  ``workers * 4`` chunks keeps the pool load-balanced
     # when task sizes are skewed (telnet days dwarf xmpp days) while the
-    # per-chunk overhead stays negligible.
-    def run_chunk(indexes: Sequence[int]) -> List[_T]:
-        return [run_one(index) for index in indexes]
+    # per-chunk overhead stays negligible; the interleaved assignment keeps
+    # one expensive unit's run of days from serializing a single chunk.
+    def run_chunk(
+        indexes: Sequence[int],
+    ) -> Tuple[List[Tuple[int, _T]], float]:
+        chunk_started = time.perf_counter()
+        pairs = [(index, run_one(index)) for index in indexes]
+        return pairs, time.perf_counter() - chunk_started
 
     n_chunks = min(len(thunks), workers * 4)
-    bounds = [len(thunks) * i // n_chunks for i in range(n_chunks + 1)]
-    chunks = [range(bounds[i], bounds[i + 1]) for i in range(n_chunks)]
+    chunks = _striped_chunks(range(len(thunks)), n_chunks)
 
     # The tasks are coarse, independent, pure-CPU units that share nothing
     # but the pool: the interpreter's default 5 ms switch interval just
@@ -503,13 +716,25 @@ def run_tasks(
     # box has fewer cores than workers.
     previous = sys.getswitchinterval()
     sys.setswitchinterval(0.05)
+    started = time.perf_counter()
     try:
         with paused_gc(), ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+            results: List[Optional[_T]] = [None] * len(thunks)
             try:
-                return [
-                    result for future in futures for result in future.result()
-                ]
+                for chunk_index, future in enumerate(futures):
+                    pairs, chunk_seconds = future.result()
+                    for index, result in pairs:
+                        results[index] = result
+                    if stats is not None:
+                        stats.chunks.append(ChunkTiming(
+                            chunk=chunk_index, tasks=len(pairs),
+                            seconds=chunk_seconds,
+                        ))
+                if stats is not None:
+                    stats.record("thread", workers, len(thunks),
+                                 time.perf_counter() - started)
+                return results  # type: ignore[return-value]
             except BaseException:
                 # Don't let the remaining month run to completion behind
                 # the error: unstarted chunks are cancelled; chunks already
@@ -520,3 +745,85 @@ def run_tasks(
                 raise
     finally:
         sys.setswitchinterval(previous)
+
+
+def _run_process_pool(
+    process_plan: ProcessPlan,
+    refs: Sequence[TaskRef],
+    workers: int,
+    retries: int,
+    journal: Optional[TaskJournal],
+    deadline: Optional[TaskDeadline],
+    stats: Optional[ExecutorStats],
+) -> List[Any]:
+    """The multi-core arm of :func:`run_tasks`.
+
+    The parent keeps everything that holds locks or file handles: journal
+    replay happens before submission (resumed tasks never reach a worker)
+    and journal stores happen as chunk results drain back.  Workers get
+    the picklable plan — context once via the pool initializer, then
+    striped ``(index, ref, payload)`` chunks — and run the same
+    supervision loop the thread path does, with identical keyed fault and
+    deadline verdicts because those are pure in (seed, key, attempt).
+    """
+    payloads = process_plan.payloads
+    total = len(payloads)
+    results: List[Any] = [None] * total
+    pending: List[int] = []
+    for index in range(total):
+        if journal is not None:
+            found, result = journal.load(refs[index])
+            if found:
+                results[index] = result
+                continue
+        pending.append(index)
+    if not pending:
+        if stats is not None:
+            stats.record("process", workers, total, 0.0)
+        return results
+
+    injector = faults.active()
+    fault_plan = injector.plan if injector is not None else None
+    deadline_spec = (
+        (deadline.soft, deadline.hard) if deadline is not None else None
+    )
+    n_chunks = min(len(pending), workers * 4)
+    chunks = _striped_chunks(pending, n_chunks)
+    items = [
+        [(index, refs[index], payloads[index]) for index in chunk]
+        for chunk in chunks
+    ]
+    started = time.perf_counter()
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_process_initializer,
+        initargs=(process_plan.setup, process_plan.context, fault_plan),
+    )
+    with pool:
+        futures = [
+            pool.submit(_process_chunk, process_plan.run, chunk_items,
+                        retries, deadline_spec)
+            for chunk_items in items
+        ]
+        try:
+            for chunk_index, future in enumerate(futures):
+                chunk_results, stalls, seconds, pid = future.result()
+                for index, result in chunk_results:
+                    results[index] = result
+                    if journal is not None:
+                        journal.store(refs[index], result)
+                if deadline is not None:
+                    deadline.absorb(stalls)
+                if stats is not None:
+                    stats.chunks.append(ChunkTiming(
+                        chunk=chunk_index, tasks=len(chunk_results),
+                        seconds=seconds, worker=pid,
+                    ))
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    if stats is not None:
+        stats.record("process", workers, total,
+                     time.perf_counter() - started)
+    return results

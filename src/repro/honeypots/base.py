@@ -41,7 +41,12 @@ class SessionTranscript:
     @property
     def request_bytes(self) -> int:
         """Total attacker bytes in the session."""
-        return sum(len(request) for request, _ in self.exchanges)
+        # Plain loop: this runs once per recorded event over every
+        # exchange, and the generator frame costs more than the adds.
+        total = 0
+        for request, _ in self.exchanges:
+            total += len(request)
+        return total
 
     def requests_text(self) -> str:
         """All attacker payloads, leniently decoded and joined."""

@@ -56,7 +56,13 @@ def classify_session(transcript: SessionTranscript) -> Tuple[AttackType, str]:
     n_requests = len(exchanges)
 
     # -- malware delivery is protocol-independent -------------------------
+    # Floods repeat one payload for the whole session; equal bytes match
+    # equally, so only scan the first request of each run.
+    previous = None
     for request, _ in exchanges:
+        if request is previous or request == previous:
+            continue
+        previous = request
         if _BINARY_MARKER in request or _DROPPER_RE.search(request):
             return AttackType.MALWARE_DROP, "dropper command or binary payload"
     if protocol == ProtocolId.FTP and any(

@@ -160,6 +160,17 @@ class TaskFailure(ReproError):
         #: Execution attempts made before giving up.
         self.attempts = attempts
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``, whose signature wants (ref, cause);
+        # rebuild from the structured fields instead so a failure raised
+        # inside a process-pool worker crosses the pipe intact.
+        return (_rebuild_task_failure, (self.ref, self.cause, self.attempts))
+
+
+def _rebuild_task_failure(ref, cause, attempts):
+    return TaskFailure(ref, cause, attempts=attempts)
+
 
 class ServeError(ReproError):
     """The streaming campaign service or its control surface failed.

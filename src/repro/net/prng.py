@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import hashlib
 import random
+from bisect import bisect
+from itertools import accumulate
 from typing import Iterable, List, Optional, Sequence, TypeVar, Union
 
 try:  # NumPy is optional; batch draws fall back to scalar loops without it.
@@ -46,6 +48,7 @@ KeyPart = Union[int, str]
 __all__ = [
     "DEFAULT_SEED",
     "RandomStream",
+    "WeightedPicker",
     "derive_seed",
     "derive_key_seed",
     "keyed_uniform",
@@ -142,22 +145,30 @@ def _splitmix64_array(values):
     return z ^ (z >> _np.uint64(31))
 
 
-def keyed_uniform_array(seed: Optional[int], name: str, n: int, *key: KeyPart):
+def keyed_uniform_array(
+    seed: Optional[int], name: str, n: int, *key: KeyPart, start: int = 0
+):
     """``n`` keyed uniforms — element ``i`` equals
-    ``keyed_uniform(seed, name, *key, i)`` exactly.
+    ``keyed_uniform(seed, name, *key, start + i)`` exactly.
 
     The batch twin of :func:`keyed_uniform` for hot loops that consume a
-    keyed draw per item of an indexed collection.  With NumPy available
-    the SplitMix64 mix runs vectorized over ``uint64`` arrays and the
-    result is a ``float64`` ndarray; otherwise a list from the scalar
-    fallback.  Both spell out the same IEEE doubles.
+    keyed draw per item of an indexed collection.  ``start`` offsets the
+    trailing index key part, so a consumer that has already spent the
+    first ``k`` draws of a flow (e.g. per-attempt loss verdicts) can
+    batch the remainder without re-deriving the spent prefix.  With
+    NumPy available the SplitMix64 mix runs vectorized over ``uint64``
+    arrays and the result is a ``float64`` ndarray; otherwise a list
+    from the scalar fallback.  Both spell out the same IEEE doubles.
     """
     if _np is None or n < _BATCH_MIN:
-        return [keyed_uniform(seed, name, *key, i) for i in range(n)]
+        return [
+            keyed_uniform(seed, name, *key, i)
+            for i in range(start, start + n)
+        ]
     state = derive_seed(seed, name)
     for part in key:
         state = _mix_part(state, part)
-    indexes = _np.arange(n, dtype=_np.uint64)
+    indexes = _np.arange(start, start + n, dtype=_np.uint64)
     with _np.errstate(over="ignore"):
         mixed = _splitmix64_array(_np.uint64(state) ^ indexes)
         final = _splitmix64_array(mixed)
@@ -278,6 +289,19 @@ class RandomStream:
         """``k`` weighted choices with replacement."""
         return self._rng.choices(seq, weights=weights, k=k)
 
+    def weighted_picker(
+        self, seq: Sequence[T], weights: Sequence[float]
+    ) -> "WeightedPicker[T]":
+        """A reusable one-draw picker over a fixed weight table.
+
+        Each :meth:`WeightedPicker.pick` is bit-identical to
+        ``choices(seq, weights, k=1)[0]`` — one ``random()`` draw bisected
+        against the accumulated weights, exactly as :mod:`random` does it —
+        but the cumulative table is built once here instead of on every
+        call, which is what hot planning loops with static weights want.
+        """
+        return WeightedPicker(self, seq, weights)
+
     def sample(self, seq: Sequence[T], k: int) -> List[T]:
         """``k`` distinct elements sampled without replacement."""
         return self._rng.sample(seq, k)
@@ -310,8 +334,10 @@ class RandomStream:
         return k
 
     def bytes(self, n: int) -> bytes:
-        """``n`` pseudo-random bytes."""
-        return bytes(self._rng.getrandbits(8) for _ in range(n))
+        """``n`` pseudo-random bytes (one ``getrandbits`` call, big-endian)."""
+        if n <= 0:
+            return b""
+        return self._rng.getrandbits(n * 8).to_bytes(n, "big")
 
     def hex_token(self, n_bytes: int) -> str:
         """Hex string of ``n_bytes`` random bytes."""
@@ -321,3 +347,41 @@ class RandomStream:
         """Pick from an iterable of ``(item, weight)`` pairs."""
         items, weights = zip(*table)
         return self._rng.choices(items, weights=weights, k=1)[0]
+
+
+class WeightedPicker:
+    """Repeated weighted single picks with the cumulative table hoisted.
+
+    CPython's ``random.choices`` rebuilds ``accumulate(weights)`` on every
+    call and then bisects it against ``random() * total``; when the same
+    weight table feeds thousands of ``k=1`` picks (session planning), the
+    rebuild dominates.  This class builds the table once and replays the
+    exact same draw-and-bisect, so the picks — and the stream state after
+    them — are bit-identical to ``stream.choices(seq, weights, k=1)[0]``.
+    """
+
+    __slots__ = ("_seq", "_cum", "_total", "_hi", "_random")
+
+    def __init__(
+        self,
+        stream: RandomStream,
+        seq: Sequence[T],
+        weights: Sequence[float],
+    ) -> None:
+        if len(seq) != len(weights):
+            raise ValueError("seq and weights must have equal length")
+        if not seq:
+            raise ValueError("cannot pick from an empty sequence")
+        self._seq = list(seq)
+        self._cum = list(accumulate(weights))
+        self._total = self._cum[-1] + 0.0
+        if self._total <= 0.0:
+            raise ValueError("total of weights must be greater than zero")
+        self._hi = len(self._seq) - 1
+        self._random = stream._rng.random
+
+    def pick(self) -> T:
+        """One weighted pick (consumes exactly one ``random()`` draw)."""
+        return self._seq[
+            bisect(self._cum, self._random() * self._total, 0, self._hi)
+        ]

@@ -185,6 +185,46 @@ class ProtocolServer(abc.ABC):
         """Create fresh per-connection state."""
         return Session(peer=peer)
 
+    def handle_repeat(
+        self, request: bytes, count: int, session: Session
+    ) -> List[ServerReply]:
+        """Handle ``count`` copies of one request within one TCP session.
+
+        The contract is *exactly* ``count`` sequential :meth:`handle`
+        calls, truncated after the first closing reply (mirroring how a
+        driver loop stops sending once the server tears the connection
+        down).  The returned list is therefore ``count`` replies, or
+        shorter with ``replies[-1].close`` true.
+
+        Flood and reflection payload lists repeat one identical packet
+        tens of times; servers whose repeat response is analytically
+        predictable (stateless responders, pure-counter floods) override
+        this with a fast path that must stay byte-identical to the
+        default loop — the attack plane's scalar oracle pins that.
+        """
+        replies: List[ServerReply] = []
+        for _ in range(count):
+            reply = self.handle(request, session)
+            replies.append(reply)
+            if reply.close:
+                break
+        return replies
+
+    def handle_repeat_datagrams(
+        self, request: bytes, count: int, peer: int = 0
+    ) -> List[ServerReply]:
+        """Handle ``count`` identical datagrams, each in a fresh session.
+
+        The UDP twin of :meth:`handle_repeat`: datagram services get a
+        fresh :class:`Session` per packet and never close, so the result
+        is always exactly ``count`` replies.  Overrides must match this
+        loop byte-for-byte.
+        """
+        return [
+            self.handle(request, self.open_session(peer=peer))
+            for _ in range(count)
+        ]
+
     def describe(self) -> str:
         """One-line human description for logs and reports."""
         return f"{type(self).__name__}({self.protocol})"

@@ -188,16 +188,33 @@ def decode_message(data: bytes) -> CoapMessage:
     )
 
 
-def well_known_core_request(message_id: int = 0x1234) -> bytes:
-    """The scan probe: ``GET /.well-known/core`` (confirmable)."""
+def _well_known_core_template() -> bytes:
     return encode_message(
         CoapMessage(
             mtype=CoapType.CONFIRMABLE,
             code=CoapCode.GET,
-            message_id=message_id,
+            message_id=0,
             token=b"\xca\xfe",
             uri_path=("." + "well-known", "core"),
         )
+    )
+
+
+_WELL_KNOWN_TEMPLATE = _well_known_core_template()
+
+
+def well_known_core_request(message_id: int = 0x1234) -> bytes:
+    """The scan probe: ``GET /.well-known/core`` (confirmable).
+
+    Only the message id varies between probes, so the encoder runs once
+    at import and each call splices the id into the cached template
+    (bytes 2-3 of the fixed header) — reflection floods build tens of
+    these per session.
+    """
+    return (
+        _WELL_KNOWN_TEMPLATE[:2]
+        + message_id.to_bytes(2, "big")
+        + _WELL_KNOWN_TEMPLATE[4:]
     )
 
 
@@ -233,12 +250,27 @@ class CoapServer(ProtocolServer):
         if config.access == "admin":
             self.resources.setdefault("/admin/config", b"220-Admin")
         self.poison_events = 0
+        self._listing_cache: Optional[Tuple[Tuple[str, ...], bytes]] = None
 
     def banner(self) -> bytes:
         return b""  # UDP: no unsolicited bytes
 
     def link_format(self) -> bytes:
-        """RFC 6690 listing of all resources."""
+        """RFC 6690 listing of all resources.
+
+        Cached against the resource paths: discovery and reflection
+        sessions request the listing tens of times between writes, and
+        the listing only depends on which paths exist.
+        """
+        paths = tuple(sorted(self.resources))
+        cached = self._listing_cache
+        if cached is not None and cached[0] == paths:
+            return cached[1]
+        listing = self._build_link_format()
+        self._listing_cache = (paths, listing)
+        return listing
+
+    def _build_link_format(self) -> bytes:
         entries = []
         for path in sorted(self.resources):
             attrs = ';rt="observe"' if path.startswith("/sensors") else ""
@@ -303,3 +335,31 @@ class CoapServer(ProtocolServer):
                 return reply(CoapCode.DELETED)
             return reply(CoapCode.FORBIDDEN)
         return reply(CoapCode.BAD_REQUEST)
+
+    def handle_repeat_datagrams(self, request, count, peer=0):
+        """Analytic fast path for a run of identical datagrams.
+
+        Reads and rejections never mutate, so one computed reply
+        replicates; writes stabilise after the second call (the path now
+        exists and the same payload is re-stored, so calls three onward
+        each advance ``poison_events`` by one and repeat the second
+        reply).  A repeated DELETE removes the resource once and draws
+        4.03 Forbidden from then on, with no further mutation.
+        """
+        if count < 2:
+            return super().handle_repeat_datagrams(request, count, peer=peer)
+        try:
+            message = decode_message(request)
+        except ProtocolError:
+            return [ServerReply()] * count  # garbage is silently dropped
+        mutates = (
+            message.code in (CoapCode.PUT, CoapCode.POST, CoapCode.DELETE)
+            and self.config.access in ("full", "admin")
+        )
+        first = self.handle(request, self.open_session(peer=peer))
+        if not mutates:
+            return [first] * count
+        second = self.handle(request, self.open_session(peer=peer))
+        if count > 2 and message.code != CoapCode.DELETE:
+            self.poison_events += count - 2
+        return [first] + [second] * (count - 1)

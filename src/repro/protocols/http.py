@@ -97,18 +97,26 @@ class HttpServer(ProtocolServer):
         self.request_count = 0
         self.login_successes = 0
         self.login_failures = 0
+        self._login_page_bytes: Optional[bytes] = None
+        #: Serialized responses keyed ``(status, reason, body)`` —
+        #: the server only ever emits a handful of distinct responses
+        #: (login page, static pages, 404/401/405), so the header
+        #: assembly runs once per distinct reply instead of per request.
+        self._response_cache: Dict[Tuple[int, str, bytes], bytes] = {}
 
     def banner(self) -> bytes:
         return b""
 
     def _login_page(self) -> bytes:
-        return (
-            f"<html><head><title>{self.config.title}</title></head>"
-            "<body><h1>Login</h1>"
-            "<form method='POST' action='/login'>"
-            "<input name='username'/><input name='password' type='password'/>"
-            "</form></body></html>"
-        ).encode("utf-8")
+        if self._login_page_bytes is None:
+            self._login_page_bytes = (
+                f"<html><head><title>{self.config.title}</title></head>"
+                "<body><h1>Login</h1>"
+                "<form method='POST' action='/login'>"
+                "<input name='username'/><input name='password' type='password'/>"
+                "</form></body></html>"
+            ).encode("utf-8")
+        return self._login_page_bytes
 
     def handle(self, request: bytes, session: Session) -> ServerReply:
         self.request_count += 1
@@ -124,12 +132,14 @@ class HttpServer(ProtocolServer):
                 close=True,
             )
         def respond(status, reason, body=b"", close=False):
-            return ServerReply(
-                build_response(
+            key = (status, reason, body)
+            data = self._response_cache.get(key)
+            if data is None:
+                data = build_response(
                     status, reason, body, server=self.config.server_header
-                ),
-                close=close,
-            )
+                )
+                self._response_cache[key] = data
+            return ServerReply(data, close=close)
         if parsed.method == "GET":
             if parsed.path in ("/", "/index.html", "/login"):
                 return respond(200, "OK", self._login_page())
@@ -147,6 +157,44 @@ class HttpServer(ProtocolServer):
             self.login_failures += 1
             return respond(401, "Unauthorized", b"<html>Bad credentials</html>")
         return respond(405, "Method Not Allowed")
+
+    def handle_repeat(self, request, count, session):
+        """Analytic flood fast path for a run of identical requests.
+
+        A repeated parseable request draws the same reply every pre-crash
+        call and mutates only ``request_count`` plus (for login POSTs) one
+        login counter, so one computed reply stands in for every pre-crash
+        repetition — whichever login counter the single real call bumped
+        is scaled by the run length.  The crash threshold crossing lands
+        on exactly the call where the scalar loop would trip it (and
+        closes there, truncating the run).
+        """
+        try:
+            parsed = parse_request(request)
+        except ProtocolError:
+            parsed = None
+        if count < 2 or parsed is None:
+            return super().handle_repeat(request, count, session)
+        headroom = (
+            0 if self.crashed
+            else max(0, self.config.flood_threshold - self.request_count)
+        )
+        normal = min(count, headroom)
+        replies = []
+        if normal:
+            self.request_count += normal - 1
+            successes, failures = self.login_successes, self.login_failures
+            reply = self.handle(request, session)
+            self.login_successes += (
+                (self.login_successes - successes) * (normal - 1)
+            )
+            self.login_failures += (
+                (self.login_failures - failures) * (normal - 1)
+            )
+            replies.extend([reply] * normal)
+        if normal < count:
+            replies.append(self.handle(request, session))  # crash: close
+        return replies
 
 
 def _parse_form(body: bytes) -> Dict[str, str]:

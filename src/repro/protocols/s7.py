@@ -152,3 +152,38 @@ class S7Server(ProtocolServer):
             # flood exploits (the device spawns a job and never retires it).
             return ServerReply(encode_tpkt(bytes([2, COTP_DATA, 0x80, 0x00])))
         return ServerReply(close=True)
+
+    def handle_repeat(self, request, count, session):
+        """Analytic ICSA-16-299-01 fast path for a run of identical jobs.
+
+        A repeated unknown-function Job PDU leaks one outstanding job
+        per call and draws the same generic ack until the job table
+        overflows, so the run collapses to one handled call per state
+        transition — overflow landing on exactly the call where the
+        scalar loop would trip the DoS (and close, truncating the run).
+        """
+        if count < 2 or self.denial_of_service or session.state != "connected":
+            return super().handle_repeat(request, count, session)
+        try:
+            cotp = decode_tpkt(request)
+        except ProtocolError:
+            return super().handle_repeat(request, count, session)
+        if len(cotp) < 2 or cotp[1] != COTP_DATA:
+            return super().handle_repeat(request, count, session)
+        s7 = cotp[3:]
+        if (
+            len(s7) < 7
+            or s7[0] != S7_MAGIC
+            or s7[1] != PDU_TYPE_JOB
+            or s7[6] in (S7_FUNC_SETUP_COMM, S7_FUNC_READ_VAR, S7_FUNC_WRITE_VAR)
+        ):
+            return super().handle_repeat(request, count, session)
+        headroom = max(0, self.config.job_table_size - self.outstanding_jobs)
+        normal = min(count, headroom)
+        replies = []
+        if normal:
+            self.outstanding_jobs += normal - 1
+            replies.extend([self.handle(request, session)] * normal)
+        if normal < count:
+            replies.append(self.handle(request, session))  # overflow: DoS
+        return replies

@@ -57,6 +57,29 @@ class SshServer(ProtocolServer):
 
     def handle(self, request: bytes, session: Session) -> ServerReply:
         text = request.decode("utf-8", errors="replace").strip()
+        return self._step(text, session)
+
+    def handle_repeat(self, request, count, session):
+        """Repeated identical requests decode once.
+
+        Dictionary runs repeat the table's dominant pairs back to back;
+        the auth machine still advances per call (attempt counters live
+        on ``session``), but the decode hoists out of the loop.  Replies
+        are byte-identical to the default loop by construction.
+        """
+        if count < 2:
+            return super().handle_repeat(request, count, session)
+        text = request.decode("utf-8", errors="replace").strip()
+        replies = []
+        for _ in range(count):
+            reply = self._step(text, session)
+            replies.append(reply)
+            if reply.close:
+                break
+        return replies
+
+    def _step(self, text: str, session: Session) -> ServerReply:
+        """Advance the session state machine by one decoded request."""
         if session.state == "new":
             if not text.startswith("SSH-"):
                 return ServerReply(b"Protocol mismatch.\r\n", close=True)

@@ -69,6 +69,8 @@ def subnegotiate(option: int, payload: bytes) -> bytes:
 def strip_iac(data: bytes) -> bytes:
     """Remove IAC commands — triples, subnegotiation blocks, escapes —
     from a byte stream, leaving the text."""
+    if IAC not in data:
+        return data  # pure text: nothing to strip (the common case)
     out = bytearray()
     index = 0
     while index < len(data):
@@ -150,6 +152,31 @@ class TelnetServer(ProtocolServer):
 
     def handle(self, request: bytes, session: Session) -> ServerReply:
         text = strip_iac(request).decode("utf-8", errors="replace").strip()
+        return self._step(text, session)
+
+    def handle_repeat(self, request, count, session):
+        """Repeated identical requests strip IAC and decode once.
+
+        Flood sessions replay one garbage payload dozens of times; the
+        state machine still runs per call (the login cycle mutates
+        ``session``), but the byte-level text extraction — the dominant
+        per-call cost — hoists out of the loop.  Replies are byte-identical
+        to the default loop by construction: each step is the body of
+        :meth:`handle` minus the re-parse.
+        """
+        if count < 2:
+            return super().handle_repeat(request, count, session)
+        text = strip_iac(request).decode("utf-8", errors="replace").strip()
+        replies: List[ServerReply] = []
+        for _ in range(count):
+            reply = self._step(text, session)
+            replies.append(reply)
+            if reply.close:
+                break
+        return replies
+
+    def _step(self, text: str, session: Session) -> ServerReply:
+        """Advance the session state machine by one decoded request."""
         if not self.config.auth_required:
             return self._shell(text)
         if session.state in ("new", "await-user"):

@@ -161,3 +161,8 @@ class UpnpServer(ProtocolServer):
             )
             return ServerReply(head + xml)
         return ServerReply()
+
+    def handle_repeat_datagrams(self, request, count, peer=0):
+        # SSDP keeps no per-datagram state: every identical request draws
+        # the same reply, so the run collapses to one handled call.
+        return [self.handle(request, self.open_session(peer=peer))] * count

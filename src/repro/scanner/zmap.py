@@ -37,7 +37,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.columns import BACKENDS, resolve_backend
-from repro.core.tasks import TaskDeadline, TaskJournal, run_tasks
+from repro.core.tasks import (
+    EXECUTORS,
+    ExecutorStats,
+    ProcessPlan,
+    TaskDeadline,
+    TaskJournal,
+    run_tasks,
+)
 from repro.internet.fabric import SimulatedInternet
 from repro.net.compat import DATACLASS_KW_ONLY
 from repro.net.errors import ConfigError, ConnectionRefused, HostUnreachable
@@ -129,6 +136,11 @@ class ScanConfig:
     #: backends are byte-identical, so the knob is excluded from
     #: equality/fingerprints like the other deployment knobs.
     backend: Optional[str] = field(default=None, compare=False)
+    #: Task executor for the per-(protocol, shard) batch (``None``
+    #: inherits the study-level choice; see
+    #: :func:`~repro.core.tasks.resolve_executor`).  All executors are
+    #: byte-identical, so the knob is excluded from equality/fingerprints.
+    executor: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -149,6 +161,11 @@ class ScanConfig:
             raise ConfigError(
                 f"backend must be one of {', '.join(BACKENDS)}; "
                 f"got {self.backend!r}"
+            )
+        if self.executor is not None and self.executor not in EXECUTORS:
+            raise ConfigError(
+                f"executor must be one of {', '.join(EXECUTORS)}; "
+                f"got {self.executor!r}"
             )
         # Delegates shard knob validation so CLI and planner agree.
         ShardPlanner(self.shards, self.shard_strategy)
@@ -176,6 +193,8 @@ class InternetScanner:
         self.probes_sent = 0
         #: Per-(protocol, shard) wall-time rows from the last campaign.
         self.shard_timings: List[ShardTiming] = []
+        #: Executor kind / per-chunk timings from the last campaign.
+        self.executor_stats = ExecutorStats()
 
     # -- campaign entry point ------------------------------------------------
 
@@ -204,12 +223,60 @@ class InternetScanner:
         allowed = self._allowed_addresses()
         shards = planner.partition(allowed)
         self.shard_timings = []
-        rows: List[tuple] = []
+        # One merged batch across every (protocol, shard) unit — not one
+        # batch per protocol — so the process executor pays its worker
+        # bootstrap (pickling the world into each worker) once per
+        # campaign instead of once per protocol, and the thread pool can
+        # overlap a slow protocol's tail with the next protocol's shards.
+        tasks: List[Tuple[ProtocolId, int]] = []
+        refs = []
         for protocol in self.config.protocols:
-            rows.extend(self._scan_protocol_sharded(
-                protocol, shards, refs=planner.refs(str(protocol)),
-                journal=journal, deadline=deadline,
-            ))
+            protocol_refs = planner.refs(str(protocol))
+            for index in range(len(shards)):
+                tasks.append((protocol, index))
+                refs.append(protocol_refs[index])
+        payloads = [
+            (protocol, index, tuple(shards[index]))
+            for protocol, index in tasks
+        ]
+
+        def make_thunk(payload):
+            def run_shard() -> Tuple[List[tuple], int, float]:
+                return _scan_worker_run(self, payload)
+            return run_shard
+
+        outcomes = run_tasks(
+            [make_thunk(payload) for payload in payloads],
+            len(shards),
+            refs=refs,
+            retries=self.config.retries,
+            journal=journal,
+            deadline=deadline,
+            executor=self.config.executor,
+            process_plan=ProcessPlan(
+                run=_scan_worker_run,
+                setup=_scan_worker_setup,
+                context=(self.internet, self.config),
+                payloads=payloads,
+            ),
+            stats=self.executor_stats,
+        )
+
+        rows: List[tuple] = []
+        for (protocol, index), (shard_rows, probes, seconds) in zip(
+            tasks, outcomes
+        ):
+            rows.extend(shard_rows)
+            self.probes_sent += probes
+            self.shard_timings.append(
+                ShardTiming(
+                    protocol=str(protocol),
+                    shard=index,
+                    seconds=seconds,
+                    records=len(shard_rows),
+                    probes=probes,
+                )
+            )
         # Canonical merge order across the whole campaign — the same key
         # ScanDatabase.sorted_canonical uses, so the reference serial path
         # and any shard count produce byte-identical databases.
@@ -252,57 +319,6 @@ class InternetScanner:
             if (host_filter is None or host_filter(host.address))
             and not blocks(host.address)
         )
-
-    def _scan_protocol_sharded(
-        self,
-        protocol: ProtocolId,
-        shards: Sequence[Sequence[int]],
-        refs=None,
-        journal: Optional[TaskJournal] = None,
-        deadline: Optional[TaskDeadline] = None,
-    ) -> List[tuple]:
-        """Scan one protocol across address shards; unordered row tuples
-        (the campaign applies the canonical sort once, over all protocols).
-
-        Shards run under the supervised executor even when serial, so
-        fault injection, retries and journaling behave identically for
-        every worker count."""
-        worker = (
-            self._scan_tcp_shard
-            if transport_of(protocol) == TransportKind.TCP
-            else self._scan_udp_shard
-        )
-
-        def make_thunk(index: int):
-            def run_shard() -> Tuple[List[tuple], int, float]:
-                started = time.perf_counter()
-                rows, probes = worker(protocol, index, shards[index])
-                return rows, probes, time.perf_counter() - started
-            return run_shard
-
-        outcomes = run_tasks(
-            [make_thunk(index) for index in range(len(shards))],
-            len(shards),
-            refs=refs,
-            retries=self.config.retries,
-            journal=journal,
-            deadline=deadline,
-        )
-
-        merged: List[tuple] = []
-        for index, (rows, probes, seconds) in enumerate(outcomes):
-            merged.extend(rows)
-            self.probes_sent += probes
-            self.shard_timings.append(
-                ShardTiming(
-                    protocol=str(protocol),
-                    shard=index,
-                    seconds=seconds,
-                    records=len(rows),
-                    probes=probes,
-                )
-            )
-        return merged
 
     def _shard_targets(
         self, protocol: ProtocolId, shard: int, addresses: Sequence[int]
@@ -452,3 +468,45 @@ class InternetScanner:
             timestamp=timestamp,
             source="zmap",
         )
+
+
+# -- process-pool worker plumbing (module-level so it pickles by reference) --
+
+def _scan_worker_setup(context) -> "InternetScanner":
+    """Build one worker process's scanner around the shipped world copy.
+
+    Admission (blocklist + host filter) already happened in the parent —
+    shard payloads carry only admitted addresses — so the worker shell
+    needs neither; probe order and loss verdicts are pure functions of
+    (seed, protocol, shard) and the keyed flow, so a pristine world copy
+    produces exactly the parent's rows.  Shard flows are disjoint across
+    tasks (addresses partition within a protocol, ports differ across
+    protocols), so per-worker world copies cannot interact.
+    """
+    internet, config = context
+    scanner = InternetScanner.__new__(InternetScanner)
+    scanner.internet = internet
+    scanner.config = config
+    scanner.blocklist = None
+    scanner.host_filter = None
+    scanner._source = ip_to_int(config.scanner_address)
+    scanner._stream = RandomStream(config.seed, "scanner")
+    scanner.probes_sent = 0
+    scanner.shard_timings = []
+    scanner.executor_stats = ExecutorStats()
+    return scanner
+
+
+def _scan_worker_run(
+    scanner: "InternetScanner", payload
+) -> Tuple[List[tuple], int, float]:
+    """Run one (protocol, shard) unit; shared by the thread/process paths."""
+    protocol, shard, addresses = payload
+    started = time.perf_counter()
+    worker = (
+        scanner._scan_tcp_shard
+        if transport_of(protocol) == TransportKind.TCP
+        else scanner._scan_udp_shard
+    )
+    rows, probes = worker(protocol, shard, addresses)
+    return rows, probes, time.perf_counter() - started

@@ -28,6 +28,9 @@ from repro.attacks.actors import ActorRegistry, SourceInfo
 from repro.core.columns import BACKENDS, resolve_backend, np as _np
 from repro.core.scaling import scale_count
 from repro.core.tasks import (
+    EXECUTORS,
+    ExecutorStats,
+    ProcessPlan,
     TaskDeadline,
     TaskJournal,
     TaskRef,
@@ -99,6 +102,11 @@ class TelescopeConfig:
     #: is byte-identical to ``"python"``, so the knob is excluded from
     #: equality/fingerprints like ``workers``.
     backend: Optional[str] = field(default=None, compare=False)
+    #: Task executor for the per-(protocol, day) batch (``None`` inherits
+    #: the study-level choice; see
+    #: :func:`~repro.core.tasks.resolve_executor`).  All executors are
+    #: byte-identical, so the knob is excluded from equality/fingerprints.
+    executor: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -115,6 +123,11 @@ class TelescopeConfig:
             raise ConfigError(
                 f"backend must be one of {', '.join(BACKENDS)}; "
                 f"got {self.backend!r}"
+            )
+        if self.executor is not None and self.executor not in EXECUTORS:
+            raise ConfigError(
+                f"executor must be one of {', '.join(EXECUTORS)}; "
+                f"got {self.executor!r}"
             )
 
 
@@ -156,6 +169,39 @@ class TelescopeCapture:
         )
 
 
+def _telescope_worker_setup(context) -> "NetworkTelescope":
+    """Build one process worker's emission state (once per worker).
+
+    Emission tasks touch only config-derived state — streams are pure
+    functions of the seed, the dark prefix parses from the config — so the
+    worker gets a registry-less telescope shell rather than the full actor
+    population.  The parent's *resolved* backend rides along so ``"auto"``
+    cannot resolve differently across the pool.
+    """
+    config, backend = context
+    shell = NetworkTelescope.__new__(NetworkTelescope)
+    shell.registry = None
+    shell.geo = None
+    shell.asn = None
+    shell.config = config
+    shell.backend = backend
+    shell._stream = RandomStream(config.seed, "telescope")
+    shell._dark = CidrBlock.parse(config.dark_prefix)
+    shell._allocator = None
+    shell.task_timings = []
+    shell.executor_stats = ExecutorStats()
+    shell._scanners = None
+    return shell
+
+
+def _telescope_worker_run(shell: "NetworkTelescope", payload):
+    """Run one (unit, day) emission task inside a process worker."""
+    unit, day, entries = payload
+    if unit == "rsdos":
+        return shell._emit_rsdos_day(day, entries)
+    return shell._emit_day(unit, day, entries)
+
+
 class NetworkTelescope:
     """Generates the month of darknet traffic from the actor population."""
 
@@ -180,6 +226,8 @@ class NetworkTelescope:
         )
         #: Per-(protocol, day) wall times of the last :meth:`capture_month`.
         self.task_timings: List[TaskTiming] = []
+        #: Executor kind and per-chunk timings of the last capture.
+        self.executor_stats = ExecutorStats()
         self._scanners: Optional[List[SourceInfo]] = None
 
     # -- generation ------------------------------------------------------
@@ -244,10 +292,30 @@ class NetworkTelescope:
         refs = [
             TaskRef("telescope", str(unit), day) for unit, day in tasks
         ]
+        # The emission tasks need only config-derived state (streams are
+        # re-derived from the seed), so the process plan ships the config
+        # once per worker and plain (unit, day, entries) payloads per task.
+        process_plan = ProcessPlan(
+            run=_telescope_worker_run,
+            setup=_telescope_worker_setup,
+            context=(self.config, self.backend),
+            payloads=[
+                (
+                    unit,
+                    day,
+                    rsdos_by_day[day] if unit == "rsdos"
+                    else day_plans[(unit, day)],
+                )
+                for unit, day in tasks
+            ],
+        )
         outcomes = run_tasks(
             thunks, self.config.workers,
             refs=refs, retries=self.config.retries, journal=journal,
             deadline=deadline,
+            executor=self.config.executor,
+            process_plan=process_plan,
+            stats=self.executor_stats,
         )
 
         self.task_timings = [timing for _, _, timing in outcomes]

@@ -134,6 +134,56 @@ class TestAttackMonthDeterminism:
                 == len(reference.multistage_sources))
 
 
+class TestBatchScalarOracle:
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_batch_drawn_sessions_match_scalar_oracle(self, seed):
+        """Every (honeypot, day) task produces identical outcomes under
+        the block-drawn path (``uniform_array`` timestamps, run-grouped
+        ``handle_repeat`` driving, memoized classification) and the scalar
+        differential oracle (per-event draws and per-payload ``handle``
+        calls) — the fidelity contract behind the batch rewrite."""
+        population = PopulationBuilder(
+            PopulationConfig(seed=seed, scale=8192, honeypot_scale=256)
+        ).build()
+        deployment = build_deployment()
+        deployment.attach(population.internet)
+        scheduler = AttackScheduler(
+            population.internet, deployment, population,
+            AttackScheduleConfig(seed=seed, attack_scale=128),
+        )
+        scheduler._mark_listings()
+        pools = scheduler._build_infected_pools()
+        sources = scheduler._build_sources(pools)
+        budgets = scheduler._scaled_budgets()
+        plan = {}
+        scheduler._plan_multistage(sources, budgets, plan)
+        for honeypot in deployment.honeypots:
+            scheduler._plan_honeypot(
+                honeypot, sources[honeypot.name], budgets, plan
+            )
+        lab = {h.name: h for h in deployment.honeypots}
+        compared = 0
+        for (name, day), sessions in sorted(plan.items()):
+            if not sessions:
+                continue
+            batch = scheduler._run_task(lab[name], day, sessions)
+            scalar = scheduler._run_task(
+                lab[name], day, sessions, batch=False
+            )
+            assert batch.events == scalar.events, (name, day)
+            assert batch.attempted == scalar.attempted
+            assert batch.dropped == scalar.dropped
+            assert batch.families == scalar.families
+            assert batch.counters == scalar.counters
+            assert (
+                [(s.family, s.sha256) for s in batch.minted]
+                == [(s.family, s.sha256) for s in scalar.minted]
+            )
+            compared += 1
+        assert compared > 50  # the month genuinely exercised the matrix
+        deployment.detach(population.internet)
+
+
 class TestTelescopeDeterminism:
     @pytest.mark.parametrize("seed", [7, 23])
     def test_serial_and_sharded_byte_identical(self, seed):
