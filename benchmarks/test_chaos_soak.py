@@ -1,0 +1,77 @@
+"""Chaos soak: the 1:4096 campaign under a full-grammar fault plan.
+
+The seeded plan arms every injection site at once — transient ``task``
+failures, degraded journal writes (``cache.io``), cache blob corruption
+(``store.corrupt``), deadline overruns, ``worker.crash`` verdicts that
+``os._exit`` attack-plane pool workers, and ``worker.hang`` verdicts
+that stall telescope workers past the supervisor's watchdog.  The soak
+passes only when the supervised runtime absorbs all of it invisibly:
+
+* every artifact (scan database, attack log, flowtuples) is
+  byte-identical to a fault-free run of the same seed,
+* a resume over the soaked journals and cache reproduces the same bytes,
+* the streamed replay's operator snapshots match the batch artifacts,
+* ``repro validate`` holds on the soaked study, and
+* the acceptance floor is met: at least two worker kills survived and
+  at least one hang detected, with the supervisor's interventions and
+  the bus overflow counters on the metrics surface.
+
+Runs ``repro chaos`` in-process; set ``REPRO_CHAOS_METRICS`` to also
+write the soaked study's ``--metrics-json`` document (the CI job uploads
+it as the run artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from conftest import compare
+
+from repro.core.chaos import ChaosConfig, run_chaos
+
+
+def test_chaos_soak_is_byte_identical_and_supervised():
+    report = run_chaos(ChaosConfig(), progress=lambda line: print(line, end=""))
+
+    metrics_path = os.environ.get("REPRO_CHAOS_METRICS")
+    if metrics_path:
+        with open(metrics_path, "w") as handle:
+            handle.write(report.metrics_json())
+
+    compare("chaos soak (1:4096 world, process pool, full fault grammar)", [
+        ("worker kills survived", ">= 2", report.worker_kills),
+        ("hangs detected", ">= 1", report.hangs),
+        ("pool restarts", "n/a", report.pool_restarts),
+        ("executor downgrades", "n/a", report.downgrades),
+        ("blobs quarantined", "n/a", report.quarantines),
+        ("ring events evicted", "n/a", report.events_evicted),
+        ("artifacts byte-identical", True, report.matched),
+        ("resume replay byte-identical", True,
+         report.resume_digests == report.baseline_digests),
+        ("wall s", "n/a", round(report.wall_seconds, 1)),
+    ])
+
+    # The acceptance floor: the soak genuinely exercised the supervisor.
+    assert report.worker_kills >= 2, report.render()
+    assert report.hangs >= 1, report.render()
+    assert report.pool_restarts >= report.worker_kills
+    assert report.quarantines > 0, "corruption faults never bit"
+
+    # Byte identity under fire, including the resumed leg and the
+    # streamed replay, plus a clean `repro validate`.
+    report.raise_on_failure()
+    assert report.passed
+    assert report.matched
+    assert not report.violations
+    assert not report.parity_problems
+
+    # Supervisor interventions and bus overflow are on the metrics
+    # surface (what `repro chaos --metrics-json` exports).
+    document = json.loads(report.metrics_json())
+    reasons = {row["reason"] for row in document["supervisor"]}
+    assert "worker-crash" in reasons
+    assert "hang-timeout" in reasons
+    assert document["bus"] is not None
+    assert document["bus"]["published"] > 0
+    assert document["bus"]["operator_errors"] == 0

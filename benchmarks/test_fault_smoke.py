@@ -32,12 +32,19 @@ from repro.internet.population import PopulationBuilder, PopulationConfig
 from repro.net.errors import TaskFailure
 from repro.scanner.zmap import InternetScanner, ScanConfig
 
-#: Three armed sites: supervised tasks die fatally, journal writes are
-#: best-effort under I/O faults, and the connect plane fails rarely but
-#: fatally.  Seed 8 is pinned so the interruption lands in the second
-#: protocol sweep — the first protocol's completed shards are then
-#: journaled deterministically, whatever the thread timing.
-_FAULTS = "task:0.3:fatal,cache.io:0.2:transient,fabric.connect:0.00002:fatal"
+#: Four armed sites: supervised tasks die fatally, journal writes are
+#: best-effort under I/O faults, the connect plane fails rarely but
+#: fatally, and a thin stream of ``worker.crash`` verdicts ``os._exit``s
+#: pool workers outright.  The crash site only fires inside a
+#: process-pool worker, so it is inert on the default thread executor
+#: and bites under ``REPRO_SMOKE_EXECUTOR=process`` — where the pool
+#: supervisor must rebuild the pool and requeue before the fatal
+#: ``task`` verdict lands the interruption.  Seed 8 is pinned so the
+#: interruption lands in the second protocol sweep — the first
+#: protocol's completed shards are then journaled deterministically,
+#: whatever the thread timing.
+_FAULTS = ("task:0.3:fatal,cache.io:0.2:transient,"
+           "fabric.connect:0.00002:fatal,worker.crash:0.03")
 _FAULT_SEED = 8
 
 _SHARDS = 4

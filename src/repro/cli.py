@@ -14,7 +14,13 @@ experiment without writing Python:
   violation and exiting 5;
 * ``serve``      — the streaming campaign service
   (:mod:`repro.stream`): an HTTP control surface to start paced
-  campaigns, poll status, and tail live events/alerts as SSE.
+  campaigns, poll status, and tail live events/alerts as SSE.  SIGTERM
+  or SIGINT drain active campaigns and SSE clients, then exit 0;
+* ``chaos``      — the seeded chaos soak (:mod:`repro.core.chaos`): run
+  a campaign under a randomized fault plan spanning every injection
+  site (worker kills and hangs included), let the supervisors recover,
+  and assert the artifacts byte-match a fault-free run and pass the
+  validate invariants.
 
 All commands accept ``--seed`` and the scale knobs, so campaigns are
 reproducible from the shell line alone, plus the engine knobs:
@@ -53,11 +59,15 @@ Robustness knobs (all byte-identity preserving):
   on the attack/telescope planes — tasks are pure functions of derived
   PRNG keys);
 * ``--inject-faults SPEC`` — deterministic seeded fault injection for
-  testing the above: comma-separated ``site:rate[:kind][:delay]``
+  testing the above: comma-separated ``site[@plane]:rate[:kind][:delay]``
   rules over the sites ``task``, ``cache.io``, ``store.corrupt``
   (bit-flips journal/cache blobs, proving envelope quarantine),
   ``deadline`` (injects task delays of ``delay`` seconds),
-  ``fabric.connect`` and ``dataset.load``.
+  ``fabric.connect``, ``dataset.load``, ``worker.crash`` (a pool worker
+  calls ``os._exit``, driving the supervisor's pool rebuild) and
+  ``worker.hang`` (a pool worker sleeps ``delay`` seconds, driving the
+  no-progress watchdog); an ``@plane`` suffix scopes a rule to one
+  measurement plane's task keys.
 
 Exit codes are stable for shell scripting and defined once as
 :class:`repro.core.errors.ExitCode`: 0 on success, 2 for an invalid
@@ -197,10 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "the task as a transient fault")
         sub.add_argument("--inject-faults", metavar="SPEC", default="",
                          help="deterministic fault injection for testing: "
-                              "comma-separated site:rate[:kind][:delay] "
-                              "rules (sites: task, cache.io, "
-                              "store.corrupt, deadline, fabric.connect, "
-                              "dataset.load)")
+                              "comma-separated "
+                              "site[@plane]:rate[:kind][:delay] rules "
+                              "(sites: task, cache.io, store.corrupt, "
+                              "deadline, fabric.connect, dataset.load, "
+                              "worker.crash, worker.hang)")
 
     run = subparsers.add_parser("run", help="full study, all tables")
     add_common(run)
@@ -265,6 +276,66 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default rows per operator batch (any value "
                             "yields identical final snapshots; default "
                             "256)")
+    serve.add_argument("--publish-policy", default="block",
+                       metavar="{block,drop_oldest,latest}",
+                       help="bus overload policy when --queue-capacity "
+                            "bounds publishing: 'block' applies "
+                            "backpressure (lossless, default), "
+                            "'drop_oldest'/'latest' shed batches with "
+                            "overflow accounting")
+    serve.add_argument("--queue-capacity", type=int, default=0,
+                       metavar="N",
+                       help="bound the bus publish queue at N batches "
+                            "(0 = synchronous in-thread delivery; "
+                            "default 0)")
+    serve.add_argument("--max-campaigns", type=int, default=None,
+                       metavar="N",
+                       help="reject /sim/start with 503 + Retry-After "
+                            "once N campaigns are active (default: "
+                            "unlimited)")
+    serve.add_argument("--stall-timeout", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="campaign watchdog: alert and flag 'stalled' "
+                            "after this many seconds without progress "
+                            "(0 disables; default 0)")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded chaos soak: run a campaign under randomized faults "
+             "at every site (worker kills and hangs included) and assert "
+             "byte-identity with a fault-free run (exit 5 on divergence)",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="study seed (default 7)")
+    chaos.add_argument("--fault-seed", type=int, default=93,
+                       help="seed of the randomized fault plan "
+                            "(default 93)")
+    chaos.add_argument("--scale", type=int, default=4096,
+                       help="population scale divisor for the soaked "
+                            "campaign (default 4096)")
+    chaos.add_argument("--workers", type=int, default=4, metavar="K",
+                       help="process-pool workers for the soaked run "
+                            "(default 4)")
+    chaos.add_argument("--retries", type=int, default=3, metavar="N",
+                       help="supervised-task retries during the soak "
+                            "(default 3)")
+    chaos.add_argument("--restart-budget", type=int, default=3,
+                       metavar="N",
+                       help="pool rebuilds before the supervisor "
+                            "downgrades to the thread executor "
+                            "(default 3)")
+    chaos.add_argument("--hang-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="pool no-progress watchdog window "
+                            "(default 5.0)")
+    chaos.add_argument("--faults", metavar="SPEC", default="",
+                       help="override the soak's fault plan (same grammar "
+                            "as --inject-faults; default: a plan spanning "
+                            "every site)")
+    chaos.add_argument("--metrics-json", metavar="PATH", default="",
+                       help="write the soaked run's metrics (supervisor "
+                            "and bus rows included) as JSON to PATH "
+                            "('-' for stdout)")
 
     return parser
 
@@ -467,6 +538,9 @@ def _cmd_validate(args, out) -> int:
 
 
 def _cmd_serve(args, out) -> int:
+    import signal
+    import threading
+
     from repro.stream.server import ControlServer
     from repro.stream.service import StreamConfig
 
@@ -482,25 +556,85 @@ def _cmd_serve(args, out) -> int:
     defaults = StreamConfig(
         events_per_second=args.events_per_second,
         batch_size=args.batch_size,
+        queue_capacity=args.queue_capacity,
+        publish_policy=args.publish_policy,
+        stall_timeout=args.stall_timeout,
     )
     defaults.validate()  # ConfigError -> exit code 2
     server = ControlServer(
         args.host, args.port,
         config_factory=config_factory, stream_defaults=defaults,
+        max_campaigns=args.max_campaigns,
     )
+    stop = threading.Event()
+    restore = []
+    if threading.current_thread() is threading.main_thread():
+        # SIGTERM (systemd/container stop) and SIGINT (Ctrl-C) both mean
+        # "shut down cleanly": stop campaigns, drain tailing SSE clients,
+        # close the listener, exit 0.
+        def request_stop(signum, frame):
+            stop.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                restore.append((signum, signal.signal(signum, request_stop)))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
     out.write(
         f"repro control API on http://{server.host}:{server.port} "
-        "(POST /sim/start to launch a campaign; Ctrl-C to stop)\n"
+        "(POST /sim/start to launch a campaign; SIGTERM/Ctrl-C to stop)\n"
     )
+    if hasattr(out, "flush"):
+        out.flush()
+    server.start()
     try:
+        while not stop.is_set():
+            stop.wait(0.2)
+        out.write("\nshutting down: draining campaigns and tail clients\n")
         if hasattr(out, "flush"):
             out.flush()
-        server.serve_forever()
     except KeyboardInterrupt:
-        out.write("\nshutting down\n")
+        out.write("\nshutting down: draining campaigns and tail clients\n")
     finally:
         server.shutdown()
+        for signum, previous in restore:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
     return ExitCode.OK
+
+
+def _cmd_chaos(args, out) -> int:
+    from repro.core.chaos import ChaosConfig, run_chaos
+
+    report = run_chaos(ChaosConfig(
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        scale=args.scale,
+        workers=args.workers,
+        retries=args.retries,
+        restart_budget=args.restart_budget,
+        hang_timeout=args.hang_timeout,
+        fault_spec=args.faults or None,
+    ), progress=out.write)
+    out.write(report.render())
+    if args.metrics_json:
+        text = report.metrics_json()
+        if args.metrics_json == "-":
+            out.write(text + "\n")
+        else:
+            try:
+                with open(args.metrics_json, "w") as handle:
+                    handle.write(text + "\n")
+            except OSError as error:
+                raise ConfigError(
+                    f"cannot write metrics to {args.metrics_json!r}: "
+                    f"{error}"
+                ) from error
+    report.raise_on_failure()  # ValidationError -> exit code 5
+    out.write("chaos soak passed: artifacts byte-identical under faults\n")
+    return EXIT_OK
 
 
 _COMMANDS = {
@@ -511,6 +645,7 @@ _COMMANDS = {
     "intersect": _cmd_intersect,
     "validate": _cmd_validate,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
 }
 
 

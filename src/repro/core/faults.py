@@ -26,7 +26,16 @@ Injection sites (the :data:`FAULT_SITES` registry):
 * ``fabric.connect`` — the simulated Internet's connect/query primitives
   (an infrastructure fault, distinct from modelled probe loss);
 * ``dataset.load``   — open-dataset snapshots and intel-store builds (the
-  optional vantage points a degraded study may drop).
+  optional vantage points a degraded study may drop);
+* ``worker.crash``   — *kills the process* rather than raises: the worker
+  calls ``os._exit`` (via :func:`maybe_crash`), simulating a SIGKILL'd /
+  OOM-killed pool worker.  Checked only inside process-pool workers, so
+  the thread and serial executors never see it — which is exactly what
+  lets the pool supervisor's downgrade ladder terminate;
+* ``worker.hang``    — *delays* like ``deadline`` but is checked at the
+  chunk level inside process-pool workers (default sleep
+  :data:`DEFAULT_HANG_DELAY` seconds), driving the pool supervisor's
+  no-progress watchdog in :func:`~repro.core.tasks.run_tasks`.
 
 A fault is **transient** (cleared by a supervised retry: the attempt
 number advances the key, so the retry draws a fresh verdict) or **fatal**
@@ -34,15 +43,20 @@ number advances the key, so the retry draws a fresh verdict) or **fatal**
 is :func:`install`-ed — production runs pay one ``None`` check per site.
 
 Specs (the CLI's ``--inject-faults``) are comma-separated
-``site:rate[:kind][:delay]`` entries — ``kind`` is ``transient`` or
-``fatal``, and ``delay`` (seconds, only meaningful for ``deadline``) may
-also stand alone in the third slot since a bare number is unambiguous::
+``site[@plane]:rate[:kind][:delay]`` entries — ``kind`` is ``transient``
+or ``fatal``, and ``delay`` (seconds, only meaningful for ``deadline`` /
+``worker.hang``) may also stand alone in the third slot since a bare
+number is unambiguous.  An ``@plane`` suffix scopes the rule to keys
+whose first component equals ``plane`` (useful for aiming worker faults
+at one measurement plane)::
 
     task:0.2,fabric.connect:0.05:transient,store.corrupt:0.3,deadline:0.5:0.25
+    worker.crash@attacks:0.1,worker.hang@telescope:0.02:20
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -61,6 +75,8 @@ __all__ = [
     "FAULT_SITES",
     "FAULT_KINDS",
     "DEFAULT_DEADLINE_DELAY",
+    "DEFAULT_HANG_DELAY",
+    "WORKER_CRASH_EXIT",
     "FaultRule",
     "FaultPlan",
     "FaultInjector",
@@ -71,13 +87,14 @@ __all__ = [
     "maybe_fail",
     "maybe_corrupt",
     "maybe_delay",
+    "maybe_crash",
     "task_attempt",
 ]
 
 #: The named injection sites the codebase is instrumented with.
 FAULT_SITES: Tuple[str, ...] = (
     "task", "cache.io", "store.corrupt", "deadline",
-    "fabric.connect", "dataset.load",
+    "fabric.connect", "dataset.load", "worker.crash", "worker.hang",
 )
 
 #: Recognized fault kinds.
@@ -85,6 +102,14 @@ FAULT_KINDS: Tuple[str, ...] = ("transient", "fatal")
 
 #: Injected task delay (seconds) when a ``deadline`` rule omits one.
 DEFAULT_DEADLINE_DELAY = 0.05
+
+#: Injected worker sleep (seconds) when a ``worker.hang`` rule omits one
+#: — long enough to trip any sanely configured pool watchdog.
+DEFAULT_HANG_DELAY = 30.0
+
+#: Exit status a ``worker.crash`` verdict kills the worker process with
+#: (visible to the parent as abrupt worker death, like a SIGKILL/OOM).
+WORKER_CRASH_EXIT = 70
 
 
 @dataclass(frozen=True)
@@ -95,8 +120,13 @@ class FaultRule:
     rate: float
     kind: str = "transient"
     #: Injected sleep in seconds when this rule fires at a delaying site
-    #: (``deadline``); ignored by raising and corrupting sites.
+    #: (``deadline`` / ``worker.hang``); ignored by raising, corrupting
+    #: and crashing sites.
     delay: float = 0.0
+    #: Optional key scope: when set, the rule only fires for checks whose
+    #: first key component equals this value (the plane name for task and
+    #: worker sites).  Parsed from the ``site@plane`` spec spelling.
+    plane: str = ""
 
     def __post_init__(self) -> None:
         if self.site not in FAULT_SITES:
@@ -119,6 +149,8 @@ class FaultRule:
             )
         if self.site == "deadline" and self.delay == 0.0:
             object.__setattr__(self, "delay", DEFAULT_DEADLINE_DELAY)
+        if self.site == "worker.hang" and self.delay == 0.0:
+            object.__setattr__(self, "delay", DEFAULT_HANG_DELAY)
 
 
 class FaultPlan:
@@ -136,12 +168,14 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
-        """Parse a ``site:rate[:kind][:delay]`` comma list.
+        """Parse a ``site[@plane]:rate[:kind][:delay]`` comma list.
 
         The third token is a kind (``transient``/``fatal``) or, since a
         bare number is unambiguous, a delay in seconds; with four tokens
-        the order is fixed as ``site:rate:kind:delay``.  Every rejection
-        is a :class:`~repro.net.errors.ConfigError` naming the offending
+        the order is fixed as ``site:rate:kind:delay``.  An ``@plane``
+        suffix on the site scopes the rule to keys whose first component
+        equals ``plane``.  Every rejection is a
+        :class:`~repro.net.errors.ConfigError` naming the offending
         token, the entry it sits in, and — for site typos — the full list
         of valid sites.
         """
@@ -151,11 +185,11 @@ class FaultPlan:
             if not 2 <= len(parts) <= 4:
                 raise ConfigError(
                     f"bad fault entry {chunk!r}: expected "
-                    "site:rate[:transient|fatal][:delay-seconds], got "
-                    f"{len(parts)} token(s); valid sites: "
+                    "site[@plane]:rate[:transient|fatal][:delay-seconds], "
+                    f"got {len(parts)} token(s); valid sites: "
                     f"{', '.join(FAULT_SITES)}"
                 )
-            site = parts[0]
+            site, _, plane = parts[0].partition("@")
             if site not in FAULT_SITES:
                 raise ConfigError(
                     f"unknown fault site {site!r} in entry {chunk!r}; "
@@ -198,12 +232,12 @@ class FaultPlan:
                             "delay in seconds"
                         ) from None
             rules.append(FaultRule(
-                site=site, rate=rate, kind=kind, delay=delay,
+                site=site, rate=rate, kind=kind, delay=delay, plane=plane,
             ))
         if not rules:
             raise ConfigError(
                 f"empty fault spec {spec!r}; expected comma-separated "
-                "site:rate[:kind][:delay] entries; valid sites: "
+                "site[@plane]:rate[:kind][:delay] entries; valid sites: "
                 f"{', '.join(FAULT_SITES)}"
             )
         return cls(rules, seed=seed)
@@ -211,7 +245,9 @@ class FaultPlan:
     def describe(self) -> str:
         """One-line human description for logs."""
         return ", ".join(
-            f"{rule.site}:{rule.rate:g}:{rule.kind}"
+            f"{rule.site}"
+            + (f"@{rule.plane}" if rule.plane else "")
+            + f":{rule.rate:g}:{rule.kind}"
             + (f":{rule.delay:g}s" if rule.delay > 0.0 else "")
             for rule in self.rules.values()
         )
@@ -246,6 +282,8 @@ class FaultInjector:
         rule = self.plan.rules.get(site)
         if rule is None or rule.rate <= 0.0:
             return None
+        if rule.plane and (not key or key[0] != rule.plane):
+            return None  # rule is scoped to another plane's keys
         attempt = getattr(_context, "attempt", 0)
         draw = keyed_uniform(
             self.plan.seed, f"fault.{site}", *key, attempt
@@ -352,3 +390,20 @@ def maybe_delay(site: str, *key) -> None:
         seconds = injector.delay_seconds(site, *key)
         if seconds > 0.0:
             time.sleep(seconds)
+
+
+def maybe_crash(*key) -> None:
+    """The ``worker.crash`` hook: kill this process when the verdict fires.
+
+    Calls ``os._exit`` — no cleanup, no exception, exactly how a
+    SIGKILL'd or OOM-killed pool worker disappears.  Only ever called
+    from sacrificial process-pool workers
+    (:func:`repro.core.tasks._process_chunk`); the verdict is pure in
+    ``(seed, key)`` like every other site, so which tasks take their
+    worker down is byte-reproducible.
+    """
+    injector = _active
+    if injector is not None and injector.would_fail(
+        "worker.crash", *key
+    ) is not None:
+        os._exit(WORKER_CRASH_EXIT)

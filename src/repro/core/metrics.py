@@ -26,6 +26,7 @@ from repro.core.integrity import QuarantineRecord
 from repro.core.tasks import (
     ChunkTiming,
     ExecutorStats,
+    SupervisorEvent,
     TaskDeadline,
     TaskJournal,
     TaskStall,
@@ -39,6 +40,8 @@ __all__ = [
     "StoreMetric",
     "OperatorMetric",
     "ExecutorMetric",
+    "SupervisorMetric",
+    "BusMetric",
     "StudyMetrics",
 ]
 
@@ -204,6 +207,60 @@ class ExecutorMetric:
 
 
 @dataclass
+class SupervisorMetric:
+    """One pool-supervisor intervention, stamped with its plane.
+
+    A :class:`~repro.core.tasks.SupervisorEvent` as recorded into the
+    study-level metrics: which plane's batch the pool restart or executor
+    downgrade happened in, why, at which pool generation, and how many
+    in-flight tasks were requeued.
+    """
+
+    plane: str
+    action: str
+    reason: str
+    generation: int
+    requeued: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plane": self.plane,
+            "action": self.action,
+            "reason": self.reason,
+            "generation": self.generation,
+            "requeued": self.requeued,
+        }
+
+
+@dataclass
+class BusMetric:
+    """One streaming campaign's event-bus overflow/error accounting.
+
+    Recorded by the campaign service when a stream finishes: rows
+    published, batches/rows shed by the bounded publish queue under a
+    lossy policy, items evicted from the bounded event/alert rings, and
+    operator exceptions the bus isolated.
+    """
+
+    published: int = 0
+    dropped_batches: int = 0
+    dropped_rows: int = 0
+    events_evicted: int = 0
+    alerts_evicted: int = 0
+    operator_errors: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "published": self.published,
+            "dropped_batches": self.dropped_batches,
+            "dropped_rows": self.dropped_rows,
+            "events_evicted": self.events_evicted,
+            "alerts_evicted": self.alerts_evicted,
+            "operator_errors": self.operator_errors,
+        }
+
+
+@dataclass
 class StudyMetrics:
     """Everything one engine run measured, in execution order."""
 
@@ -232,6 +289,12 @@ class StudyMetrics:
     #: Per-plane resolved task executors (kind, width, chunk walls), one
     #: row per plane that ran a sharded task batch this run.
     task_executors: List[ExecutorMetric] = field(default_factory=list)
+    #: Pool-supervisor interventions (restarts/downgrades), one row per
+    #: event across every supervised plane batch of the run.
+    supervisor: List[SupervisorMetric] = field(default_factory=list)
+    #: Event-bus overflow/error accounting of a streamed campaign
+    #: (``None`` for plain batch runs).
+    bus: Optional[BusMetric] = None
 
     # -- recording --------------------------------------------------------
 
@@ -291,8 +354,19 @@ class StudyMetrics:
 
         Skips planes that never ran a batch (``tasks == 0``) — a cached
         phase leaves its component's stats empty, and an all-"serial"
-        row for it would misreport what this run executed.
+        row for it would misreport what this run executed.  Supervisor
+        events ride along either way: a batch the supervisor had to
+        restart or downgrade is worth a row even if every task was
+        ultimately replayed from the journal.
         """
+        for event in stats.supervisor:
+            self.supervisor.append(SupervisorMetric(
+                plane=plane,
+                action=event.action,
+                reason=event.reason,
+                generation=event.generation,
+                requeued=event.requeued,
+            ))
         if stats.tasks == 0:
             return
         self.task_executors.append(ExecutorMetric(
@@ -303,6 +377,26 @@ class StudyMetrics:
             seconds=stats.seconds,
             chunks=list(stats.chunks),
         ))
+
+    def record_bus(self, bus: object) -> None:
+        """Fold a streamed campaign's event-bus accounting into the run.
+
+        Works on anything shaped like a
+        :class:`~repro.stream.bus.EventBus` — published counts, queue
+        drop counters, ring eviction counts and isolated operator-error
+        counts.
+        """
+        events = getattr(bus, "events", None)
+        alerts = getattr(bus, "alerts", None)
+        operator_errors = getattr(bus, "operator_errors", {})
+        self.bus = BusMetric(
+            published=sum(getattr(bus, "published", {}).values()),
+            dropped_batches=getattr(bus, "dropped_batches", 0),
+            dropped_rows=getattr(bus, "dropped_rows", 0),
+            events_evicted=getattr(events, "dropped", 0),
+            alerts_evicted=getattr(alerts, "dropped", 0),
+            operator_errors=sum(operator_errors.values()),
+        )
 
     def record_operator(self, operator: object) -> None:
         """Fold one streaming operator's feed accounting into the run.
@@ -386,6 +480,8 @@ class StudyMetrics:
             "task_executors": [
                 executor.to_dict() for executor in self.task_executors
             ],
+            "supervisor": [event.to_dict() for event in self.supervisor],
+            "bus": self.bus.to_dict() if self.bus is not None else None,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -432,6 +528,24 @@ class StudyMetrics:
                        if metric.chunks else ")")
                     for metric in self.task_executors
                 )
+            )
+        if self.supervisor:
+            lines.append(
+                "supervisor: "
+                + "; ".join(
+                    f"{event.plane} {event.action} ({event.reason}, "
+                    f"gen {event.generation}, {event.requeued} requeued)"
+                    for event in self.supervisor
+                )
+            )
+        if self.bus is not None:
+            lines.append(
+                f"bus: {self.bus.published:,} rows published, "
+                f"{self.bus.dropped_batches} batches/"
+                f"{self.bus.dropped_rows} rows shed, "
+                f"{self.bus.events_evicted} events / "
+                f"{self.bus.alerts_evicted} alerts evicted, "
+                f"{self.bus.operator_errors} operator errors isolated"
             )
         if self.operators:
             lines.append(

@@ -34,7 +34,19 @@ Beyond scheduling, ``run_tasks`` is a *supervisor*:
   ``StudyMetrics``), overrunning the hard deadline raises
   :class:`~repro.net.errors.TaskDeadlineError` — a transient fault, so it
   flows through the same ``retries`` path and a retried task is still
-  byte-identical (tasks are pure functions of their derived PRNG keys).
+  byte-identical (tasks are pure functions of their derived PRNG keys);
+* the process executor runs under a **pool supervisor**: abrupt worker
+  death (``BrokenProcessPool`` — a SIGKILL, an OOM kill, or the injected
+  ``worker.crash`` site) and pool-wide stalls (no chunk completing within
+  ``hang_timeout`` — the ``worker.hang`` site) tear the pool down,
+  rebuild it, and requeue only the tasks that never completed; because
+  every task is a pure function of its derived PRNG key, the re-executed
+  tasks are byte-identical to what the dead workers would have produced.
+  A bounded restart budget (:data:`DEFAULT_RESTART_BUDGET`) circuit-breaks
+  the supervisor down the executor ladder — process pool → thread pool →
+  inline serial — and every restart/downgrade is recorded as a
+  :class:`SupervisorEvent` on the batch's :class:`ExecutorStats`
+  (surfaced as supervisor rows in ``StudyMetrics``).
 
 :class:`TaskTiming` is the per-task metrics row surfaced in
 ``StudyMetrics`` (and ``--metrics-json``) so the scaling benchmark can
@@ -53,7 +65,12 @@ import sys
 import tempfile
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import wait as futures_wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -93,9 +110,12 @@ __all__ = [
     "TaskDeadline",
     "ChunkTiming",
     "ExecutorStats",
+    "SupervisorEvent",
     "ProcessPlan",
     "EXECUTORS",
+    "DEFAULT_RESTART_BUDGET",
     "resolve_executor",
+    "pool_supervision",
     "paused_gc",
     "run_tasks",
 ]
@@ -485,6 +505,36 @@ class ChunkTiming:
 
 
 @dataclass
+class SupervisorEvent:
+    """One pool-supervisor intervention: a pool rebuild or a downgrade.
+
+    ``action`` is ``"pool-restart"`` (the pool was rebuilt and the
+    unfinished tasks requeued) or ``"downgrade"`` (the supervisor stepped
+    down the executor ladder); ``reason`` is the stable trigger token —
+    ``"worker-crash"`` (``BrokenProcessPool``), ``"hang-timeout"`` (no
+    chunk completed within the watchdog window), ``"restart-budget"``
+    (the rebuild budget ran out) or ``"thread-pool-unavailable"`` (the
+    thread rung itself could not start and the batch fell back to
+    serial).  ``generation`` numbers the pool incarnation the event ended
+    and ``requeued`` counts the tasks handed to the next incarnation (or
+    down the ladder).
+    """
+
+    action: str
+    reason: str
+    generation: int
+    requeued: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "action": self.action,
+            "reason": self.reason,
+            "generation": self.generation,
+            "requeued": self.requeued,
+        }
+
+
+@dataclass
 class ExecutorStats:
     """What actually ran a plane's task batches, and how fast.
 
@@ -498,10 +548,26 @@ class ExecutorStats:
     tasks: int = 0
     seconds: float = 0.0
     chunks: List[ChunkTiming] = field(default_factory=list)
+    #: Pool-supervisor interventions, in occurrence order.
+    supervisor: List[SupervisorEvent] = field(default_factory=list)
 
     @property
     def tasks_per_second(self) -> float:
         return self.tasks / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def restarts(self) -> int:
+        """Pool rebuilds the supervisor performed."""
+        return sum(
+            1 for event in self.supervisor if event.action == "pool-restart"
+        )
+
+    @property
+    def downgrades(self) -> int:
+        """Executor-ladder downgrades the supervisor performed."""
+        return sum(
+            1 for event in self.supervisor if event.action == "downgrade"
+        )
 
     def record(self, kind: str, workers: int, tasks: int,
                seconds: float) -> None:
@@ -518,6 +584,7 @@ class ExecutorStats:
             "seconds": round(self.seconds, 6),
             "tasks_per_second": round(self.tasks_per_second, 1),
             "chunks": [chunk.to_dict() for chunk in self.chunks],
+            "supervisor": [event.to_dict() for event in self.supervisor],
         }
 
 
@@ -543,6 +610,41 @@ class ProcessPlan:
 
 #: Recognised ``--executor`` spellings.
 EXECUTORS = ("thread", "process", "auto")
+
+#: Pool rebuilds the supervisor performs before stepping down the
+#: executor ladder (process → thread → serial).
+DEFAULT_RESTART_BUDGET = 3
+
+_default_restart_budget = DEFAULT_RESTART_BUDGET
+#: No-progress watchdog window in seconds; ``None`` disarms the watchdog
+#: (a hung worker then simply holds its chunk until it wakes).
+_default_hang_timeout: Optional[float] = None
+
+
+@contextmanager
+def pool_supervision(
+    *,
+    hang_timeout: Optional[float] = None,
+    restart_budget: Optional[int] = None,
+) -> Iterator[None]:
+    """Scope process-pool supervision defaults for nested ``run_tasks``.
+
+    The measurement planes call :func:`run_tasks` without supervision
+    arguments, so the chaos harness and the CLI arm the watchdog here:
+    every batch inside the ``with`` body inherits ``hang_timeout`` (the
+    no-progress window, seconds) and ``restart_budget`` (pool rebuilds
+    before downgrading).  Omitted values keep the surrounding defaults.
+    """
+    global _default_hang_timeout, _default_restart_budget
+    previous = (_default_hang_timeout, _default_restart_budget)
+    if hang_timeout is not None:
+        _default_hang_timeout = hang_timeout
+    if restart_budget is not None:
+        _default_restart_budget = max(0, restart_budget)
+    try:
+        yield
+    finally:
+        _default_hang_timeout, _default_restart_budget = previous
 
 
 def resolve_executor(
@@ -588,7 +690,7 @@ def _process_initializer(setup, context, fault_plan) -> None:
     _worker_state = setup(context) if setup is not None else context
 
 
-def _process_chunk(run, items, retries, deadline_spec):
+def _process_chunk(run, items, retries, deadline_spec, generation=0):
     """Run one striped chunk inside a worker process.
 
     ``items`` is ``[(index, ref, payload), ...]``.  Supervision (task/
@@ -597,6 +699,14 @@ def _process_chunk(run, items, retries, deadline_spec):
     the parent (the journal holds a lock and a directory handle).  Soft
     stalls are collected on a local deadline and returned for the parent
     to absorb.
+
+    The ``worker.crash`` / ``worker.hang`` fault sites are checked here —
+    and *only* here, so the thread and serial executors are immune and
+    the supervisor's downgrade ladder always terminates.  Both verdicts
+    fold ``generation`` (the pool incarnation) into the key: a task
+    requeued after a pool rebuild draws a fresh, independent verdict,
+    while its own PRNG draws stay byte-identical.  The checks run before
+    the task does, so a killed worker has produced no partial effects.
     """
     deadline = (
         TaskDeadline(deadline_spec[0], deadline_spec[1])
@@ -606,6 +716,10 @@ def _process_chunk(run, items, retries, deadline_spec):
     results = []
     with paused_gc():
         for index, ref, payload in items:
+            faults.maybe_crash(ref.plane, ref.unit, ref.day, generation)
+            faults.maybe_delay(
+                "worker.hang", ref.plane, ref.unit, ref.day, generation
+            )
             thunk = functools.partial(run, _worker_state, payload)
             results.append(
                 (index, _run_supervised(thunk, ref, retries, None, deadline))
@@ -637,26 +751,38 @@ def run_tasks(
     executor: Optional[str] = None,
     process_plan: Optional[ProcessPlan] = None,
     stats: Optional[ExecutorStats] = None,
+    restart_budget: Optional[int] = None,
+    hang_timeout: Optional[float] = None,
 ) -> List[_T]:
     """Run independent task thunks supervised, in submission order.
 
     ``workers <= 1`` executes inline (the serial oracle path); anything
     larger fans out on a thread pool, or — when ``executor`` resolves to
     ``"process"`` and the caller supplied a :class:`ProcessPlan` — on a
-    process pool that sidesteps the GIL entirely.  Either way the result
-    list order is the submission order, never the completion order, so
-    callers can merge without knowing how the work was scheduled.  Cyclic
-    GC is paused while the batch drains (see :func:`paused_gc`).
+    supervised process pool that sidesteps the GIL entirely.  Either way
+    the result list order is the submission order, never the completion
+    order, so callers can merge without knowing how the work was
+    scheduled.  Cyclic GC is paused while the batch drains (see
+    :func:`paused_gc`).
 
     ``refs`` names each task (defaults to anonymous per-index refs);
     ``retries`` bounds transient-failure re-execution; ``journal`` makes
     completed tasks crash-safe and, with ``journal.resume``, replayable;
     ``deadline`` arms per-task wall-time supervision (soft stalls recorded
     on the deadline object, hard overruns retried as transient faults);
-    ``stats`` accumulates executor kind and per-chunk timings for the
-    metrics surface.  A failure surfaces as
+    ``stats`` accumulates executor kind, per-chunk timings and supervisor
+    events for the metrics surface.  A failure surfaces as
     :class:`~repro.net.errors.TaskFailure` carrying the task's ref, after
     cancelling every not-yet-started future.
+
+    ``restart_budget`` and ``hang_timeout`` tune the process-pool
+    supervisor (defaults come from :func:`pool_supervision` scope or the
+    module constants): a broken pool or a watchdog timeout rebuilds the
+    pool and requeues the unfinished tasks — byte-identical, because the
+    tasks are pure functions of their derived PRNG keys — and when the
+    budget runs out the batch downgrades to the thread executor (where
+    worker fault sites cannot fire), then to serial if threads cannot be
+    spawned at all.
     """
     if refs is None:
         refs = [TaskRef("tasks", "task", index) for index in range(len(thunks))]
@@ -673,6 +799,11 @@ def run_tasks(
     retries = max(0, retries)
     kind = resolve_executor(executor, process_plan=process_plan,
                             workers=workers)
+    if restart_budget is None:
+        restart_budget = _default_restart_budget
+    restart_budget = max(0, restart_budget)
+    if hang_timeout is None:
+        hang_timeout = _default_hang_timeout
 
     def run_one(index: int) -> _T:
         return _run_supervised(
@@ -688,11 +819,42 @@ def run_tasks(
                          time.perf_counter() - started)
         return results
 
+    results: List[Optional[_T]] = [None] * len(thunks)
     if kind == "process" and process_plan is not None:
-        return _run_process_pool(
-            process_plan, refs, workers, retries, journal, deadline, stats
+        leftover = _run_process_pool(
+            process_plan, refs, workers, retries, journal, deadline,
+            stats, results,
+            restart_budget=restart_budget, hang_timeout=hang_timeout,
         )
+        if leftover:
+            # Restart budget exhausted: finish the unfinished tasks on
+            # the thread rung.  Worker fault sites never fire outside a
+            # process-pool worker, so this rung cannot crash the same
+            # way — the ladder terminates.
+            _run_thread_chunks(run_one, leftover, workers, results, stats)
+        return results  # type: ignore[return-value]
 
+    _run_thread_chunks(
+        run_one, list(range(len(thunks))), workers, results, stats
+    )
+    return results  # type: ignore[return-value]
+
+
+def _run_thread_chunks(
+    run_one: Callable[[int], _T],
+    indexes: Sequence[int],
+    workers: int,
+    results: List[Optional[_T]],
+    stats: Optional[ExecutorStats],
+) -> None:
+    """The thread rung: run ``indexes`` striped on a thread pool.
+
+    Fills ``results`` in place (the caller owns the full-batch list, so
+    the same helper serves both a whole batch and a post-downgrade
+    remainder).  If the pool itself cannot start — thread exhaustion, the
+    genuine failure mode of this rung — the batch downgrades once more
+    and runs inline, recorded as a supervisor event.
+    """
     # Submit striped chunks, not individual tasks: a month shards into
     # hundreds of small (unit, day) tasks, and per-future queue traffic
     # would swamp them.  ``workers * 4`` chunks keeps the pool load-balanced
@@ -700,14 +862,32 @@ def run_tasks(
     # per-chunk overhead stays negligible; the interleaved assignment keeps
     # one expensive unit's run of days from serializing a single chunk.
     def run_chunk(
-        indexes: Sequence[int],
+        chunk_indexes: Sequence[int],
     ) -> Tuple[List[Tuple[int, _T]], float]:
         chunk_started = time.perf_counter()
-        pairs = [(index, run_one(index)) for index in indexes]
+        pairs = [(index, run_one(index)) for index in chunk_indexes]
         return pairs, time.perf_counter() - chunk_started
 
-    n_chunks = min(len(thunks), workers * 4)
-    chunks = _striped_chunks(range(len(thunks)), n_chunks)
+    n_chunks = min(len(indexes), workers * 4)
+    chunks = _striped_chunks(indexes, n_chunks)
+
+    try:
+        pool = ThreadPoolExecutor(max_workers=workers)
+    except (RuntimeError, OSError):
+        # Cannot spawn threads: the last rung of the ladder runs inline.
+        if stats is not None:
+            stats.supervisor.append(SupervisorEvent(
+                action="downgrade", reason="thread-pool-unavailable",
+                generation=0, requeued=len(indexes),
+            ))
+        started = time.perf_counter()
+        with paused_gc():
+            for index in indexes:
+                results[index] = run_one(index)
+        if stats is not None:
+            stats.record("serial", 1, len(indexes),
+                         time.perf_counter() - started)
+        return
 
     # The tasks are coarse, independent, pure-CPU units that share nothing
     # but the pool: the interpreter's default 5 ms switch interval just
@@ -718,9 +898,8 @@ def run_tasks(
     sys.setswitchinterval(0.05)
     started = time.perf_counter()
     try:
-        with paused_gc(), ThreadPoolExecutor(max_workers=workers) as pool:
+        with paused_gc(), pool:
             futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
-            results: List[Optional[_T]] = [None] * len(thunks)
             try:
                 for chunk_index, future in enumerate(futures):
                     pairs, chunk_seconds = future.result()
@@ -732,9 +911,8 @@ def run_tasks(
                             seconds=chunk_seconds,
                         ))
                 if stats is not None:
-                    stats.record("thread", workers, len(thunks),
+                    stats.record("thread", workers, len(indexes),
                                  time.perf_counter() - started)
-                return results  # type: ignore[return-value]
             except BaseException:
                 # Don't let the remaining month run to completion behind
                 # the error: unstarted chunks are cancelled; chunks already
@@ -747,6 +925,114 @@ def run_tasks(
         sys.setswitchinterval(previous)
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Best-effort kill of a pool's worker processes (hang recovery).
+
+    Reaches into the executor's process table — there is no public kill
+    API — and terminates each worker; a pool already broken by worker
+    death has reaped its processes and this is a no-op.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError, AttributeError):
+            pass
+
+
+def _run_pool_generation(
+    process_plan: ProcessPlan,
+    refs: Sequence[TaskRef],
+    pending: Sequence[int],
+    workers: int,
+    retries: int,
+    deadline_spec: Optional[Tuple[Optional[float], Optional[float]]],
+    fault_plan: Any,
+    journal: Optional[TaskJournal],
+    deadline: Optional[TaskDeadline],
+    stats: Optional[ExecutorStats],
+    results: List[Any],
+    generation: int,
+    hang_timeout: Optional[float],
+    chunk_counter: int,
+) -> Tuple[set, Optional[str], int]:
+    """Run one pool incarnation over ``pending``; report what survived.
+
+    Returns ``(completed_indexes, failure, chunk_counter)`` where
+    ``failure`` is ``None`` (every chunk drained), ``"worker-crash"``
+    (the pool broke under abrupt worker death) or ``"hang-timeout"`` (no
+    chunk completed within ``hang_timeout`` seconds — the no-progress
+    watchdog).  Completed chunk results are committed to ``results`` and
+    the journal as they drain, so a mid-generation failure loses only the
+    genuinely unfinished tasks; everything committed stays committed.
+    """
+    payloads = process_plan.payloads
+    n_chunks = min(len(pending), workers * 4)
+    chunks = _striped_chunks(pending, n_chunks)
+    items = [
+        [(index, refs[index], payloads[index]) for index in chunk]
+        for chunk in chunks
+    ]
+    completed: set = set()
+    failure: Optional[str] = None
+    clean_exit = False
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_process_initializer,
+        initargs=(process_plan.setup, process_plan.context, fault_plan),
+    )
+    try:
+        try:
+            not_done = {
+                pool.submit(_process_chunk, process_plan.run, chunk_items,
+                            retries, deadline_spec, generation)
+                for chunk_items in items
+            }
+        except BrokenExecutor:
+            # A worker died before submission finished (crash verdict in
+            # the initializer window); nothing was committed.
+            clean_exit = True
+            return completed, "worker-crash", chunk_counter
+        while not_done and failure is None:
+            done, not_done = futures_wait(not_done, timeout=hang_timeout)
+            if not done:
+                # No chunk finished inside the watchdog window: a worker
+                # is wedged (the ``worker.hang`` site, a livelock, a
+                # blocked syscall).  Tear the incarnation down.
+                failure = "hang-timeout"
+                break
+            for future in done:
+                try:
+                    chunk_results, stalls, seconds, pid = future.result()
+                except BrokenExecutor:
+                    failure = "worker-crash"
+                    continue
+                for index, result in chunk_results:
+                    results[index] = result
+                    completed.add(index)
+                    if journal is not None:
+                        journal.store(refs[index], result)
+                if deadline is not None:
+                    deadline.absorb(stalls)
+                if stats is not None:
+                    stats.chunks.append(ChunkTiming(
+                        chunk=chunk_counter, tasks=len(chunk_results),
+                        seconds=seconds, worker=pid,
+                    ))
+                chunk_counter += 1
+        clean_exit = True
+        return completed, failure, chunk_counter
+    finally:
+        if failure is None and clean_exit:
+            pool.shutdown(wait=True)
+        else:
+            # A broken, hung, or exception-interrupted incarnation: kill
+            # the workers (a hung worker would otherwise hold shutdown
+            # hostage for the length of its sleep) and abandon the queue.
+            _terminate_pool(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
 def _run_process_pool(
     process_plan: ProcessPlan,
     refs: Sequence[TaskRef],
@@ -755,8 +1041,12 @@ def _run_process_pool(
     journal: Optional[TaskJournal],
     deadline: Optional[TaskDeadline],
     stats: Optional[ExecutorStats],
-) -> List[Any]:
-    """The multi-core arm of :func:`run_tasks`.
+    results: List[Any],
+    *,
+    restart_budget: int,
+    hang_timeout: Optional[float],
+) -> List[int]:
+    """The multi-core arm of :func:`run_tasks`, under pool supervision.
 
     The parent keeps everything that holds locks or file handles: journal
     replay happens before submission (resumed tasks never reach a worker)
@@ -765,10 +1055,20 @@ def _run_process_pool(
     striped ``(index, ref, payload)`` chunks — and run the same
     supervision loop the thread path does, with identical keyed fault and
     deadline verdicts because those are pure in (seed, key, attempt).
+
+    The supervision loop around the incarnations: a broken pool (abrupt
+    worker death) or a watchdog timeout requeues exactly the tasks that
+    never drained back and rebuilds the pool under the next generation
+    number — safe, because tasks are pure functions of their derived PRNG
+    keys, so re-execution is byte-identical.  Each rebuild spends one
+    unit of ``restart_budget``; when the budget is gone the remaining
+    task indexes are returned for :func:`run_tasks` to finish on the
+    thread rung (an empty return means the batch completed here).
+    Ordinary task failures (:class:`~repro.net.errors.TaskFailure`)
+    propagate — they are the task's verdict, not the pool's.
     """
     payloads = process_plan.payloads
     total = len(payloads)
-    results: List[Any] = [None] * total
     pending: List[int] = []
     for index in range(total):
         if journal is not None:
@@ -780,50 +1080,42 @@ def _run_process_pool(
     if not pending:
         if stats is not None:
             stats.record("process", workers, total, 0.0)
-        return results
+        return []
 
     injector = faults.active()
     fault_plan = injector.plan if injector is not None else None
     deadline_spec = (
         (deadline.soft, deadline.hard) if deadline is not None else None
     )
-    n_chunks = min(len(pending), workers * 4)
-    chunks = _striped_chunks(pending, n_chunks)
-    items = [
-        [(index, refs[index], payloads[index]) for index in chunk]
-        for chunk in chunks
-    ]
     started = time.perf_counter()
-    pool = ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_process_initializer,
-        initargs=(process_plan.setup, process_plan.context, fault_plan),
-    )
-    with pool:
-        futures = [
-            pool.submit(_process_chunk, process_plan.run, chunk_items,
-                        retries, deadline_spec)
-            for chunk_items in items
-        ]
-        try:
-            for chunk_index, future in enumerate(futures):
-                chunk_results, stalls, seconds, pid = future.result()
-                for index, result in chunk_results:
-                    results[index] = result
-                    if journal is not None:
-                        journal.store(refs[index], result)
-                if deadline is not None:
-                    deadline.absorb(stalls)
-                if stats is not None:
-                    stats.chunks.append(ChunkTiming(
-                        chunk=chunk_index, tasks=len(chunk_results),
-                        seconds=seconds, worker=pid,
-                    ))
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+    generation = 0
+    restarts = 0
+    chunk_counter = 0
+    while pending:
+        completed, failure, chunk_counter = _run_pool_generation(
+            process_plan, refs, pending, workers, retries, deadline_spec,
+            fault_plan, journal, deadline, stats, results, generation,
+            hang_timeout, chunk_counter,
+        )
+        pending = [index for index in pending if index not in completed]
+        if failure is None or not pending:
+            pending = []
+            break
+        if restarts >= restart_budget:
+            if stats is not None:
+                stats.supervisor.append(SupervisorEvent(
+                    action="downgrade", reason="restart-budget",
+                    generation=generation, requeued=len(pending),
+                ))
+            break
+        restarts += 1
+        if stats is not None:
+            stats.supervisor.append(SupervisorEvent(
+                action="pool-restart", reason=failure,
+                generation=generation, requeued=len(pending),
+            ))
+        generation += 1
     if stats is not None:
-        stats.record("process", workers, total,
+        stats.record("process", workers, total - len(pending),
                      time.perf_counter() - started)
-    return results
+    return pending

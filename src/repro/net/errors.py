@@ -179,3 +179,38 @@ class ServeError(ReproError):
     finalized operator, starting a campaign twice) and by ``repro serve``
     for bind/startup failures; the CLI maps it to exit code 6.
     """
+
+
+class ServiceBusyError(ServeError):
+    """The control server is at its campaign limit; retry later.
+
+    Raised by ``start_campaign`` when ``max_campaigns`` active campaigns
+    already exist; the HTTP surface maps it to ``503`` with a
+    ``Retry-After`` header of :attr:`retry_after` seconds.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 30.0) -> None:
+        super().__init__(message)
+        #: Suggested client back-off in seconds (the Retry-After header).
+        self.retry_after = retry_after
+
+
+class CursorLagError(ServeError):
+    """A ring-buffer cursor points at evicted items.
+
+    Raised by :meth:`repro.stream.bus.RingBuffer.tail` when a reader's
+    cursor has fallen behind the bounded buffer's retention window —
+    silently skipping the evicted items would let a tail client miss
+    events without ever learning it did.  ``oldest`` is the oldest
+    sequence number still retained (resume from there) and ``dropped``
+    is how many items the reader missed.
+    """
+
+    def __init__(
+        self, message: str, *, oldest: int = 0, dropped: int = 0,
+    ) -> None:
+        super().__init__(message)
+        #: Oldest retained sequence number — the cursor to resume from.
+        self.oldest = oldest
+        #: Items evicted between the stale cursor and ``oldest``.
+        self.dropped = dropped

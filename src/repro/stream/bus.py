@@ -7,25 +7,51 @@ registered for that plane, and bounded :class:`RingBuffer`\\ s keep the
 recent events and alerts the ``/campaigns/<id>/tail`` SSE endpoint
 serves.  Buffers are cursor-addressed: every appended item gets a
 monotonically increasing sequence number, so a tailing client can resume
-from where it left off and detect drops (the buffer is bounded — a slow
-reader skips, it never blocks the campaign).
+from where it left off; a cursor that has fallen behind the retention
+window raises :class:`~repro.net.errors.CursorLagError` carrying the
+oldest retained sequence, so a slow reader learns exactly how much it
+missed instead of silently skipping evicted events.
 
 ``EventBus.tap(store, plane)`` subscribes the bus to a live plane store's
 batch-emission hook (``EventStore.subscribe`` /
 ``ScanDatabase.subscribe`` / ``FlowTupleWriter.subscribe``), so rows
 merged through ``append_batch``/``extend_day`` stream straight onto the
 bus as they land.
+
+Overload safety
+---------------
+
+Two properties keep a misbehaving consumer from hurting the campaign:
+
+* **Operator isolation** — an operator whose ``feed`` raises is counted
+  in :attr:`EventBus.operator_errors` and skipped for that batch; the
+  exception never propagates back into the publishing store's
+  ``append_batch``.
+* **Bounded publishing** — with ``queue_capacity > 0`` publishes go
+  through a bounded queue drained by a pump thread, governed by
+  ``publish_policy``: ``block`` (publisher waits for space — lossless,
+  operator parity with batch mode preserved), ``drop_oldest`` (evict the
+  stalest queued batch) or ``latest`` (keep only the newest batch).
+  Shed batches are counted in :attr:`EventBus.dropped_batches` /
+  :attr:`EventBus.dropped_rows`.  ``queue_capacity=0`` (the default)
+  publishes synchronously on the caller's thread, exactly as before.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+from collections import deque
 
+from repro.net.errors import ConfigError, CursorLagError
 from repro.stream.operators import Operator
 
-__all__ = ["Alert", "RingBuffer", "EventBus"]
+__all__ = ["Alert", "RingBuffer", "EventBus", "PUBLISH_POLICIES"]
+
+#: Accepted values for ``EventBus(publish_policy=...)``.
+PUBLISH_POLICIES = ("block", "drop_oldest", "latest")
 
 
 @dataclass(frozen=True)
@@ -53,8 +79,11 @@ class RingBuffer:
 
     ``append`` assigns each item the next sequence number; ``tail(cursor)``
     returns every retained item with sequence >= cursor plus the cursor to
-    pass next time.  Items older than ``capacity`` are dropped — ``total``
-    minus the returned count tells a reader how much it skipped.
+    pass next time.  Items older than ``capacity`` are evicted —
+    :attr:`dropped` counts them, and a tail from a cursor pointing into
+    the evicted range raises :class:`CursorLagError` rather than silently
+    skipping (cursor ``0`` means "from the oldest retained item" and
+    never lags).
     """
 
     def __init__(self, capacity: int = 1024) -> None:
@@ -70,6 +99,12 @@ class RingBuffer:
         """Items ever appended (the next sequence number)."""
         with self._lock:
             return self._start + len(self._items)
+
+    @property
+    def dropped(self) -> int:
+        """Items evicted from the bounded window since creation."""
+        with self._lock:
+            return self._start
 
     def __len__(self) -> int:
         with self._lock:
@@ -90,8 +125,22 @@ class RingBuffer:
             self.append(item)
 
     def tail(self, cursor: int = 0) -> Tuple[int, List[Any]]:
-        """(next_cursor, retained items with sequence >= cursor)."""
+        """(next_cursor, retained items with sequence >= cursor).
+
+        Raises :class:`CursorLagError` when ``cursor`` points at evicted
+        items (``0 < cursor < oldest retained``); the error carries the
+        oldest available cursor so the reader can resume from there with
+        full knowledge of how many items it missed.
+        """
         with self._lock:
+            if 0 < cursor < self._start:
+                raise CursorLagError(
+                    f"cursor {cursor} lags the ring: oldest retained "
+                    f"sequence is {self._start} "
+                    f"({self._start - cursor} item(s) evicted)",
+                    oldest=self._start,
+                    dropped=self._start - cursor,
+                )
             first = max(cursor, self._start)
             items = list(self._items[first - self._start:])
             return self._start + len(self._items), items
@@ -101,14 +150,42 @@ class EventBus:
     """Fans published row batches into per-plane operators and buffers."""
 
     def __init__(
-        self, *, event_capacity: int = 1024, alert_capacity: int = 256
+        self,
+        *,
+        event_capacity: int = 1024,
+        alert_capacity: int = 256,
+        queue_capacity: int = 0,
+        publish_policy: str = "block",
     ) -> None:
+        if publish_policy not in PUBLISH_POLICIES:
+            raise ConfigError(
+                f"publish_policy must be one of {'|'.join(PUBLISH_POLICIES)}, "
+                f"got {publish_policy!r}"
+            )
+        if queue_capacity < 0:
+            raise ConfigError(
+                f"queue_capacity must be >= 0, got {queue_capacity}"
+            )
         self._operators: Dict[str, List[Operator]] = {}
         self.events = RingBuffer(event_capacity)
         self.alerts = RingBuffer(alert_capacity)
         #: Rows published per plane (full counts; the ring only retains
         #: the recent window).
         self.published: Dict[str, int] = {}
+        #: ``feed`` exceptions swallowed, per operator name.
+        self.operator_errors: Dict[str, int] = {}
+        #: Human-readable description of the most recent operator error.
+        self.last_operator_error: Optional[str] = None
+        #: Batches/rows shed by the ``drop_oldest``/``latest`` policies.
+        self.dropped_batches = 0
+        self.dropped_rows = 0
+        self.queue_capacity = queue_capacity
+        self.publish_policy = publish_policy
+        self._queue: Deque[Tuple[str, List[Any], float, Any]] = deque()
+        self._cond = threading.Condition()
+        self._pump: Optional[threading.Thread] = None
+        self._pump_busy = False
+        self._closed = False
 
     # -- wiring -----------------------------------------------------------
 
@@ -155,19 +232,64 @@ class EventBus:
         materialized once).  Only the slice that can fit the ring is
         converted to tail payloads — a huge batch costs O(capacity) ring
         work, not O(batch).  Returns the row count.
+
+        With ``queue_capacity=0`` (default) delivery happens on the
+        caller's thread before returning.  Otherwise the batch is
+        enqueued for the pump thread, subject to ``publish_policy``; a
+        shed batch still counts toward the return value but is recorded
+        in :attr:`dropped_batches`/:attr:`dropped_rows`.
         """
         if not isinstance(rows, list):
             rows = list(rows)
-        for operator in self._operators.get(plane, []):
-            operator.feed(rows)
-        self.published[plane] = self.published.get(plane, 0) + len(rows)
-        describe = describe or _describe_row
-        for row in rows[-self.events.capacity:]:
-            payload = describe(row)
-            payload["plane"] = plane
-            payload["sim_time"] = round(sim_time, 3)
-            self.events.append(payload)
+        if self.queue_capacity <= 0:
+            self._deliver(plane, rows, sim_time, describe)
+            return len(rows)
+        with self._cond:
+            if self._closed:
+                raise ConfigError("publish after EventBus.close()")
+            self._ensure_pump()
+            if self.publish_policy == "block":
+                while len(self._queue) >= self.queue_capacity:
+                    self._cond.wait(0.05)
+            elif self.publish_policy == "drop_oldest":
+                while len(self._queue) >= self.queue_capacity:
+                    stale = self._queue.popleft()
+                    self.dropped_batches += 1
+                    self.dropped_rows += len(stale[1])
+            else:  # latest: the queue holds only the newest batches
+                if len(self._queue) >= self.queue_capacity:
+                    for stale in self._queue:
+                        self.dropped_batches += 1
+                        self.dropped_rows += len(stale[1])
+                    self._queue.clear()
+            self._queue.append((plane, rows, sim_time, describe))
+            self._cond.notify_all()
         return len(rows)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every enqueued batch has been delivered.
+
+        Returns ``True`` when the queue emptied (immediately for the
+        synchronous ``queue_capacity=0`` mode), ``False`` on timeout.
+        """
+        if self.queue_capacity <= 0:
+            return True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._queue or self._pump_busy:
+                if deadline is not None and time.monotonic() >= deadline:
+                    return False
+                self._cond.wait(0.05)
+            return True
+
+    def close(self) -> None:
+        """Stop the pump thread (after :meth:`drain` for a clean flush)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        pump = self._pump
+        if pump is not None and pump.is_alive():
+            pump.join(timeout=2.0)
 
     def alert(
         self, plane: str, kind: str, message: str,
@@ -180,6 +302,62 @@ class EventBus:
         )
         self.alerts.append(entry)
         return entry
+
+    # -- delivery ---------------------------------------------------------
+
+    def _ensure_pump(self) -> None:
+        # Called under self._cond.
+        if self._pump is None or not self._pump.is_alive():
+            self._pump = threading.Thread(
+                target=self._pump_loop, name="repro-bus-pump", daemon=True,
+            )
+            self._pump.start()
+
+    def _pump_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait(0.1)
+                if not self._queue:
+                    return  # closed and flushed
+                plane, rows, sim_time, describe = self._queue.popleft()
+                self._pump_busy = True
+                self._cond.notify_all()
+            try:
+                self._deliver(plane, rows, sim_time, describe)
+            finally:
+                with self._cond:
+                    self._pump_busy = False
+                    self._cond.notify_all()
+
+    def _deliver(
+        self,
+        plane: str,
+        rows: List[Any],
+        sim_time: float,
+        describe: Optional[Callable[[Any], Dict[str, Any]]],
+    ) -> None:
+        for operator in self._operators.get(plane, []):
+            try:
+                operator.feed(rows)
+            except Exception as error:  # isolation: never reach the store
+                name = getattr(operator, "name", type(operator).__name__)
+                self.operator_errors[name] = (
+                    self.operator_errors.get(name, 0) + 1
+                )
+                self.last_operator_error = (
+                    f"{name}: {type(error).__name__}: {error}"
+                )
+        self.published[plane] = self.published.get(plane, 0) + len(rows)
+        describe = describe or _describe_row
+        for row in rows[-self.events.capacity:]:
+            try:
+                payload = describe(row)
+            except Exception:
+                payload = {"repr": repr(row)}
+            payload["plane"] = plane
+            payload["sim_time"] = round(sim_time, 3)
+            self.events.append(payload)
 
 
 def _describe_row(row: Any) -> Dict[str, Any]:

@@ -6,10 +6,13 @@ applies to the service too) and exposes four routes:
 
 ``POST /sim/start``
     Body (optional JSON): ``{"seed": 7, "scale": 8192,
-    "events_per_second": 0, "batch_size": 256}``.  Builds a
+    "events_per_second": 0, "batch_size": 256, "queue_capacity": 0,
+    "publish_policy": "block"}``.  Builds a
     :class:`~repro.stream.service.CampaignService` from the server's
     config factory and starts it on a background thread.  Returns
-    ``{"campaign": "c1", "state": "pending"}``.
+    ``{"campaign": "c1", "state": "pending"}`` — or ``503`` with a
+    ``Retry-After`` header when ``max_campaigns`` campaigns are already
+    active.
 
 ``POST /sim/stop``
     Body: ``{"campaign": "c1"}`` (or empty to stop the latest).  Asks
@@ -24,7 +27,15 @@ applies to the service too) and exposes four routes:
     lines for recent plane rows, ``alert:`` lines for the incident
     ring, one ``end`` event when the campaign reaches a terminal state
     and the rings are drained.  Cursor query params (``?events=N&
-    alerts=M``) resume a dropped connection.
+    alerts=M``) resume a dropped connection; a cursor that lags the
+    ring's retention window gets a ``lag`` event naming the drop count
+    and resumes from the oldest retained item.
+
+Overload and disconnect behavior: client sockets carry a per-connection
+write timeout (``write_timeout``), disconnects and timeouts mid-tail are
+silent (no stack traces from the threading server) and unsubscribe the
+client from the tail registry, and :meth:`ControlServer.shutdown` drains
+active SSE clients before closing the listener.
 
 Everything here is deliberately tiny and dependency-free; the
 interesting machinery lives in :mod:`repro.stream.service`.
@@ -33,6 +44,8 @@ interesting machinery lives in :mod:`repro.stream.service`.
 from __future__ import annotations
 
 import json
+import socket
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -40,10 +53,26 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.config import StudyConfig
-from repro.net.errors import ConfigError, ReproError, ServeError
+from repro.net.errors import (
+    ConfigError,
+    CursorLagError,
+    ReproError,
+    ServeError,
+    ServiceBusyError,
+)
 from repro.stream.service import CampaignService, StreamConfig
 
 __all__ = ["ControlServer", "default_config_factory"]
+
+#: Socket errors that mean "the client went away" — routine for SSE
+#: tails, never worth a stack trace on the server console.
+_DISCONNECT_ERRORS = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    socket.timeout,
+    TimeoutError,
+)
 
 
 def default_config_factory(request: Dict[str, Any]) -> StudyConfig:
@@ -61,6 +90,25 @@ def default_config_factory(request: Dict[str, Any]) -> StudyConfig:
     return config
 
 
+class _QuietThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats client disconnects as routine.
+
+    The stock ``handle_error`` prints a full traceback for *any*
+    exception escaping a handler thread — including the inevitable
+    ``BrokenPipeError`` when an SSE client closes its end mid-write.
+    Those are expected churn for a tail endpoint; real errors still get
+    the standard report.
+    """
+
+    daemon_threads = True
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        error = sys.exc_info()[1]
+        if isinstance(error, _DISCONNECT_ERRORS):
+            return
+        super().handle_error(request, client_address)
+
+
 class ControlServer:
     """Owns the HTTP listener and the campaign registry.
 
@@ -68,6 +116,13 @@ class ControlServer:
     ``server.port`` afterwards — the tests and the CI smoke job use
     that).  ``serve_forever`` blocks; ``start`` runs the listener on a
     daemon thread and returns, for in-process use.
+
+    ``max_campaigns`` caps concurrently *active* (unfinished) campaigns:
+    ``start_campaign`` past the cap raises
+    :class:`~repro.net.errors.ServiceBusyError`, which the HTTP surface
+    maps to ``503`` with a ``Retry-After: retry_after`` header.
+    ``write_timeout`` is applied to every accepted client socket, so one
+    stalled reader cannot pin a handler thread forever.
     """
 
     def __init__(
@@ -79,21 +134,33 @@ class ControlServer:
             default_config_factory
         ),
         stream_defaults: Optional[StreamConfig] = None,
+        max_campaigns: Optional[int] = None,
+        retry_after: float = 30.0,
+        write_timeout: Optional[float] = 30.0,
     ) -> None:
+        if max_campaigns is not None and max_campaigns <= 0:
+            raise ConfigError(
+                f"max_campaigns must be positive (or None), "
+                f"got {max_campaigns}"
+            )
         self.config_factory = config_factory
         self.stream_defaults = stream_defaults or StreamConfig()
+        self.max_campaigns = max_campaigns
+        self.retry_after = retry_after
+        self.write_timeout = write_timeout
         self.campaigns: Dict[str, CampaignService] = {}
         self._latest: Optional[str] = None
         self._counter = 0
         self._lock = threading.Lock()
+        self._tails: set = set()
+        self._tails_lock = threading.Lock()
         handler = _build_handler(self)
         try:
-            self._http = ThreadingHTTPServer((host, port), handler)
+            self._http = _QuietThreadingHTTPServer((host, port), handler)
         except OSError as error:
             raise ServeError(
                 f"cannot bind control server to {host}:{port}: {error}"
             ) from error
-        self._http.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self._serving = False
 
@@ -119,10 +186,20 @@ class ControlServer:
         self._thread.start()
         return self
 
-    def shutdown(self) -> None:
-        """Stop the listener and every campaign thread."""
-        for campaign in self.campaigns.values():
+    def shutdown(self, *, drain_timeout: float = 5.0) -> None:
+        """Stop every campaign, drain SSE tail clients, stop the listener.
+
+        Stopping the campaigns pushes them to a terminal state, at which
+        point every tail loop emits its ``end`` event and exits; the
+        listener is only torn down once the tail registry empties (or
+        ``drain_timeout`` elapses), so connected clients see a clean end
+        of stream instead of a reset.
+        """
+        for campaign in list(self.campaigns.values()):
             campaign.stop()
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        while self.active_tails and time.monotonic() < deadline:
+            time.sleep(0.05)
         if self._serving:
             # BaseServer.shutdown blocks on an event only serve_forever
             # sets, so it must not run for a never-served listener.
@@ -131,22 +208,59 @@ class ControlServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
 
+    # -- the SSE tail registry --------------------------------------------
+
+    @property
+    def active_tails(self) -> int:
+        """Currently connected ``/tail`` clients."""
+        with self._tails_lock:
+            return len(self._tails)
+
+    def register_tail(self, client: Any) -> None:
+        with self._tails_lock:
+            self._tails.add(client)
+
+    def unregister_tail(self, client: Any) -> None:
+        with self._tails_lock:
+            self._tails.discard(client)
+
     # -- campaign registry ------------------------------------------------
 
     def start_campaign(self, request: Dict[str, Any]) -> Tuple[str, CampaignService]:
         config = self.config_factory(request)
+        defaults = self.stream_defaults
         stream = StreamConfig(
             events_per_second=float(request.get(
-                "events_per_second", self.stream_defaults.events_per_second
+                "events_per_second", defaults.events_per_second
             )),
             batch_size=int(request.get(
-                "batch_size", self.stream_defaults.batch_size
+                "batch_size", defaults.batch_size
             )),
-            event_capacity=self.stream_defaults.event_capacity,
-            alert_capacity=self.stream_defaults.alert_capacity,
+            event_capacity=defaults.event_capacity,
+            alert_capacity=defaults.alert_capacity,
+            queue_capacity=int(request.get(
+                "queue_capacity", defaults.queue_capacity
+            )),
+            publish_policy=str(request.get(
+                "publish_policy", defaults.publish_policy
+            )),
+            stall_timeout=defaults.stall_timeout,
         )
         service = CampaignService(config, stream)
         with self._lock:
+            active = sum(
+                1 for candidate in self.campaigns.values()
+                if not candidate.finished
+            )
+            if (
+                self.max_campaigns is not None
+                and active >= self.max_campaigns
+            ):
+                raise ServiceBusyError(
+                    f"campaign limit reached ({active} active, max "
+                    f"{self.max_campaigns}); retry later",
+                    retry_after=self.retry_after,
+                )
             self._counter += 1
             campaign_id = f"c{self._counter}"
             self.campaigns[campaign_id] = service
@@ -171,14 +285,33 @@ def _build_handler(server: ControlServer):
 
         # -- plumbing -----------------------------------------------------
 
+        def setup(self) -> None:
+            super().setup()
+            if server.write_timeout is not None:
+                # Bounds every read *and* write on this client socket,
+                # so a reader that stops draining its SSE stream cannot
+                # pin a handler thread past the timeout.
+                self.connection.settimeout(server.write_timeout)
+
+        def finish(self) -> None:
+            try:
+                super().finish()
+            except OSError:
+                pass  # final flush on a socket the client already closed
+
         def log_message(self, format: str, *args: Any) -> None:
             pass  # the control surface is quiet; status() is the log
 
-        def _json(self, code: int, payload: Dict[str, Any]) -> None:
+        def _json(
+            self, code: int, payload: Dict[str, Any],
+            headers: Tuple[Tuple[str, str], ...] = (),
+        ) -> None:
             body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in headers:
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -212,6 +345,14 @@ def _build_handler(server: ControlServer):
                     campaign_id, service = server.start_campaign(body)
                 except (ConfigError, ValueError) as error:
                     self._error(400, str(error))
+                    return
+                except ServiceBusyError as error:
+                    self._json(503, {
+                        "error": str(error),
+                        "retry_after": error.retry_after,
+                    }, headers=(
+                        ("Retry-After", str(int(error.retry_after))),
+                    ))
                     return
                 except ReproError as error:
                     self._error(500, str(error))
@@ -264,6 +405,18 @@ def _build_handler(server: ControlServer):
             data = json.dumps(payload, separators=(",", ":"))
             self._chunk(f"event: {event}\ndata: {data}\n\n".encode("utf-8"))
 
+        def _ring_tail(self, stream: str, ring: Any, cursor: int):
+            """Tail one ring, surfacing lag as an SSE event, not a skip."""
+            try:
+                return ring.tail(cursor)
+            except CursorLagError as lag:
+                self._sse("lag", {
+                    "stream": stream,
+                    "dropped": lag.dropped,
+                    "oldest": lag.oldest,
+                })
+                return ring.tail(lag.oldest)
+
         def _tail(self, service: CampaignService, query: Dict[str, Any]) -> None:
             """Stream events + alerts as chunked server-sent events."""
             def cursor(name: str) -> int:
@@ -280,15 +433,16 @@ def _build_handler(server: ControlServer):
             self.send_header("Cache-Control", "no-cache")
             self.send_header("Transfer-Encoding", "chunked")
             self.end_headers()
+            server.register_tail(self)
             try:
                 while True:
-                    events_cursor, events = service.bus.events.tail(
-                        events_cursor
+                    events_cursor, events = self._ring_tail(
+                        "events", service.bus.events, events_cursor
                     )
                     for payload in events:
                         self._sse("event", payload)
-                    alerts_cursor, alerts = service.bus.alerts.tail(
-                        alerts_cursor
+                    alerts_cursor, alerts = self._ring_tail(
+                        "alerts", service.bus.alerts, alerts_cursor
                     )
                     for alert in alerts:
                         self._sse("alert", alert.to_dict())
@@ -307,7 +461,9 @@ def _build_handler(server: ControlServer):
                     if not events and not alerts:
                         time.sleep(0.05)
                 self._chunk(b"")  # terminal zero-length chunk
-            except (BrokenPipeError, ConnectionResetError):
-                pass  # client went away; nothing to clean up
+            except OSError:
+                pass  # client went away (or timed out); unsubscribe below
+            finally:
+                server.unregister_tail(self)
 
     return Handler

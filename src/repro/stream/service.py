@@ -46,7 +46,7 @@ from repro.analysis.recurrence import RecurrenceClassifier
 from repro.core.config import StudyConfig
 from repro.core.study import Study
 from repro.net.errors import ConfigError, ServeError
-from repro.stream.bus import EventBus
+from repro.stream.bus import PUBLISH_POLICIES, EventBus
 from repro.stream.operators import (
     AttackOriginsOperator,
     CountryOperator,
@@ -74,12 +74,30 @@ class StreamConfig:
     ``batch_size`` is the chunk granularity the operators are fed at —
     any value yields identical final snapshots (the operators are
     batch-equivalent), it only trades tail latency against overhead.
+
+    ``queue_capacity``/``publish_policy`` configure the bus's bounded
+    publish queue (see :class:`~repro.stream.bus.EventBus`): 0 keeps the
+    synchronous in-thread delivery, a positive capacity moves operator
+    feeding onto the bus pump thread.  Batch parity of the final operator
+    snapshots is guaranteed for ``block`` (lossless); the lossy policies
+    deliberately shed load and the shed rows are counted on the bus.
+    Async delivery also trades away the chunk-granular operator alerts
+    (the watcher would race the pump); day-close and campaign alerts
+    remain.
+
+    ``stall_timeout`` arms the watchdog: when the campaign thread makes
+    no progress (no phase, batch, or clock advance) for longer than this
+    many seconds, a ``watchdog-stall`` alert lands on the incident ring
+    and ``status()["stalled"]`` flips true (0 disables the watchdog).
     """
 
     events_per_second: float = 0.0
     batch_size: int = 256
     event_capacity: int = 1024
     alert_capacity: int = 256
+    queue_capacity: int = 0
+    publish_policy: str = "block"
+    stall_timeout: float = 0.0
 
     def validate(self) -> None:
         if self.events_per_second < 0:
@@ -93,6 +111,20 @@ class StreamConfig:
             )
         if self.event_capacity <= 0 or self.alert_capacity <= 0:
             raise ConfigError("ring capacities must be positive")
+        if self.queue_capacity < 0:
+            raise ConfigError(
+                f"queue_capacity must be >= 0, got {self.queue_capacity}"
+            )
+        if self.publish_policy not in PUBLISH_POLICIES:
+            raise ConfigError(
+                "publish_policy must be one of "
+                f"{'|'.join(PUBLISH_POLICIES)}, got {self.publish_policy!r}"
+            )
+        if self.stall_timeout < 0:
+            raise ConfigError(
+                "stall_timeout must be >= 0 (0 disables the watchdog), "
+                f"got {self.stall_timeout}"
+            )
 
 
 def default_operators(results, *, exclude_honeypots: bool = True):
@@ -145,6 +177,8 @@ class CampaignService:
         self.bus = EventBus(
             event_capacity=self.stream.event_capacity,
             alert_capacity=self.stream.alert_capacity,
+            queue_capacity=self.stream.queue_capacity,
+            publish_policy=self.stream.publish_policy,
         )
         self._operators = list(operators) if operators is not None else None
         self.state = "pending"
@@ -153,9 +187,13 @@ class CampaignService:
         self.sim_day = -1
         self.current_plane: Optional[str] = None
         self.phases_done: List[str] = []
+        self.stalled = False
+        self._heartbeat = time.monotonic()
         self._progress: Dict[str, Dict[str, int]] = {}
         self._final_digests: Optional[Dict[str, str]] = None
         self._stop = threading.Event()
+        self._watchdog_stop = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
 
@@ -176,6 +214,24 @@ class CampaignService:
         """Ask the campaign to stop at the next chunk boundary."""
         self._stop.set()
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful stop: halt the campaign and flush the publish queue.
+
+        Requests a stop, waits for every queued batch to reach the
+        operators and rings, and joins the campaign thread.  Returns
+        ``True`` when both the bus queue emptied and the thread exited
+        within ``timeout`` (``None`` waits indefinitely).
+        """
+        self.stop()
+        started = time.monotonic()
+        drained = self.bus.drain(timeout)
+        remaining = timeout
+        if timeout is not None:
+            remaining = max(0.0, timeout - (time.monotonic() - started))
+        self.join(remaining)
+        thread = self._thread
+        return drained and (thread is None or not thread.is_alive())
+
     def join(self, timeout: Optional[float] = None) -> None:
         if self._thread is not None:
             self._thread.join(timeout)
@@ -186,6 +242,7 @@ class CampaignService:
 
     def run(self) -> None:
         """The campaign body (synchronous; ``start`` wraps it in a thread)."""
+        self._start_watchdog()
         try:
             self._generate()
             if not self._stop.is_set():
@@ -196,9 +253,55 @@ class CampaignService:
             self.error = f"{type(error).__name__}: {error}"
             self.state = "failed"
         finally:
+            self._stop_watchdog()
+            # Flush whatever the bounded queue still holds so operators
+            # and rings reflect every published batch, then park the pump.
+            self.bus.drain(timeout=5.0)
+            self.bus.close()
             engine = self.study.engine
             if engine.on_phase is not None:
                 engine.on_phase = None
+
+    # -- the stall watchdog ----------------------------------------------
+
+    def _beat(self) -> None:
+        """Record forward progress for the stall watchdog."""
+        self._heartbeat = time.monotonic()
+
+    def _start_watchdog(self) -> None:
+        if self.stream.stall_timeout <= 0:
+            return
+        self._beat()
+        self._watchdog_stop.clear()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="repro-campaign-watchdog",
+            daemon=True,
+        )
+        self._watchdog.start()
+
+    def _stop_watchdog(self) -> None:
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
+
+    def _watchdog_loop(self) -> None:
+        limit = self.stream.stall_timeout
+        interval = max(0.05, min(limit / 4.0, 1.0))
+        while not self._watchdog_stop.wait(interval):
+            if self.finished:
+                return
+            age = time.monotonic() - self._heartbeat
+            if age > limit:
+                if not self.stalled:
+                    self.stalled = True
+                    self.bus.alert(
+                        "service", "watchdog-stall",
+                        f"no campaign progress for {age:.1f}s "
+                        f"(stall timeout {limit:g}s)",
+                        sim_time=self.sim_time, day=self.sim_day,
+                    )
+            else:
+                self.stalled = False
 
     # -- stage 1: deterministic generation --------------------------------
 
@@ -208,6 +311,7 @@ class CampaignService:
 
         def on_phase(metric) -> None:
             self.phases_done.append(metric.phase)
+            self._beat()
 
         engine.on_phase = on_phase
         # The artifacts the operators and the replay need; everything
@@ -245,12 +349,16 @@ class CampaignService:
         self.state = "streaming"
         eps = self.stream.events_per_second
         size = self.stream.batch_size
+        # Under async publishing the chunk-granular watcher would read
+        # operator state while the pump thread feeds it; skip it there
+        # (operators are not thread-safe) — day/campaign alerts remain.
+        watch_chunks = self.stream.queue_capacity <= 0
         for plane in _PLANES:
             rows = self._plane_rows(plane)
             progress = {"rows_total": len(rows), "rows_fed": 0, "batches": 0}
             self._progress[plane] = progress
             self.current_plane = plane
-            watcher = _AlertWatcher(self, plane)
+            watcher = _AlertWatcher(self, plane) if watch_chunks else None
             for start in range(0, len(rows), size):
                 if self._stop.is_set():
                     return
@@ -259,11 +367,17 @@ class CampaignService:
                 self.bus.publish(plane, batch, sim_time=self.sim_time)
                 progress["rows_fed"] += len(batch)
                 progress["batches"] += 1
-                watcher.after_batch(batch)
+                self._beat()
+                if watcher is not None:
+                    watcher.after_batch(batch)
                 if eps > 0:
                     self._pace(len(batch) / eps)
-            watcher.close()
+            if watcher is not None:
+                watcher.close()
         self.current_plane = None
+        # Every queued batch must reach the operators before their
+        # snapshots are sealed.
+        self.bus.drain()
         self._finalize(operators)
         self.state = "done"
 
@@ -307,6 +421,7 @@ class CampaignService:
             final = operator.finalize()
             digests[operator.name] = snapshot_digest(final)
             self.study.metrics.record_operator(operator)
+        self.study.metrics.record_bus(self.bus)
         self._final_digests = digests
         self.bus.alert(
             "service", "campaign-done",
@@ -351,6 +466,12 @@ class CampaignService:
             },
             "events_streamed": sum(self.bus.published.values()),
             "alerts_total": self.bus.alerts.total,
+            "stalled": self.stalled,
+            "publish_policy": self.stream.publish_policy,
+            "queue_capacity": self.stream.queue_capacity,
+            "dropped_batches": self.bus.dropped_batches,
+            "dropped_rows": self.bus.dropped_rows,
+            "operator_errors": sum(self.bus.operator_errors.values()),
         }
         if self.error is not None:
             status["error"] = self.error
