@@ -67,6 +67,7 @@ import threading
 import time
 from concurrent.futures import (
     BrokenExecutor,
+    CancelledError,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
@@ -116,6 +117,7 @@ __all__ = [
     "DEFAULT_RESTART_BUDGET",
     "resolve_executor",
     "pool_supervision",
+    "task_checkpoint",
     "paused_gc",
     "run_tasks",
 ]
@@ -178,11 +180,15 @@ class TaskJournal:
 
     def __init__(
         self, directory: os.PathLike, *, resume: bool = False,
-        fingerprint: str = "",
+        fingerprint: str = "", quarantine_namespace: str = "",
     ) -> None:
         self.directory = os.path.expanduser(os.fspath(directory))
         self.resume = resume
         self.fingerprint = fingerprint
+        #: Tenant namespace for quarantined entries — campaigns sharing a
+        #: store quarantine into ``quarantine/<namespace>/`` so their
+        #: serial-deduplicated stems cannot collide across tenants.
+        self.quarantine_namespace = quarantine_namespace
         #: Entries served on load / written on store (for tests and logs).
         self.hits = 0
         self.stores = 0
@@ -198,7 +204,8 @@ class TaskJournal:
 
     def _quarantine(self, path: str, ref: TaskRef, reason: str) -> None:
         record = quarantine_file(
-            path, key=ref.key(), reason=reason, stage="journal.load"
+            path, key=ref.key(), reason=reason, stage="journal.load",
+            namespace=self.quarantine_namespace,
         )
         if record is not None:
             with self._lock:
@@ -647,6 +654,43 @@ def pool_supervision(
         _default_hang_timeout, _default_restart_budget = previous
 
 
+# Thread-local checkpoint hook: the orchestrator (or any long-lived
+# driver) installs a callback here around a study run, and every
+# ``run_tasks`` batch started on this thread calls it at task boundaries.
+_checkpoint_local = threading.local()
+
+
+@contextmanager
+def task_checkpoint(callback: Optional[Callable[[], None]]) -> Iterator[None]:
+    """Scope a cooperative task-boundary checkpoint for ``run_tasks``.
+
+    ``callback`` is invoked with no arguments at every task boundary of
+    every batch started inside the ``with`` body on this thread: before
+    each supervised task on the serial and thread rungs, and in the
+    parent as each chunk drains on the process rung (workers are
+    sacrificial; control flow stays in the parent).  Returning normally
+    continues the batch — that is the heartbeat path.  Raising stops the
+    batch at the boundary: the exception propagates out of ``run_tasks``
+    after the executor tears down (futures cancelled, pool workers
+    terminated), so a cooperative pause or cancel leaks no workers.
+
+    Raise a ``BaseException`` subclass (not ``Exception``) to interrupt:
+    task supervision deliberately retries/wraps ``Exception`` into
+    :class:`~repro.net.errors.TaskFailure`, and a degrade-mode study
+    would swallow that — control flow must ride above supervision.
+
+    ``run_tasks`` captures the callback once at entry on the calling
+    thread and closes over it, so the hook survives the executor fan-out
+    even though thread-locals do not propagate into pool threads.
+    """
+    previous = getattr(_checkpoint_local, "callback", None)
+    _checkpoint_local.callback = callback
+    try:
+        yield
+    finally:
+        _checkpoint_local.callback = previous
+
+
 def resolve_executor(
     executor: Optional[str],
     *,
@@ -804,8 +848,13 @@ def run_tasks(
     restart_budget = max(0, restart_budget)
     if hang_timeout is None:
         hang_timeout = _default_hang_timeout
+    # Captured once on the calling thread: thread-locals do not propagate
+    # into pool threads, so the closure carries the hook across fan-out.
+    checkpoint = getattr(_checkpoint_local, "callback", None)
 
     def run_one(index: int) -> _T:
+        if checkpoint is not None:
+            checkpoint()
         return _run_supervised(
             thunks[index], refs[index], retries, journal, deadline
         )
@@ -825,6 +874,7 @@ def run_tasks(
             process_plan, refs, workers, retries, journal, deadline,
             stats, results,
             restart_budget=restart_budget, hang_timeout=hang_timeout,
+            checkpoint=checkpoint,
         )
         if leftover:
             # Restart budget exhausted: finish the unfinished tasks on
@@ -955,6 +1005,7 @@ def _run_pool_generation(
     generation: int,
     hang_timeout: Optional[float],
     chunk_counter: int,
+    checkpoint: Optional[Callable[[], None]] = None,
 ) -> Tuple[set, Optional[str], int]:
     """Run one pool incarnation over ``pending``; report what survived.
 
@@ -975,12 +1026,51 @@ def _run_pool_generation(
     ]
     completed: set = set()
     failure: Optional[str] = None
+    error: Optional[BaseException] = None
     clean_exit = False
     pool = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_process_initializer,
         initargs=(process_plan.setup, process_plan.context, fault_plan),
     )
+
+    def drain(done_futures):
+        """Commit every successfully finished chunk in the wave."""
+        nonlocal failure, error, chunk_counter
+        for future in done_futures:
+            try:
+                chunk_results, stalls, seconds, pid = future.result()
+            except CancelledError:
+                # Salvage pass cancelled an unstarted chunk; it rides
+                # above ``Exception`` on modern Pythons, so name it.
+                continue
+            except BrokenExecutor:
+                failure = "worker-crash"
+                continue
+            except Exception as exc:
+                # A real task failure (fatal fault, genuine bug) in this
+                # chunk.  Hold the first one and keep draining: sibling
+                # chunks that finished must still reach the journal, or
+                # whether a resume finds any progress would depend on
+                # chunk scheduling order.  Re-raised after the salvage
+                # pass below.
+                if error is None:
+                    error = exc
+                continue
+            for index, result in chunk_results:
+                results[index] = result
+                completed.add(index)
+                if journal is not None:
+                    journal.store(refs[index], result)
+            if deadline is not None:
+                deadline.absorb(stalls)
+            if stats is not None:
+                stats.chunks.append(ChunkTiming(
+                    chunk=chunk_counter, tasks=len(chunk_results),
+                    seconds=seconds, worker=pid,
+                ))
+            chunk_counter += 1
+
     try:
         try:
             not_done = {
@@ -993,7 +1083,12 @@ def _run_pool_generation(
             # the initializer window); nothing was committed.
             clean_exit = True
             return completed, "worker-crash", chunk_counter
-        while not_done and failure is None:
+        while not_done and failure is None and error is None:
+            if checkpoint is not None:
+                # Task-boundary hook, called in the parent between chunk
+                # waves: raising lands in the ``finally`` below, which
+                # terminates the workers — no orphaned pool on a pause.
+                checkpoint()
             done, not_done = futures_wait(not_done, timeout=hang_timeout)
             if not done:
                 # No chunk finished inside the watchdog window: a worker
@@ -1001,25 +1096,20 @@ def _run_pool_generation(
                 # blocked syscall).  Tear the incarnation down.
                 failure = "hang-timeout"
                 break
-            for future in done:
-                try:
-                    chunk_results, stalls, seconds, pid = future.result()
-                except BrokenExecutor:
-                    failure = "worker-crash"
-                    continue
-                for index, result in chunk_results:
-                    results[index] = result
-                    completed.add(index)
-                    if journal is not None:
-                        journal.store(refs[index], result)
-                if deadline is not None:
-                    deadline.absorb(stalls)
-                if stats is not None:
-                    stats.chunks.append(ChunkTiming(
-                        chunk=chunk_counter, tasks=len(chunk_results),
-                        seconds=seconds, worker=pid,
-                    ))
-                chunk_counter += 1
+            drain(done)
+        if error is not None:
+            # Salvage: unstarted chunks are cancelled, but chunks already
+            # running in healthy workers finish on their own — wait
+            # (bounded by the hang watchdog) and commit them, so a resume
+            # replays every task that actually completed.
+            for future in not_done:
+                future.cancel()
+            while not_done:
+                done, not_done = futures_wait(not_done, timeout=hang_timeout)
+                if not done:
+                    break
+                drain(done)
+            raise error
         clean_exit = True
         return completed, failure, chunk_counter
     finally:
@@ -1045,6 +1135,7 @@ def _run_process_pool(
     *,
     restart_budget: int,
     hang_timeout: Optional[float],
+    checkpoint: Optional[Callable[[], None]] = None,
 ) -> List[int]:
     """The multi-core arm of :func:`run_tasks`, under pool supervision.
 
@@ -1095,7 +1186,7 @@ def _run_process_pool(
         completed, failure, chunk_counter = _run_pool_generation(
             process_plan, refs, pending, workers, retries, deadline_spec,
             fault_plan, journal, deadline, stats, results, generation,
-            hang_timeout, chunk_counter,
+            hang_timeout, chunk_counter, checkpoint,
         )
         pending = [index for index in pending if index not in completed]
         if failure is None or not pending:

@@ -1,0 +1,36 @@
+"""Durable multi-campaign orchestration: crash-safe queue, leases,
+pause/resume/cancel.
+
+See :mod:`repro.orchestrator.scheduler` for the scheduler and
+:mod:`repro.orchestrator.ledger` for the write-ahead ledger underneath
+it.
+"""
+
+from repro.orchestrator.ledger import LEDGER_SCHEMA_VERSION, CampaignLedger
+from repro.orchestrator.scheduler import (
+    ACTIVE_STATES,
+    CAMPAIGN_STATES,
+    TERMINAL_STATES,
+    Campaign,
+    CampaignCancelled,
+    CampaignInterrupt,
+    CampaignPaused,
+    CampaignSpec,
+    LeaseExpired,
+    Orchestrator,
+)
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "CampaignLedger",
+    "CAMPAIGN_STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "Campaign",
+    "CampaignSpec",
+    "CampaignInterrupt",
+    "CampaignPaused",
+    "CampaignCancelled",
+    "LeaseExpired",
+    "Orchestrator",
+]

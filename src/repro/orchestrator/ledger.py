@@ -1,0 +1,222 @@
+"""The orchestrator's append-only write-ahead ledger.
+
+Every campaign submission and state transition is one length-framed,
+checksummed record appended (and fsynced) before the in-memory state
+changes — the classic write-ahead discipline: the durable log is the
+truth and the scheduler's queue is a replayable view of it.  A record is
+the :mod:`repro.core.integrity` envelope of a canonical-JSON payload,
+keyed by its sequence number, behind a 4-byte big-endian length prefix::
+
+    [len][REPRO-ENVELOPE-1 | header(seq, sha256, …) | json payload] …
+
+``kill -9`` can only ever damage the *tail* of such a file: a torn
+frame, a half-written envelope, a record whose checksum never finished
+landing.  :meth:`CampaignLedger.replay` therefore recovers every record
+up to the last verifiable one byte-exactly, moves the damaged tail bytes
+into ``quarantine/`` (reasoned, like every other quarantined artifact)
+and truncates the file back to the last good frame so subsequent appends
+extend a clean log.  Damage *before* the tail — a record that fails
+verification with intact frames after it — cannot be explained by a torn
+append and raises :class:`~repro.net.errors.LedgerError` instead of
+silently dropping history.
+
+Appends are guarded by the ``ledger.io`` fault site: a transient verdict
+is retried (attempt-keyed, like supervised tasks), and an exhausted
+retry budget or a fatal verdict surfaces as
+:class:`~repro.net.errors.LedgerError` — durability must fail loudly,
+never drop a record on the floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from typing import Dict, List
+
+from repro.core import faults
+from repro.core.integrity import (
+    QuarantineRecord,
+    quarantine_file,
+    unwrap_envelope,
+    wrap_envelope,
+)
+from repro.net.errors import EnvelopeError, FaultError, LedgerError
+
+__all__ = ["LEDGER_SCHEMA_VERSION", "CampaignLedger"]
+
+#: Ledger record layout version; a bumped ledger reads as damaged-body.
+LEDGER_SCHEMA_VERSION = 1
+
+_FRAME_LEN = struct.Struct("!I")
+
+#: Bounded retry budget for ``ledger.io``-faulted appends.
+_APPEND_ATTEMPTS = 4
+
+
+class CampaignLedger:
+    """Append-only, crash-safe record log backing one orchestrator.
+
+    Not a general-purpose store: exactly one orchestrator owns a ledger
+    file at a time (appends are serialized by an in-process lock), and
+    records are plain JSON dicts — the scheduler defines their meaning.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = os.path.expanduser(os.fspath(path))
+        #: Damaged tail records moved aside by :meth:`replay`.
+        self.quarantined: List[QuarantineRecord] = []
+        self._lock = threading.Lock()
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return self._next_seq
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> List[Dict[str, object]]:
+        """Read every verifiable record, in order; heal a torn tail.
+
+        Returns the decoded record dicts.  A missing file is an empty
+        ledger.  A damaged tail (torn frame, failed envelope on the
+        final record) is quarantined and truncated away; damage with
+        intact records after it raises :class:`LedgerError`.
+        """
+        with self._lock:
+            try:
+                with open(self.path, "rb") as handle:
+                    blob = handle.read()
+            except FileNotFoundError:
+                self._next_seq = 0
+                return []
+            except OSError as error:
+                raise LedgerError(
+                    f"cannot read ledger {self.path}: {error}"
+                ) from error
+            records: List[Dict[str, object]] = []
+            offset = 0
+            seq = 0
+            damage = None
+            frame_end = len(blob)
+            while offset < len(blob):
+                if offset + _FRAME_LEN.size > len(blob):
+                    damage = "truncated"
+                    frame_end = len(blob)
+                    break
+                (length,) = _FRAME_LEN.unpack_from(blob, offset)
+                frame_end = offset + _FRAME_LEN.size + length
+                if frame_end > len(blob):
+                    damage = "truncated"
+                    frame_end = len(blob)
+                    break
+                framed = blob[offset + _FRAME_LEN.size:frame_end]
+                try:
+                    payload = unwrap_envelope(
+                        framed,
+                        schema=LEDGER_SCHEMA_VERSION,
+                        kind="ledger",
+                        key=str(seq),
+                    )
+                    record = json.loads(payload.decode("utf-8"))
+                    if not isinstance(record, dict):
+                        raise ValueError("record is not an object")
+                except EnvelopeError as error:
+                    damage = error.reason
+                    break
+                except (ValueError, UnicodeDecodeError):
+                    damage = "malformed-payload"
+                    break
+                records.append(record)
+                seq += 1
+                offset = frame_end
+            if damage is not None:
+                if frame_end < len(blob):
+                    # Intact frames follow the damaged record: this is
+                    # body corruption, not a torn append — refusing is
+                    # the only honest option, because "recovering" past
+                    # it would silently drop committed history.
+                    raise LedgerError(
+                        f"ledger {self.path} record {seq} is damaged "
+                        f"({damage}) with {len(blob) - frame_end} intact "
+                        "byte(s) after it — not a torn tail; refusing "
+                        "to drop committed records"
+                    )
+                self._quarantine_tail(blob[offset:], seq, damage)
+                try:
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(offset)
+                except OSError as error:
+                    raise LedgerError(
+                        f"cannot truncate torn tail of {self.path}: {error}"
+                    ) from error
+            self._next_seq = seq
+            return records
+
+    def _quarantine_tail(self, tail: bytes, seq: int, reason: str) -> None:
+        """Move torn tail bytes aside (best-effort, like all quarantine)."""
+        damaged = f"{self.path}.record-{seq}.torn"
+        try:
+            with open(damaged, "wb") as handle:
+                handle.write(tail)
+        except OSError:
+            return
+        record = quarantine_file(
+            damaged,
+            key=f"ledger.record.{seq}",
+            reason=reason,
+            stage="ledger.replay",
+            namespace="ledger",
+        )
+        if record is not None:
+            self.quarantined.append(record)
+
+    # -- append ------------------------------------------------------------
+
+    def append(self, record: Dict[str, object]) -> int:
+        """Durably append one record; returns its sequence number.
+
+        Stamps ``record["seq"]``, frames and fsyncs before returning —
+        once this returns, replay after any crash sees the record.
+        """
+        with self._lock:
+            seq = self._next_seq
+            stamped = dict(record)
+            stamped["seq"] = seq
+            payload = json.dumps(
+                stamped, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            framed = wrap_envelope(
+                payload,
+                schema=LEDGER_SCHEMA_VERSION,
+                kind="ledger",
+                key=str(seq),
+            )
+            blob = _FRAME_LEN.pack(len(framed)) + framed
+            attempt = 0
+            while True:
+                try:
+                    with faults.task_attempt(attempt):
+                        faults.maybe_fail("ledger.io", "append", seq)
+                    directory = os.path.dirname(self.path)
+                    if directory:
+                        os.makedirs(directory, exist_ok=True)
+                    with open(self.path, "ab") as handle:
+                        handle.write(blob)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    break
+                except FaultError as error:
+                    if error.transient and attempt + 1 < _APPEND_ATTEMPTS:
+                        attempt += 1
+                        continue
+                    raise LedgerError(
+                        f"ledger append (seq {seq}) failed after "
+                        f"{attempt + 1} attempt(s): {error}"
+                    ) from error
+                except OSError as error:
+                    raise LedgerError(
+                        f"cannot append to ledger {self.path}: {error}"
+                    ) from error
+            self._next_seq = seq + 1
+            return seq

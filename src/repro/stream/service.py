@@ -472,6 +472,35 @@ class CampaignService:
             "dropped_batches": self.bus.dropped_batches,
             "dropped_rows": self.bus.dropped_rows,
             "operator_errors": sum(self.bus.operator_errors.values()),
+            # Compact supervision roll-up, so operators can see restarts
+            # and sheds in a status poll without reading --metrics-json.
+            "metrics": {
+                "supervisor": {
+                    "pool_restarts": sum(
+                        1 for event in self.study.metrics.supervisor
+                        if event.action == "pool-restart"
+                    ),
+                    "downgrades": sum(
+                        1 for event in self.study.metrics.supervisor
+                        if event.action == "downgrade"
+                    ),
+                },
+                "quarantined": len(self.study.metrics.quarantined),
+                "journal_write_errors": (
+                    self.study.metrics.journal_write_errors
+                ),
+                "stalls": len(self.study.metrics.stalls),
+                "bus": {
+                    "published": sum(self.bus.published.values()),
+                    "dropped_batches": self.bus.dropped_batches,
+                    "dropped_rows": self.bus.dropped_rows,
+                    "events_evicted": self.bus.events.dropped,
+                    "alerts_evicted": self.bus.alerts.dropped,
+                    "operator_errors": sum(
+                        self.bus.operator_errors.values()
+                    ),
+                },
+            },
         }
         if self.error is not None:
             status["error"] = self.error

@@ -1,0 +1,238 @@
+"""Orchestrator routes on the control server, over real HTTP sockets.
+
+Also home of the SSE lag-recovery test: a tail whose cursor fell out of
+the ring's retention window must get a ``lag`` event and resume from
+the oldest retained item — no silent skips, no duplicated items.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.orchestrator import Orchestrator
+from repro.stream import ControlServer, StreamConfig
+
+from tests.test_orchestrator import QUICK, ParkedOrchestrator
+
+
+def url(server, path):
+    return f"http://127.0.0.1:{server.port}{path}"
+
+
+def get(server, path):
+    with urllib.request.urlopen(url(server, path), timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(server, path, body=None):
+    request = urllib.request.Request(
+        url(server, path), data=json.dumps(body or {}).encode(),
+        method="POST", headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def spec_body(seed=7, **overrides):
+    return {"seed": seed, **QUICK, **overrides}
+
+
+class TestOrchestratorRoutes:
+    """Route semantics against a parked (never-leasing) orchestrator:
+    campaigns hold still in the queue, so every assertion is race-free."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        orchestrator = ParkedOrchestrator(
+            tmp_path / "state", max_campaigns=2, retry_after=9.0,
+        )
+        server = ControlServer(port=0, orchestrator=orchestrator).start()
+        yield server
+        server.shutdown()
+
+    def test_submit_status_queue_roundtrip(self, server):
+        code, submitted = post(server, "/campaigns", spec_body(seed=7))
+        assert code == 200
+        campaign_id = submitted["id"]
+        assert submitted["state"] == "queued"
+        assert submitted["spec"]["seed"] == 7
+
+        code, status = get(server, f"/campaigns/{campaign_id}/status")
+        assert code == 200
+        assert status["id"] == campaign_id
+        assert status["fingerprint"] == submitted["fingerprint"]
+
+        code, queue = get(server, "/queue")
+        assert code == 200
+        assert queue["campaigns"]["queued"] == [campaign_id]
+        assert queue["max_campaigns"] == 2
+
+    def test_reuse_dedups_over_http(self, server):
+        _, first = post(server, "/campaigns", spec_body(seed=7))
+        _, again = post(server, "/campaigns",
+                        spec_body(seed=7, reuse=True))
+        assert again["id"] == first["id"]
+        _, queue = get(server, "/queue")
+        assert queue["dedup_hits"] == 1
+
+    def test_admission_503_with_retry_after(self, server):
+        post(server, "/campaigns", spec_body(seed=1))
+        post(server, "/campaigns", spec_body(seed=2))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/campaigns", spec_body(seed=3))
+        assert excinfo.value.code == 503
+        assert excinfo.value.headers["Retry-After"] == "9"
+
+    def test_pause_resume_cancel_lifecycle(self, server):
+        _, submitted = post(server, "/campaigns", spec_body(seed=7))
+        campaign_id = submitted["id"]
+
+        code, paused = post(server, f"/campaigns/{campaign_id}/pause")
+        assert (code, paused["state"]) == (200, "paused")
+        code, resumed = post(server, f"/campaigns/{campaign_id}/resume")
+        assert (code, resumed["state"]) == (200, "queued")
+        code, cancelled = post(server, f"/campaigns/{campaign_id}/cancel")
+        assert (code, cancelled["state"]) == (200, "cancelled")
+
+        # Terminal: resume now conflicts, cancel stays a no-op.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, f"/campaigns/{campaign_id}/resume")
+        assert excinfo.value.code == 409
+        code, again = post(server, f"/campaigns/{campaign_id}/cancel")
+        assert (code, again["state"]) == (200, "cancelled")
+
+    def test_bad_spec_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/campaigns", {"sale": 4096})
+        assert excinfo.value.code == 400
+
+    def test_unknown_campaign_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/campaigns/nope/pause")
+        assert excinfo.value.code == 404
+
+    def test_unknown_action_404(self, server):
+        _, submitted = post(server, "/campaigns", spec_body(seed=7))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, f"/campaigns/{submitted['id']}/explode")
+        assert excinfo.value.code == 404
+
+
+class TestWithoutOrchestrator:
+    def test_routes_404_when_not_attached(self):
+        server = ControlServer(port=0).start()
+        try:
+            for method, path in (
+                ("POST", "/campaigns"),
+                ("GET", "/queue"),
+            ):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    if method == "POST":
+                        post(server, path, spec_body())
+                    else:
+                        get(server, path)
+                assert excinfo.value.code == 404
+        finally:
+            server.shutdown()
+
+
+class TestEndToEnd:
+    def test_submit_runs_to_done_over_http(self, tmp_path):
+        orchestrator = Orchestrator(tmp_path / "state", max_active=1)
+        server = ControlServer(port=0, orchestrator=orchestrator).start()
+        try:
+            _, submitted = post(server, "/campaigns", spec_body(seed=7))
+            campaign_id = submitted["id"]
+            deadline = time.monotonic() + 240
+            while time.monotonic() < deadline:
+                _, status = get(server, f"/campaigns/{campaign_id}/status")
+                if status["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.1)
+            assert status["state"] == "done", status
+            assert status["digests"]
+            assert status["metrics"]["journal_stores"] > 0
+            _, queue = get(server, "/queue")
+            assert queue["campaigns"]["done"] == [campaign_id]
+        finally:
+            server.shutdown()
+
+
+class TestTailLagRecovery:
+    def test_lagging_cursor_gets_lag_event_then_oldest_onward(self):
+        """A cursor behind the events ring's retention window: exactly
+        one ``lag`` frame, then every retained event once (resume from
+        ``oldest``), then ``end`` — nothing skipped twice or silently."""
+        server = ControlServer(
+            port=0,
+            stream_defaults=StreamConfig(event_capacity=16),
+        ).start()
+        try:
+            _, started = post(server, "/sim/start",
+                              {"seed": 7, "scale": 16384})
+            campaign_id = started["campaign"]
+            deadline = time.monotonic() + 240
+            while time.monotonic() < deadline:
+                _, status = get(server, f"/campaigns/{campaign_id}/status")
+                if status["state"] in ("done", "failed", "stopped"):
+                    break
+                time.sleep(0.1)
+            assert status["state"] == "done", status
+            assert status["events_streamed"] > 16
+
+            # The supervision roll-up rides along in the status poll.
+            rollup = status["metrics"]
+            assert rollup["supervisor"]["pool_restarts"] == 0
+            assert rollup["quarantined"] == 0
+            assert rollup["bus"]["published"] == status["events_streamed"]
+            assert rollup["bus"]["events_evicted"] > 0  # tiny ring
+
+            # Cursor 1 lags: the ring only retains the last 16 events.
+            with urllib.request.urlopen(
+                url(server, f"/campaigns/{campaign_id}/tail?events=1"),
+                timeout=30,
+            ) as response:
+                body = response.read().decode()
+
+            frames = [
+                frame.split("\ndata: ", 1)
+                for frame in body.split("\n\n")
+                if frame.startswith("event: ")
+            ]
+            lags = [json.loads(data) for kind, data in frames
+                    if kind == "event: lag"]
+            events = [json.loads(data) for kind, data in frames
+                      if kind == "event: event"]
+            ends = [json.loads(data) for kind, data in frames
+                    if kind == "event: end"]
+
+            assert len(ends) == 1
+            ring_total = ends[0]["events_total"]
+            assert ring_total > 16, "ring never overflowed"
+            assert len(lags) == 1
+            lag = lags[0]
+            assert lag["stream"] == "events"
+            # The ring retains its last 16 items; cursor 1 missed
+            # everything before that window.
+            assert lag["oldest"] == ring_total - 16
+            assert lag["dropped"] == lag["oldest"] - 1
+            # Resumed from the oldest retained item: exactly the
+            # retained window, each event once.
+            assert len(events) == ring_total - lag["oldest"]
+
+            # A fresh, in-window cursor sees no lag frame at all.
+            with urllib.request.urlopen(
+                url(server,
+                    f"/campaigns/{campaign_id}/tail?events={ring_total}"),
+                timeout=30,
+            ) as response:
+                clean = response.read().decode()
+            assert "event: lag" not in clean
+            assert "event: event\n" not in clean
+        finally:
+            server.shutdown()
